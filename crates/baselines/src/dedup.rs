@@ -1,0 +1,81 @@
+//! Result deduplication job.
+//!
+//! Signature-based joins (RIDPairsPPJoin, MassJoin) discover the same pair
+//! in every reduce group that holds one of its shared signatures, so a
+//! final MapReduce job collapses duplicates — exactly the paper's account
+//! of why those pipelines carry an extra job that FS-Join does not need.
+
+use crate::BaselineConfig;
+use ssj_mapreduce::{Dataset, Emitter, JobBuilder, JobMetrics, Mapper, Reducer};
+use ssj_similarity::SimilarPair;
+
+/// Identity mapper over `((a, b), sim)`.
+struct DedupMapper;
+
+impl Mapper for DedupMapper {
+    type InKey = (u32, u32);
+    type InValue = f64;
+    type OutKey = (u32, u32);
+    type OutValue = f64;
+
+    fn map(&mut self, pair: (u32, u32), sim: f64, out: &mut Emitter<(u32, u32), f64>) {
+        out.emit(pair, sim);
+    }
+}
+
+/// Keeps one score per pair.
+struct DedupReducer;
+
+impl Reducer for DedupReducer {
+    type InKey = (u32, u32);
+    type InValue = f64;
+    type OutKey = (u32, u32);
+    type OutValue = f64;
+
+    fn reduce(&mut self, pair: &(u32, u32), sims: Vec<f64>, out: &mut Emitter<(u32, u32), f64>) {
+        // All duplicates carry the same exact score; keep the first.
+        out.emit(*pair, sims[0]);
+    }
+}
+
+/// Run the dedup job and collect sorted pairs.
+pub fn dedup_job(
+    results: &Dataset<(u32, u32), f64>,
+    cfg: &BaselineConfig,
+    name: &str,
+) -> (Vec<SimilarPair>, JobMetrics) {
+    let (unique, metrics) = JobBuilder::new(name)
+        .reduce_tasks(cfg.reduce_tasks)
+        .workers(cfg.workers)
+        .run(results, |_| DedupMapper, |_| DedupReducer);
+    let mut pairs: Vec<SimilarPair> = unique
+        .into_records()
+        .map(|((a, b), sim)| SimilarPair::new(a, b, sim))
+        .collect();
+    pairs.sort_unstable_by(|x, y| x.ids().cmp(&y.ids()));
+    (pairs, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_duplicates_and_sorts() {
+        let data = Dataset::from_records(
+            vec![
+                ((3u32, 5u32), 0.9),
+                ((1, 2), 0.8),
+                ((3, 5), 0.9),
+                ((3, 5), 0.9),
+            ],
+            2,
+        );
+        let (pairs, metrics) = dedup_job(&data, &BaselineConfig::default(), "dedup-test");
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].ids(), (1, 2));
+        assert_eq!(pairs[1].ids(), (3, 5));
+        assert_eq!(metrics.map_input_records(), 4);
+        assert_eq!(metrics.reduce_output_records(), 2);
+    }
+}

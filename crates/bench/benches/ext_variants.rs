@@ -1,0 +1,57 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! exact FS-Join vs the FS-Join-PF variant, the emission-policy ablation,
+//! and the global-ordering ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsjoin::{EmitPolicy, FsJoinConfig};
+use ssj_bench::bench_corpus;
+use ssj_text::{encode_with_kind, CorpusProfile, OrderingKind};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_pf_variant(c: &mut Criterion) {
+    let collection = bench_corpus();
+    let cfg = FsJoinConfig::default().with_theta(0.8);
+    let mut g = c.benchmark_group("ext_pf");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("fsjoin_exact", |b| {
+        b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
+    });
+    g.bench_function("fsjoin_pf", |b| {
+        b.iter(|| fsjoin::run_self_join_pf(black_box(&collection), &cfg))
+    });
+    g.finish();
+}
+
+fn bench_emit_policy(c: &mut Criterion) {
+    let collection = bench_corpus();
+    let mut g = c.benchmark_group("ext_emit_policy");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for (name, policy) in [
+        ("exact", EmitPolicy::Exact),
+        ("positive_bound_only", EmitPolicy::PositiveBoundOnly),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = FsJoinConfig::default().with_theta(0.8).with_emit_policy(policy);
+            b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ordering_kinds(c: &mut Criterion) {
+    let raw = CorpusProfile::WikiLike.config().with_records(300).generate();
+    let mut g = c.benchmark_group("ext_ordering");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for kind in OrderingKind::all() {
+        let collection = encode_with_kind(&raw, kind);
+        g.bench_function(kind.name(), |b| {
+            let cfg = FsJoinConfig::default().with_theta(0.8);
+            b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pf_variant, bench_emit_policy, bench_ordering_kinds);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 10 (bench-scale): FS-Join across horizontal-partition counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssj_bench::bench_corpus;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let collection = bench_corpus();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for t in [2usize, 5, 10] {
+        g.bench_function(format!("fsjoin_h{t}"), |b| {
+            let cfg = fsjoin::FsJoinConfig::default().with_theta(0.8).with_horizontal(t);
+            b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

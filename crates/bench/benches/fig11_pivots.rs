@@ -1,0 +1,25 @@
+//! Figure 11 (bench-scale): FS-Join across pivot-selection strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsjoin::PivotStrategy;
+use ssj_bench::bench_corpus;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let collection = bench_corpus();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for strategy in PivotStrategy::all() {
+        g.bench_function(format!("fsjoin_{}", strategy.name()), |b| {
+            let cfg = fsjoin::FsJoinConfig::default()
+                .with_theta(0.8)
+                .with_pivot_strategy(strategy);
+            b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

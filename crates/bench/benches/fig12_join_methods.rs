@@ -1,0 +1,23 @@
+//! Figure 12 (bench-scale): FS-Join across fragment join kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsjoin::JoinKernel;
+use ssj_bench::bench_corpus;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let collection = bench_corpus();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for kernel in JoinKernel::all() {
+        g.bench_function(format!("fsjoin_{}", kernel.name()), |b| {
+            let cfg = fsjoin::FsJoinConfig::default().with_theta(0.8).with_kernel(kernel);
+            b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

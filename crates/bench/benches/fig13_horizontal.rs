@@ -1,0 +1,24 @@
+//! Figure 13 (bench-scale): FS-Join vs FS-Join-V.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssj_bench::bench_corpus;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let collection = bench_corpus();
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("fsjoin", |b| {
+        let cfg = fsjoin::FsJoinConfig::default().with_theta(0.8);
+        b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
+    });
+    g.bench_function("fsjoin_v", |b| {
+        let cfg = fsjoin::FsJoinConfig::default().with_theta(0.8).with_horizontal(0);
+        b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 6 (bench-scale): FS-Join vs RIDPairsPPJoin end-to-end.
+//! The full-size comparison lives in `expt fig6`; this tracks regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssj_baselines::ridpairs::ridpairs_ppjoin;
+use ssj_baselines::BaselineConfig;
+use ssj_bench::bench_corpus;
+use ssj_similarity::Measure;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let collection = bench_corpus();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for theta in [0.75, 0.9] {
+        g.bench_function(format!("fsjoin_theta{theta}"), |b| {
+            let cfg = fsjoin::FsJoinConfig::default().with_theta(theta);
+            b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
+        });
+        g.bench_function(format!("ridpairs_theta{theta}"), |b| {
+            let cfg = BaselineConfig::default();
+            b.iter(|| ridpairs_ppjoin(black_box(&collection), Measure::Jaccard, theta, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 7 (bench-scale): all five algorithms on a tiny corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssj_baselines::massjoin::{massjoin, MassJoinVariant};
+use ssj_baselines::ridpairs::ridpairs_ppjoin;
+use ssj_baselines::vsmart::vsmart_join;
+use ssj_baselines::BaselineConfig;
+use ssj_bench::bench_corpus;
+use ssj_similarity::Measure;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let collection = bench_corpus();
+    let cfg = BaselineConfig::default();
+    let theta = 0.85;
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("fsjoin", |b| {
+        let fscfg = fsjoin::FsJoinConfig::default().with_theta(theta);
+        b.iter(|| fsjoin::run_self_join(black_box(&collection), &fscfg))
+    });
+    g.bench_function("ridpairs", |b| {
+        b.iter(|| ridpairs_ppjoin(black_box(&collection), Measure::Jaccard, theta, &cfg))
+    });
+    g.bench_function("vsmart", |b| {
+        b.iter(|| vsmart_join(black_box(&collection), Measure::Jaccard, theta, &cfg).unwrap())
+    });
+    g.bench_function("massjoin_merge", |b| {
+        b.iter(|| {
+            massjoin(
+                black_box(&collection),
+                Measure::Jaccard,
+                theta,
+                MassJoinVariant::Merge,
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("massjoin_light", |b| {
+        b.iter(|| {
+            massjoin(
+                black_box(&collection),
+                Measure::Jaccard,
+                theta,
+                MassJoinVariant::MergeLight,
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 8 (bench-scale): FS-Join across data fractions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssj_bench::{corpus, Scale};
+use ssj_text::CorpusProfile;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let full = corpus(CorpusProfile::WikiLike, Scale::Small);
+    let cfg = fsjoin::FsJoinConfig::default().with_theta(0.8);
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for frac in [0.4, 0.7, 1.0] {
+        let sample = full.sample(frac, 42);
+        g.bench_function(format!("fsjoin_frac{frac}"), |b| {
+            b.iter(|| fsjoin::run_self_join(black_box(&sample), &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

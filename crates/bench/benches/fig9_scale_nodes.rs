@@ -1,0 +1,30 @@
+//! Figure 9 (bench-scale): FS-Join at varying task geometry + cluster
+//! simulation (the node-scalability pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssj_bench::bench_corpus;
+use ssj_mapreduce::ClusterModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let collection = bench_corpus();
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for nodes in [5usize, 10, 15] {
+        g.bench_function(format!("fsjoin_{nodes}nodes"), |b| {
+            let cfg = fsjoin::FsJoinConfig::default()
+                .with_theta(0.8)
+                .with_tasks(2 * nodes, 3 * nodes);
+            let cluster = ClusterModel::paper_default(nodes);
+            b.iter(|| {
+                let res = fsjoin::run_self_join(black_box(&collection), &cfg);
+                res.simulated_secs(&cluster)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

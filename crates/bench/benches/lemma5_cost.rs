@@ -1,0 +1,27 @@
+//! Lemma 5 (bench-scale): cost-model evaluation throughput (the model is
+//! arithmetic over corpus statistics; this guards against it becoming
+//! accidentally expensive, since experiments call it in sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsjoin::cost::{predict_cost, CostCoefficients, CostInputs};
+use ssj_bench::bench_corpus;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let collection = bench_corpus();
+    let pivots: Vec<u32> = (1..16u32).map(|k| k * 1000).collect();
+    let mut g = c.benchmark_group("lemma5");
+    g.sample_size(30);
+    g.bench_function("cost_inputs_from_collection", |b| {
+        b.iter(|| CostInputs::from_run(black_box(&collection), black_box(&pivots), 10_000, 500))
+    });
+    let inputs = CostInputs::from_run(&collection, &pivots, 10_000, 500);
+    let coef = CostCoefficients::default();
+    g.bench_function("predict_cost", |b| {
+        b.iter(|| predict_cost(black_box(&inputs), black_box(&coef)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Micro-benchmarks of the hot kernels: intersection, vertical
+//! partitioning, measure bounds, and the in-memory joins.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ssj_similarity::intersect::{
+    intersect_count_adaptive, intersect_count_gallop, intersect_count_hash, intersect_count_merge,
+};
+use ssj_similarity::Measure;
+use std::hint::black_box;
+
+fn sorted_set(seed: u64, len: usize, universe: u32) -> Vec<u32> {
+    let mut state = seed;
+    let mut v: Vec<u32> = (0..len * 2)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as u32) % universe
+        })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v.truncate(len);
+    v
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intersect");
+    g.sample_size(30);
+    let a = sorted_set(1, 100, 10_000);
+    let b = sorted_set(2, 100, 10_000);
+    g.bench_function("merge_100x100", |bench| {
+        bench.iter(|| intersect_count_merge(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("gallop_100x100", |bench| {
+        bench.iter(|| intersect_count_gallop(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("hash_100x100", |bench| {
+        bench.iter(|| intersect_count_hash(black_box(&a), black_box(&b)))
+    });
+    let small = sorted_set(3, 8, 100_000);
+    let large = sorted_set(4, 4_000, 100_000);
+    g.bench_function("merge_8x4000", |bench| {
+        bench.iter(|| intersect_count_merge(black_box(&small), black_box(&large)))
+    });
+    g.bench_function("gallop_8x4000", |bench| {
+        bench.iter(|| intersect_count_gallop(black_box(&small), black_box(&large)))
+    });
+    g.bench_function("adaptive_8x4000", |bench| {
+        bench.iter(|| intersect_count_adaptive(black_box(&small), black_box(&large)))
+    });
+    g.finish();
+}
+
+fn bench_vertical_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vertical");
+    g.sample_size(30);
+    let tokens = sorted_set(7, 500, 50_000);
+    let pivots: Vec<u32> = (1..16u32).map(|k| k * 3_000).collect();
+    g.bench_function("split_record_500tok_16frag", |bench| {
+        bench.iter(|| fsjoin::vertical::split_record(0, 0, black_box(&tokens), black_box(&pivots)))
+    });
+    g.finish();
+}
+
+fn bench_prefix_lengths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("measure");
+    g.sample_size(30);
+    g.bench_function("bounds_sweep", |bench| {
+        bench.iter(|| {
+            let mut acc = 0usize;
+            for len in 1usize..200 {
+                for m in Measure::all() {
+                    acc += m.probe_prefix_len(black_box(0.8), len);
+                    acc += m.min_overlap(black_box(0.8), len, len + 5);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_inmemory_joins(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inmemory_join");
+    g.sample_size(10);
+    let collection = ssj_bench::bench_corpus();
+    g.bench_function("ppjoin_bench_corpus", |bench| {
+        bench.iter_batched(
+            || collection.records.clone(),
+            |records| ssj_similarity::ppjoin::ppjoin_self_join(&records, Measure::Jaccard, 0.8),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("allpairs_bench_corpus", |bench| {
+        bench.iter_batched(
+            || collection.records.clone(),
+            |records| ssj_similarity::allpairs::allpairs_self_join(&records, Measure::Jaccard, 0.8),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_intersection,
+    bench_vertical_partition,
+    bench_prefix_lengths,
+    bench_inmemory_joins
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table I (bench-scale): the duplication contrast — FS-Join's
+//! segment-emitting map phase vs RIDPairsPPJoin's signature-replicating
+//! map phase, isolated to the first (shuffle-heavy) job of each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssj_baselines::ridpairs::ridpairs_ppjoin;
+use ssj_baselines::BaselineConfig;
+use ssj_bench::bench_corpus;
+use ssj_similarity::Measure;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let collection = bench_corpus();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("fsjoin_duplication_free_pipeline", |b| {
+        let cfg = fsjoin::FsJoinConfig::default().with_theta(0.8);
+        b.iter(|| {
+            let res = fsjoin::run_self_join(black_box(&collection), &cfg);
+            // The quantity Table I is about: shuffled bytes of the filter job.
+            res.chain.job("fsjoin-filter").unwrap().shuffle_bytes
+        })
+    });
+    g.bench_function("ridpairs_duplicating_pipeline", |b| {
+        let cfg = BaselineConfig::default();
+        b.iter(|| {
+            let res = ridpairs_ppjoin(black_box(&collection), Measure::Jaccard, 0.8, &cfg);
+            res.chain.job("ridpairs-kernel").unwrap().shuffle_bytes
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

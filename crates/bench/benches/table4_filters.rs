@@ -1,0 +1,37 @@
+//! Table IV (bench-scale): filter-configuration cost. Times the filter job
+//! under the paper's six filter combinations; `expt table4` reports the
+//! candidate counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsjoin::{FilterSet, FsJoinConfig, JoinKernel};
+use ssj_bench::bench_corpus;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let collection = bench_corpus();
+    let strl = FilterSet::STRL_ONLY;
+    let combos: Vec<(&str, JoinKernel, FilterSet)> = vec![
+        ("strl", JoinKernel::Loop, strl),
+        ("strl_segl", JoinKernel::Loop, FilterSet { segl: true, ..strl }),
+        ("strl_segi", JoinKernel::Loop, FilterSet { segi: true, ..strl }),
+        ("strl_segd", JoinKernel::Loop, FilterSet { segd: true, ..strl }),
+        ("strl_prefix", JoinKernel::Prefix, strl),
+        ("all", JoinKernel::Prefix, FilterSet::ALL),
+    ];
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for (name, kernel, filters) in combos {
+        g.bench_function(name, |b| {
+            let cfg = FsJoinConfig::default()
+                .with_theta(0.8)
+                .with_kernel(kernel)
+                .with_filters(filters);
+            b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg).candidates)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p ssj-bench --bin expt -- all
+//! cargo run --release -p ssj-bench --bin expt -- fig6 table4
+//! cargo run --release -p ssj-bench --bin expt -- --list
+//! ```
+//!
+//! Reports are echoed to stdout and written to `results/<id>.md`.
+
+use ssj_bench::experiments;
+use ssj_bench::report::publish;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: expt [--list] <experiment-id>... | all");
+        eprintln!("experiments: {}", experiments::ALL.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        let start = Instant::now();
+        match experiments::run(id) {
+            Some(markdown) => {
+                publish(id, &markdown);
+                eprintln!("[expt] {id} finished in {:.1}s", start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("[expt] unknown experiment {id:?}; try --list");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Experiment datasets: deterministic synthetic analogues of the paper's
+//! three corpora (Table III), at the scales each experiment needs.
+
+use ssj_text::{encode, Collection, CorpusProfile};
+
+/// Experiment dataset scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's "big datasets" analogue (Figures 6, 8–13): the full
+    /// reference configuration of each profile.
+    Large,
+    /// The paper's "small datasets" analogue (Figure 7, Table IV): sampled
+    /// down so the explosion-prone baselines can finish.
+    Small,
+    /// Tiny corpora for Criterion benches (seconds, not minutes).
+    Bench,
+}
+
+impl Scale {
+    fn fraction(self) -> f64 {
+        match self {
+            Scale::Large => 1.0,
+            Scale::Small => 0.12,
+            Scale::Bench => 0.04,
+        }
+    }
+}
+
+/// Build (generate + encode) one profile at one scale. Deterministic.
+pub fn corpus(profile: CorpusProfile, scale: Scale) -> Collection {
+    let base = profile.config();
+    let records = ((base.num_records as f64) * scale.fraction()).round() as usize;
+    encode(&base.with_records(records.max(20)).generate())
+}
+
+/// The shared tiny corpus used by the Criterion benches.
+pub fn bench_corpus() -> Collection {
+    corpus(CorpusProfile::WikiLike, Scale::Bench)
+}
+
+/// The paper-matched FS-Join configuration for a profile: 30 vertical
+/// fragments everywhere (§VI-F), horizontal partitions per dataset —
+/// 10 for Email, 70 for PubMed, 50 for Wiki (Figure 13's setup), i.e.
+/// `t = (partitions − 1) / 2` pivots. Horizontal granularity is what
+/// splits each frequent token's posting list across length bands and
+/// keeps per-cell join work bounded.
+pub fn tuned_fsjoin(profile: CorpusProfile) -> fsjoin::FsJoinConfig {
+    let h_pivots = match profile {
+        CorpusProfile::EmailLike => 5,   // 11 horizontal partitions
+        CorpusProfile::PubMedLike => 35, // 71
+        CorpusProfile::WikiLike => 25,   // 51
+    };
+    fsjoin::FsJoinConfig::default()
+        .with_fragments(30)
+        .with_horizontal(h_pivots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let large = corpus(CorpusProfile::WikiLike, Scale::Large);
+        let small = corpus(CorpusProfile::WikiLike, Scale::Small);
+        let bench = corpus(CorpusProfile::WikiLike, Scale::Bench);
+        assert!(large.len() > small.len());
+        assert!(small.len() > bench.len());
+        assert!(bench.len() >= 20);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = corpus(CorpusProfile::EmailLike, Scale::Bench);
+        let b = corpus(CorpusProfile::EmailLike, Scale::Bench);
+        assert_eq!(a.records, b.records);
+    }
+}

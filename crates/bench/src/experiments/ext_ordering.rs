@@ -1,0 +1,50 @@
+//! Extension — global-ordering ablation.
+//!
+//! §IV calls the choice of global ordering "important" but evaluates only
+//! ascending frequency. Prefix filtering works under *any* total order
+//! (results are asserted identical); the ordering decides how selective
+//! prefixes and fragments are. Ascending frequency puts rare tokens in
+//! prefixes (few collisions); descending is adversarial; lexicographic is
+//! frequency-oblivious.
+
+use fsjoin::FsJoinConfig;
+use ssj_common::table::{fmt_count, Table};
+use ssj_text::{encode_with_kind, CorpusProfile, OrderingKind};
+
+/// Run the experiment; returns markdown.
+pub fn run() -> String {
+    let mut out = String::from(
+        "# Extension — global-ordering ablation\n\n\
+         θ = 0.8, Jaccard, Wiki (small); identical result sets asserted \
+         across orderings. `examined` = segment pairs inspected by the \
+         prefix kernel; `emitted` = candidate records.\n\n",
+    );
+    let base = CorpusProfile::WikiLike.config();
+    let records = ((base.num_records as f64) * 0.12).round() as usize;
+    let raw = base.with_records(records).generate();
+
+    let mut t = Table::new(["Ordering", "examined", "emitted", "results"]);
+    let mut result_counts = Vec::new();
+    for kind in OrderingKind::all() {
+        let c = encode_with_kind(&raw, kind);
+        let res = fsjoin::run_self_join(&c, &FsJoinConfig::default().with_theta(0.8));
+        result_counts.push(res.pairs.len());
+        t.push_row([
+            kind.name().to_string(),
+            fmt_count(res.filter_stats.pairs_considered),
+            fmt_count(res.candidates as u64),
+            res.pairs.len().to_string(),
+        ]);
+    }
+    assert!(
+        result_counts.windows(2).all(|w| w[0] == w[1]),
+        "orderings must not change results: {result_counts:?}"
+    );
+    out.push_str(&t.to_markdown());
+    out.push_str(
+        "\nExpectation: ascending frequency examines the fewest pairs \
+         (rare tokens in prefixes); descending is the adversarial \
+         worst case; results are identical everywhere.\n",
+    );
+    out
+}

@@ -1,0 +1,42 @@
+//! Figure 13 — FS-Join vs FS-Join-V (horizontal partitioning on/off).
+//!
+//! Paper: FS-Join (with horizontal partitioning) beats FS-Join-V on every
+//! dataset and threshold — smaller sections fit reduce memory and the
+//! length-based split prunes cross-length pairs before they reach the
+//! fragment joins.
+
+use crate::datasets::{corpus, tuned_fsjoin, Scale};
+use crate::report::secs_cell;
+use crate::runners::{run_algorithm_cfg, Algorithm};
+use ssj_common::table::Table;
+use ssj_similarity::Measure;
+use ssj_text::CorpusProfile;
+
+const THETAS: [f64; 4] = [0.75, 0.8, 0.85, 0.9];
+
+/// Run the experiment; returns markdown.
+pub fn run() -> String {
+    let mut out = String::from(
+        "# Figure 13 analogue — effect of horizontal partitioning\n\n\
+         Simulated 10-node seconds, Jaccard. FS-Join-V disables horizontal \
+         partitioning (vertical only).\n\n",
+    );
+    for profile in CorpusProfile::all() {
+        let c = corpus(profile, Scale::Large);
+        let mut t = Table::new(["θ", "FS-Join (s)", "FS-Join-V (s)", "gain"]);
+        for theta in THETAS {
+            let fs = run_algorithm_cfg(Algorithm::FsJoin, &c, Measure::Jaccard, theta, 10, &tuned_fsjoin(profile));
+            let fsv = run_algorithm_cfg(Algorithm::FsJoinV, &c, Measure::Jaccard, theta, 10, &tuned_fsjoin(profile));
+            assert_eq!(fs.result_pairs, fsv.result_pairs, "{profile:?} θ={theta}");
+            t.push_row([
+                format!("{theta}"),
+                secs_cell(fs.sim_secs),
+                secs_cell(fsv.sim_secs),
+                format!("{:.2}x", fsv.sim_secs / fs.sim_secs),
+            ]);
+        }
+        out.push_str(&format!("## {}\n\n{}\n", profile.name(), t.to_markdown()));
+    }
+    out.push_str("Paper expectation: FS-Join ≤ FS-Join-V at every point.\n");
+    out
+}

@@ -1,0 +1,45 @@
+//! Figure 8 — FS-Join scalability with data size (4X/6X/8X/10X).
+//!
+//! Paper: doubling the data increases time by less than ~33% in most
+//! cases at fixed θ (filters absorb much of the quadratic candidate
+//! growth).
+
+use crate::datasets::{corpus, tuned_fsjoin, Scale};
+use crate::report::secs_cell;
+use crate::runners::{run_algorithm_cfg, Algorithm};
+use ssj_common::table::Table;
+use ssj_similarity::Measure;
+use ssj_text::CorpusProfile;
+
+const SCALES: [(f64, &str); 4] = [(0.4, "4X"), (0.6, "6X"), (0.8, "8X"), (1.0, "10X")];
+const THETAS: [f64; 4] = [0.75, 0.8, 0.85, 0.9];
+
+/// Run the experiment; returns markdown.
+pub fn run() -> String {
+    let mut out = String::from(
+        "# Figure 8 analogue — FS-Join vs data scale\n\n\
+         Simulated 10-node cluster seconds, Jaccard; NX = random sample of \
+         N·10% of the reference corpus (the paper's sampling scheme).\n\n",
+    );
+    for profile in CorpusProfile::all() {
+        let full = corpus(profile, Scale::Large);
+        let mut t = Table::new(
+            std::iter::once("θ".to_string()).chain(SCALES.iter().map(|(_, n)| n.to_string())),
+        );
+        for theta in THETAS {
+            let mut cells = vec![format!("{theta}")];
+            for (frac, _) in SCALES {
+                let sample = full.sample(frac, 0xF16_8);
+                let o = run_algorithm_cfg(Algorithm::FsJoin, &sample, Measure::Jaccard, theta, 10, &tuned_fsjoin(profile));
+                cells.push(secs_cell(o.sim_secs));
+            }
+            t.push_row(cells);
+        }
+        out.push_str(&format!("## {}\n\n{}\n", profile.name(), t.to_markdown()));
+    }
+    out.push_str(
+        "Paper expectation: time grows clearly sub-quadratically in data \
+         size; 2X data ⇒ well under 2X time at the same θ.\n",
+    );
+    out
+}

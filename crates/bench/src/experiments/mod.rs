@@ -1,0 +1,43 @@
+//! One module per paper exhibit (see DESIGN.md §6 for the index).
+
+pub mod ext_ordering;
+pub mod ext_pf;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod lemma5;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+
+/// All experiment ids, in the paper's presentation order.
+pub const ALL: [&str; 14] = [
+    "table1", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "lemma5", "ext-pf", "ext-ordering",
+];
+
+/// Run one experiment by id, returning its markdown report.
+pub fn run(id: &str) -> Option<String> {
+    Some(match id {
+        "table1" => table1::run(),
+        "table3" => table3::run(),
+        "table4" => table4::run(),
+        "fig6" => fig6::run(),
+        "fig7" => fig7::run(),
+        "fig8" => fig8::run(),
+        "fig9" => fig9::run(),
+        "fig10" => fig10::run(),
+        "fig11" => fig11::run(),
+        "fig12" => fig12::run(),
+        "fig13" => fig13::run(),
+        "lemma5" => lemma5::run(),
+        "ext-pf" => ext_pf::run(),
+        "ext-ordering" => ext_ordering::run(),
+        _ => return None,
+    })
+}

@@ -1,0 +1,39 @@
+//! Table III — dataset statistics of the three corpora.
+//!
+//! Paper: Email 517,401 records (long, highly variable); PubMed 7,400,308
+//! records (avg 80.39 tokens); Wiki 4,305,022 records (avg 55.95 tokens).
+//! Ours are scaled-down synthetic analogues preserving the *shape*
+//! contrasts (Email ≫ avg length; PubMed/Wiki many short records).
+
+use crate::datasets::{corpus, Scale};
+use ssj_common::table::Table;
+use ssj_text::CorpusProfile;
+
+/// Run the experiment; returns markdown.
+pub fn run() -> String {
+    let mut t = Table::new([
+        "Dataset", "Records", "Distinct tokens", "Min len", "Max len", "Avg len",
+    ]);
+    for profile in CorpusProfile::all() {
+        let c = corpus(profile, Scale::Large);
+        let s = c.stats();
+        t.push_row([
+            profile.name().to_string(),
+            s.records.to_string(),
+            s.universe.to_string(),
+            s.min_len.to_string(),
+            s.max_len.to_string(),
+            format!("{:.2}", s.avg_len),
+        ]);
+    }
+    format!(
+        "# Table III analogue — dataset statistics\n\n\
+         Synthetic analogues of the paper's corpora (scaled ~300–600×; \
+         Zipfian token frequencies, per-profile lognormal lengths, planted \
+         near-duplicates).\n\n{}\n\
+         Paper reference: Email avg length ≫ PubMed (80.39) > Wiki (55.95); \
+         record counts PubMed > Wiki ≫ Email. Both orderings must hold \
+         above.\n",
+        t.to_markdown()
+    )
+}

@@ -1,0 +1,100 @@
+//! Table IV — pruning power of each filter combination.
+//!
+//! The paper counts the records output by the filter job under StrL alone,
+//! StrL + one segment filter each, StrL + prefix, and all filters, on
+//! Email(10%), Wiki(1%) and PubMed(1%). We mirror those rows on the small
+//! corpora with two measurements per row:
+//!
+//! * **examined** — segment pairs the fragment join inspected (where the
+//!   Prefix kernel's pruning shows up);
+//! * **emitted** — candidate records written by the filter job (only pairs
+//!   with ≥ 1 common token are ever materialized here, so our absolute
+//!   dynamic range is smaller than the paper's — they appear to count
+//!   zero-overlap survivors too).
+//!
+//! Reproduction finding (proved in `fsjoin::filters` tests): with the
+//! information available inside one reducer, SegI and SegD are the *same*
+//! predicate, so their rows are identical by mathematics — the paper's
+//! differing SegI/SegD counts imply their implementations used different
+//! information for the two.
+
+use crate::datasets::{corpus, Scale};
+use fsjoin::{FilterSet, FsJoinConfig, JoinKernel};
+use ssj_common::table::{fmt_count, Table};
+use ssj_text::{Collection, CorpusProfile};
+
+fn run_combo(c: &Collection, kernel: JoinKernel, filters: FilterSet) -> (u64, u64) {
+    let cfg = FsJoinConfig::default()
+        .with_theta(0.8)
+        .with_kernel(kernel)
+        .with_filters(filters);
+    let res = fsjoin::run_self_join(c, &cfg);
+    (res.filter_stats.pairs_considered, res.candidates as u64)
+}
+
+/// Run the experiment; returns markdown.
+pub fn run() -> String {
+    let strl = FilterSet::STRL_ONLY;
+    let rows: Vec<(&str, JoinKernel, FilterSet)> = vec![
+        ("StrL", JoinKernel::Loop, strl),
+        ("StrL + SegL", JoinKernel::Loop, FilterSet { segl: true, ..strl }),
+        ("StrL + SegI", JoinKernel::Loop, FilterSet { segi: true, ..strl }),
+        ("StrL + SegD", JoinKernel::Loop, FilterSet { segd: true, ..strl }),
+        ("StrL + Prefix", JoinKernel::Prefix, strl),
+        ("All", JoinKernel::Prefix, FilterSet::ALL),
+    ];
+
+    let mut out = String::from(
+        "# Table IV analogue — filter pruning power\n\n\
+         θ = 0.8, Jaccard. `examined` = segment pairs inspected by the \
+         fragment join; `emitted` = candidate records written (pairs with \
+         ≥ 1 common token surviving the active filters).\n\n",
+    );
+    for profile in CorpusProfile::all() {
+        let c = corpus(profile, Scale::Small);
+        let mut t = Table::new(["Filter", "examined", "emitted"]);
+        for (label, kernel, filters) in &rows {
+            let (examined, emitted) = run_combo(&c, *kernel, *filters);
+            t.push_row([
+                label.to_string(),
+                fmt_count(examined),
+                fmt_count(emitted),
+            ]);
+        }
+        out.push_str(&format!("## {} (small)\n\n{}\n", profile.name(), t.to_markdown()));
+    }
+    // Emission-policy ablation: what it takes to reach the paper's
+    // Table IV magnitudes, and what it costs.
+    out.push_str("## Emission-policy ablation (see `fsjoin::EmitPolicy`)\n\n");
+    let mut t = Table::new(["Dataset", "emitted (Exact)", "emitted (PositiveBoundOnly)", "results (Exact)", "results (PBO)"]);
+    for profile in CorpusProfile::all() {
+        let c = corpus(profile, Scale::Small);
+        let exact_cfg = FsJoinConfig::default().with_theta(0.8);
+        let pbo_cfg = exact_cfg
+            .clone()
+            .with_emit_policy(fsjoin::EmitPolicy::PositiveBoundOnly);
+        let exact = fsjoin::run_self_join(&c, &exact_cfg);
+        let pbo = fsjoin::run_self_join(&c, &pbo_cfg);
+        t.push_row([
+            profile.name().to_string(),
+            fmt_count(exact.candidates as u64),
+            fmt_count(pbo.candidates as u64),
+            exact.pairs.len().to_string(),
+            pbo.pairs.len().to_string(),
+        ]);
+    }
+    out.push_str(&t.to_markdown());
+    out.push_str(
+        "\nPaper expectation: every added filter shrinks the filter-job \
+         output; the prefix filter slashes the *examined* pairs; \"All\" \
+         is the smallest row. Divergences (both proved in code): (1) our \
+         SegI and SegD rows are identical — with reducer-local information \
+         the two lemmas are the same predicate (fsjoin::filters tests); \
+         (2) the paper's output magnitudes (e.g. 6,840 records from 74k \
+         abstracts) require dropping fragment contributions that exact \
+         count-verification provably needs — the PositiveBoundOnly column \
+         reproduces those magnitudes and the results column shows the \
+         recall it costs.\n",
+    );
+    out
+}

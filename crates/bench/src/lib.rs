@@ -1,0 +1,22 @@
+//! Experiment harness for the FS-Join reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§VI) has a
+//! corresponding experiment in [`experiments`]; the `expt` binary runs them
+//! and writes paper-style markdown tables under `results/`:
+//!
+//! ```text
+//! cargo run --release -p ssj-bench --bin expt -- all
+//! cargo run --release -p ssj-bench --bin expt -- fig6 table4
+//! ```
+//!
+//! The Criterion benches under `benches/` exercise a scaled-down version of
+//! each exhibit (plus kernel micro-benchmarks) so `cargo bench` tracks
+//! regressions on every comparison the paper makes.
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+pub mod runners;
+
+pub use datasets::{bench_corpus, corpus, tuned_fsjoin, Scale};
+pub use runners::{run_algorithm, Algorithm, RunOutcome, RunStatus};

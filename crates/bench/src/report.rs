@@ -1,0 +1,43 @@
+//! Result reporting: markdown sections written under `results/` at the
+//! workspace root.
+
+use std::path::PathBuf;
+
+/// Workspace-root `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir.canonicalize().expect("canonicalize results dir")
+}
+
+/// Write one experiment's markdown report to `results/<id>.md` and echo it
+/// to stdout.
+pub fn publish(id: &str, markdown: &str) {
+    let path = results_dir().join(format!("{id}.md"));
+    std::fs::write(&path, markdown).expect("write report");
+    println!("{markdown}");
+    eprintln!("[expt] wrote {}", path.display());
+}
+
+/// Format a simulated-seconds cell, with `DNF` for failed runs.
+pub fn secs_cell(secs: f64) -> String {
+    if secs.is_nan() {
+        "DNF".to_string()
+    } else {
+        format!("{secs:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_and_cells_format() {
+        assert!(results_dir().is_dir());
+        assert_eq!(secs_cell(1.234), "1.23");
+        assert_eq!(secs_cell(f64::NAN), "DNF");
+    }
+}

@@ -1,0 +1,152 @@
+//! Logical byte accounting for shuffle and output volume.
+//!
+//! The MapReduce engine keeps data in memory, so "bytes shuffled" cannot be
+//! observed from real serialization. Instead every key/value type implements
+//! [`ByteSize`], which returns the number of bytes the value would occupy in
+//! a compact length-prefixed wire encoding (fixed-width integers, varint-free
+//! for simplicity). The absolute numbers matter less than their being
+//! *consistent across algorithms*, which is what the paper's
+//! shuffle-cost comparisons rely on.
+
+/// Number of bytes a value would occupy in a compact wire encoding.
+pub trait ByteSize {
+    /// Encoded size in bytes, including any length prefixes for
+    /// variable-length parts.
+    fn byte_size(&self) -> usize;
+}
+
+macro_rules! impl_fixed {
+    ($($t:ty),*) => {
+        $(impl ByteSize for $t {
+            #[inline]
+            fn byte_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_fixed!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl ByteSize for () {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        0
+    }
+}
+
+impl ByteSize for String {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl ByteSize for &str {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<T: ByteSize> ByteSize for Vec<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        4 + self.iter().map(ByteSize::byte_size).sum::<usize>()
+    }
+}
+
+impl<T: ByteSize> ByteSize for [T] {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        4 + self.iter().map(ByteSize::byte_size).sum::<usize>()
+    }
+}
+
+impl<T: ByteSize> ByteSize for Option<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, ByteSize::byte_size)
+    }
+}
+
+impl<T: ByteSize + ?Sized> ByteSize for &T {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        (**self).byte_size()
+    }
+}
+
+impl<T: ByteSize + ?Sized> ByteSize for Box<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        (**self).byte_size()
+    }
+}
+
+impl<T: ByteSize> ByteSize for std::sync::Arc<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        (**self).byte_size()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: ByteSize),+> ByteSize for ($($name,)+) {
+            #[inline]
+            #[allow(non_snake_case)]
+            fn byte_size(&self) -> usize {
+                let ($($name,)+) = self;
+                0 $(+ $name.byte_size())+
+            }
+        }
+    };
+}
+
+impl_tuple!(A);
+impl_tuple!(A, B);
+impl_tuple!(A, B, C);
+impl_tuple!(A, B, C, D);
+impl_tuple!(A, B, C, D, E);
+impl_tuple!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(1u8.byte_size(), 1);
+        assert_eq!(1u32.byte_size(), 4);
+        assert_eq!(1u64.byte_size(), 8);
+        assert_eq!(true.byte_size(), 1);
+        assert_eq!(().byte_size(), 0);
+    }
+
+    #[test]
+    fn strings_include_length_prefix() {
+        assert_eq!(String::from("abc").byte_size(), 7);
+        assert_eq!("".byte_size(), 4);
+    }
+
+    #[test]
+    fn vectors_are_recursive() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(v.byte_size(), 4 + 12);
+        let vv: Vec<Vec<u16>> = vec![vec![1], vec![]];
+        assert_eq!(vv.byte_size(), 4 + (4 + 2) + 4);
+    }
+
+    #[test]
+    fn tuples_sum_components() {
+        assert_eq!((1u32, 2u64).byte_size(), 12);
+        assert_eq!((1u8, (2u8, 3u8)).byte_size(), 3);
+    }
+
+    #[test]
+    fn option_carries_tag_byte() {
+        assert_eq!(Option::<u32>::None.byte_size(), 1);
+        assert_eq!(Some(7u32).byte_size(), 5);
+    }
+}

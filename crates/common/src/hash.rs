@@ -1,0 +1,143 @@
+//! A fast, deterministic, non-cryptographic hasher.
+//!
+//! The workspace hashes small integer keys (token ids, record-id pairs,
+//! partition ids) billions of times in the join kernels and the shuffle.
+//! `std`'s default SipHash is DoS-resistant but several times slower for
+//! these workloads, and its per-process random seed would make run-to-run
+//! byte counts non-deterministic. This module implements the well-known
+//! FxHash construction (multiply by a large odd constant, rotate) used by
+//! rustc itself. We implement it locally rather than adding a dependency
+//! (see DESIGN.md §2).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc FxHash implementation
+/// (64-bit golden-ratio-derived odd constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style streaming hasher.
+///
+/// Not cryptographic and not DoS-resistant; only use for in-process data
+/// structures keyed by trusted data (token ids, record ids).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            // unwrap: chunks_exact guarantees 8 bytes.
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; deterministic across processes.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hash a single value with [`FxHasher`]; convenience for partitioners.
+#[inline]
+pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = fx_hash_one(&(42u32, 7u32));
+        let b = fx_hash_one(&(42u32, 7u32));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        // Not a collision-resistance proof, just a smoke test that the
+        // hasher actually mixes input bits.
+        let a = fx_hash_one(&1u64);
+        let b = fx_hash_one(&2u64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn byte_stream_tail_is_length_sensitive() {
+        let mut h1 = FxHasher::default();
+        h1.write(&[0, 0, 0]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[0, 0]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1), Some(&2));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+
+    #[test]
+    fn strings_hash_consistently() {
+        assert_eq!(fx_hash_one(&"token"), fx_hash_one(&"token"));
+        assert_ne!(fx_hash_one(&"token"), fx_hash_one(&"tokem"));
+    }
+}

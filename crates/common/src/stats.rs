@@ -1,0 +1,169 @@
+//! Summary statistics for load-balance and timing reports.
+//!
+//! The paper's load-balancing claims (Table I, Figure 11) are qualitative;
+//! we quantify them with the statistics here: max/mean skew ratio, the Gini
+//! coefficient of per-reducer input sizes, and percentile summaries of task
+//! durations.
+
+/// A one-pass summary of a sample of non-negative measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+    /// Population standard deviation (0 when empty).
+    pub stddev: f64,
+    /// Median (P50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Ratio `max / mean`; 1.0 means perfectly balanced, larger means skew.
+    /// Defined as 1.0 when the mean is zero.
+    pub skew: f64,
+    /// Gini coefficient in `[0, 1)`; 0 means perfectly equal shares.
+    pub gini: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Values may arrive in any order.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                sum: 0.0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                skew: 1.0,
+                gini: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN stats input"));
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / count as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let min = sorted[0];
+        let max = sorted[count - 1];
+        let skew = if mean > 0.0 { max / mean } else { 1.0 };
+        Summary {
+            count,
+            sum,
+            mean,
+            min,
+            max,
+            stddev: var.sqrt(),
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            skew,
+            gini: gini_sorted(&sorted),
+        }
+    }
+
+    /// Convenience for integer samples (per-reducer record counts etc.).
+    pub fn of_counts<I: IntoIterator<Item = usize>>(values: I) -> Self {
+        let v: Vec<f64> = values.into_iter().map(|x| x as f64).collect();
+        Self::of(&v)
+    }
+}
+
+/// Linear-interpolated percentile of an already-sorted slice.
+/// `q` is in `[0, 1]`. Panics on an empty slice.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Gini coefficient of an already-sorted (ascending) non-negative sample.
+///
+/// Uses the standard formula `G = (2·Σ i·x_i / (n·Σ x_i)) − (n+1)/n` with
+/// 1-based ranks. Returns 0 for empty, all-zero, or single-element samples.
+pub fn gini_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n <= 1 {
+        return 0.0;
+    }
+    let sum: f64 = sorted.iter().sum();
+    if sum <= 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i + 1) as f64 * x)
+        .sum();
+    (2.0 * weighted / (n as f64 * sum)) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.skew, 1.0);
+    }
+
+    #[test]
+    fn uniform_sample_has_no_skew() {
+        let s = Summary::of(&[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.skew, 1.0);
+        assert!(s.gini.abs() < 1e-12);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn skewed_sample() {
+        let s = Summary::of(&[0.0, 0.0, 0.0, 10.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.skew, 4.0);
+        // One holder of everything among 4: Gini = 3/4.
+        assert!((s.gini - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 4.0);
+        assert!((percentile_sorted(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn of_counts_matches_of() {
+        let a = Summary::of_counts([1usize, 2, 3]);
+        let b = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gini_handles_degenerate() {
+        assert_eq!(gini_sorted(&[]), 0.0);
+        assert_eq!(gini_sorted(&[3.0]), 0.0);
+        assert_eq!(gini_sorted(&[0.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Minimal table rendering for experiment reports.
+//!
+//! Experiment binaries print paper-style tables as GitHub-flavoured markdown
+//! (for EXPERIMENTS.md) and TSV (for downstream plotting). We keep this
+//! dependency-free rather than pulling in a serialization stack.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are right-padded with
+    /// empty cells; longer rows panic (caller bug).
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert!(
+            cells.len() <= self.header.len(),
+            "row has {} cells but table has {} columns",
+            cells.len(),
+            self.header.len()
+        );
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let widths = self.column_widths();
+        let mut out = String::new();
+        render_md_row(&mut out, &self.header, &widths);
+        let _ = write!(out, "|");
+        for w in &widths {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_md_row(&mut out, row, &widths);
+        }
+        out
+    }
+
+    /// Render as tab-separated values (header first).
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.header.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+fn render_md_row(out: &mut String, cells: &[String], widths: &[usize]) {
+    let _ = write!(out, "|");
+    for (cell, w) in cells.iter().zip(widths) {
+        let _ = write!(out, " {cell:w$} |", w = w);
+    }
+    out.push('\n');
+}
+
+/// Format a duration in seconds with adaptive precision (`1.23s`, `45ms`).
+pub fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.1}ms", secs * 1e3)
+    } else {
+        format!("{:.0}us", secs * 1e6)
+    }
+}
+
+/// Format a byte count with binary-unit suffixes (`1.5 MiB`).
+pub fn fmt_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+/// Format a large count with thousands separators (`1,234,567`).
+pub fn fmt_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let mut t = Table::new(["a", "bb"]);
+        t.push_row(["1", "2"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("| a "));
+        assert!(lines[1].starts_with("|-"));
+        assert!(lines[2].contains("| 1 "));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.push_row(["x"]);
+        assert_eq!(t.to_tsv(), "a\tb\tc\nx\t\t\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 3 cells")]
+    fn long_rows_panic() {
+        let mut t = Table::new(["a"]);
+        t.push_row(["1", "2", "3"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0451), "45.1ms");
+        assert_eq!(fmt_secs(0.000_5), "500us");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(1536), "1.5 KiB");
+        assert_eq!(fmt_count(1_234_567), "1,234,567");
+        assert_eq!(fmt_count(12), "12");
+        assert_eq!(fmt_count(1_000), "1,000");
+    }
+
+    #[test]
+    fn tsv_round_trips_cells() {
+        let mut t = Table::new(["x", "y"]);
+        t.push_row(["hello", "world"]);
+        t.push_row(["1", "2"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.to_tsv(), "x\ty\nhello\tworld\n1\t2\n");
+    }
+}

@@ -1,0 +1,526 @@
+//! The FS-Join driver: wires the filtering and verification MapReduce jobs
+//! (paper Algorithm 1 / Figure 3).
+//!
+//! The ordering phase is performed at encoding time ([`ssj_text::encode`] /
+//! [`ssj_text::encode_mr`]); the driver consumes an already-encoded
+//! [`Collection`] whose frequency table *is* the global ordering.
+
+use crate::config::FsJoinConfig;
+use crate::filters::FilterStats;
+use crate::fragment::{join_fragment, PairScope};
+use crate::horizontal::{h_partitions_for, num_h_partitions, select_h_pivots, JoinRule};
+use crate::pivots::select_pivots;
+use crate::segment::Segment;
+use crate::vertical::split_record;
+use parking_lot::Mutex;
+use ssj_mapreduce::{
+    ChainMetrics, Dataset, DirectPartitioner, Emitter, JobBuilder, Mapper, Reducer,
+};
+use ssj_similarity::{Measure, SimilarPair};
+use ssj_text::{Collection, Record};
+use std::sync::Arc;
+
+/// Everything an FS-Join run produces.
+#[derive(Debug, Clone)]
+pub struct FsJoinResult {
+    /// The similar pairs with exact scores.
+    pub pairs: Vec<SimilarPair>,
+    /// Engine metrics for the filtering and verification jobs.
+    pub chain: ChainMetrics,
+    /// Aggregated pruning counters from the fragment joins.
+    pub filter_stats: FilterStats,
+    /// Candidate records emitted by the filtering job (the paper's
+    /// Table IV quantity).
+    pub candidates: usize,
+    /// The vertical pivot ranks used.
+    pub pivots: Vec<u32>,
+    /// The horizontal length pivots used (empty for FS-Join-V).
+    pub h_pivots: Vec<u32>,
+}
+
+impl FsJoinResult {
+    /// Total simulated time on a modelled cluster (see
+    /// [`ssj_mapreduce::ClusterModel`]).
+    pub fn simulated_secs(&self, cluster: &ssj_mapreduce::ClusterModel) -> f64 {
+        cluster.simulate_chain(&self.chain).total_secs()
+    }
+}
+
+/// Self-join a collection.
+pub fn run_self_join(collection: &Collection, cfg: &FsJoinConfig) -> FsJoinResult {
+    run_join(&collection.records, &[], &collection.token_freqs, cfg, PairScope::SelfJoin)
+}
+
+/// R×S join of two collections encoded in the **same token-rank space**
+/// (see [`ssj_text::encode::encode_two`]). S-side record ids are offset by
+/// `r.records.len()` in the returned pairs: pair `(a, b)` with
+/// `b ≥ offset` refers to S-record `b − offset`.
+pub fn run_rs_join(r: &Collection, s: &Collection, cfg: &FsJoinConfig) -> FsJoinResult {
+    assert_eq!(
+        r.token_freqs, s.token_freqs,
+        "R and S must be encoded together (shared global ordering)"
+    );
+    run_join(&r.records, &s.records, &r.token_freqs, cfg, PairScope::CrossSides)
+}
+
+/// Filtering-job mapper: vertical + horizontal partitioning of one record
+/// (paper Algorithm 1 lines 6–9). Shared with the prefix-discovery variant
+/// ([`crate::pf`]).
+pub(crate) struct PartitionMapper {
+    pub(crate) pivots: Arc<Vec<u32>>,
+    pub(crate) h_pivots: Arc<Vec<u32>>,
+    pub(crate) num_fragments: usize,
+    pub(crate) measure: Measure,
+    pub(crate) theta: f64,
+}
+
+impl Mapper for PartitionMapper {
+    type InKey = u32;
+    type InValue = (u8, Record);
+    type OutKey = u32; // cell id = h * num_fragments + v
+    type OutValue = Segment;
+
+    fn map(&mut self, _rid: u32, (side, record): (u8, Record), out: &mut Emitter<u32, Segment>) {
+        if record.is_empty() {
+            return;
+        }
+        let hs = h_partitions_for(record.len(), &self.h_pivots, self.measure, self.theta);
+        let segments = split_record(record.id, side, &record.tokens, &self.pivots);
+        for &h in &hs {
+            for (v, seg) in &segments {
+                out.emit((h * self.num_fragments + v) as u32, seg.clone());
+            }
+        }
+    }
+}
+
+/// Filtering-job reducer: joins one fragment cell (paper Algorithm 1
+/// lines 10–13).
+struct FragmentReducer {
+    cfg: FsJoinConfig,
+    h_pivots: Arc<Vec<u32>>,
+    scope: PairScope,
+    local_stats: FilterStats,
+    shared_stats: Arc<Mutex<FilterStats>>,
+}
+
+impl Reducer for FragmentReducer {
+    type InKey = u32;
+    type InValue = Segment;
+    type OutKey = (u32, u32);
+    type OutValue = (u32, u32, u32);
+
+    fn reduce(
+        &mut self,
+        cell: &u32,
+        segments: Vec<Segment>,
+        out: &mut Emitter<(u32, u32), (u32, u32, u32)>,
+    ) {
+        let h = *cell as usize / self.cfg.num_fragments;
+        let rule = JoinRule::for_partition(h, &self.h_pivots);
+        let records = join_fragment(
+            &segments,
+            rule,
+            self.scope,
+            self.cfg.measure,
+            self.cfg.theta,
+            self.cfg.kernel,
+            self.cfg.filters,
+            self.cfg.emit_policy,
+            &mut self.local_stats,
+        );
+        for (pair, payload) in records {
+            out.emit(pair, payload);
+        }
+    }
+
+    fn cleanup(&mut self, _out: &mut Emitter<(u32, u32), (u32, u32, u32)>) {
+        self.shared_stats.lock().merge(&self.local_stats);
+        self.local_stats = FilterStats::default();
+    }
+}
+
+/// Map-side combiner for the verification job: partial counts of the same
+/// pair within one map task are summed before the shuffle (Hadoop-style;
+/// semantically transparent because verification only ever sums them).
+struct VerifyCombiner;
+
+impl ssj_mapreduce::Combiner<(u32, u32), (u32, u32, u32)> for VerifyCombiner {
+    fn combine(&self, _pair: &(u32, u32), values: Vec<(u32, u32, u32)>) -> Vec<(u32, u32, u32)> {
+        let mut total = 0u32;
+        let (mut la, mut lb) = (0u32, 0u32);
+        for (c, a, b) in values {
+            total += c;
+            la = a;
+            lb = b;
+        }
+        vec![(total, la, lb)]
+    }
+}
+
+/// Verification-job mapper: identity (paper Algorithm 1 lines 15–16).
+struct VerifyMapper;
+
+impl Mapper for VerifyMapper {
+    type InKey = (u32, u32);
+    type InValue = (u32, u32, u32);
+    type OutKey = (u32, u32);
+    type OutValue = (u32, u32, u32);
+
+    fn map(
+        &mut self,
+        pair: (u32, u32),
+        payload: (u32, u32, u32),
+        out: &mut Emitter<(u32, u32), (u32, u32, u32)>,
+    ) {
+        out.emit(pair, payload);
+    }
+}
+
+/// Verification-job reducer: sums per-fragment counts and computes the
+/// exact score from counts alone (paper §V-B).
+struct VerifyReducer {
+    measure: Measure,
+    theta: f64,
+}
+
+impl Reducer for VerifyReducer {
+    type InKey = (u32, u32);
+    type InValue = (u32, u32, u32);
+    type OutKey = (u32, u32);
+    type OutValue = f64;
+
+    fn reduce(
+        &mut self,
+        pair: &(u32, u32),
+        contributions: Vec<(u32, u32, u32)>,
+        out: &mut Emitter<(u32, u32), f64>,
+    ) {
+        let (mut total, mut len_a, mut len_b) = (0usize, 0usize, 0usize);
+        for (c, la, lb) in contributions {
+            total += c as usize;
+            len_a = la as usize;
+            len_b = lb as usize;
+        }
+        if self.measure.passes(total, len_a, len_b, self.theta) {
+            out.emit(*pair, self.measure.score(total, len_a, len_b));
+        }
+    }
+}
+
+fn run_join(
+    r_records: &[Record],
+    s_records: &[Record],
+    freqs: &[u64],
+    cfg: &FsJoinConfig,
+    scope: PairScope,
+) -> FsJoinResult {
+    cfg.validate();
+
+    // ---- Setup: pivot selection (Algorithm 1 lines 2–4) ------------------
+    let pivots = Arc::new(select_pivots(
+        freqs,
+        cfg.num_fragments.saturating_sub(1),
+        cfg.pivot_strategy,
+        cfg.seed,
+    ));
+    // Effective fragment count (small domains may yield fewer pivots);
+    // the reducer derives the horizontal partition from the cell id, so it
+    // must see the *effective* count, not the requested one.
+    let num_fragments = pivots.len() + 1;
+    let cfg_eff = {
+        let mut c = cfg.clone();
+        c.num_fragments = num_fragments;
+        c
+    };
+
+    let mut lengths: Vec<usize> = r_records.iter().map(Record::len).collect();
+    lengths.extend(s_records.iter().map(Record::len));
+    let h_pivots = Arc::new(select_h_pivots(&lengths, cfg.horizontal_pivots));
+    let num_cells = num_h_partitions(&h_pivots) * num_fragments;
+
+    // ---- Input dataset ----------------------------------------------------
+    let offset = r_records.len() as u32;
+    let mut input_records: Vec<(u32, (u8, Record))> = Vec::with_capacity(lengths.len());
+    for rec in r_records {
+        input_records.push((rec.id, (0, rec.clone())));
+    }
+    for rec in s_records {
+        let shifted = Record {
+            id: rec.id + offset,
+            tokens: rec.tokens.clone(),
+        };
+        input_records.push((shifted.id, (1, shifted)));
+    }
+    let input = Dataset::from_records(input_records, cfg.map_tasks);
+
+    // ---- Job 1: filtering (partition + fragment join) ---------------------
+    let shared_stats = Arc::new(Mutex::new(FilterStats::default()));
+    let reduce_tasks = cfg.reduce_tasks.min(num_cells).max(1);
+    let (candidates_ds, filter_metrics) = JobBuilder::new("fsjoin-filter")
+        .reduce_tasks(reduce_tasks)
+        .workers(cfg.workers)
+        .run_partitioned(
+            &input,
+            |_| PartitionMapper {
+                pivots: Arc::clone(&pivots),
+                h_pivots: Arc::clone(&h_pivots),
+                num_fragments,
+                measure: cfg.measure,
+                theta: cfg.theta,
+            },
+            |_| FragmentReducer {
+                cfg: cfg_eff.clone(),
+                h_pivots: Arc::clone(&h_pivots),
+                scope,
+                local_stats: FilterStats::default(),
+                shared_stats: Arc::clone(&shared_stats),
+            },
+            &DirectPartitioner::new(|cell: &u32| *cell as usize),
+        );
+
+    // The reducer reads num_fragments from cfg; keep them consistent.
+    debug_assert!(num_fragments >= 1);
+    let candidates = candidates_ds.total_records();
+
+    // ---- Job 2: verification ----------------------------------------------
+    let (verified, verify_metrics) = JobBuilder::new("fsjoin-verify")
+        .reduce_tasks(cfg.reduce_tasks)
+        .workers(cfg.workers)
+        .run_full(
+            &candidates_ds,
+            |_| VerifyMapper,
+            |_| VerifyReducer {
+                measure: cfg.measure,
+                theta: cfg.theta,
+            },
+            &ssj_mapreduce::HashPartitioner,
+            Some(&VerifyCombiner),
+        );
+
+    let mut pairs: Vec<SimilarPair> = verified
+        .into_records()
+        .map(|((a, b), sim)| SimilarPair::new(a, b, sim))
+        .collect();
+    pairs.sort_unstable_by(|x, y| x.ids().cmp(&y.ids()));
+
+    let mut chain = ChainMetrics::default();
+    chain.push(filter_metrics);
+    chain.push(verify_metrics);
+
+    let filter_stats = *shared_stats.lock();
+    FsJoinResult {
+        pairs,
+        chain,
+        filter_stats,
+        candidates,
+        pivots: Arc::try_unwrap(pivots).unwrap_or_else(|a| (*a).clone()),
+        h_pivots: Arc::try_unwrap(h_pivots).unwrap_or_else(|a| (*a).clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FilterSet, JoinKernel};
+    use crate::pivots::PivotStrategy;
+    use ssj_similarity::naive::naive_self_join;
+    use ssj_similarity::pair::compare_results;
+    use ssj_text::{encode, RawCorpus, Tokenizer};
+
+    fn tiny_collection() -> Collection {
+        let corpus = RawCorpus::from_texts(
+            &[
+                "the quick brown fox jumps over the lazy dog",
+                "the quick brown fox jumps over a lazy dog",
+                "completely different words here now",
+                "another unrelated record",
+                "the quick brown fox jumps over the lazy dog today",
+            ],
+            &Tokenizer::Words,
+        );
+        encode(&corpus)
+    }
+
+    #[test]
+    fn finds_near_duplicates() {
+        let c = tiny_collection();
+        let res = run_self_join(&c, &FsJoinConfig::default().with_theta(0.7));
+        let want = naive_self_join(&c.records, Measure::Jaccard, 0.7);
+        compare_results(&res.pairs, &want, 1e-9).unwrap();
+        assert!(res.candidates > 0);
+        assert_eq!(res.chain.jobs.len(), 2);
+    }
+
+    #[test]
+    fn fragmentation_does_not_change_results() {
+        let c = tiny_collection();
+        let want = naive_self_join(&c.records, Measure::Jaccard, 0.6);
+        for fragments in [1, 2, 4, 32] {
+            let cfg = FsJoinConfig::default()
+                .with_theta(0.6)
+                .with_fragments(fragments);
+            let res = run_self_join(&c, &cfg);
+            compare_results(&res.pairs, &want, 1e-9)
+                .unwrap_or_else(|e| panic!("fragments={fragments}: {e}"));
+        }
+    }
+
+    #[test]
+    fn kernels_filters_and_strategies_agree() {
+        let c = tiny_collection();
+        let want = naive_self_join(&c.records, Measure::Jaccard, 0.7);
+        for kernel in JoinKernel::all() {
+            for filters in [FilterSet::ALL, FilterSet::NONE] {
+                for strategy in PivotStrategy::all() {
+                    let cfg = FsJoinConfig::default()
+                        .with_theta(0.7)
+                        .with_kernel(kernel)
+                        .with_filters(filters)
+                        .with_pivot_strategy(strategy);
+                    let res = run_self_join(&c, &cfg);
+                    compare_results(&res.pairs, &want, 1e-9)
+                        .unwrap_or_else(|e| panic!("{kernel:?} {filters:?} {strategy:?}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_on_off_agree() {
+        let c = tiny_collection();
+        let want = naive_self_join(&c.records, Measure::Jaccard, 0.7);
+        for t in [0, 1, 3, 8] {
+            let res = run_self_join(&c, &FsJoinConfig::default().with_theta(0.7).with_horizontal(t));
+            compare_results(&res.pairs, &want, 1e-9).unwrap_or_else(|e| panic!("t={t}: {e}"));
+        }
+    }
+
+    #[test]
+    fn vertical_only_has_no_duplication() {
+        // FS-Join-V: map emits each token exactly once, so shuffled bytes
+        // stay within the segment-metadata overhead of the input bytes and
+        // record expansion equals segments-per-record (no token repeats).
+        let c = tiny_collection();
+        let cfg = FsJoinConfig::default().with_horizontal(0).with_theta(0.8);
+        let res = run_self_join(&c, &cfg);
+        let filter = res.chain.job("fsjoin-filter").unwrap();
+        let total_tokens: usize = c.records.iter().map(|r| r.len()).sum();
+        // Every shuffled record is one segment costing exactly
+        // key(4) + rid(4) + side(1) + len/head/tail(12) + vec prefix(4)
+        // = 25 bytes of metadata plus 4 bytes per token. Solving for the
+        // token payload proves each token crossed the shuffle EXACTLY once.
+        let tokens_shuffled = (filter.shuffle_bytes - 25 * filter.shuffle_records) / 4;
+        assert_eq!(tokens_shuffled, total_tokens);
+
+        // With horizontal partitioning, boundary windows re-emit some
+        // records: tokens may cross more than once (bounded duplication).
+        let res_h = run_self_join(&c, &cfg.clone().with_horizontal(2));
+        let filter_h = res_h.chain.job("fsjoin-filter").unwrap();
+        let tokens_h = (filter_h.shuffle_bytes - 25 * filter_h.shuffle_records) / 4;
+        assert!(tokens_h >= total_tokens);
+    }
+
+    #[test]
+    fn rs_join_matches_oracle() {
+        let r_corpus = RawCorpus::from_texts(
+            &["alpha beta gamma delta", "one two three four"],
+            &Tokenizer::Words,
+        );
+        let s_corpus = RawCorpus::from_texts(
+            &["alpha beta gamma delta epsilon", "five six seven eight"],
+            &Tokenizer::Words,
+        );
+        let (r, s) = ssj_text::encode::encode_two(&r_corpus, &s_corpus);
+        let res = run_rs_join(&r, &s, &FsJoinConfig::default().with_theta(0.7));
+        // Oracle with offset ids.
+        let offset = r.records.len() as u32;
+        let s_shifted: Vec<Record> = s
+            .records
+            .iter()
+            .map(|rec| Record {
+                id: rec.id + offset,
+                tokens: rec.tokens.clone(),
+            })
+            .collect();
+        let want =
+            ssj_similarity::naive::naive_rs_join(&r.records, &s_shifted, Measure::Jaccard, 0.7);
+        compare_results(&res.pairs, &want, 1e-9).unwrap();
+        assert_eq!(res.pairs.len(), 1);
+        assert_eq!(res.pairs[0].ids(), (0, offset));
+    }
+
+    #[test]
+    #[should_panic(expected = "encoded together")]
+    fn rs_join_requires_shared_ordering() {
+        let a = encode(&RawCorpus::from_texts(&["x y"], &Tokenizer::Words));
+        let b = encode(&RawCorpus::from_texts(&["x y z"], &Tokenizer::Words));
+        let _ = run_rs_join(&a, &b, &FsJoinConfig::default());
+    }
+
+    /// The paper-magnitude emission policy (see [`crate::EmitPolicy`])
+    /// must slash candidate volume — and, being unsound, lose recall on
+    /// fragmented near-duplicates. This test pins down both effects so the
+    /// reproduction claim in EXPERIMENTS.md stays backed by code.
+    #[test]
+    fn positive_bound_policy_trades_recall_for_volume() {
+        use crate::config::EmitPolicy;
+        // Near-duplicate pairs whose overlap is spread over many fragments:
+        // long records, one token changed.
+        let mut records = Vec::new();
+        for k in 0..30u32 {
+            let base: Vec<u32> = (0..60).map(|i| (k * 97 + i * 13) % 4000).collect();
+            let mut rec = Record::new(2 * k, base.clone());
+            records.push(rec.clone());
+            rec.id = 2 * k + 1;
+            if let Some(t) = rec.tokens.pop() {
+                let _ = t;
+            }
+            records.push(Record::new(2 * k + 1, rec.tokens));
+        }
+        let records: Vec<Record> = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| Record::new(i as u32, r.tokens))
+            .collect();
+        let mut freqs = vec![0u64; 4000];
+        for r in &records {
+            for &t in &r.tokens {
+                freqs[t as usize] += 1;
+            }
+        }
+        let c = Collection {
+            records,
+            token_freqs: freqs,
+            vocab: None,
+        };
+        let exact_cfg = FsJoinConfig::default().with_theta(0.9).with_fragments(16);
+        let strict_cfg = exact_cfg.clone().with_emit_policy(EmitPolicy::PositiveBoundOnly);
+        let exact = run_self_join(&c, &exact_cfg);
+        let strict = run_self_join(&c, &strict_cfg);
+        let oracle = naive_self_join(&c.records, Measure::Jaccard, 0.9);
+        compare_results(&exact.pairs, &oracle, 1e-9).expect("Exact policy must stay exact");
+        assert!(
+            strict.candidates < exact.candidates,
+            "strict emission must shrink the filter-job output: {} vs {}",
+            strict.candidates,
+            exact.candidates
+        );
+        assert!(strict.filter_stats.policy_dropped > 0);
+        assert!(
+            strict.pairs.len() < exact.pairs.len(),
+            "the paper-magnitude policy is provably lossy on fragmented \
+             near-duplicates (got {} vs {})",
+            strict.pairs.len(),
+            exact.pairs.len()
+        );
+    }
+
+    #[test]
+    fn empty_collection_yields_no_pairs() {
+        let c = Collection::default();
+        let res = run_self_join(&c, &FsJoinConfig::default());
+        assert!(res.pairs.is_empty());
+        assert_eq!(res.candidates, 0);
+    }
+}

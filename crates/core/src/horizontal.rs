@@ -1,0 +1,296 @@
+//! Horizontal (length-based) partitioning (paper §V-A "Optimization:
+//! Horizontal Partitioning").
+//!
+//! `t` length pivots `L_1 < … < L_t` induce `2t+1` horizontal partitions:
+//!
+//! * *base* partitions `h_0..h_t`: partition `h_j` holds records with
+//!   `L_j ≤ |s| < L_{j+1}` (sentinels `L_0 = 0`, `L_{t+1} = ∞`);
+//! * *boundary* partitions `h_{t+1}..h_{2t}`: partition `h_{t+j}` (1-based
+//!   `j`) additionally holds every record whose length lies in the
+//!   θ-window around `L_j`, so that pairs straddling the boundary can still
+//!   meet.
+//!
+//! Pairs within a base partition are joined there; pairs in a boundary
+//! partition are joined only if they actually straddle the pivot
+//! (`|s| < L_j ≤ |t|`) **and** the shorter record's base is immediately
+//! below the pivot (`L_{j−1} ≤ |s|`). The second conjunct is our fix for a
+//! double-join the paper's rule permits when adjacent pivots are closer
+//! than a factor `1/θ` (DESIGN.md §4 item 5); with it, every θ-viable pair
+//! is joined in exactly one horizontal partition.
+
+use ssj_similarity::Measure;
+
+/// Select up to `t` strictly increasing length pivots from the length
+/// histogram, equalizing *token mass* (Σ lengths) per base partition — the
+/// horizontal analogue of Even-TF.
+pub fn select_h_pivots(lengths: &[usize], t: usize) -> Vec<u32> {
+    if t == 0 || lengths.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<usize> = lengths.to_vec();
+    sorted.sort_unstable();
+    let total: u128 = sorted.iter().map(|&l| l as u128).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut pivots = Vec::with_capacity(t);
+    let mut cum: u128 = 0;
+    let mut k = 1usize;
+    for &l in &sorted {
+        if k > t {
+            break;
+        }
+        cum += l as u128;
+        if cum * (t as u128 + 1) >= total * k as u128 {
+            pivots.push(l as u32 + 1); // cut just above this length
+            k += 1;
+        }
+    }
+    pivots.sort_unstable();
+    pivots.dedup();
+    // A pivot above every record length creates empty partitions; drop it.
+    let max_len = *sorted.last().expect("non-empty") as u32;
+    pivots.retain(|&p| p >= 1 && p <= max_len);
+    pivots
+}
+
+/// Number of horizontal partitions for a pivot set.
+pub fn num_h_partitions(pivots: &[u32]) -> usize {
+    2 * pivots.len() + 1
+}
+
+/// Horizontal partitions a record of length `len` belongs to.
+///
+/// Membership is *useful-only* (a sharpening of the paper's windows that
+/// changes no result — every θ-viable pair still meets exactly once, see
+/// the exhaustive test):
+///
+/// * its base partition (same-band pairs);
+/// * as the **short side**, only the boundary of the pivot immediately
+///   above it (`L_{b+1}`), and only if a θ-viable longer partner across
+///   that pivot can exist;
+/// * as the **long side**, every boundary `L_j ≤ len` whose short band
+///   `[L_{j−1}, L_j)` can hold a θ-viable shorter partner.
+///
+/// Without this sharpening, densely packed pivots (the paper uses up to 70
+/// horizontal partitions) put every record in every overlapping θ-window,
+/// multiplying shuffle and join work by the window/spacing ratio.
+pub fn h_partitions_for(len: usize, pivots: &[u32], measure: Measure, theta: f64) -> Vec<usize> {
+    if pivots.is_empty() {
+        return vec![0];
+    }
+    let t = pivots.len();
+    let base = pivots.partition_point(|&p| (p as usize) <= len);
+    let mut out = vec![base];
+    // Short side: the unique pivot immediately above, if a viable longer
+    // partner (≥ pivot, ≤ max_partner(len)) can exist.
+    if base < t {
+        let pivot = pivots[base] as usize;
+        if measure.max_partner_len(theta, len) >= pivot {
+            out.push(t + 1 + base);
+        }
+    }
+    // Long side: boundaries at or below len whose short band can hold a
+    // viable partner (some s with s < L_j, s ≥ min_partner(len)).
+    let min_partner = measure.min_partner_len(theta, len);
+    for (j, &pivot) in pivots.iter().enumerate().take(base) {
+        if (pivot as usize) > min_partner {
+            out.push(t + 1 + j);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Which pairs a reduce task handling horizontal partition `h` may join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinRule {
+    /// Base partition: join every pair.
+    All,
+    /// Boundary partition of `pivot = L_j` with `lo = L_{j−1}`: join only
+    /// pairs with `min < pivot ≤ max` and `min ≥ lo`.
+    Boundary {
+        /// Previous pivot (0 for the first boundary).
+        lo: u32,
+        /// This boundary's pivot.
+        pivot: u32,
+    },
+}
+
+impl JoinRule {
+    /// The rule for horizontal partition `h` under `pivots`.
+    pub fn for_partition(h: usize, pivots: &[u32]) -> JoinRule {
+        let t = pivots.len();
+        if h <= t {
+            JoinRule::All
+        } else {
+            let j = h - t - 1;
+            assert!(j < t, "horizontal partition {h} out of range for {t} pivots");
+            JoinRule::Boundary {
+                lo: if j == 0 { 0 } else { pivots[j - 1] },
+                pivot: pivots[j],
+            }
+        }
+    }
+
+    /// May records of these lengths be joined under this rule?
+    #[inline]
+    pub fn joinable(&self, len_a: u32, len_b: u32) -> bool {
+        match *self {
+            JoinRule::All => true,
+            JoinRule::Boundary { lo, pivot } => {
+                let (short, long) = if len_a <= len_b {
+                    (len_a, len_b)
+                } else {
+                    (len_b, len_a)
+                };
+                short < pivot && pivot <= long && short >= lo
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: Measure = Measure::Jaccard;
+
+    #[test]
+    fn no_pivots_single_partition() {
+        assert_eq!(h_partitions_for(10, &[], M, 0.8), vec![0]);
+        assert_eq!(num_h_partitions(&[]), 1);
+        assert_eq!(JoinRule::for_partition(0, &[]), JoinRule::All);
+    }
+
+    #[test]
+    fn base_partition_by_length_range() {
+        let pivots = vec![10, 20];
+        assert_eq!(h_partitions_for(5, &pivots, M, 0.99)[0], 0);
+        assert_eq!(h_partitions_for(10, &pivots, M, 0.99)[0], 1);
+        assert_eq!(h_partitions_for(19, &pivots, M, 0.99)[0], 1);
+        assert_eq!(h_partitions_for(20, &pivots, M, 0.99)[0], 2);
+        assert_eq!(h_partitions_for(1000, &pivots, M, 0.99)[0], 2);
+    }
+
+    #[test]
+    fn boundary_membership_is_useful_only() {
+        let pivots = vec![10];
+        // θ=0.8. Short side: 8 can reach a partner ≥ 10 (max partner 10).
+        assert_eq!(h_partitions_for(8, &pivots, M, 0.8), vec![0, 2]);
+        // 7's longest viable partner is 8 < 10: no boundary membership.
+        assert_eq!(h_partitions_for(7, &pivots, M, 0.8), vec![0]);
+        // Long side: 11 can pair with 9 (< 10): member.
+        assert_eq!(h_partitions_for(11, &pivots, M, 0.8), vec![1, 2]);
+        // 12's shortest viable partner is 10, which is not < 10: excluded
+        // (a (9,12) pair is not θ-viable, so nothing is lost).
+        assert_eq!(h_partitions_for(12, &pivots, M, 0.8), vec![1]);
+        assert_eq!(h_partitions_for(13, &pivots, M, 0.8), vec![1]);
+    }
+
+    #[test]
+    fn join_rule_boundary_requires_straddle() {
+        let rule = JoinRule::for_partition(2, &[10]);
+        assert_eq!(rule, JoinRule::Boundary { lo: 0, pivot: 10 });
+        assert!(rule.joinable(9, 10));
+        assert!(rule.joinable(11, 9)); // order-insensitive
+        assert!(!rule.joinable(9, 9)); // both below
+        assert!(!rule.joinable(10, 12)); // both at/above
+    }
+
+    #[test]
+    fn join_rule_lo_prevents_double_join() {
+        // Two close pivots 10, 11 (< factor 1/θ apart at θ=0.8): a pair
+        // (9, 11) straddles both. It must be joinable only at the first
+        // boundary (j=0), not the second.
+        let pivots = vec![10, 11];
+        let first = JoinRule::for_partition(3, &pivots);
+        let second = JoinRule::for_partition(4, &pivots);
+        assert!(first.joinable(9, 11));
+        assert!(!second.joinable(9, 11)); // 9 < lo = 10
+        // A pair (10, 12) straddles only the second pivot.
+        assert!(!first.joinable(10, 12));
+        assert!(second.joinable(10, 12));
+    }
+
+    /// Exhaustive exactly-once check: for every θ-viable length pair, the
+    /// number of horizontal partitions where both records appear AND the
+    /// rule joins them is exactly 1; for non-viable pairs it is at most 1.
+    /// Covers all three measures (membership uses measure-generic length
+    /// windows) and densely packed pivots (the double-join hazard).
+    #[test]
+    fn exactly_once_exhaustive() {
+        for m in Measure::all() {
+            for &theta in &[0.6, 0.75, 0.8, 0.9] {
+                for pivots in [
+                    vec![10u32],
+                    vec![8, 16],
+                    vec![5, 10, 15],
+                    vec![10, 11],
+                    vec![4, 6, 8, 10, 12, 14, 16, 18, 20, 22],
+                ] {
+                    for la in 1usize..30 {
+                        for lb in la..30 {
+                            let ha = h_partitions_for(la, &pivots, m, theta);
+                            let hb = h_partitions_for(lb, &pivots, m, theta);
+                            let mut join_count = 0;
+                            for &h in &ha {
+                                if hb.contains(&h)
+                                    && JoinRule::for_partition(h, &pivots)
+                                        .joinable(la as u32, lb as u32)
+                                {
+                                    join_count += 1;
+                                }
+                            }
+                            let viable = la >= m.min_partner_len(theta, lb);
+                            if viable {
+                                assert_eq!(
+                                    join_count, 1,
+                                    "{m:?} θ={theta} pivots={pivots:?} lengths=({la},{lb})"
+                                );
+                            } else {
+                                assert!(
+                                    join_count <= 1,
+                                    "{m:?} θ={theta} pivots={pivots:?} lengths=({la},{lb})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_selection_balances_token_mass() {
+        // Lengths 1..=100: total mass 5050; 1 pivot should cut near the
+        // mass median (~71), not the count median (~50).
+        let lengths: Vec<usize> = (1..=100).collect();
+        let p = select_h_pivots(&lengths, 1);
+        assert_eq!(p.len(), 1);
+        assert!(p[0] >= 65 && p[0] <= 78, "pivot {p:?}");
+    }
+
+    #[test]
+    fn pivot_selection_degenerate() {
+        assert!(select_h_pivots(&[], 2).is_empty());
+        assert!(select_h_pivots(&[5, 5, 5], 0).is_empty());
+        assert!(select_h_pivots(&[0, 0], 2).is_empty());
+        // Uniform lengths: at most one distinct cut, and it must not
+        // exceed the max length.
+        let p = select_h_pivots(&[7; 50], 3);
+        assert!(p.len() <= 1);
+        for &x in &p {
+            assert!(x <= 7);
+        }
+    }
+
+    #[test]
+    fn pivots_strictly_increasing() {
+        let lengths: Vec<usize> = (0..1000).map(|i| 1 + (i * 7919) % 200).collect();
+        let p = select_h_pivots(&lengths, 8);
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,448 @@
+//! FS-Join-PF — a prefix-discovery variant of FS-Join (our extension).
+//!
+//! DESIGN.md §4 item 5b establishes that FS-Join's exact count-based
+//! verification forces the filter job to emit a record for every co-token
+//! pair-fragment no lemma can disprove, which on Zipf-distributed corpora
+//! is Ω(#co-token record pairs). This variant repairs the intermediate
+//! volume while keeping FS-Join's partitioning and exactness, at the cost
+//! of the paper's "verification never touches the original records"
+//! property:
+//!
+//! 1. **Filtering** (same map phase as FS-Join: vertical + horizontal
+//!    partitioning): each reduce task discovers candidate pairs only
+//!    through tokens in both records' **global prefixes** (the classic
+//!    prefix-filter theorem: a θ-similar pair shares a token within its
+//!    first `|s| − minoverlap + 1` tokens, and since records are sorted by
+//!    the one global ordering, that shared token falls in one fragment
+//!    where both segments expose it). Global-prefix tokens are the rarest,
+//!    so posting lists are short — candidate volume matches classic
+//!    prefix-filter joins instead of growing with frequent-token
+//!    co-occurrence.
+//! 2. **Dedup** of candidate pairs (a pair may be discovered in several
+//!    fragments).
+//! 3. **Cached verification**: exact similarity is computed from the
+//!    original records, replicated read-only to every task (Hadoop
+//!    distributed-cache style, as MassJoin's Light variant does).
+//!
+//! Completeness: for a θ-similar pair, the shared global-prefix token `t*`
+//! lies in exactly one fragment `v*`; both records' segments in `v*`
+//! contain `t*` inside their global-prefix portions (a record's global
+//! prefix is its first `π` tokens, so segment tokens are prefix tokens iff
+//! `head < π`), and the pair co-occurs joinably in exactly one horizontal
+//! partition — so it is discovered. Verification is exact, so precision is
+//! exact too. Property-tested against the oracle alongside the main
+//! driver.
+
+use crate::config::FsJoinConfig;
+use crate::driver::{FsJoinResult, PartitionMapper};
+use crate::filters::FilterStats;
+use crate::fragment::PairScope;
+use crate::horizontal::{h_partitions_for, num_h_partitions, select_h_pivots, JoinRule};
+use crate::pivots::select_pivots;
+use crate::segment::Segment;
+use ssj_common::FxHashMap;
+use ssj_mapreduce::{
+    ChainMetrics, Dataset, DirectPartitioner, Emitter, JobBuilder, Mapper, Reducer,
+};
+use ssj_similarity::intersect::intersect_count_merge;
+use ssj_similarity::{Measure, SimilarPair};
+use ssj_text::{Collection, Record};
+use std::sync::Arc;
+
+/// Number of leading tokens of a segment that belong to its record's
+/// global prefix: the record's prefix is its first `π` tokens, the segment
+/// starts at offset `head`.
+#[inline]
+fn global_prefix_in_segment(measure: Measure, theta: f64, seg: &Segment) -> usize {
+    let pi = measure.probe_prefix_len(theta, seg.len as usize);
+    pi.saturating_sub(seg.head as usize).min(seg.seg_len())
+}
+
+/// Discovery reducer: index global-prefix tokens, emit candidate pairs.
+struct PrefixDiscoveryReducer {
+    measure: Measure,
+    theta: f64,
+    num_fragments: usize,
+    h_pivots: Arc<Vec<u32>>,
+    scope: PairScope,
+}
+
+impl PrefixDiscoveryReducer {
+    fn discover(
+        &self,
+        probe: &Segment,
+        index: &FxHashMap<u32, Vec<u32>>,
+        pool: &[&Segment],
+        out: &mut Emitter<(u32, u32), (u32, u32)>,
+    ) {
+        let gp = global_prefix_in_segment(self.measure, self.theta, probe);
+        let mut seen: Vec<u32> = Vec::new();
+        for &t in &probe.tokens[..gp] {
+            if let Some(slots) = index.get(&t) {
+                seen.extend_from_slice(slots);
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        for slot in seen {
+            let other = pool[slot as usize];
+            let ok = match self.scope {
+                PairScope::SelfJoin => other.rid != probe.rid,
+                PairScope::CrossSides => other.side != probe.side,
+            };
+            if !ok {
+                continue;
+            }
+            // Cheap length filter before shipping the candidate.
+            if !crate::filters::strl_pass(self.measure, self.theta, probe.len, other.len) {
+                continue;
+            }
+            let (a, b) = if probe.rid < other.rid {
+                (probe, other)
+            } else {
+                (other, probe)
+            };
+            out.emit((a.rid, b.rid), (a.len, b.len));
+        }
+    }
+}
+
+impl Reducer for PrefixDiscoveryReducer {
+    type InKey = u32;
+    type InValue = Segment;
+    type OutKey = (u32, u32);
+    type OutValue = (u32, u32);
+
+    fn reduce(
+        &mut self,
+        cell: &u32,
+        segments: Vec<Segment>,
+        out: &mut Emitter<(u32, u32), (u32, u32)>,
+    ) {
+        let h = *cell as usize / self.num_fragments;
+        let rule = JoinRule::for_partition(h, &self.h_pivots);
+        match rule {
+            JoinRule::All => {
+                // Scan order: index each segment's global-prefix tokens
+                // after probing, so each unordered pair is seen once.
+                let pool: Vec<&Segment> = segments.iter().collect();
+                let mut index: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+                for (slot, seg) in pool.iter().enumerate() {
+                    self.discover(seg, &index, &pool, out);
+                    let gp = global_prefix_in_segment(self.measure, self.theta, seg);
+                    for &t in &seg.tokens[..gp] {
+                        index.entry(t).or_default().push(slot as u32);
+                    }
+                }
+            }
+            JoinRule::Boundary { lo, pivot } => {
+                // Bipartite: index the short band, probe with the longs.
+                let short: Vec<&Segment> = segments
+                    .iter()
+                    .filter(|s| s.len >= lo && s.len < pivot)
+                    .collect();
+                let mut index: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+                for (slot, seg) in short.iter().enumerate() {
+                    let gp = global_prefix_in_segment(self.measure, self.theta, seg);
+                    for &t in &seg.tokens[..gp] {
+                        index.entry(t).or_default().push(slot as u32);
+                    }
+                }
+                for seg in segments.iter().filter(|s| s.len >= pivot) {
+                    self.discover(seg, &index, &short, out);
+                }
+            }
+        }
+    }
+}
+
+/// Candidate-dedup: keep one record per pair.
+struct CandidateDedup;
+
+impl Mapper for CandidateDedup {
+    type InKey = (u32, u32);
+    type InValue = (u32, u32);
+    type OutKey = (u32, u32);
+    type OutValue = (u32, u32);
+
+    fn map(&mut self, pair: (u32, u32), lens: (u32, u32), out: &mut Emitter<(u32, u32), (u32, u32)>) {
+        out.emit(pair, lens);
+    }
+}
+
+struct KeepFirst;
+
+impl Reducer for KeepFirst {
+    type InKey = (u32, u32);
+    type InValue = (u32, u32);
+    type OutKey = (u32, u32);
+    type OutValue = (u32, u32);
+
+    fn reduce(
+        &mut self,
+        pair: &(u32, u32),
+        lens: Vec<(u32, u32)>,
+        out: &mut Emitter<(u32, u32), (u32, u32)>,
+    ) {
+        out.emit(*pair, lens[0]);
+    }
+}
+
+/// Cached verification: exact similarity from replicated records.
+struct CachedVerify {
+    records: Arc<Vec<Record>>,
+    measure: Measure,
+    theta: f64,
+}
+
+impl Mapper for CachedVerify {
+    type InKey = (u32, u32);
+    type InValue = (u32, u32);
+    type OutKey = (u32, u32);
+    type OutValue = f64;
+
+    fn map(&mut self, (a, b): (u32, u32), _lens: (u32, u32), out: &mut Emitter<(u32, u32), f64>) {
+        let s = &self.records[a as usize];
+        let t = &self.records[b as usize];
+        let c = intersect_count_merge(&s.tokens, &t.tokens);
+        if self.measure.passes(c, s.len(), t.len(), self.theta) {
+            out.emit((a, b), self.measure.score(c, s.len(), t.len()));
+        }
+    }
+}
+
+struct PassThrough;
+
+impl Reducer for PassThrough {
+    type InKey = (u32, u32);
+    type InValue = f64;
+    type OutKey = (u32, u32);
+    type OutValue = f64;
+
+    fn reduce(&mut self, pair: &(u32, u32), sims: Vec<f64>, out: &mut Emitter<(u32, u32), f64>) {
+        out.emit(*pair, sims[0]);
+    }
+}
+
+/// Self-join with the prefix-discovery variant. Uses the same
+/// configuration as [`crate::run_self_join`] (kernel, filters and
+/// emit-policy fields are ignored — discovery is always global-prefix).
+pub fn run_self_join_pf(collection: &Collection, cfg: &FsJoinConfig) -> FsJoinResult {
+    run_pf(&collection.records, &[], &collection.token_freqs, cfg, PairScope::SelfJoin)
+}
+
+/// R×S join with the prefix-discovery variant (same conventions as
+/// [`crate::run_rs_join`]: shared rank space, S-side ids offset).
+pub fn run_rs_join_pf(r: &Collection, s: &Collection, cfg: &FsJoinConfig) -> FsJoinResult {
+    assert_eq!(
+        r.token_freqs, s.token_freqs,
+        "R and S must be encoded together (shared global ordering)"
+    );
+    run_pf(&r.records, &s.records, &r.token_freqs, cfg, PairScope::CrossSides)
+}
+
+fn run_pf(
+    r_records: &[Record],
+    s_records: &[Record],
+    freqs: &[u64],
+    cfg: &FsJoinConfig,
+    scope: PairScope,
+) -> FsJoinResult {
+    cfg.validate();
+    let pivots = Arc::new(select_pivots(
+        freqs,
+        cfg.num_fragments.saturating_sub(1),
+        cfg.pivot_strategy,
+        cfg.seed,
+    ));
+    let num_fragments = pivots.len() + 1;
+
+    let mut lengths: Vec<usize> = r_records.iter().map(Record::len).collect();
+    lengths.extend(s_records.iter().map(Record::len));
+    let h_pivots = Arc::new(select_h_pivots(&lengths, cfg.horizontal_pivots));
+    let num_cells = num_h_partitions(&h_pivots) * num_fragments;
+
+    let offset = r_records.len() as u32;
+    let mut all_records: Vec<Record> = r_records.to_vec();
+    let mut input_records: Vec<(u32, (u8, Record))> = r_records
+        .iter()
+        .map(|rec| (rec.id, (0u8, rec.clone())))
+        .collect();
+    for rec in s_records {
+        let shifted = Record {
+            id: rec.id + offset,
+            tokens: rec.tokens.clone(),
+        };
+        input_records.push((shifted.id, (1, shifted.clone())));
+        all_records.push(shifted);
+    }
+    let input = Dataset::from_records(input_records, cfg.map_tasks);
+
+    // Job 1: partition + prefix discovery.
+    let reduce_tasks = cfg.reduce_tasks.min(num_cells).max(1);
+    let (candidates_ds, discover_metrics) = JobBuilder::new("fsjoin-pf-discover")
+        .reduce_tasks(reduce_tasks)
+        .workers(cfg.workers)
+        .run_partitioned(
+            &input,
+            |_| PartitionMapper {
+                pivots: Arc::clone(&pivots),
+                h_pivots: Arc::clone(&h_pivots),
+                num_fragments,
+                measure: cfg.measure,
+                theta: cfg.theta,
+            },
+            |_| PrefixDiscoveryReducer {
+                measure: cfg.measure,
+                theta: cfg.theta,
+                num_fragments,
+                h_pivots: Arc::clone(&h_pivots),
+                scope,
+            },
+            &DirectPartitioner::new(|cell: &u32| *cell as usize),
+        );
+    let raw_candidates = candidates_ds.total_records();
+
+    // Job 2: dedup candidate pairs.
+    let (unique, dedup_metrics) = JobBuilder::new("fsjoin-pf-dedup")
+        .reduce_tasks(cfg.reduce_tasks)
+        .workers(cfg.workers)
+        .run(&candidates_ds, |_| CandidateDedup, |_| KeepFirst);
+
+    // Job 3: cached exact verification.
+    let cache = Arc::new(all_records);
+    let (verified, verify_metrics) = JobBuilder::new("fsjoin-pf-verify")
+        .reduce_tasks(cfg.reduce_tasks)
+        .workers(cfg.workers)
+        .run(
+            &unique,
+            |_| CachedVerify {
+                records: Arc::clone(&cache),
+                measure: cfg.measure,
+                theta: cfg.theta,
+            },
+            |_| PassThrough,
+        );
+
+    let mut pairs: Vec<SimilarPair> = verified
+        .into_records()
+        .map(|((a, b), sim)| SimilarPair::new(a, b, sim))
+        .collect();
+    pairs.sort_unstable_by(|x, y| x.ids().cmp(&y.ids()));
+
+    let mut chain = ChainMetrics::default();
+    chain.push(discover_metrics);
+    chain.push(dedup_metrics);
+    chain.push(verify_metrics);
+    FsJoinResult {
+        pairs,
+        chain,
+        filter_stats: FilterStats::default(),
+        candidates: raw_candidates,
+        pivots: Arc::try_unwrap(pivots).unwrap_or_else(|a| (*a).clone()),
+        h_pivots: Arc::try_unwrap(h_pivots).unwrap_or_else(|a| (*a).clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_self_join;
+    use ssj_similarity::naive::naive_self_join;
+    use ssj_similarity::pair::compare_results;
+    use ssj_text::encode;
+    use ssj_text::{CorpusProfile, RawCorpus, Tokenizer};
+
+    fn wiki(records: usize) -> Collection {
+        encode(&CorpusProfile::WikiLike.config().with_records(records).generate())
+    }
+
+    #[test]
+    fn matches_oracle_across_thetas_and_measures() {
+        let c = wiki(150);
+        for measure in Measure::all() {
+            for &theta in &[0.6, 0.75, 0.9] {
+                let want = naive_self_join(&c.records, measure, theta);
+                let got = run_self_join_pf(
+                    &c,
+                    &FsJoinConfig::default().with_theta(theta).with_measure(measure),
+                );
+                compare_results(&got.pairs, &want, 1e-9)
+                    .unwrap_or_else(|e| panic!("{measure:?} θ={theta}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_across_partitioning() {
+        let c = wiki(120);
+        let want = naive_self_join(&c.records, Measure::Jaccard, 0.75);
+        for fragments in [1usize, 4, 30] {
+            for h in [0usize, 3, 20] {
+                let cfg = FsJoinConfig::default()
+                    .with_theta(0.75)
+                    .with_fragments(fragments)
+                    .with_horizontal(h);
+                let got = run_self_join_pf(&c, &cfg);
+                compare_results(&got.pairs, &want, 1e-9)
+                    .unwrap_or_else(|e| panic!("fragments={fragments} h={h}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_volume_beats_exact_fsjoin_by_far() {
+        // The point of the variant: on Zipf data, prefix discovery ships
+        // orders of magnitude fewer intermediates than exact counting.
+        let c = wiki(800);
+        let cfg = FsJoinConfig::default().with_theta(0.8);
+        let exact = run_self_join(&c, &cfg);
+        let pf = run_self_join_pf(&c, &cfg);
+        assert_eq!(
+            exact.pairs.len(),
+            pf.pairs.len(),
+            "identical results required"
+        );
+        assert!(
+            (pf.candidates as f64) < (exact.candidates as f64) / 5.0,
+            "pf candidates {} should be far below exact {}",
+            pf.candidates,
+            exact.candidates
+        );
+        assert!(pf.chain.total_shuffle_bytes() < exact.chain.total_shuffle_bytes());
+    }
+
+    #[test]
+    fn rs_join_pf_matches_oracle() {
+        let r_corpus = RawCorpus::from_texts(
+            &["alpha beta gamma delta", "one two three four"],
+            &Tokenizer::Words,
+        );
+        let s_corpus = RawCorpus::from_texts(
+            &["alpha beta gamma delta epsilon", "five six seven eight"],
+            &Tokenizer::Words,
+        );
+        let (r, s) = ssj_text::encode::encode_two(&r_corpus, &s_corpus);
+        let got = run_rs_join_pf(&r, &s, &FsJoinConfig::default().with_theta(0.7));
+        assert_eq!(got.pairs.len(), 1);
+        assert_eq!(got.pairs[0].ids(), (0, r.records.len() as u32));
+    }
+
+    #[test]
+    fn global_prefix_in_segment_respects_head() {
+        let m = Measure::Jaccard;
+        // Record of length 10 at θ=0.8: global prefix π = 3.
+        let seg = |head: u32, toks: usize| Segment {
+            rid: 0,
+            side: 0,
+            len: 10,
+            head,
+            tail: 10 - head - toks as u32,
+            tokens: (0..toks as u32).collect(),
+        };
+        assert_eq!(global_prefix_in_segment(m, 0.8, &seg(0, 5)), 3);
+        assert_eq!(global_prefix_in_segment(m, 0.8, &seg(2, 5)), 1);
+        assert_eq!(global_prefix_in_segment(m, 0.8, &seg(3, 5)), 0);
+        assert_eq!(global_prefix_in_segment(m, 0.8, &seg(0, 2)), 2);
+    }
+}

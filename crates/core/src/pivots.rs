@@ -1,0 +1,203 @@
+//! Vertical pivot selection (paper §IV).
+//!
+//! Pivots are token *ranks* in the global ordering. `n` pivots split the
+//! token domain into `n+1` intervals; every record's sorted token vector is
+//! cut at the same ranks, so the segments of all records align into
+//! fragments. Three strategies are studied by the paper (Figure 11):
+//! Random, Even-Interval, and Even-TF — the last equalizes total token
+//! *frequency* per fragment and is FS-Join's default because fragment sizes
+//! (and hence reduce-task loads) become uniform.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// Pivot-selection strategy (paper §IV "Pivots Selection Methods").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PivotStrategy {
+    /// Uniformly random distinct ranks.
+    Random,
+    /// Equally spaced ranks (equal *distinct-token* count per fragment).
+    EvenInterval,
+    /// Ranks chosen so each fragment holds an equal share of total token
+    /// frequency (equal *occurrence* count per fragment) — the default.
+    EvenTf,
+}
+
+impl PivotStrategy {
+    /// Short name for experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PivotStrategy::Random => "Random",
+            PivotStrategy::EvenInterval => "Even-Interval",
+            PivotStrategy::EvenTf => "Even-TF",
+        }
+    }
+
+    /// All strategies in the paper's reporting order.
+    pub fn all() -> [PivotStrategy; 3] {
+        [
+            PivotStrategy::Random,
+            PivotStrategy::EvenInterval,
+            PivotStrategy::EvenTf,
+        ]
+    }
+}
+
+/// Select up to `n_pivots` strictly ascending pivot ranks for a token
+/// domain with the given rank-indexed frequency table. Fewer pivots may be
+/// returned when the domain is too small to support `n_pivots` distinct
+/// cuts. A pivot rank `b` means "rank `b` starts a new segment".
+///
+/// Rank 0 is never a pivot (it would create a guaranteed-empty first
+/// fragment).
+pub fn select_pivots(
+    freqs: &[u64],
+    n_pivots: usize,
+    strategy: PivotStrategy,
+    seed: u64,
+) -> Vec<u32> {
+    let universe = freqs.len();
+    if universe <= 1 || n_pivots == 0 {
+        return Vec::new();
+    }
+    let n = n_pivots.min(universe - 1);
+    let mut pivots = match strategy {
+        PivotStrategy::Random => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut candidates: Vec<u32> = (1..universe as u32).collect();
+            candidates.shuffle(&mut rng);
+            candidates.truncate(n);
+            candidates
+        }
+        PivotStrategy::EvenInterval => (1..=n)
+            .map(|k| (k * universe / (n + 1)).max(1) as u32)
+            .collect(),
+        PivotStrategy::EvenTf => {
+            let total: u64 = freqs.iter().sum();
+            if total == 0 {
+                return select_pivots(freqs, n_pivots, PivotStrategy::EvenInterval, seed);
+            }
+            let mut pivots = Vec::with_capacity(n);
+            let mut cum = 0u64;
+            let mut k = 1usize;
+            for (rank, &f) in freqs.iter().enumerate() {
+                if k > n {
+                    break;
+                }
+                cum += f;
+                // Place the k-th cut after the rank where the cumulative
+                // frequency first reaches k/(n+1) of the total.
+                if cum as u128 * (n as u128 + 1) >= total as u128 * k as u128 {
+                    pivots.push((rank + 1) as u32);
+                    k += 1;
+                }
+            }
+            pivots.retain(|&b| (b as usize) < universe);
+            pivots
+        }
+    };
+    pivots.sort_unstable();
+    pivots.dedup();
+    pivots
+}
+
+/// Sum of token frequencies in each fragment induced by `pivots` — the
+/// quantity Even-TF equalizes (used by tests and load-balance reports).
+pub fn fragment_loads(freqs: &[u64], pivots: &[u32]) -> Vec<u64> {
+    let mut loads = vec![0u64; pivots.len() + 1];
+    let mut seg = 0usize;
+    for (rank, &f) in freqs.iter().enumerate() {
+        while seg < pivots.len() && rank as u32 >= pivots[seg] {
+            seg += 1;
+        }
+        loads[seg] += f;
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssj_common::stats::Summary;
+
+    /// A Zipf-like ascending frequency table (the encoder guarantees
+    /// ascending order).
+    fn zipf_freqs(n: usize) -> Vec<u64> {
+        let mut f: Vec<u64> = (0..n).map(|i| 1 + (1000 / (n - i)) as u64).collect();
+        f.sort_unstable();
+        f
+    }
+
+    #[test]
+    fn pivots_are_ascending_distinct_nonzero() {
+        let freqs = zipf_freqs(500);
+        for s in PivotStrategy::all() {
+            let p = select_pivots(&freqs, 9, s, 7);
+            assert!(!p.is_empty(), "{s:?}");
+            assert!(p.windows(2).all(|w| w[0] < w[1]), "{s:?}");
+            assert!(p[0] >= 1, "{s:?}");
+            assert!((*p.last().unwrap() as usize) < freqs.len(), "{s:?}");
+            assert!(p.len() <= 9);
+        }
+    }
+
+    #[test]
+    fn even_interval_is_equally_spaced() {
+        let freqs = zipf_freqs(100);
+        let p = select_pivots(&freqs, 4, PivotStrategy::EvenInterval, 0);
+        assert_eq!(p, vec![20, 40, 60, 80]);
+    }
+
+    #[test]
+    fn even_tf_balances_loads_better_than_even_interval() {
+        // Strongly skewed: last tokens dominate the mass.
+        let freqs = zipf_freqs(2000);
+        let tf = select_pivots(&freqs, 9, PivotStrategy::EvenTf, 0);
+        let iv = select_pivots(&freqs, 9, PivotStrategy::EvenInterval, 0);
+        let skew = |p: &[u32]| Summary::of_counts(
+            fragment_loads(&freqs, p).iter().map(|&l| l as usize),
+        )
+        .skew;
+        assert!(
+            skew(&tf) < skew(&iv),
+            "Even-TF skew {} should beat Even-Interval {}",
+            skew(&tf),
+            skew(&iv)
+        );
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let freqs = zipf_freqs(300);
+        let a = select_pivots(&freqs, 5, PivotStrategy::Random, 42);
+        let b = select_pivots(&freqs, 5, PivotStrategy::Random, 42);
+        let c = select_pivots(&freqs, 5, PivotStrategy::Random, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_domains() {
+        assert!(select_pivots(&[], 3, PivotStrategy::EvenTf, 0).is_empty());
+        assert!(select_pivots(&[5], 3, PivotStrategy::EvenTf, 0).is_empty());
+        assert!(select_pivots(&[1, 2, 3], 0, PivotStrategy::EvenTf, 0).is_empty());
+        // More pivots than cuttable positions: clamped.
+        let p = select_pivots(&[1, 1, 1], 10, PivotStrategy::EvenInterval, 0);
+        assert!(p.len() <= 2);
+    }
+
+    #[test]
+    fn all_zero_frequencies_fall_back() {
+        let p = select_pivots(&[0, 0, 0, 0], 1, PivotStrategy::EvenTf, 0);
+        assert_eq!(p, vec![2]);
+    }
+
+    #[test]
+    fn fragment_loads_partition_total() {
+        let freqs = zipf_freqs(100);
+        let p = select_pivots(&freqs, 3, PivotStrategy::EvenTf, 0);
+        let loads = fragment_loads(&freqs, &p);
+        assert_eq!(loads.len(), p.len() + 1);
+        assert_eq!(loads.iter().sum::<u64>(), freqs.iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,76 @@
+//! The unit of FS-Join's shuffle: a record segment with its metadata.
+
+use ssj_common::ByteSize;
+
+/// One vertical segment of a record, as emitted by the map phase
+/// (paper §V-A: each segment travels with `|s|`, `|s^h|`, `|s^e|` so the
+/// reduce-side filters can run without seeing the rest of the record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Record id.
+    pub rid: u32,
+    /// Relation tag: 0 for self-join / R-side, 1 for S-side of an R×S join.
+    pub side: u8,
+    /// Full record length `|s|`.
+    pub len: u32,
+    /// Tokens before this segment, `|s^h|`.
+    pub head: u32,
+    /// Tokens after this segment, `|s^e|`.
+    pub tail: u32,
+    /// The segment's tokens (ascending ranks).
+    pub tokens: Vec<u32>,
+}
+
+impl Segment {
+    /// Number of tokens in the segment.
+    #[inline]
+    pub fn seg_len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Internal consistency: head + segment + tail must equal the record.
+    pub fn is_consistent(&self) -> bool {
+        self.head as usize + self.tokens.len() + self.tail as usize == self.len as usize
+    }
+}
+
+impl ByteSize for Segment {
+    fn byte_size(&self) -> usize {
+        // rid + side + len + head + tail + tokens
+        4 + 1 + 4 + 4 + 4 + self.tokens.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_check() {
+        let s = Segment {
+            rid: 1,
+            side: 0,
+            len: 10,
+            head: 3,
+            tail: 5,
+            tokens: vec![4, 5],
+        };
+        assert!(s.is_consistent());
+        assert_eq!(s.seg_len(), 2);
+        let bad = Segment { tail: 6, ..s };
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn byte_size_accounts_metadata_and_tokens() {
+        let s = Segment {
+            rid: 1,
+            side: 0,
+            len: 2,
+            head: 0,
+            tail: 0,
+            tokens: vec![1, 2],
+        };
+        assert_eq!(s.byte_size(), 17 + 4 + 8);
+    }
+}

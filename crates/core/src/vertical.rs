@@ -1,0 +1,129 @@
+//! Vertical partitioning: cutting a record at the pivot ranks
+//! (paper §IV, Definitions 5–6).
+//!
+//! A pivot rank `b` starts a new segment: segment `k` holds the record's
+//! tokens with rank in `[pivots[k−1], pivots[k])` (with virtual sentinels
+//! `pivots[−1] = 0`, `pivots[n] = ∞`). Segments are disjoint and cover the
+//! record — the "no duplication" property the paper's title rests on.
+//! Empty segments are not materialized (the token space is sparse; this is
+//! where vertical partitioning wins over a dense matrix layout).
+
+use crate::segment::Segment;
+
+/// Split `tokens` (strictly ascending ranks) at `pivots` (strictly
+/// ascending). Returns `(fragment index, segment)` pairs for every
+/// *non-empty* segment, in fragment order.
+pub fn split_record(
+    rid: u32,
+    side: u8,
+    tokens: &[u32],
+    pivots: &[u32],
+) -> Vec<(usize, Segment)> {
+    debug_assert!(tokens.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(pivots.windows(2).all(|w| w[0] < w[1]));
+    let len = tokens.len();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (k, &b) in pivots.iter().enumerate() {
+        // End of segment k: first token with rank >= b.
+        let end = start + tokens[start..].partition_point(|&t| t < b);
+        if end > start {
+            out.push((
+                k,
+                Segment {
+                    rid,
+                    side,
+                    len: len as u32,
+                    head: start as u32,
+                    tail: (len - end) as u32,
+                    tokens: tokens[start..end].to_vec(),
+                },
+            ));
+        }
+        start = end;
+    }
+    if start < len {
+        out.push((
+            pivots.len(),
+            Segment {
+                rid,
+                side,
+                len: len as u32,
+                head: start as u32,
+                tail: 0,
+                tokens: tokens[start..].to_vec(),
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paperlike_example() {
+        // Tokens B,C,I,J,K as ranks 1,2,8,9,10; pivots C,F,I as ranks 2,5,8.
+        let segs = split_record(1, 0, &[1, 2, 8, 9, 10], &[2, 5, 8]);
+        // Segment 0: [B]=ranks <2 -> [1]; segment 1: [C]=[2]; segment 2 (5..8): empty;
+        // segment 3: [8,9,10].
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].0, 0);
+        assert_eq!(segs[0].1.tokens, vec![1]);
+        assert_eq!(segs[1].0, 1);
+        assert_eq!(segs[1].1.tokens, vec![2]);
+        assert_eq!(segs[2].0, 3);
+        assert_eq!(segs[2].1.tokens, vec![8, 9, 10]);
+    }
+
+    #[test]
+    fn segments_are_disjoint_cover_with_correct_metadata() {
+        let tokens: Vec<u32> = vec![0, 3, 4, 7, 11, 15, 16, 20];
+        let pivots = vec![4, 10, 16];
+        let segs = split_record(9, 1, &tokens, &pivots);
+        let mut reassembled = Vec::new();
+        for (_, s) in &segs {
+            assert!(s.is_consistent(), "{s:?}");
+            assert_eq!(s.rid, 9);
+            assert_eq!(s.side, 1);
+            assert_eq!(s.len as usize, tokens.len());
+            assert_eq!(s.head as usize, reassembled.len());
+            reassembled.extend_from_slice(&s.tokens);
+        }
+        assert_eq!(reassembled, tokens);
+    }
+
+    #[test]
+    fn fragment_assignment_respects_pivot_boundaries() {
+        // Token equal to a pivot starts the new segment.
+        let segs = split_record(0, 0, &[5], &[5]);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].0, 1);
+        let segs = split_record(0, 0, &[4], &[5]);
+        assert_eq!(segs[0].0, 0);
+    }
+
+    #[test]
+    fn no_pivots_single_segment() {
+        let segs = split_record(0, 0, &[1, 2, 3], &[]);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].0, 0);
+        assert_eq!(segs[0].1.tokens, vec![1, 2, 3]);
+        assert_eq!(segs[0].1.head, 0);
+        assert_eq!(segs[0].1.tail, 0);
+    }
+
+    #[test]
+    fn empty_record_yields_nothing() {
+        assert!(split_record(0, 0, &[], &[3, 7]).is_empty());
+    }
+
+    #[test]
+    fn all_tokens_before_first_pivot() {
+        let segs = split_record(0, 0, &[1, 2], &[10, 20]);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].0, 0);
+        assert_eq!(segs[0].1.tail, 0);
+    }
+}

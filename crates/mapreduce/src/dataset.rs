@@ -1,0 +1,163 @@
+//! Partitioned in-memory datasets — the unit of data exchanged between jobs.
+//!
+//! A [`Dataset`] plays the role HDFS files play between Hadoop jobs: a named
+//! collection of records laid out in partitions. Map tasks are created one
+//! per input partition (a partition ≈ an input split), so `repartition`
+//! controls map-side parallelism of the next job.
+
+use ssj_common::ByteSize;
+
+/// A partitioned collection of `(key, value)` records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset<K, V> {
+    partitions: Vec<Vec<(K, V)>>,
+}
+
+impl<K, V> Dataset<K, V> {
+    /// Build a dataset from explicit partitions.
+    pub fn from_partitions(partitions: Vec<Vec<(K, V)>>) -> Self {
+        Dataset { partitions }
+    }
+
+    /// Build a dataset by dealing records round-robin into `num_partitions`
+    /// partitions (preserving order within each partition).
+    ///
+    /// # Panics
+    /// Panics if `num_partitions == 0`.
+    pub fn from_records(records: Vec<(K, V)>, num_partitions: usize) -> Self {
+        assert!(num_partitions > 0, "dataset needs at least one partition");
+        let per = records.len().div_ceil(num_partitions).max(1);
+        let mut partitions: Vec<Vec<(K, V)>> = Vec::with_capacity(num_partitions);
+        let mut it = records.into_iter();
+        for _ in 0..num_partitions {
+            let chunk: Vec<(K, V)> = it.by_ref().take(per).collect();
+            partitions.push(chunk);
+        }
+        // Any remainder (possible only from rounding) joins the last partition.
+        partitions.last_mut().expect("non-empty").extend(it);
+        Dataset { partitions }
+    }
+
+    /// An empty dataset with one empty partition.
+    pub fn empty() -> Self {
+        Dataset {
+            partitions: vec![Vec::new()],
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of records across partitions.
+    pub fn total_records(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Borrow the partitions.
+    pub fn partitions(&self) -> &[Vec<(K, V)>] {
+        &self.partitions
+    }
+
+    /// Consume into partitions.
+    pub fn into_partitions(self) -> Vec<Vec<(K, V)>> {
+        self.partitions
+    }
+
+    /// Iterate over all records in partition order, consuming the dataset.
+    pub fn into_records(self) -> impl Iterator<Item = (K, V)> {
+        self.partitions.into_iter().flatten()
+    }
+
+    /// Iterate over all records by reference, in partition order.
+    pub fn iter(&self) -> impl Iterator<Item = &(K, V)> {
+        self.partitions.iter().flatten()
+    }
+
+    /// Redistribute records into `num_partitions` partitions of near-equal
+    /// record count (order-preserving). Used to control the number of map
+    /// tasks in the next job.
+    pub fn repartition(self, num_partitions: usize) -> Self {
+        let records: Vec<(K, V)> = self.into_records().collect();
+        Self::from_records(records, num_partitions)
+    }
+}
+
+impl<K: ByteSize, V: ByteSize> Dataset<K, V> {
+    /// Total logical encoded size of all records.
+    pub fn total_bytes(&self) -> usize {
+        self.iter()
+            .map(|(k, v)| k.byte_size() + v.byte_size())
+            .sum()
+    }
+}
+
+impl<K, V> FromIterator<(K, V)> for Dataset<K, V> {
+    /// Collect records into a single-partition dataset.
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        Dataset {
+            partitions: vec![iter.into_iter().collect()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(n: u32) -> Vec<(u32, u32)> {
+        (0..n).map(|i| (i, i * 10)).collect()
+    }
+
+    #[test]
+    fn from_records_balances_partitions() {
+        let d = Dataset::from_records(records(10), 3);
+        assert_eq!(d.num_partitions(), 3);
+        assert_eq!(d.total_records(), 10);
+        let sizes: Vec<usize> = d.partitions().iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn from_records_more_partitions_than_records() {
+        let d = Dataset::from_records(records(2), 5);
+        assert_eq!(d.num_partitions(), 5);
+        assert_eq!(d.total_records(), 2);
+    }
+
+    #[test]
+    fn repartition_preserves_records() {
+        let d = Dataset::from_records(records(7), 2).repartition(4);
+        assert_eq!(d.num_partitions(), 4);
+        let mut all: Vec<(u32, u32)> = d.into_records().collect();
+        all.sort();
+        assert_eq!(all, records(7));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let d = Dataset::from_records(vec![(1u32, vec![1u32, 2])], 1);
+        assert_eq!(d.total_bytes(), 4 + 4 + 8);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d: Dataset<u32, u32> = Dataset::empty();
+        assert_eq!(d.total_records(), 0);
+        assert_eq!(d.num_partitions(), 1);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let d: Dataset<u32, u32> = records(3).into_iter().collect();
+        assert_eq!(d.num_partitions(), 1);
+        assert_eq!(d.total_records(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let _ = Dataset::from_records(records(3), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! A minimal distributed-file-system stand-in: a typed, named dataset store.
+//!
+//! Hadoop drivers chain jobs through HDFS paths; ours chain through [`Dfs`]
+//! names. Datasets are stored type-erased and recovered with
+//! [`Dfs::take`]/[`Dfs::get`], which panic on a type mismatch the same way a
+//! Hadoop job fails on an input-format mismatch.
+
+use crate::dataset::Dataset;
+use ssj_common::FxHashMap;
+use std::any::Any;
+
+/// Named, typed dataset store used to chain jobs within a driver.
+#[derive(Default)]
+pub struct Dfs {
+    entries: FxHashMap<String, Box<dyn Any + Send>>,
+}
+
+impl Dfs {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a dataset under `name`, replacing any previous dataset with
+    /// that name (HDFS overwrite semantics).
+    pub fn put<K, V>(&mut self, name: impl Into<String>, dataset: Dataset<K, V>)
+    where
+        K: Send + 'static,
+        V: Send + 'static,
+    {
+        self.entries.insert(name.into(), Box::new(dataset));
+    }
+
+    /// Borrow a dataset by name.
+    ///
+    /// # Panics
+    /// Panics if the name is missing or was stored with different types.
+    pub fn get<K, V>(&self, name: &str) -> &Dataset<K, V>
+    where
+        K: Send + 'static,
+        V: Send + 'static,
+    {
+        self.entries
+            .get(name)
+            .unwrap_or_else(|| panic!("dfs: no dataset named {name:?}"))
+            .downcast_ref::<Dataset<K, V>>()
+            .unwrap_or_else(|| panic!("dfs: dataset {name:?} has a different type"))
+    }
+
+    /// Remove and return a dataset by name.
+    ///
+    /// # Panics
+    /// Panics if the name is missing or was stored with different types.
+    pub fn take<K, V>(&mut self, name: &str) -> Dataset<K, V>
+    where
+        K: Send + 'static,
+        V: Send + 'static,
+    {
+        *self
+            .entries
+            .remove(name)
+            .unwrap_or_else(|| panic!("dfs: no dataset named {name:?}"))
+            .downcast::<Dataset<K, V>>()
+            .unwrap_or_else(|_| panic!("dfs: dataset {name:?} has a different type"))
+    }
+
+    /// Whether a dataset with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Delete a dataset if present; returns whether it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.entries.remove(name).is_some()
+    }
+
+    /// Names of all stored datasets (unordered).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_take_round_trip() {
+        let mut dfs = Dfs::new();
+        let d = Dataset::from_records(vec![(1u32, "a".to_string())], 1);
+        dfs.put("x", d.clone());
+        assert!(dfs.contains("x"));
+        assert_eq!(dfs.get::<u32, String>("x"), &d);
+        let back = dfs.take::<u32, String>("x");
+        assert_eq!(back, d);
+        assert!(!dfs.contains("x"));
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut dfs = Dfs::new();
+        dfs.put("x", Dataset::from_records(vec![(1u32, 1u32)], 1));
+        dfs.put("x", Dataset::from_records(vec![(2u32, 2u32)], 1));
+        assert_eq!(dfs.get::<u32, u32>("x").total_records(), 1);
+        assert_eq!(dfs.get::<u32, u32>("x").iter().next(), Some(&(2, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no dataset named")]
+    fn missing_name_panics() {
+        let dfs = Dfs::new();
+        let _ = dfs.get::<u32, u32>("absent");
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let mut dfs = Dfs::new();
+        dfs.put("x", Dataset::from_records(vec![(1u32, 1u32)], 1));
+        let _ = dfs.get::<u32, String>("x");
+    }
+
+    #[test]
+    fn names_and_remove() {
+        let mut dfs = Dfs::new();
+        dfs.put("a", Dataset::from_records(vec![(1u32, 1u32)], 1));
+        dfs.put("b", Dataset::from_records(vec![(1u32, 1u32)], 1));
+        let mut names: Vec<&str> = dfs.names().collect();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(dfs.remove("a"));
+        assert!(!dfs.remove("a"));
+    }
+}

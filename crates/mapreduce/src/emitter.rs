@@ -1,0 +1,88 @@
+//! Output collector handed to map and reduce tasks.
+
+use ssj_common::ByteSize;
+
+/// Collects `(key, value)` pairs emitted by a task and accounts their
+/// logical encoded size (see [`ByteSize`]).
+#[derive(Debug)]
+pub struct Emitter<K, V> {
+    buf: Vec<(K, V)>,
+    bytes: usize,
+}
+
+impl<K: ByteSize, V: ByteSize> Emitter<K, V> {
+    /// Create an empty emitter.
+    pub fn new() -> Self {
+        Emitter {
+            buf: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Create an emitter with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Emitter {
+            buf: Vec::with_capacity(cap),
+            bytes: 0,
+        }
+    }
+
+    /// Emit one pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.bytes += key.byte_size() + value.byte_size();
+        self.buf.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Logical encoded size of everything emitted so far.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Consume the emitter, returning its buffer and byte count.
+    pub(crate) fn into_parts(self) -> (Vec<(K, V)>, usize) {
+        (self.buf, self.bytes)
+    }
+}
+
+impl<K: ByteSize, V: ByteSize> Default for Emitter<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_counts_records_and_bytes() {
+        let mut e: Emitter<u32, u64> = Emitter::new();
+        assert!(e.is_empty());
+        e.emit(1, 10);
+        e.emit(2, 20);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.bytes(), 2 * (4 + 8));
+        let (buf, bytes) = e.into_parts();
+        assert_eq!(buf, vec![(1, 10), (2, 20)]);
+        assert_eq!(bytes, 24);
+    }
+
+    #[test]
+    fn variable_length_values_accounted() {
+        let mut e: Emitter<u32, Vec<u32>> = Emitter::new();
+        e.emit(1, vec![1, 2, 3]);
+        // key 4 + vec prefix 4 + 3*4 payload
+        assert_eq!(e.bytes(), 4 + 4 + 12);
+    }
+}

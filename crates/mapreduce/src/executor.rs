@@ -1,0 +1,105 @@
+//! Thread-pool task execution.
+//!
+//! Tasks within a phase (all map tasks, then all reduce tasks) are
+//! independent, so they are drained from a shared atomic counter by a
+//! scoped worker pool. On a single-core host this degrades gracefully to
+//! sequential execution; per-task wall-clock measurements remain valid
+//! inputs for the [`ClusterModel`](crate::ClusterModel) because each task
+//! runs on one thread from start to finish.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the host's available
+/// parallelism (at least 1).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `tasks` closures over a pool of `workers` threads, returning results
+/// in task order. `f(i, task)` must be safe to call concurrently for
+/// distinct tasks.
+pub fn run_tasks<T, O, F>(workers: usize, tasks: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(usize, T) -> O + Sync,
+{
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        // Fast path: no synchronization overhead.
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let tasks: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = tasks[i].lock().take().expect("task taken twice");
+                let out = f(i, task);
+                *results[i].lock() = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("task produced no result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_task_order() {
+        let tasks: Vec<u32> = (0..100).collect();
+        let out = run_tasks(4, tasks, |i, t| {
+            assert_eq!(i as u32, t);
+            t * 2
+        });
+        assert_eq!(out, (0..100).map(|t| t * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let out: Vec<u32> = run_tasks(4, Vec::<u32>::new(), |_, t| t);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_sequential_path() {
+        let out = run_tasks(1, vec![1, 2, 3], |_, t| t + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn workers_clamped_to_task_count() {
+        // More workers than tasks must not deadlock or panic.
+        let out = run_tasks(64, vec![5], |_, t| t);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

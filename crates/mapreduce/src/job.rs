@@ -1,0 +1,530 @@
+//! Job construction and execution: split → map → combine → partition →
+//! sort-merge shuffle → reduce.
+
+use crate::dataset::Dataset;
+use crate::emitter::Emitter;
+use crate::executor::{default_workers, run_tasks};
+use crate::metrics::{JobMetrics, TaskKind, TaskStat};
+use crate::partitioner::{HashPartitioner, Partitioner};
+use crate::traits::{Combiner, Key, Mapper, Reducer, Value};
+use ssj_common::ByteSize;
+use std::time::Instant;
+
+/// A combiner that passes values through unchanged (no combining).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityCombiner;
+
+impl<K: Key, V: Value> Combiner<K, V> for IdentityCombiner {
+    fn combine(&self, _key: &K, values: Vec<V>) -> Vec<V> {
+        values
+    }
+}
+
+/// Configures and runs a MapReduce job.
+///
+/// One map task is created per input-dataset partition (use
+/// [`Dataset::repartition`] to control map parallelism); the number of
+/// reduce tasks is set with [`JobBuilder::reduce_tasks`] (the paper sets it
+/// to 3 × the node count).
+#[derive(Debug, Clone)]
+pub struct JobBuilder {
+    name: String,
+    reduce_tasks: usize,
+    workers: usize,
+}
+
+impl JobBuilder {
+    /// Start configuring a job.
+    pub fn new(name: impl Into<String>) -> Self {
+        JobBuilder {
+            name: name.into(),
+            reduce_tasks: 4,
+            workers: default_workers(),
+        }
+    }
+
+    /// Set the number of reduce tasks (default 4).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn reduce_tasks(mut self, n: usize) -> Self {
+        assert!(n > 0, "a job needs at least one reduce task");
+        self.reduce_tasks = n;
+        self
+    }
+
+    /// Set the number of host worker threads used to execute tasks
+    /// (default: available parallelism). This affects only real wall-clock,
+    /// never results or byte counters.
+    pub fn workers(mut self, n: usize) -> Self {
+        assert!(n > 0, "a job needs at least one worker thread");
+        self.workers = n;
+        self
+    }
+
+    /// Run with the default [`HashPartitioner`] and no combiner.
+    pub fn run<M, R, FM, FR>(
+        &self,
+        input: &Dataset<M::InKey, M::InValue>,
+        mapper: FM,
+        reducer: FR,
+    ) -> (Dataset<R::OutKey, R::OutValue>, JobMetrics)
+    where
+        M: Mapper,
+        R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+        FM: Fn(usize) -> M + Sync,
+        FR: Fn(usize) -> R + Sync,
+        M::InKey: Clone + Sync + ByteSize,
+        M::InValue: Clone + Sync + ByteSize,
+    {
+        self.run_full(input, mapper, reducer, &HashPartitioner, None::<&IdentityCombiner>)
+    }
+
+    /// Run with a custom partitioner and no combiner.
+    pub fn run_partitioned<M, R, P, FM, FR>(
+        &self,
+        input: &Dataset<M::InKey, M::InValue>,
+        mapper: FM,
+        reducer: FR,
+        partitioner: &P,
+    ) -> (Dataset<R::OutKey, R::OutValue>, JobMetrics)
+    where
+        M: Mapper,
+        R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+        P: Partitioner<M::OutKey>,
+        FM: Fn(usize) -> M + Sync,
+        FR: Fn(usize) -> R + Sync,
+        M::InKey: Clone + Sync + ByteSize,
+        M::InValue: Clone + Sync + ByteSize,
+    {
+        self.run_full(input, mapper, reducer, partitioner, None::<&IdentityCombiner>)
+    }
+
+    /// Run with a custom partitioner and an optional map-side combiner.
+    pub fn run_full<M, R, P, C, FM, FR>(
+        &self,
+        input: &Dataset<M::InKey, M::InValue>,
+        mapper: FM,
+        reducer: FR,
+        partitioner: &P,
+        combiner: Option<&C>,
+    ) -> (Dataset<R::OutKey, R::OutValue>, JobMetrics)
+    where
+        M: Mapper,
+        R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+        P: Partitioner<M::OutKey>,
+        C: Combiner<M::OutKey, M::OutValue>,
+        FM: Fn(usize) -> M + Sync,
+        FR: Fn(usize) -> R + Sync,
+        M::InKey: Clone + Sync + ByteSize,
+        M::InValue: Clone + Sync + ByteSize,
+    {
+        let job_start = Instant::now();
+        let num_reduce = self.reduce_tasks;
+
+        // ---- Map phase ---------------------------------------------------
+        let splits: Vec<&[(M::InKey, M::InValue)]> =
+            input.partitions().iter().map(|p| p.as_slice()).collect();
+
+        let map_results = run_tasks(self.workers, splits, |task_idx, split| {
+            let start = Instant::now();
+            let mut m = mapper(task_idx);
+            let mut out: Emitter<M::OutKey, M::OutValue> = Emitter::new();
+            m.setup();
+            let mut input_bytes = 0usize;
+            for (k, v) in split {
+                input_bytes += k.byte_size() + v.byte_size();
+                m.map(k.clone(), v.clone(), &mut out);
+            }
+            m.cleanup(&mut out);
+
+            let pre_records = out.len();
+            let pre_bytes = out.bytes();
+            let (pairs, _) = out.into_parts();
+
+            // Partition into reduce buckets, sort each by key, and apply the
+            // combiner per key run (Hadoop's spill pipeline, without disk).
+            let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
+                (0..num_reduce).map(|_| Vec::new()).collect();
+            for (k, v) in pairs {
+                let p = partitioner.partition(&k, num_reduce);
+                debug_assert!(p < num_reduce);
+                buckets[p].push((k, v));
+            }
+            let mut post_bytes = 0usize;
+            let mut post_records = 0usize;
+            for bucket in &mut buckets {
+                bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                if let Some(c) = combiner {
+                    *bucket = combine_runs(std::mem::take(bucket), c);
+                }
+                post_records += bucket.len();
+                post_bytes += bucket
+                    .iter()
+                    .map(|(k, v)| k.byte_size() + v.byte_size())
+                    .sum::<usize>();
+            }
+
+            let stat = TaskStat {
+                kind: TaskKind::Map,
+                index: task_idx,
+                duration: start.elapsed(),
+                input_records: split.len(),
+                input_bytes,
+                output_records: post_records,
+                output_bytes: post_bytes,
+            };
+            (buckets, stat, pre_records, pre_bytes)
+        });
+
+        let mut map_stats = Vec::with_capacity(map_results.len());
+        let mut pre_combine_records = 0usize;
+        let mut pre_combine_bytes = 0usize;
+        let mut shuffle_records = 0usize;
+        let mut shuffle_bytes = 0usize;
+        // Transpose: per-reduce-task input runs from every map task.
+        let mut reduce_inputs: Vec<Vec<Vec<(M::OutKey, M::OutValue)>>> =
+            (0..num_reduce).map(|_| Vec::new()).collect();
+        for (buckets, stat, pre_r, pre_b) in map_results {
+            pre_combine_records += pre_r;
+            pre_combine_bytes += pre_b;
+            shuffle_records += stat.output_records;
+            shuffle_bytes += stat.output_bytes;
+            map_stats.push(stat);
+            for (r, bucket) in buckets.into_iter().enumerate() {
+                if !bucket.is_empty() {
+                    reduce_inputs[r].push(bucket);
+                }
+            }
+        }
+
+        // ---- Reduce phase ------------------------------------------------
+        let reduce_results = run_tasks(self.workers, reduce_inputs, |task_idx, runs| {
+            let start = Instant::now();
+            let mut r = reducer(task_idx);
+            let mut out: Emitter<R::OutKey, R::OutValue> = Emitter::new();
+            r.setup();
+
+            // Merge the sorted runs. Concatenate + stable sort by key keeps
+            // deterministic value order (map-task order within a key).
+            let mut input_records = 0usize;
+            let mut input_bytes = 0usize;
+            let mut merged: Vec<(M::OutKey, M::OutValue)> =
+                Vec::with_capacity(runs.iter().map(Vec::len).sum());
+            for run in runs {
+                for kv in run {
+                    input_bytes += kv.0.byte_size() + kv.1.byte_size();
+                    merged.push(kv);
+                }
+            }
+            input_records += merged.len();
+            merged.sort_by(|a, b| a.0.cmp(&b.0));
+
+            // Walk key groups.
+            let mut current: Option<(M::OutKey, Vec<M::OutValue>)> = None;
+            for (k, v) in merged {
+                match &mut current {
+                    Some((ck, vals)) if *ck == k => vals.push(v),
+                    _ => {
+                        if let Some((ck, vals)) = current.take() {
+                            r.reduce(&ck, vals, &mut out);
+                        }
+                        current = Some((k, vec![v]));
+                    }
+                }
+            }
+            if let Some((ck, vals)) = current.take() {
+                r.reduce(&ck, vals, &mut out);
+            }
+            r.cleanup(&mut out);
+
+            let output_records = out.len();
+            let output_bytes = out.bytes();
+            let (pairs, _) = out.into_parts();
+            let stat = TaskStat {
+                kind: TaskKind::Reduce,
+                index: task_idx,
+                duration: start.elapsed(),
+                input_records,
+                input_bytes,
+                output_records,
+                output_bytes,
+            };
+            (pairs, stat)
+        });
+
+        let mut reduce_stats = Vec::with_capacity(reduce_results.len());
+        let mut output_partitions = Vec::with_capacity(reduce_results.len());
+        for (pairs, stat) in reduce_results {
+            reduce_stats.push(stat);
+            output_partitions.push(pairs);
+        }
+
+        let metrics = JobMetrics {
+            name: self.name.clone(),
+            map_tasks: map_stats,
+            reduce_tasks: reduce_stats,
+            shuffle_records,
+            shuffle_bytes,
+            pre_combine_records,
+            pre_combine_bytes,
+            elapsed: job_start.elapsed(),
+        };
+        (Dataset::from_partitions(output_partitions), metrics)
+    }
+}
+
+/// Apply a combiner to every key run of a sorted bucket.
+fn combine_runs<K: Key, V: Value, C: Combiner<K, V>>(
+    bucket: Vec<(K, V)>,
+    combiner: &C,
+) -> Vec<(K, V)> {
+    let mut out = Vec::with_capacity(bucket.len());
+    let mut current: Option<(K, Vec<V>)> = None;
+    for (k, v) in bucket {
+        match &mut current {
+            Some((ck, vals)) if *ck == k => vals.push(v),
+            _ => {
+                if let Some((ck, vals)) = current.take() {
+                    for cv in combiner.combine(&ck, vals) {
+                        out.push((ck.clone(), cv));
+                    }
+                }
+                current = Some((k, vec![v]));
+            }
+        }
+    }
+    if let Some((ck, vals)) = current.take() {
+        for cv in combiner.combine(&ck, vals) {
+            out.push((ck.clone(), cv));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::DirectPartitioner;
+    use crate::traits::SumCombiner;
+
+    /// Emits (token, 1) for each whitespace token.
+    struct Tokenize;
+    impl Mapper for Tokenize {
+        type InKey = u32;
+        type InValue = String;
+        type OutKey = String;
+        type OutValue = u64;
+        fn map(&mut self, _k: u32, line: String, out: &mut Emitter<String, u64>) {
+            for w in line.split_whitespace() {
+                out.emit(w.to_string(), 1);
+            }
+        }
+    }
+
+    /// Sums counts per token.
+    struct Sum;
+    impl Reducer for Sum {
+        type InKey = String;
+        type InValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        fn reduce(&mut self, k: &String, vs: Vec<u64>, out: &mut Emitter<String, u64>) {
+            out.emit(k.clone(), vs.into_iter().sum());
+        }
+    }
+
+    fn wc_input() -> Dataset<u32, String> {
+        Dataset::from_records(
+            vec![
+                (0, "the quick brown fox".to_string()),
+                (1, "the lazy dog".to_string()),
+                (2, "the fox".to_string()),
+            ],
+            2,
+        )
+    }
+
+    fn sorted_output(d: Dataset<String, u64>) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = d.into_records().collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let (out, m) = JobBuilder::new("wc")
+            .reduce_tasks(3)
+            .run(&wc_input(), |_| Tokenize, |_| Sum);
+        assert_eq!(
+            sorted_output(out),
+            vec![
+                ("brown".to_string(), 1),
+                ("dog".to_string(), 1),
+                ("fox".to_string(), 2),
+                ("lazy".to_string(), 1),
+                ("quick".to_string(), 1),
+                ("the".to_string(), 3),
+            ]
+        );
+        assert_eq!(m.map_input_records(), 3);
+        assert_eq!(m.map_output_records(), 9);
+        assert_eq!(m.shuffle_records, 9);
+        assert_eq!(m.map_tasks.len(), 2);
+        assert_eq!(m.reduce_tasks.len(), 3);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_but_not_results() {
+        let (plain, m_plain) = JobBuilder::new("wc").reduce_tasks(2).run(
+            &wc_input(),
+            |_| Tokenize,
+            |_| Sum,
+        );
+        let (combined, m_comb) = JobBuilder::new("wc+c").reduce_tasks(2).run_full(
+            &wc_input(),
+            |_| Tokenize,
+            |_| Sum,
+            &HashPartitioner,
+            Some(&SumCombiner),
+        );
+        assert_eq!(sorted_output(plain), sorted_output(combined));
+        // "the" appears twice in map task 0's split -> combiner merges.
+        assert!(m_comb.shuffle_records < m_plain.shuffle_records);
+        assert_eq!(m_comb.pre_combine_records, m_plain.shuffle_records);
+    }
+
+    #[test]
+    fn direct_partitioner_places_keys() {
+        /// Emits (id % 4, id).
+        struct ModMap;
+        impl Mapper for ModMap {
+            type InKey = u32;
+            type InValue = u32;
+            type OutKey = u32;
+            type OutValue = u32;
+            fn map(&mut self, k: u32, _v: u32, out: &mut Emitter<u32, u32>) {
+                out.emit(k % 4, k);
+            }
+        }
+        /// Emits group size keyed by group id.
+        struct CountRed;
+        impl Reducer for CountRed {
+            type InKey = u32;
+            type InValue = u32;
+            type OutKey = u32;
+            type OutValue = u64;
+            fn reduce(&mut self, k: &u32, vs: Vec<u32>, out: &mut Emitter<u32, u64>) {
+                out.emit(*k, vs.len() as u64);
+            }
+        }
+        let input = Dataset::from_records((0u32..40).map(|i| (i, i)).collect(), 3);
+        let (out, m) = JobBuilder::new("mod").reduce_tasks(4).run_partitioned(
+            &input,
+            |_| ModMap,
+            |_| CountRed,
+            &DirectPartitioner::new(|k: &u32| *k as usize),
+        );
+        // Partition r holds exactly key r.
+        for (r, part) in out.partitions().iter().enumerate() {
+            assert_eq!(part.len(), 1);
+            assert_eq!(part[0], (r as u32, 10));
+        }
+        // All reduce inputs perfectly balanced.
+        assert!((m.reduce_input_balance().skew - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reducer_sees_keys_in_order() {
+        /// Identity map.
+        struct Id;
+        impl Mapper for Id {
+            type InKey = u32;
+            type InValue = u32;
+            type OutKey = u32;
+            type OutValue = u32;
+            fn map(&mut self, k: u32, v: u32, out: &mut Emitter<u32, u32>) {
+                out.emit(k, v);
+            }
+        }
+        /// Asserts ascending key order within the task.
+        struct OrderCheck {
+            last: Option<u32>,
+        }
+        impl Reducer for OrderCheck {
+            type InKey = u32;
+            type InValue = u32;
+            type OutKey = u32;
+            type OutValue = u32;
+            fn reduce(&mut self, k: &u32, _vs: Vec<u32>, out: &mut Emitter<u32, u32>) {
+                if let Some(last) = self.last {
+                    assert!(*k > last, "keys must ascend within a reduce task");
+                }
+                self.last = Some(*k);
+                out.emit(*k, 0);
+            }
+        }
+        let input = Dataset::from_records((0u32..100).rev().map(|i| (i, i)).collect(), 5);
+        let (out, _) = JobBuilder::new("order")
+            .reduce_tasks(3)
+            .run(&input, |_| Id, |_| OrderCheck { last: None });
+        assert_eq!(out.total_records(), 100);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let input: Dataset<u32, String> = Dataset::empty();
+        let (out, m) = JobBuilder::new("empty")
+            .reduce_tasks(2)
+            .run(&input, |_| Tokenize, |_| Sum);
+        assert_eq!(out.total_records(), 0);
+        assert_eq!(m.map_input_records(), 0);
+        assert_eq!(m.shuffle_records, 0);
+    }
+
+    #[test]
+    fn setup_and_cleanup_lifecycle() {
+        /// Counts records, emits the total in cleanup.
+        struct CountingMapper {
+            seen: u64,
+        }
+        impl Mapper for CountingMapper {
+            type InKey = u32;
+            type InValue = u32;
+            type OutKey = u32;
+            type OutValue = u64;
+            fn setup(&mut self) {
+                assert_eq!(self.seen, 0);
+            }
+            fn map(&mut self, _k: u32, _v: u32, _out: &mut Emitter<u32, u64>) {
+                self.seen += 1;
+            }
+            fn cleanup(&mut self, out: &mut Emitter<u32, u64>) {
+                out.emit(0, self.seen);
+            }
+        }
+        struct Sum64;
+        impl Reducer for Sum64 {
+            type InKey = u32;
+            type InValue = u64;
+            type OutKey = u32;
+            type OutValue = u64;
+            fn reduce(&mut self, k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>) {
+                out.emit(*k, vs.into_iter().sum());
+            }
+        }
+        let input = Dataset::from_records((0u32..10).map(|i| (i, i)).collect(), 2);
+        let (out, _) = JobBuilder::new("lifecycle").reduce_tasks(1).run(
+            &input,
+            |_| CountingMapper { seen: 0 },
+            |_| Sum64,
+        );
+        assert_eq!(out.into_records().collect::<Vec<_>>(), vec![(0, 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reduce task")]
+    fn zero_reduce_tasks_rejected() {
+        let _ = JobBuilder::new("bad").reduce_tasks(0);
+    }
+}

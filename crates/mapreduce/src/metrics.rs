@@ -1,0 +1,223 @@
+//! Per-task and per-job execution metrics.
+//!
+//! Every comparison in the paper's evaluation is, at bottom, a statement
+//! about these counters: shuffle volume (duplication), per-reduce-task input
+//! balance (skew), and phase durations. The engine collects them
+//! unconditionally; algorithms cannot self-report.
+
+use ssj_common::stats::Summary;
+use std::time::Duration;
+
+/// Which phase a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// A map task.
+    Map,
+    /// A reduce task.
+    Reduce,
+}
+
+/// Counters for one executed task.
+#[derive(Debug, Clone)]
+pub struct TaskStat {
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Task index within its phase.
+    pub index: usize,
+    /// Wall-clock duration of the task body (excludes shuffle).
+    pub duration: Duration,
+    /// Input records consumed.
+    pub input_records: usize,
+    /// Logical encoded input size.
+    pub input_bytes: usize,
+    /// Records emitted.
+    pub output_records: usize,
+    /// Logical encoded output size.
+    pub output_bytes: usize,
+}
+
+/// Aggregated metrics for one MapReduce job.
+#[derive(Debug, Clone)]
+pub struct JobMetrics {
+    /// Job name (for reports).
+    pub name: String,
+    /// Per-map-task counters.
+    pub map_tasks: Vec<TaskStat>,
+    /// Per-reduce-task counters.
+    pub reduce_tasks: Vec<TaskStat>,
+    /// Map output records *after* the combiner — i.e. what is shuffled.
+    pub shuffle_records: usize,
+    /// Map output bytes *after* the combiner — i.e. what is shuffled.
+    pub shuffle_bytes: usize,
+    /// Map output records *before* the combiner.
+    pub pre_combine_records: usize,
+    /// Map output bytes *before* the combiner.
+    pub pre_combine_bytes: usize,
+    /// Real wall-clock duration of the whole job on the host.
+    pub elapsed: Duration,
+}
+
+impl JobMetrics {
+    /// Total records read by map tasks.
+    pub fn map_input_records(&self) -> usize {
+        self.map_tasks.iter().map(|t| t.input_records).sum()
+    }
+
+    /// Total records emitted by map tasks (before the combiner).
+    pub fn map_output_records(&self) -> usize {
+        self.pre_combine_records
+    }
+
+    /// Total records emitted by reduce tasks.
+    pub fn reduce_output_records(&self) -> usize {
+        self.reduce_tasks.iter().map(|t| t.output_records).sum()
+    }
+
+    /// Total bytes emitted by reduce tasks.
+    pub fn reduce_output_bytes(&self) -> usize {
+        self.reduce_tasks.iter().map(|t| t.output_bytes).sum()
+    }
+
+    /// Map-side blow-up factor: map output records ÷ map input records.
+    ///
+    /// For signature-based joins this is the *duplication factor* the paper
+    /// criticizes (a record emitted once per signature token); FS-Join's
+    /// segment emission keeps every token exactly once, so its byte-level
+    /// analogue [`Self::byte_expansion`] stays ≈ 1.
+    pub fn record_expansion(&self) -> f64 {
+        let input = self.map_input_records();
+        if input == 0 {
+            return 0.0;
+        }
+        self.map_output_records() as f64 / input as f64
+    }
+
+    /// Map-side byte blow-up: shuffled bytes ÷ map input bytes.
+    pub fn byte_expansion(&self) -> f64 {
+        let input: usize = self.map_tasks.iter().map(|t| t.input_bytes).sum();
+        if input == 0 {
+            return 0.0;
+        }
+        self.shuffle_bytes as f64 / input as f64
+    }
+
+    /// Distribution of per-reduce-task input bytes — the load-balance
+    /// statistic (skew = max/mean; Gini) behind the paper's Table I and
+    /// Figure 11 claims.
+    pub fn reduce_input_balance(&self) -> Summary {
+        Summary::of_counts(self.reduce_tasks.iter().map(|t| t.input_bytes))
+    }
+
+    /// Distribution of per-reduce-task durations.
+    pub fn reduce_time_balance(&self) -> Summary {
+        Summary::of(
+            &self
+                .reduce_tasks
+                .iter()
+                .map(|t| t.duration.as_secs_f64())
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Metrics for a chain of jobs (an algorithm run end-to-end, e.g. FS-Join's
+/// ordering → filtering → verification pipeline).
+#[derive(Debug, Clone, Default)]
+pub struct ChainMetrics {
+    /// Per-job metrics in execution order.
+    pub jobs: Vec<JobMetrics>,
+}
+
+impl ChainMetrics {
+    /// Append one job's metrics.
+    pub fn push(&mut self, m: JobMetrics) {
+        self.jobs.push(m);
+    }
+
+    /// Total shuffled bytes across jobs.
+    pub fn total_shuffle_bytes(&self) -> usize {
+        self.jobs.iter().map(|j| j.shuffle_bytes).sum()
+    }
+
+    /// Total shuffled records across jobs.
+    pub fn total_shuffle_records(&self) -> usize {
+        self.jobs.iter().map(|j| j.shuffle_records).sum()
+    }
+
+    /// Total real wall-clock across jobs.
+    pub fn total_elapsed(&self) -> Duration {
+        self.jobs.iter().map(|j| j.elapsed).sum()
+    }
+
+    /// Find a job's metrics by name.
+    pub fn job(&self, name: &str) -> Option<&JobMetrics> {
+        self.jobs.iter().find(|j| j.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(kind: TaskKind, input_records: usize, output_records: usize) -> TaskStat {
+        TaskStat {
+            kind,
+            index: 0,
+            duration: Duration::from_millis(10),
+            input_records,
+            input_bytes: input_records * 8,
+            output_records,
+            output_bytes: output_records * 8,
+        }
+    }
+
+    fn metrics() -> JobMetrics {
+        JobMetrics {
+            name: "test".into(),
+            map_tasks: vec![stat(TaskKind::Map, 10, 30), stat(TaskKind::Map, 10, 30)],
+            reduce_tasks: vec![stat(TaskKind::Reduce, 30, 5), stat(TaskKind::Reduce, 30, 5)],
+            shuffle_records: 60,
+            shuffle_bytes: 480,
+            pre_combine_records: 60,
+            pre_combine_bytes: 480,
+            elapsed: Duration::from_millis(25),
+        }
+    }
+
+    #[test]
+    fn expansion_factors() {
+        let m = metrics();
+        assert_eq!(m.map_input_records(), 20);
+        assert_eq!(m.map_output_records(), 60);
+        assert!((m.record_expansion() - 3.0).abs() < 1e-12);
+        assert!((m.byte_expansion() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_reduce_has_unit_skew() {
+        let m = metrics();
+        let b = m.reduce_input_balance();
+        assert_eq!(b.count, 2);
+        assert!((b.skew - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_totals() {
+        let mut c = ChainMetrics::default();
+        c.push(metrics());
+        c.push(metrics());
+        assert_eq!(c.total_shuffle_bytes(), 960);
+        assert_eq!(c.total_shuffle_records(), 120);
+        assert_eq!(c.total_elapsed(), Duration::from_millis(50));
+        assert!(c.job("test").is_some());
+        assert!(c.job("absent").is_none());
+    }
+
+    #[test]
+    fn zero_input_expansion_is_zero() {
+        let mut m = metrics();
+        m.map_tasks.clear();
+        assert_eq!(m.record_expansion(), 0.0);
+        assert_eq!(m.byte_expansion(), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Shuffle partitioners: route intermediate keys to reduce tasks.
+
+use ssj_common::hash::fx_hash_one;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// Routes an intermediate key to one of `num_partitions` reduce tasks.
+pub trait Partitioner<K>: Send + Sync {
+    /// Return the reduce-task index for `key`, in `0..num_partitions`.
+    fn partition(&self, key: &K, num_partitions: usize) -> usize;
+}
+
+/// Default hash partitioner (Hadoop's `HashPartitioner` analogue), using the
+/// workspace's deterministic FxHash so shuffle routing — and therefore every
+/// byte counter — is reproducible across runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl<K: Hash> Partitioner<K> for HashPartitioner {
+    #[inline]
+    fn partition(&self, key: &K, num_partitions: usize) -> usize {
+        (fx_hash_one(key) % num_partitions as u64) as usize
+    }
+}
+
+/// Partitioner for keys that *are* partition indices (or carry one).
+///
+/// FS-Join's whole point is key-controlled placement: the map phase emits
+/// the vertical (or `(horizontal, vertical)`) partition id as the key, and
+/// the fragment must land on the reduce task of that id. `DirectPartitioner`
+/// extracts the index with a projection function.
+pub struct DirectPartitioner<K, F> {
+    project: F,
+    _marker: PhantomData<fn(&K)>,
+}
+
+impl<K, F: Fn(&K) -> usize> DirectPartitioner<K, F> {
+    /// Build from a projection of the key onto a partition index. The index
+    /// is taken modulo the reduce-task count at shuffle time.
+    pub fn new(project: F) -> Self {
+        DirectPartitioner {
+            project,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K, F> Partitioner<K> for DirectPartitioner<K, F>
+where
+    F: Fn(&K) -> usize + Send + Sync,
+{
+    #[inline]
+    fn partition(&self, key: &K, num_partitions: usize) -> usize {
+        (self.project)(key) % num_partitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_in_range_and_deterministic() {
+        let p = HashPartitioner;
+        for key in 0u64..1000 {
+            let a = p.partition(&key, 7);
+            assert!(a < 7);
+            assert_eq!(a, p.partition(&key, 7));
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_keys() {
+        let p = HashPartitioner;
+        let mut counts = [0usize; 8];
+        for key in 0u64..8000 {
+            counts[p.partition(&key, 8)] += 1;
+        }
+        // Each bucket should get a meaningful share (loose bound).
+        for c in counts {
+            assert!(c > 500, "bucket starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn direct_partitioner_projects_and_wraps() {
+        let p = DirectPartitioner::new(|k: &(usize, u32)| k.0);
+        assert_eq!(p.partition(&(3, 9), 10), 3);
+        assert_eq!(p.partition(&(13, 9), 10), 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Core MapReduce task traits: [`Mapper`], [`Reducer`], [`Combiner`] and the
+//! [`Key`]/[`Value`] marker traits their key/value types must satisfy.
+
+use crate::emitter::Emitter;
+use ssj_common::ByteSize;
+use std::hash::Hash;
+
+/// Requirements on intermediate and output keys.
+///
+/// Keys must be totally ordered (the shuffle is sort-based, matching
+/// Hadoop's guarantee that a reducer sees its keys in ascending order),
+/// hashable (for [`HashPartitioner`](crate::HashPartitioner)), cloneable
+/// (group boundaries hand the reducer a borrowed key), and byte-accountable.
+pub trait Key: Ord + Hash + Clone + Send + ByteSize + 'static {}
+impl<T: Ord + Hash + Clone + Send + ByteSize + 'static> Key for T {}
+
+/// Requirements on intermediate and output values.
+pub trait Value: Send + ByteSize + 'static {}
+impl<T: Send + ByteSize + 'static> Value for T {}
+
+/// A map task.
+///
+/// One instance is created per map task (via the factory closure passed to
+/// [`JobBuilder::run`](crate::JobBuilder::run)), so implementations may keep
+/// per-task state across `map` calls — e.g. FS-Join's mapper caches the
+/// pivot array loaded in [`Mapper::setup`].
+pub trait Mapper: Send {
+    /// Input key type (e.g. record id).
+    type InKey: Send + 'static;
+    /// Input value type (e.g. record body).
+    type InValue: Send + 'static;
+    /// Intermediate key type routed by the shuffle.
+    type OutKey: Key;
+    /// Intermediate value type.
+    type OutValue: Value;
+
+    /// Called once before the first `map` call of the task.
+    fn setup(&mut self) {}
+
+    /// Process one input record, emitting any number of intermediate pairs.
+    fn map(
+        &mut self,
+        key: Self::InKey,
+        value: Self::InValue,
+        out: &mut Emitter<Self::OutKey, Self::OutValue>,
+    );
+
+    /// Called once after the last `map` call; may emit trailing pairs
+    /// (used by in-mapper-combining patterns).
+    fn cleanup(&mut self, _out: &mut Emitter<Self::OutKey, Self::OutValue>) {}
+}
+
+/// A reduce task.
+///
+/// One instance is created per reduce task. `reduce` is invoked once per
+/// distinct key, with all values for that key; keys arrive in ascending
+/// order within the task (sort-based shuffle).
+pub trait Reducer: Send {
+    /// Intermediate key type (must match the mapper's `OutKey`).
+    type InKey: Key;
+    /// Intermediate value type (must match the mapper's `OutValue`).
+    type InValue: Value;
+    /// Output key type.
+    type OutKey: Key;
+    /// Output value type.
+    type OutValue: Value;
+
+    /// Called once before the first `reduce` call of the task.
+    fn setup(&mut self) {}
+
+    /// Process one key group.
+    fn reduce(
+        &mut self,
+        key: &Self::InKey,
+        values: Vec<Self::InValue>,
+        out: &mut Emitter<Self::OutKey, Self::OutValue>,
+    );
+
+    /// Called once after the last group; may emit trailing pairs.
+    fn cleanup(&mut self, _out: &mut Emitter<Self::OutKey, Self::OutValue>) {}
+}
+
+/// A map-side combiner, applied to each map task's sorted output before the
+/// shuffle (Hadoop semantics: an optimization that must be semantically
+/// transparent — the reducer must produce the same result with or without
+/// it).
+pub trait Combiner<K: Key, V: Value>: Send + Sync {
+    /// Fold one key group of a single map task's output into fewer values.
+    fn combine(&self, key: &K, values: Vec<V>) -> Vec<V>;
+}
+
+/// Combiner that sums numeric values — the common case for counting jobs
+/// (token frequency, common-token aggregation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumCombiner;
+
+macro_rules! impl_sum_combiner {
+    ($($t:ty),*) => {
+        $(impl<K: Key> Combiner<K, $t> for SumCombiner {
+            fn combine(&self, _key: &K, values: Vec<$t>) -> Vec<$t> {
+                vec![values.into_iter().sum()]
+            }
+        })*
+    };
+}
+
+impl_sum_combiner!(u32, u64, usize, i32, i64, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_combiner_folds_to_single_value() {
+        let c = SumCombiner;
+        let out: Vec<u64> = Combiner::<u32, u64>::combine(&c, &7, vec![1, 2, 3]);
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn sum_combiner_empty_group_is_zero() {
+        let c = SumCombiner;
+        let out: Vec<u64> = Combiner::<u32, u64>::combine(&c, &7, vec![]);
+        assert_eq!(out, vec![0]);
+    }
+}

@@ -1,0 +1,73 @@
+//! A positional inverted index over token prefixes.
+//!
+//! Maps a token to the postings `(record slot, position)` of records whose
+//! *indexed prefix* contains the token. Positions enable PPJoin's position
+//! filter; slots are indices into whatever record array the caller scans.
+
+use ssj_common::FxHashMap;
+
+/// One posting: which record, and where in that record the token sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Caller-defined record slot (index into the scan order).
+    pub slot: u32,
+    /// 0-based token position within the record.
+    pub pos: u32,
+}
+
+/// Token → postings map.
+#[derive(Debug, Default, Clone)]
+pub struct InvertedIndex {
+    lists: FxHashMap<u32, Vec<Posting>>,
+}
+
+impl InvertedIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a posting for `token` (callers append in scan order, so lists
+    /// stay sorted by slot).
+    #[inline]
+    pub fn push(&mut self, token: u32, slot: u32, pos: u32) {
+        self.lists.entry(token).or_default().push(Posting { slot, pos });
+    }
+
+    /// Postings for a token (empty slice when unseen).
+    #[inline]
+    pub fn get(&self, token: u32) -> &[Posting] {
+        self.lists.get(&token).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct indexed tokens.
+    pub fn distinct_tokens(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of postings.
+    pub fn total_postings(&self) -> usize {
+        self.lists.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut idx = InvertedIndex::new();
+        idx.push(7, 0, 0);
+        idx.push(7, 3, 1);
+        idx.push(9, 1, 0);
+        assert_eq!(
+            idx.get(7),
+            &[Posting { slot: 0, pos: 0 }, Posting { slot: 3, pos: 1 }]
+        );
+        assert_eq!(idx.get(9).len(), 1);
+        assert!(idx.get(42).is_empty());
+        assert_eq!(idx.distinct_tokens(), 2);
+        assert_eq!(idx.total_postings(), 3);
+    }
+}

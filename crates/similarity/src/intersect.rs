@@ -1,0 +1,199 @@
+//! Sorted-set intersection kernels.
+//!
+//! All records are strictly ascending token-rank vectors, so overlap counts
+//! reduce to sorted-list intersection. Three kernels are provided; the
+//! joins default to [`intersect_count_adaptive`], which picks merge or
+//! galloping by size ratio (the perf-book's "know your access pattern"
+//! advice — galloping wins when one list is much shorter).
+
+/// Linear merge intersection count.
+pub fn intersect_count_merge(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Galloping (exponential-search) intersection count; efficient when
+/// `a.len() << b.len()`.
+pub fn intersect_count_gallop(a: &[u32], b: &[u32]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0;
+    let mut lo = 0usize;
+    for &x in small {
+        // Exponential probe for the first index with large[idx] >= x.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            lo = hi + 1;
+            hi = lo + step;
+            step *= 2;
+        }
+        let hi = hi.min(large.len());
+        let idx = lo + large[lo..hi].partition_point(|&y| y < x);
+        if idx < large.len() && large[idx] == x {
+            count += 1;
+            lo = idx + 1;
+        } else {
+            lo = idx;
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+    count
+}
+
+/// Hash-probe intersection count (no order requirement on `b`); used as a
+/// baseline in micro-benchmarks.
+pub fn intersect_count_hash(a: &[u32], b: &[u32]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let set: ssj_common::FxHashSet<u32> = small.iter().copied().collect();
+    large.iter().filter(|t| set.contains(t)).count()
+}
+
+/// Size-ratio-adaptive intersection: galloping when one side is ≥ 16×
+/// shorter, merge otherwise.
+#[inline]
+pub fn intersect_count_adaptive(a: &[u32], b: &[u32]) -> usize {
+    let (min, max) = if a.len() <= b.len() {
+        (a.len(), b.len())
+    } else {
+        (b.len(), a.len())
+    };
+    if min * 16 < max {
+        intersect_count_gallop(a, b)
+    } else {
+        intersect_count_merge(a, b)
+    }
+}
+
+/// Merge intersection with early exit: returns `None` as soon as the
+/// overlap provably cannot reach `required` (the positional-upper-bound
+/// trick used in PPJoin verification), otherwise the exact count.
+pub fn intersect_count_at_least(a: &[u32], b: &[u32], required: usize) -> Option<usize> {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        // Upper bound on the final overlap from the remaining suffixes.
+        let remaining = (a.len() - i).min(b.len() - j);
+        if count + remaining < required {
+            return None;
+        }
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if count >= required {
+        Some(count)
+    } else {
+        None
+    }
+}
+
+/// Symmetric-difference size `|a − b| + |b − a|` of two sorted sets
+/// (the quantity in the paper's SegD-Filter, Lemma 4).
+pub fn symmetric_difference_count(a: &[u32], b: &[u32]) -> usize {
+    a.len() + b.len() - 2 * intersect_count_merge(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNELS: [(&str, fn(&[u32], &[u32]) -> usize); 4] = [
+        ("merge", intersect_count_merge),
+        ("gallop", intersect_count_gallop),
+        ("hash", intersect_count_hash),
+        ("adaptive", intersect_count_adaptive),
+    ];
+
+    #[test]
+    fn kernels_agree_on_basics() {
+        let cases: &[(&[u32], &[u32], usize)] = &[
+            (&[], &[], 0),
+            (&[1], &[], 0),
+            (&[1, 2, 3], &[2, 3, 4], 2),
+            (&[1, 5, 9], &[2, 6, 10], 0),
+            (&[1, 2, 3], &[1, 2, 3], 3),
+            (&[1], &[0, 1, 2, 3, 4, 5, 6, 7, 8], 1),
+        ];
+        for (name, f) in KERNELS {
+            for (a, b, want) in cases {
+                assert_eq!(f(a, b), *want, "{name} on {a:?} ∩ {b:?}");
+                assert_eq!(f(b, a), *want, "{name} symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_skewed_sizes() {
+        let small: Vec<u32> = vec![100, 5000, 99999];
+        let large: Vec<u32> = (0..100_000).collect();
+        assert_eq!(intersect_count_gallop(&small, &large), 3);
+        assert_eq!(intersect_count_gallop(&large, &small), 3);
+    }
+
+    #[test]
+    fn at_least_early_exit_and_exact() {
+        let a = [1, 2, 3, 4, 5];
+        let b = [2, 4, 6, 8, 10];
+        assert_eq!(intersect_count_at_least(&a, &b, 2), Some(2));
+        assert_eq!(intersect_count_at_least(&a, &b, 1), Some(2));
+        assert_eq!(intersect_count_at_least(&a, &b, 3), None);
+        assert_eq!(intersect_count_at_least(&a, &b, 0), Some(2));
+        assert_eq!(intersect_count_at_least(&[], &b, 1), None);
+        assert_eq!(intersect_count_at_least(&[], &[], 0), Some(0));
+    }
+
+    #[test]
+    fn symmetric_difference() {
+        assert_eq!(symmetric_difference_count(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(symmetric_difference_count(&[1, 2], &[1, 2]), 0);
+        assert_eq!(symmetric_difference_count(&[], &[7]), 1);
+    }
+
+    #[test]
+    fn randomized_cross_check() {
+        // Pseudo-random sets via a simple LCG; all kernels must agree.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move |m: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % m
+        };
+        for _ in 0..200 {
+            let mut a: Vec<u32> = (0..next(50)).map(|_| next(200)).collect();
+            let mut b: Vec<u32> = (0..next(50)).map(|_| next(200)).collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            let want = intersect_count_merge(&a, &b);
+            assert_eq!(intersect_count_gallop(&a, &b), want);
+            assert_eq!(intersect_count_hash(&a, &b), want);
+            assert_eq!(intersect_count_adaptive(&a, &b), want);
+            assert_eq!(intersect_count_at_least(&a, &b, want), Some(want));
+            if want > 0 {
+                assert_eq!(intersect_count_at_least(&a, &b, want + 1), None);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Set-similarity measures and in-memory join algorithms.
+//!
+//! This crate is the single source of truth for the similarity math used by
+//! FS-Join and all baselines:
+//!
+//! * [`measure`] — Jaccard / Dice / Cosine with exact threshold tests,
+//!   minimum-overlap bounds (pairwise and partner-free), length windows,
+//!   and probe/index prefix lengths;
+//! * [`intersect`] — sorted-set intersection kernels (merge, galloping,
+//!   hash) and symmetric-difference counting;
+//! * [`index`] — a positional inverted index over record prefixes;
+//! * [`naive`] — the brute-force oracle every other algorithm is tested
+//!   against;
+//! * [`allpairs`], [`ppjoin`] — the classic prefix-filter joins; PPJoin
+//!   (with the position filter) is also what RIDPairsPPJoin runs inside its
+//!   reducers (paper §II-C).
+
+pub mod allpairs;
+pub mod index;
+pub mod intersect;
+pub mod measure;
+pub mod minhash;
+pub mod naive;
+pub mod pair;
+pub mod ppjoin;
+pub mod ppjoin_plus;
+
+pub use measure::Measure;
+pub use pair::SimilarPair;

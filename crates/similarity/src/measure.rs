@@ -1,0 +1,308 @@
+//! Similarity measures and the bounds derived from them.
+//!
+//! Everything here is phrased in terms of the overlap `c = |s ∩ t|` and the
+//! set sizes `|s|`, `|t|`, because that is all FS-Join's verification phase
+//! has (paper §V-B computes exact scores from aggregated common-token
+//! counts, never touching the original records).
+//!
+//! Floating-point robustness: thresholds are applied with a small epsilon
+//! so that e.g. Jaccard exactly equal to θ passes and `ceil` of an exact
+//! integer does not round up; all bounds remain *sound* (never prune a pair
+//! at or above the threshold).
+
+/// Epsilon for floating-point threshold comparisons.
+const EPS: f64 = 1e-9;
+
+/// Ceil with protection against `ceil(k + tiny-float-error) = k + 1`.
+#[inline]
+fn ceil_eps(x: f64) -> usize {
+    (x - EPS).ceil().max(0.0) as usize
+}
+
+/// Floor with protection against `floor(k − tiny-float-error) = k − 1`.
+#[inline]
+fn floor_eps(x: f64) -> usize {
+    (x + EPS).floor().max(0.0) as usize
+}
+
+/// A normalized set-similarity measure (paper §V-B supports all three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Measure {
+    /// `|s∩t| / |s∪t|`.
+    Jaccard,
+    /// `2|s∩t| / (|s|+|t|)`.
+    Dice,
+    /// `|s∩t| / √(|s|·|t|)`.
+    Cosine,
+}
+
+impl Measure {
+    /// Similarity score from an overlap count. Returns 0 when either set is
+    /// empty (two empty sets are defined as similarity 0: they carry no
+    /// information and every algorithm skips them).
+    pub fn score(self, overlap: usize, len_s: usize, len_t: usize) -> f64 {
+        if len_s == 0 || len_t == 0 {
+            return 0.0;
+        }
+        let c = overlap as f64;
+        match self {
+            Measure::Jaccard => c / (len_s + len_t - overlap) as f64,
+            Measure::Dice => 2.0 * c / (len_s + len_t) as f64,
+            Measure::Cosine => c / ((len_s as f64) * (len_t as f64)).sqrt(),
+        }
+    }
+
+    /// Exact threshold test from counts (the verification-phase predicate):
+    /// `score(overlap, |s|, |t|) ≥ θ`, evaluated without dividing.
+    pub fn passes(self, overlap: usize, len_s: usize, len_t: usize, theta: f64) -> bool {
+        if len_s == 0 || len_t == 0 {
+            return false;
+        }
+        let c = overlap as f64;
+        match self {
+            Measure::Jaccard => c * (1.0 + theta) + EPS >= theta * (len_s + len_t) as f64,
+            Measure::Dice => 2.0 * c + EPS >= theta * (len_s + len_t) as f64,
+            Measure::Cosine => c + EPS >= theta * ((len_s as f64) * (len_t as f64)).sqrt(),
+        }
+    }
+
+    /// Minimum overlap a pair with these exact lengths needs to reach θ
+    /// (the paper's `θ/(1+θ)(|s|+|t|)` bound for Jaccard, Lemmas 2–4).
+    pub fn min_overlap(self, theta: f64, len_s: usize, len_t: usize) -> usize {
+        let sum = (len_s + len_t) as f64;
+        match self {
+            Measure::Jaccard => ceil_eps(theta / (1.0 + theta) * sum),
+            Measure::Dice => ceil_eps(theta * sum / 2.0),
+            Measure::Cosine => ceil_eps(theta * ((len_s as f64) * (len_t as f64)).sqrt()),
+        }
+    }
+
+    /// Minimum overlap over *any* admissible partner of a record with
+    /// length `len` (partner may be shorter, down to the length window's
+    /// lower edge). This is the probe-side bound: for Jaccard it is
+    /// `⌈θ·len⌉`.
+    pub fn min_overlap_any(self, theta: f64, len: usize) -> usize {
+        let l = len as f64;
+        match self {
+            Measure::Jaccard => ceil_eps(theta * l),
+            Measure::Dice => ceil_eps(theta * l / (2.0 - theta)),
+            Measure::Cosine => ceil_eps(theta * theta * l),
+        }
+    }
+
+    /// Minimum overlap over admissible partners that are *longer or equal*
+    /// (the index-side bound: the minimizing partner has the same length).
+    pub fn min_overlap_longer(self, theta: f64, len: usize) -> usize {
+        let l = len as f64;
+        match self {
+            Measure::Jaccard => ceil_eps(2.0 * theta / (1.0 + theta) * l),
+            Measure::Dice => ceil_eps(theta * l),
+            Measure::Cosine => ceil_eps(theta * l),
+        }
+    }
+
+    /// Smallest partner length that can reach θ with a record of length
+    /// `len` (the string-length filter, Lemma 1: shorter partners are
+    /// pruned).
+    pub fn min_partner_len(self, theta: f64, len: usize) -> usize {
+        let l = len as f64;
+        match self {
+            Measure::Jaccard => ceil_eps(theta * l),
+            Measure::Dice => ceil_eps(theta * l / (2.0 - theta)),
+            Measure::Cosine => ceil_eps(theta * theta * l),
+        }
+    }
+
+    /// Largest partner length that can reach θ with a record of length
+    /// `len`.
+    pub fn max_partner_len(self, theta: f64, len: usize) -> usize {
+        let l = len as f64;
+        match self {
+            Measure::Jaccard => floor_eps(l / theta),
+            Measure::Dice => floor_eps((2.0 - theta) * l / theta),
+            Measure::Cosine => floor_eps(l / (theta * theta)),
+        }
+    }
+
+    /// Probe-prefix length: a record of length `len` shares at least one of
+    /// its first `probe_prefix_len` tokens with every admissible partner.
+    pub fn probe_prefix_len(self, theta: f64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        len - self.min_overlap_any(theta, len).min(len) + 1
+    }
+
+    /// Index-prefix length: sufficient when all probing partners are longer
+    /// or equal (ascending-length scan order), hence shorter than the probe
+    /// prefix.
+    pub fn index_prefix_len(self, theta: f64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        len - self.min_overlap_longer(theta, len).min(len) + 1
+    }
+
+    /// All measures, for sweep-style tests.
+    pub fn all() -> [Measure; 3] {
+        [Measure::Jaccard, Measure::Dice, Measure::Cosine]
+    }
+
+    /// Short lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Measure::Jaccard => "jaccard",
+            Measure::Dice => "dice",
+            Measure::Cosine => "cosine",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_match_definitions() {
+        // s,t with |s|=4, |t|=6, overlap 3 -> union 7.
+        assert!((Measure::Jaccard.score(3, 4, 6) - 3.0 / 7.0).abs() < 1e-12);
+        assert!((Measure::Dice.score(3, 4, 6) - 0.6).abs() < 1e-12);
+        assert!((Measure::Cosine.score(3, 4, 6) - 3.0 / 24f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_score_zero_and_fail() {
+        for m in Measure::all() {
+            assert_eq!(m.score(0, 0, 5), 0.0);
+            assert!(!m.passes(0, 0, 5, 0.1));
+        }
+    }
+
+    #[test]
+    fn passes_is_exact_at_threshold() {
+        // Jaccard = 3/(4+5-3) = 0.5 exactly.
+        assert!(Measure::Jaccard.passes(3, 4, 5, 0.5));
+        assert!(!Measure::Jaccard.passes(2, 4, 5, 0.5));
+        // Dice = 2*3/(4+2) = 1.0
+        assert!(Measure::Dice.passes(3, 4, 2, 1.0));
+        // Cosine = 2/sqrt(16) = 0.5 exactly.
+        assert!(Measure::Cosine.passes(2, 4, 4, 0.5));
+    }
+
+    #[test]
+    fn min_overlap_is_tight_for_jaccard() {
+        // θ=0.8, |s|=|t|=10 -> need c >= 0.8/1.8*20 = 8.888 -> 9.
+        assert_eq!(Measure::Jaccard.min_overlap(0.8, 10, 10), 9);
+        // c=9: jac = 9/11 = 0.818 >= 0.8 ✓; c=8: 8/12 = 0.66 ✗.
+        assert!(Measure::Jaccard.passes(9, 10, 10, 0.8));
+        assert!(!Measure::Jaccard.passes(8, 10, 10, 0.8));
+    }
+
+    #[test]
+    fn min_overlap_never_exceeds_what_passes_needs() {
+        // Soundness: for any overlap c >= 0 that passes, c >= min_overlap.
+        for m in Measure::all() {
+            for &theta in &[0.5, 0.7, 0.8, 0.9, 0.95] {
+                for ls in 1usize..30 {
+                    for lt in 1usize..30 {
+                        let alpha = m.min_overlap(theta, ls, lt);
+                        for c in 0..=ls.min(lt) {
+                            if m.passes(c, ls, lt, theta) {
+                                assert!(
+                                    c >= alpha,
+                                    "{m:?} θ={theta} ls={ls} lt={lt} c={c} alpha={alpha}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_window_is_sound() {
+        // Any pair passing θ must have partner length within the window.
+        for m in Measure::all() {
+            for &theta in &[0.6, 0.8, 0.9] {
+                for ls in 1usize..25 {
+                    for lt in 1usize..25 {
+                        let c_max = ls.min(lt);
+                        if m.passes(c_max, ls, lt, theta) {
+                            assert!(lt >= m.min_partner_len(theta, ls));
+                            assert!(lt <= m.max_partner_len(theta, ls));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partner_free_bounds_lower_bound_pairwise() {
+        for m in Measure::all() {
+            for &theta in &[0.6, 0.8, 0.9] {
+                for ls in 1usize..25 {
+                    let any = m.min_overlap_any(theta, ls);
+                    let longer = m.min_overlap_longer(theta, ls);
+                    for lt in m.min_partner_len(theta, ls).max(1)
+                        ..=m.max_partner_len(theta, ls).min(60)
+                    {
+                        assert!(m.min_overlap(theta, ls, lt) >= any);
+                        if lt >= ls {
+                            assert!(m.min_overlap(theta, ls, lt) >= longer);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_lengths_within_record() {
+        for m in Measure::all() {
+            for &theta in &[0.5, 0.8, 0.95] {
+                for len in 0usize..40 {
+                    let p = m.probe_prefix_len(theta, len);
+                    let i = m.index_prefix_len(theta, len);
+                    assert!(p <= len.max(1).min(len + 1));
+                    assert!(p <= len || len == 0);
+                    assert!(i <= p, "index prefix must not exceed probe prefix");
+                    if len > 0 {
+                        assert!(p >= 1);
+                        assert!(i >= 1);
+                    } else {
+                        assert_eq!(p, 0);
+                        assert_eq!(i, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_prefix_matches_classic_formula() {
+        // Classic: probe prefix = |x| − ⌈θ|x|⌉ + 1.
+        for len in 1usize..50 {
+            for &theta in &[0.7, 0.8, 0.9] {
+                let expect = len - (theta * len as f64 - EPS).ceil() as usize + 1;
+                assert_eq!(Measure::Jaccard.probe_prefix_len(theta, len), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn theta_one_requires_identity() {
+        // θ=1: only c=min(ls,lt)=ls=lt passes.
+        assert!(Measure::Jaccard.passes(5, 5, 5, 1.0));
+        assert!(!Measure::Jaccard.passes(4, 5, 5, 1.0));
+        assert_eq!(Measure::Jaccard.probe_prefix_len(1.0, 5), 1);
+        assert_eq!(Measure::Jaccard.min_partner_len(1.0, 5), 5);
+        assert_eq!(Measure::Jaccard.max_partner_len(1.0, 5), 5);
+    }
+
+    #[test]
+    fn names_and_all() {
+        assert_eq!(Measure::all().map(|m| m.name()), ["jaccard", "dice", "cosine"]);
+    }
+}

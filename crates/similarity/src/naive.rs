@@ -1,0 +1,125 @@
+//! The brute-force oracle: exact all-pairs join.
+//!
+//! Quadratic in the number of records; it exists to define ground truth for
+//! every other algorithm's tests and for the filter-power measurements
+//! (paper Table IV counts survivors relative to it).
+
+use crate::intersect::intersect_count_merge;
+use crate::measure::Measure;
+use crate::pair::SimilarPair;
+use ssj_text::Record;
+
+/// Exact self-join by exhaustive pairwise comparison (with only the trivial
+/// length-window skip, which never changes results).
+pub fn naive_self_join(records: &[Record], measure: Measure, theta: f64) -> Vec<SimilarPair> {
+    assert!((0.0..=1.0).contains(&theta) && theta > 0.0, "θ must be in (0,1]");
+    let mut out = Vec::new();
+    for i in 0..records.len() {
+        let s = &records[i];
+        if s.is_empty() {
+            continue;
+        }
+        for t in &records[i + 1..] {
+            if t.is_empty() {
+                continue;
+            }
+            let (short, long) = if s.len() <= t.len() { (s, t) } else { (t, s) };
+            if short.len() < measure.min_partner_len(theta, long.len()) {
+                continue;
+            }
+            let c = intersect_count_merge(&s.tokens, &t.tokens);
+            if measure.passes(c, s.len(), t.len(), theta) {
+                out.push(SimilarPair::new(s.id, t.id, measure.score(c, s.len(), t.len())));
+            }
+        }
+    }
+    out
+}
+
+/// Exact R×S join (records from different collections; ids must not clash —
+/// callers offset one side's ids).
+pub fn naive_rs_join(
+    r: &[Record],
+    s: &[Record],
+    measure: Measure,
+    theta: f64,
+) -> Vec<SimilarPair> {
+    assert!((0.0..=1.0).contains(&theta) && theta > 0.0, "θ must be in (0,1]");
+    let mut out = Vec::new();
+    for x in r {
+        if x.is_empty() {
+            continue;
+        }
+        for y in s {
+            if y.is_empty() {
+                continue;
+            }
+            assert_ne!(x.id, y.id, "R and S record ids must be disjoint");
+            let (short, long) = if x.len() <= y.len() { (x, y) } else { (y, x) };
+            if short.len() < measure.min_partner_len(theta, long.len()) {
+                continue;
+            }
+            let c = intersect_count_merge(&x.tokens, &y.tokens);
+            if measure.passes(c, x.len(), y.len(), theta) {
+                out.push(SimilarPair::new(x.id, y.id, measure.score(c, x.len(), y.len())));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::id_pairs;
+
+    fn rec(id: u32, tokens: &[u32]) -> Record {
+        Record::new(id, tokens.to_vec())
+    }
+
+    #[test]
+    fn finds_exact_duplicates() {
+        let recs = vec![rec(0, &[1, 2, 3]), rec(1, &[1, 2, 3]), rec(2, &[9, 10, 11])];
+        let out = naive_self_join(&recs, Measure::Jaccard, 0.99);
+        assert_eq!(id_pairs(&out), vec![(0, 1)]);
+        assert!((out[0].sim - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_separates() {
+        // jac({1,2,3,4},{2,3,4,5}) = 3/5 = 0.6
+        let recs = vec![rec(0, &[1, 2, 3, 4]), rec(1, &[2, 3, 4, 5])];
+        assert_eq!(naive_self_join(&recs, Measure::Jaccard, 0.6).len(), 1);
+        assert_eq!(naive_self_join(&recs, Measure::Jaccard, 0.61).len(), 0);
+    }
+
+    #[test]
+    fn empty_records_never_match() {
+        let recs = vec![rec(0, &[]), rec(1, &[]), rec(2, &[1])];
+        assert!(naive_self_join(&recs, Measure::Jaccard, 0.5).is_empty());
+    }
+
+    #[test]
+    fn measures_differ() {
+        // |s|=2,|t|=4,c=2: jac=0.5, dice=2*2/6=0.667, cos=2/sqrt(8)=0.707
+        let recs = vec![rec(0, &[1, 2]), rec(1, &[1, 2, 3, 4])];
+        assert_eq!(naive_self_join(&recs, Measure::Jaccard, 0.6).len(), 0);
+        assert_eq!(naive_self_join(&recs, Measure::Dice, 0.6).len(), 1);
+        assert_eq!(naive_self_join(&recs, Measure::Cosine, 0.7).len(), 1);
+    }
+
+    #[test]
+    fn rs_join_crosses_only() {
+        let r = vec![rec(0, &[1, 2, 3])];
+        let s = vec![rec(10, &[1, 2, 3]), rec(11, &[1, 2, 3])];
+        // The two identical s-records must NOT pair with each other.
+        let out = naive_rs_join(&r, &s, Measure::Jaccard, 0.9);
+        assert_eq!(id_pairs(&out), vec![(0, 10), (0, 11)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "θ must be in")]
+    fn zero_theta_rejected() {
+        let _ = naive_self_join(&[], Measure::Jaccard, 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Raw (pre-ordering) corpora.
+//!
+//! A [`RawCorpus`] holds documents as lists of *raw token ids* — interned
+//! surface forms for text corpora, or synthetic ids from the generators in
+//! [`crate::gen`]. Raw ids carry no order semantics; the ordering phase
+//! ([`crate::ordering`]) replaces them with global-order ranks.
+
+use crate::tokenize::Tokenizer;
+use ssj_common::FxHashMap;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// A corpus of documents over raw token ids.
+#[derive(Debug, Clone, Default)]
+pub struct RawCorpus {
+    /// Documents; duplicates within a document are allowed (set semantics
+    /// are applied by the encoder).
+    pub docs: Vec<Vec<u64>>,
+    /// Raw id → surface form, when the corpus came from text.
+    pub vocab: Option<Vec<String>>,
+}
+
+impl RawCorpus {
+    /// Tokenize and intern a slice of documents.
+    pub fn from_texts<S: AsRef<str>>(texts: &[S], tokenizer: &Tokenizer) -> Self {
+        let mut intern: FxHashMap<String, u64> = FxHashMap::default();
+        let mut vocab: Vec<String> = Vec::new();
+        let mut docs = Vec::with_capacity(texts.len());
+        for text in texts {
+            let tokens = tokenizer.tokenize(text.as_ref());
+            let mut doc = Vec::with_capacity(tokens.len());
+            for t in tokens {
+                let id = *intern.entry(t.clone()).or_insert_with(|| {
+                    vocab.push(t);
+                    (vocab.len() - 1) as u64
+                });
+                doc.push(id);
+            }
+            docs.push(doc);
+        }
+        RawCorpus {
+            docs,
+            vocab: Some(vocab),
+        }
+    }
+
+    /// Load a one-record-per-line text file (the format the paper's corpora
+    /// are distributed in after flattening). Empty lines become empty
+    /// documents so line numbers stay aligned with record ids.
+    pub fn from_lines_file(path: &Path, tokenizer: &Tokenizer) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let lines: Vec<String> = BufReader::new(file).lines().collect::<Result<_, _>>()?;
+        Ok(Self::from_texts(&lines, tokenizer))
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_assigns_stable_ids() {
+        let c = RawCorpus::from_texts(&["a b a", "b c"], &Tokenizer::Words);
+        assert_eq!(c.docs.len(), 2);
+        assert_eq!(c.docs[0], vec![0, 1, 0]);
+        assert_eq!(c.docs[1], vec![1, 2]);
+        assert_eq!(c.vocab.as_deref(), Some(&["a", "b", "c"].map(String::from)[..]));
+    }
+
+    #[test]
+    fn empty_documents_preserved() {
+        let c = RawCorpus::from_texts(&["", "x"], &Tokenizer::Words);
+        assert_eq!(c.len(), 2);
+        assert!(c.docs[0].is_empty());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ssj_text_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.txt");
+        std::fs::write(&path, "hello world\nhello rust\n").unwrap();
+        let c = RawCorpus::from_lines_file(&path, &Tokenizer::Words).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.docs[0].len(), 2);
+        assert_eq!(c.docs[1], vec![0, 2]);
+        std::fs::remove_file(&path).ok();
+    }
+}

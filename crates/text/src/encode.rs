@@ -1,0 +1,275 @@
+//! Re-encoding raw corpora into global-order rank space.
+
+use crate::corpus::RawCorpus;
+use crate::ordering::{compute_ordering_local, compute_ordering_mr, GlobalOrdering};
+use crate::record::{Collection, Record, RecordId};
+use ssj_mapreduce::JobMetrics;
+
+/// Encode a raw corpus using a locally computed global ordering.
+pub fn encode(corpus: &RawCorpus) -> Collection {
+    let ordering = compute_ordering_local(corpus);
+    encode_with(corpus, &ordering)
+}
+
+/// Encode with an explicit ordering kind (ablation support; the default
+/// ascending-frequency ordering is the paper's choice).
+///
+/// NOTE: non-default orderings break the `token_freqs`-is-ascending
+/// invariant that Even-TF pivot selection exploits; the returned
+/// collection is still valid for every join (only relative token order
+/// changes), but fragments will no longer balance by construction.
+pub fn encode_with_kind(corpus: &RawCorpus, kind: crate::ordering::OrderingKind) -> Collection {
+    let mut freqs: ssj_common::FxHashMap<u64, u64> = Default::default();
+    let mut seen: Vec<u64> = Vec::new();
+    for doc in &corpus.docs {
+        seen.clear();
+        seen.extend_from_slice(doc);
+        seen.sort_unstable();
+        seen.dedup();
+        for &t in &seen {
+            *freqs.entry(t).or_insert(0) += 1;
+        }
+    }
+    let ordering =
+        crate::ordering::GlobalOrdering::from_freqs_with(freqs.into_iter().collect(), kind);
+    encode_with(corpus, &ordering)
+}
+
+/// Encode a raw corpus, computing the ordering with a MapReduce job (the
+/// paper's ordering phase); returns the job's metrics alongside.
+pub fn encode_mr(
+    corpus: &RawCorpus,
+    map_tasks: usize,
+    reduce_tasks: usize,
+) -> (Collection, JobMetrics) {
+    let (ordering, metrics) = compute_ordering_mr(corpus, map_tasks, reduce_tasks);
+    (encode_with(corpus, &ordering), metrics)
+}
+
+/// Encode a raw corpus with a given ordering. Documents become token *sets*
+/// sorted ascending by rank.
+pub fn encode_with(corpus: &RawCorpus, ordering: &GlobalOrdering) -> Collection {
+    let records = corpus
+        .docs
+        .iter()
+        .enumerate()
+        .map(|(i, doc)| {
+            let ranks: Vec<u32> = doc
+                .iter()
+                .map(|&raw| {
+                    ordering
+                        .rank(raw)
+                        .unwrap_or_else(|| panic!("token {raw} missing from ordering"))
+                })
+                .collect();
+            Record::new(i as RecordId, ranks)
+        })
+        .collect();
+    let vocab = corpus.vocab.as_ref().map(|v| {
+        (0..ordering.universe() as u32)
+            .map(|rank| v[ordering.raw(rank) as usize].clone())
+            .collect()
+    });
+    Collection {
+        records,
+        token_freqs: ordering.freqs().to_vec(),
+        vocab,
+    }
+}
+
+/// Encode two corpora into a **shared** token-rank space (required for R×S
+/// joins: token comparisons are rank comparisons, so both sides must use
+/// one global ordering computed over the union).
+///
+/// Both corpora must either carry vocabularies (text corpora — tokens are
+/// unified by surface form) or carry none (synthetic corpora — raw ids are
+/// assumed to already share a namespace).
+///
+/// # Panics
+/// Panics when one corpus has a vocabulary and the other does not.
+pub fn encode_two(r: &RawCorpus, s: &RawCorpus) -> (Collection, Collection) {
+    let (r_docs, s_docs, vocab): (Vec<Vec<u64>>, Vec<Vec<u64>>, Option<Vec<String>>) =
+        match (&r.vocab, &s.vocab) {
+            (Some(vr), Some(vs)) => {
+                // Remap S's raw ids into R's namespace (extending it).
+                let mut intern: ssj_common::FxHashMap<&str, u64> = Default::default();
+                let mut vocab: Vec<String> = vr.clone();
+                for (i, t) in vr.iter().enumerate() {
+                    intern.insert(t.as_str(), i as u64);
+                }
+                let s_map: Vec<u64> = vs
+                    .iter()
+                    .map(|t| {
+                        *intern.entry(t.as_str()).or_insert_with(|| {
+                            vocab.push(t.clone());
+                            (vocab.len() - 1) as u64
+                        })
+                    })
+                    .collect();
+                let s_docs = s
+                    .docs
+                    .iter()
+                    .map(|d| d.iter().map(|&raw| s_map[raw as usize]).collect())
+                    .collect();
+                (r.docs.clone(), s_docs, Some(vocab))
+            }
+            (None, None) => (r.docs.clone(), s.docs.clone(), None),
+            _ => panic!("encode_two: corpora must both have or both lack vocabularies"),
+        };
+
+    let mut combined_docs = r_docs.clone();
+    combined_docs.extend(s_docs.iter().cloned());
+    let combined = RawCorpus {
+        docs: combined_docs,
+        vocab,
+    };
+    let ordering = compute_ordering_local(&combined);
+    let r_encoded = encode_with(
+        &RawCorpus {
+            docs: r_docs,
+            vocab: combined.vocab.clone(),
+        },
+        &ordering,
+    );
+    let s_encoded = encode_with(
+        &RawCorpus {
+            docs: s_docs,
+            vocab: combined.vocab,
+        },
+        &ordering,
+    );
+    (r_encoded, s_encoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::Tokenizer;
+
+    fn corpus() -> RawCorpus {
+        RawCorpus::from_texts(
+            &["common rare shared", "common shared", "common"],
+            &Tokenizer::Words,
+        )
+    }
+
+    #[test]
+    fn records_are_ascending_rank_sets() {
+        let c = encode(&corpus());
+        assert_eq!(c.len(), 3);
+        for r in &c.records {
+            assert!(r.tokens.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Rarest token ("rare", freq 1) must have rank 0 and appear first
+        // in record 0.
+        assert_eq!(c.records[0].tokens[0], 0);
+        // Most frequent ("common", freq 3) is the last rank.
+        assert_eq!(*c.records[2].tokens.first().unwrap(), 2);
+    }
+
+    #[test]
+    fn vocab_is_rank_indexed() {
+        let c = encode(&corpus());
+        let vocab = c.vocab.as_ref().unwrap();
+        assert_eq!(vocab[0], "rare");
+        assert_eq!(vocab[2], "common");
+        assert_eq!(c.token_freqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mr_encoding_matches_local() {
+        let raw = corpus();
+        let local = encode(&raw);
+        let (mr, _) = encode_mr(&raw, 2, 2);
+        assert_eq!(local.records, mr.records);
+        assert_eq!(local.token_freqs, mr.token_freqs);
+    }
+
+    #[test]
+    fn encode_with_kind_changes_rank_geometry_not_overlaps() {
+        use crate::ordering::OrderingKind;
+        let raw = RawCorpus::from_texts(&["a b c d", "a b c e", "a x"], &Tokenizer::Words);
+        let asc = encode(&raw);
+        for kind in OrderingKind::all() {
+            let enc = encode_with_kind(&raw, kind);
+            // Overlaps are order-invariant.
+            for (r1, r2) in enc.records.iter().zip(&asc.records) {
+                assert_eq!(r1.len(), r2.len());
+            }
+            let inter = |c: &Collection, i: usize, j: usize| {
+                c.records[i].tokens.iter().filter(|t| c.records[j].tokens.contains(t)).count()
+            };
+            assert_eq!(inter(&enc, 0, 1), inter(&asc, 0, 1));
+        }
+        // Descending puts the most frequent token ("a", freq 3) at rank 0.
+        let desc = encode_with_kind(&raw, OrderingKind::DescendingFrequency);
+        assert_eq!(desc.token_freqs[0], 3);
+    }
+
+    #[test]
+    fn duplicate_tokens_become_sets() {
+        let raw = RawCorpus::from_texts(&["a a b"], &Tokenizer::Words);
+        let c = encode(&raw);
+        assert_eq!(c.records[0].len(), 2);
+    }
+
+    #[test]
+    fn encode_two_shares_rank_space() {
+        let r = RawCorpus::from_texts(&["shared alpha", "only r"], &Tokenizer::Words);
+        let s = RawCorpus::from_texts(&["shared beta", "only s"], &Tokenizer::Words);
+        let (re, se) = encode_two(&r, &s);
+        assert_eq!(re.token_freqs, se.token_freqs);
+        // "shared" appears in both; its rank must be identical.
+        let r_vocab = re.vocab.as_ref().unwrap();
+        let s_vocab = se.vocab.as_ref().unwrap();
+        assert_eq!(r_vocab, s_vocab);
+        let shared_rank = r_vocab.iter().position(|t| t == "shared").unwrap() as u32;
+        assert!(re.records[0].tokens.contains(&shared_rank));
+        assert!(se.records[0].tokens.contains(&shared_rank));
+        // "shared" has frequency 2, "only" 2, rest 1.
+        assert_eq!(re.token_freqs.last(), Some(&2));
+    }
+
+    #[test]
+    fn encode_two_without_vocab_uses_raw_namespace() {
+        let r = RawCorpus {
+            docs: vec![vec![1, 2, 3]],
+            vocab: None,
+        };
+        let s = RawCorpus {
+            docs: vec![vec![2, 3, 4]],
+            vocab: None,
+        };
+        let (re, se) = encode_two(&r, &s);
+        assert_eq!(re.token_freqs.len(), 4);
+        let inter: Vec<u32> = re.records[0]
+            .tokens
+            .iter()
+            .filter(|t| se.records[0].tokens.contains(t))
+            .copied()
+            .collect();
+        assert_eq!(inter.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "both have or both lack")]
+    fn encode_two_mixed_vocab_rejected() {
+        let r = RawCorpus::from_texts(&["a"], &Tokenizer::Words);
+        let s = RawCorpus {
+            docs: vec![vec![0]],
+            vocab: None,
+        };
+        let _ = encode_two(&r, &s);
+    }
+
+    #[test]
+    fn jaccard_survives_encoding() {
+        // Encoding is a bijection on tokens, so set overlaps are preserved.
+        let raw = RawCorpus::from_texts(&["a b c d", "a b c e"], &Tokenizer::Words);
+        let c = encode(&raw);
+        let s: std::collections::BTreeSet<u32> = c.records[0].tokens.iter().copied().collect();
+        let t: std::collections::BTreeSet<u32> = c.records[1].tokens.iter().copied().collect();
+        assert_eq!(s.intersection(&t).count(), 3);
+        assert_eq!(s.union(&t).count(), 5);
+    }
+}

@@ -1,0 +1,370 @@
+//! Synthetic corpus generators.
+//!
+//! The paper evaluates on Enron Email, PubMed abstracts, and Wikipedia
+//! abstracts (Table III). We cannot ship those corpora, so we generate
+//! synthetic analogues that control the three properties the algorithms are
+//! sensitive to (see DESIGN.md):
+//!
+//! 1. **Token-frequency skew** — tokens are drawn from a Zipfian
+//!    distribution (natural-language token frequencies are Zipf-like),
+//!    which drives the load-imbalance phenomena of token-keyed shuffles;
+//! 2. **Record-length distribution** — lognormal lengths with per-profile
+//!    parameters (Email: few, long records; PubMed/Wiki: many short ones);
+//! 3. **Near-duplicate density** — a fraction of records are perturbed
+//!    copies of earlier records, so joins at θ ∈ [0.7, 0.95] have
+//!    non-trivial result sets.
+//!
+//! All generation is deterministic given the seed.
+
+use crate::corpus::RawCorpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipfian sampler over `0..vocab` with exponent `s`
+/// (P(k) ∝ 1/(k+1)^s), via inverse-CDF binary search.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Precompute the CDF for a vocabulary of `vocab` tokens.
+    ///
+    /// # Panics
+    /// Panics if `vocab == 0` or `s < 0`.
+    pub fn new(vocab: usize, s: f64) -> Self {
+        assert!(vocab > 0, "vocabulary must be non-empty");
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(vocab);
+        let mut acc = 0.0f64;
+        for k in 0..vocab {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Sample one token id.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // partition_point: first index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// Sample from a lognormal with the given *mean* and log-space sigma,
+/// via Box–Muller (implemented locally; `rand_distr` is not on the
+/// approved dependency list).
+fn lognormal<R: Rng>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) => mu from mean.
+    let mu = mean.ln() - sigma * sigma / 2.0;
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// Dataset profiles modelled on the paper's Table III (scaled down for a
+/// single machine; relative shapes preserved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusProfile {
+    /// Enron-Email analogue: few records, long and highly variable lengths.
+    EmailLike,
+    /// PubMed-abstract analogue: many records, short, low length variance.
+    PubMedLike,
+    /// Wikipedia-abstract analogue: many records, short, higher variance.
+    WikiLike,
+}
+
+impl CorpusProfile {
+    /// Default generator configuration for this profile at its reference
+    /// scale ("10X" in the scaling experiments).
+    pub fn config(self) -> GeneratorConfig {
+        match self {
+            CorpusProfile::EmailLike => GeneratorConfig {
+                num_records: 1_500,
+                vocab_size: 30_000,
+                zipf_exponent: 1.05,
+                mean_len: 280.0,
+                sigma_len: 0.9,
+                min_len: 30,
+                max_len: 1_500,
+                near_dup_fraction: 0.12,
+                near_dup_max_churn: 0.25,
+                seed: 0xE5A1,
+            },
+            CorpusProfile::PubMedLike => GeneratorConfig {
+                num_records: 12_000,
+                vocab_size: 60_000,
+                zipf_exponent: 1.0,
+                mean_len: 80.0,
+                sigma_len: 0.4,
+                min_len: 5,
+                max_len: 320,
+                near_dup_fraction: 0.10,
+                near_dup_max_churn: 0.25,
+                seed: 0x9B3D,
+            },
+            CorpusProfile::WikiLike => GeneratorConfig {
+                num_records: 10_000,
+                vocab_size: 70_000,
+                zipf_exponent: 1.08,
+                mean_len: 56.0,
+                sigma_len: 0.65,
+                min_len: 3,
+                max_len: 400,
+                near_dup_fraction: 0.10,
+                near_dup_max_churn: 0.25,
+                seed: 0x111C,
+            },
+        }
+    }
+
+    /// Short name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorpusProfile::EmailLike => "Email",
+            CorpusProfile::PubMedLike => "PubMed",
+            CorpusProfile::WikiLike => "Wiki",
+        }
+    }
+
+    /// All three profiles, in the paper's reporting order.
+    pub fn all() -> [CorpusProfile; 3] {
+        [
+            CorpusProfile::EmailLike,
+            CorpusProfile::PubMedLike,
+            CorpusProfile::WikiLike,
+        ]
+    }
+}
+
+/// Parameters of the synthetic generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of records to generate.
+    pub num_records: usize,
+    /// Vocabulary size (token domain |U|).
+    pub vocab_size: usize,
+    /// Zipf exponent of token frequencies.
+    pub zipf_exponent: f64,
+    /// Mean record length (tokens).
+    pub mean_len: f64,
+    /// Log-space standard deviation of record length.
+    pub sigma_len: f64,
+    /// Minimum record length.
+    pub min_len: usize,
+    /// Maximum record length.
+    pub max_len: usize,
+    /// Fraction of records generated as perturbed copies of earlier records.
+    pub near_dup_fraction: f64,
+    /// Maximum fraction of a copied record's tokens that are deleted or
+    /// replaced (bounds how far a near-duplicate drifts: churn `c` yields
+    /// Jaccard ≳ (1−c)/(1+c)).
+    pub near_dup_max_churn: f64,
+    /// RNG seed; generation is deterministic given the config.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Override the record count, keeping everything else.
+    pub fn with_records(mut self, n: usize) -> Self {
+        self.num_records = n;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generate the corpus.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations (empty vocabulary, zero
+    /// `max_len`, fractions outside `[0,1]`).
+    pub fn generate(&self) -> RawCorpus {
+        assert!(self.vocab_size > 0 && self.max_len > 0);
+        assert!((0.0..=1.0).contains(&self.near_dup_fraction));
+        assert!((0.0..=1.0).contains(&self.near_dup_max_churn));
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = ZipfSampler::new(self.vocab_size, self.zipf_exponent);
+        let mut docs: Vec<Vec<u64>> = Vec::with_capacity(self.num_records);
+
+        for _ in 0..self.num_records {
+            let make_dup = !docs.is_empty() && rng.gen::<f64>() < self.near_dup_fraction;
+            let doc = if make_dup {
+                let base = &docs[rng.gen_range(0..docs.len())];
+                self.perturb(base.clone(), &zipf, &mut rng)
+            } else {
+                self.fresh_doc(&zipf, &mut rng)
+            };
+            docs.push(doc);
+        }
+        RawCorpus { docs, vocab: None }
+    }
+
+    fn target_len<R: Rng>(&self, rng: &mut R) -> usize {
+        let l = lognormal(rng, self.mean_len, self.sigma_len).round() as i64;
+        (l.max(self.min_len as i64) as usize).min(self.max_len)
+    }
+
+    fn fresh_doc<R: Rng>(&self, zipf: &ZipfSampler, rng: &mut R) -> Vec<u64> {
+        let target = self.target_len(rng);
+        let mut seen = ssj_common::FxHashSet::default();
+        let mut doc = Vec::with_capacity(target);
+        // Token sets: sample until `target` distinct tokens, with an attempt
+        // cap so pathological configs (target close to vocab) terminate.
+        let mut attempts = 0usize;
+        let max_attempts = target.saturating_mul(30) + 100;
+        while doc.len() < target && attempts < max_attempts {
+            attempts += 1;
+            let t = zipf.sample(rng);
+            if seen.insert(t) {
+                doc.push(t);
+            }
+        }
+        doc
+    }
+
+    /// Delete and replace a random fraction (≤ `near_dup_max_churn`) of a
+    /// base document's tokens.
+    fn perturb<R: Rng>(&self, mut doc: Vec<u64>, zipf: &ZipfSampler, rng: &mut R) -> Vec<u64> {
+        if doc.is_empty() {
+            return doc;
+        }
+        let churn = rng.gen::<f64>() * self.near_dup_max_churn;
+        let k = ((doc.len() as f64 * churn).round() as usize).min(doc.len().saturating_sub(1));
+        // Delete k random tokens.
+        for _ in 0..k {
+            let i = rng.gen_range(0..doc.len());
+            doc.swap_remove(i);
+        }
+        // Insert up to k fresh tokens (replacement, keeping length similar).
+        let inserts = rng.gen_range(0..=k);
+        for _ in 0..inserts {
+            doc.push(zipf.sample(rng));
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            let t = z.sample(&mut rng) as usize;
+            assert!(t < 1000);
+            counts[t] += 1;
+        }
+        // Token 0 should be far more frequent than token 500.
+        assert!(counts[0] > 10 * counts[500].max(1));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 700, "uniform-ish expected");
+        }
+    }
+
+    fn small_config() -> GeneratorConfig {
+        GeneratorConfig {
+            num_records: 300,
+            vocab_size: 2_000,
+            zipf_exponent: 1.0,
+            mean_len: 30.0,
+            sigma_len: 0.5,
+            min_len: 3,
+            max_len: 200,
+            near_dup_fraction: 0.2,
+            near_dup_max_churn: 0.2,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_config().generate();
+        let b = small_config().generate();
+        assert_eq!(a.docs, b.docs);
+        let c = small_config().with_seed(43).generate();
+        assert_ne!(a.docs, c.docs);
+    }
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let corpus = small_config().generate();
+        assert_eq!(corpus.len(), 300);
+        let encoded = encode(&corpus);
+        let stats = encoded.stats();
+        assert!(stats.max_len <= 200);
+        assert!(stats.avg_len > 5.0 && stats.avg_len < 100.0);
+    }
+
+    #[test]
+    fn near_duplicates_produce_high_jaccard_pairs() {
+        let corpus = small_config().generate();
+        let encoded = encode(&corpus);
+        // Count pairs with Jaccard >= 0.7 by brute force.
+        let mut hits = 0usize;
+        for i in 0..encoded.len() {
+            for j in (i + 1)..encoded.len() {
+                let a: std::collections::BTreeSet<u32> =
+                    encoded.records[i].tokens.iter().copied().collect();
+                let b: std::collections::BTreeSet<u32> =
+                    encoded.records[j].tokens.iter().copied().collect();
+                let inter = a.intersection(&b).count();
+                let uni = a.len() + b.len() - inter;
+                if uni > 0 && inter as f64 / uni as f64 >= 0.7 {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits >= 10, "expected planted near-duplicates, got {hits}");
+    }
+
+    #[test]
+    fn profiles_have_distinct_shapes() {
+        let email = CorpusProfile::EmailLike.config();
+        let wiki = CorpusProfile::WikiLike.config();
+        assert!(email.mean_len > 3.0 * wiki.mean_len);
+        assert!(wiki.num_records > 3 * email.num_records);
+        assert_eq!(CorpusProfile::EmailLike.name(), "Email");
+        assert_eq!(CorpusProfile::all().len(), 3);
+    }
+
+    #[test]
+    fn profile_generation_smoke() {
+        // Tiny versions of each profile must generate and encode cleanly.
+        for p in CorpusProfile::all() {
+            let corpus = p.config().with_records(50).generate();
+            let enc = encode(&corpus);
+            assert_eq!(enc.len(), 50);
+            assert!(enc.universe() > 0);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Encoded records and collections.
+
+use ssj_common::ByteSize;
+
+/// Identifier of a record within its collection.
+pub type RecordId = u32;
+
+/// A token id in global-order rank space: `0` is the globally rarest token.
+pub type TokenId = u32;
+
+/// A record: a *set* of tokens, stored as a strictly ascending vector of
+/// global-order ranks. The ascending-rank invariant is what every
+/// prefix-filter and merge-intersection in the workspace relies on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// Record id, unique within its collection.
+    pub id: RecordId,
+    /// Strictly ascending token ranks.
+    pub tokens: Vec<TokenId>,
+}
+
+impl Record {
+    /// Build a record from an arbitrary token list: sorts and deduplicates.
+    pub fn new(id: RecordId, mut tokens: Vec<TokenId>) -> Self {
+        tokens.sort_unstable();
+        tokens.dedup();
+        Record { id, tokens }
+    }
+
+    /// Build from tokens already strictly ascending (checked in debug).
+    pub fn from_sorted(id: RecordId, tokens: Vec<TokenId>) -> Self {
+        debug_assert!(
+            tokens.windows(2).all(|w| w[0] < w[1]),
+            "tokens must be strictly ascending"
+        );
+        Record { id, tokens }
+    }
+
+    /// Number of tokens (the paper's `|s|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the record has no tokens.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+impl ByteSize for Record {
+    fn byte_size(&self) -> usize {
+        4 + self.tokens.byte_size()
+    }
+}
+
+/// An encoded collection: records in rank space plus the global-ordering
+/// frequency table.
+#[derive(Debug, Clone, Default)]
+pub struct Collection {
+    /// Records, ids are dense `0..records.len()`.
+    pub records: Vec<Record>,
+    /// Frequency of each token, indexed by rank (ascending order ⇒
+    /// `token_freqs` is non-decreasing).
+    pub token_freqs: Vec<u64>,
+    /// Optional rank → surface-form mapping for reporting (None for
+    /// synthetic corpora).
+    pub vocab: Option<Vec<String>>,
+}
+
+impl Collection {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of distinct tokens (the token-domain size `|U|`).
+    pub fn universe(&self) -> usize {
+        self.token_freqs.len()
+    }
+
+    /// Total token occurrences (with set semantics: Σ|sᵢ|).
+    pub fn total_tokens(&self) -> u64 {
+        self.records.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Dataset statistics, as reported in the paper's Table III.
+    pub fn stats(&self) -> CorpusStats {
+        let lens: Vec<usize> = self.records.iter().map(Record::len).collect();
+        let min = lens.iter().copied().min().unwrap_or(0);
+        let max = lens.iter().copied().max().unwrap_or(0);
+        let avg = if lens.is_empty() {
+            0.0
+        } else {
+            lens.iter().sum::<usize>() as f64 / lens.len() as f64
+        };
+        CorpusStats {
+            records: self.records.len(),
+            universe: self.universe(),
+            min_len: min,
+            max_len: max,
+            avg_len: avg,
+        }
+    }
+
+    /// Random sample of a fraction of records (the paper's 4X/6X/8X/10X
+    /// scales are "extracted ... randomly"). Record ids are re-densified;
+    /// the frequency table is kept (the ordering of the full corpus is a
+    /// valid — if slightly stale — global ordering for any subset).
+    pub fn sample(&self, fraction: f64, seed: u64) -> Collection {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        // Deterministic hash-based sampling: keep record i iff
+        // hash(seed, i) < fraction * 2^64. Avoids an RNG dependency here.
+        let threshold = (fraction * u64::MAX as f64) as u64;
+        let mut records = Vec::with_capacity((self.len() as f64 * fraction) as usize + 1);
+        for r in &self.records {
+            let h = ssj_common::hash::fx_hash_one(&(seed, r.id));
+            if h <= threshold {
+                records.push(Record {
+                    id: records.len() as RecordId,
+                    tokens: r.tokens.clone(),
+                });
+            }
+        }
+        Collection {
+            records,
+            token_freqs: self.token_freqs.clone(),
+            vocab: self.vocab.clone(),
+        }
+    }
+
+    /// All record lengths (for length histograms / horizontal pivots).
+    pub fn lengths(&self) -> Vec<usize> {
+        self.records.iter().map(Record::len).collect()
+    }
+}
+
+/// Summary statistics of a collection (paper Table III columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Number of records.
+    pub records: usize,
+    /// Distinct tokens.
+    pub universe: usize,
+    /// Minimum record length.
+    pub min_len: usize,
+    /// Maximum record length.
+    pub max_len: usize,
+    /// Mean record length.
+    pub avg_len: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let r = Record::new(0, vec![5, 1, 3, 1, 5]);
+        assert_eq!(r.tokens, vec![1, 3, 5]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn byte_size_counts_id_and_tokens() {
+        let r = Record::new(0, vec![1, 2]);
+        assert_eq!(r.byte_size(), 4 + 4 + 8);
+    }
+
+    fn collection() -> Collection {
+        Collection {
+            records: (0..100u32)
+                .map(|i| Record::new(i, (0..=i % 10).collect()))
+                .collect(),
+            token_freqs: vec![10; 10],
+            vocab: None,
+        }
+    }
+
+    #[test]
+    fn stats_reports_min_max_avg() {
+        let s = collection().stats();
+        assert_eq!(s.records, 100);
+        assert_eq!(s.universe, 10);
+        assert_eq!(s.min_len, 1);
+        assert_eq!(s.max_len, 10);
+        assert!((s.avg_len - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_roughly_fractional() {
+        let c = collection();
+        let a = c.sample(0.5, 42);
+        let b = c.sample(0.5, 42);
+        assert_eq!(a.records, b.records);
+        assert!(a.len() > 20 && a.len() < 80, "got {}", a.len());
+        // Ids re-densified.
+        for (i, r) in a.records.iter().enumerate() {
+            assert_eq!(r.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn sample_extremes() {
+        let c = collection();
+        assert_eq!(c.sample(0.0, 1).len(), 0);
+        assert_eq!(c.sample(1.0, 1).len(), 100);
+    }
+
+    #[test]
+    fn empty_collection_stats() {
+        let c = Collection::default();
+        let s = c.stats();
+        assert_eq!(s.records, 0);
+        assert_eq!(s.avg_len, 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Tokenizers: document text → surface-form token streams.
+
+/// How to split a document into tokens. All variants lowercase their input
+/// first (the usual set-similarity-join preprocessing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tokenizer {
+    /// Split on non-alphanumeric characters (the paper's word tokens).
+    Words,
+    /// Sliding character n-grams over the whole normalized text
+    /// (whitespace collapsed to single spaces).
+    CharGrams(usize),
+    /// Sliding word n-grams ("shingles") joined with a single space.
+    WordGrams(usize),
+}
+
+impl Tokenizer {
+    /// Tokenize `text`, returning surface forms in document order (with
+    /// duplicates — set semantics are applied later at encoding time).
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        match self {
+            Tokenizer::Words => words(text),
+            Tokenizer::CharGrams(n) => char_grams(text, *n),
+            Tokenizer::WordGrams(n) => word_grams(text, *n),
+        }
+    }
+}
+
+fn words(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+fn char_grams(text: &str, n: usize) -> Vec<String> {
+    assert!(n > 0, "n-gram size must be positive");
+    let normalized: String = text
+        .to_lowercase()
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ");
+    let chars: Vec<char> = normalized.chars().collect();
+    if chars.len() < n {
+        if chars.is_empty() {
+            return Vec::new();
+        }
+        return vec![normalized];
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+fn word_grams(text: &str, n: usize) -> Vec<String> {
+    assert!(n > 0, "n-gram size must be positive");
+    let ws = words(text);
+    if ws.len() < n {
+        if ws.is_empty() {
+            return Vec::new();
+        }
+        return vec![ws.join(" ")];
+    }
+    ws.windows(n).map(|w| w.join(" ")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_split_and_lowercase() {
+        assert_eq!(
+            Tokenizer::Words.tokenize("Hello, World! 42"),
+            vec!["hello", "world", "42"]
+        );
+    }
+
+    #[test]
+    fn words_empty_input() {
+        assert!(Tokenizer::Words.tokenize("  ,. ").is_empty());
+        assert!(Tokenizer::Words.tokenize("").is_empty());
+    }
+
+    #[test]
+    fn char_grams_slide_over_normalized_text() {
+        assert_eq!(
+            Tokenizer::CharGrams(3).tokenize("ab  CD"),
+            vec!["ab ", "b c", " cd"]
+        );
+    }
+
+    #[test]
+    fn char_grams_short_text_yields_whole() {
+        assert_eq!(Tokenizer::CharGrams(5).tokenize("ab"), vec!["ab"]);
+        assert!(Tokenizer::CharGrams(5).tokenize("").is_empty());
+    }
+
+    #[test]
+    fn word_grams_shingle() {
+        assert_eq!(
+            Tokenizer::WordGrams(2).tokenize("a b c"),
+            vec!["a b", "b c"]
+        );
+        assert_eq!(Tokenizer::WordGrams(4).tokenize("a b c"), vec!["a b c"]);
+    }
+
+    #[test]
+    fn unicode_safe() {
+        let toks = Tokenizer::CharGrams(2).tokenize("héllo");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0], "hé");
+    }
+}

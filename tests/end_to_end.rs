@@ -1,0 +1,122 @@
+//! Cross-crate end-to-end agreement: FS-Join (several configurations) and
+//! all three baselines must produce identical result sets — matching the
+//! brute-force oracle — on every corpus profile.
+
+use fsjoin_suite::baselines::massjoin::{massjoin, MassJoinVariant};
+use fsjoin_suite::baselines::ridpairs::ridpairs_ppjoin;
+use fsjoin_suite::baselines::vsmart::vsmart_join;
+use fsjoin_suite::baselines::BaselineConfig;
+use fsjoin_suite::prelude::*;
+use fsjoin_suite::similarity::naive::naive_self_join;
+use fsjoin_suite::similarity::pair::compare_results;
+use fsjoin_suite::text::encode;
+
+fn corpus(profile: CorpusProfile, records: usize) -> Collection {
+    encode(&profile.config().with_records(records).generate())
+}
+
+#[test]
+fn all_algorithms_agree_on_all_profiles() {
+    let cfg = BaselineConfig::default();
+    let mut massjoin_runs = 0usize;
+    for (profile, records) in [
+        (CorpusProfile::EmailLike, 60),
+        (CorpusProfile::PubMedLike, 150),
+        (CorpusProfile::WikiLike, 150),
+    ] {
+        let c = corpus(profile, records);
+        for theta in [0.75, 0.9] {
+            let want = naive_self_join(&c.records, Measure::Jaccard, theta);
+
+            let fs = fsjoin_suite::fsjoin::run_self_join(
+                &c,
+                &FsJoinConfig::default().with_theta(theta),
+            );
+            compare_results(&fs.pairs, &want, 1e-9)
+                .unwrap_or_else(|e| panic!("fsjoin {profile:?} θ={theta}: {e}"));
+
+            let rid = ridpairs_ppjoin(&c, Measure::Jaccard, theta, &cfg);
+            compare_results(&rid.pairs, &want, 1e-9)
+                .unwrap_or_else(|e| panic!("ridpairs {profile:?} θ={theta}: {e}"));
+
+            let vs = vsmart_join(&c, Measure::Jaccard, theta, &cfg).expect("budget");
+            compare_results(&vs.pairs, &want, 1e-9)
+                .unwrap_or_else(|e| panic!("vsmart {profile:?} θ={theta}: {e}"));
+
+            for variant in [MassJoinVariant::Merge, MassJoinVariant::MergeLight] {
+                // Merge legitimately exceeds the byte budget on long-record
+                // corpora (the paper's "cannot run completely"); skip those
+                // combinations but verify the guard fired for the stated
+                // reason and count the ones that did run.
+                match massjoin(&c, Measure::Jaccard, theta, variant, &cfg) {
+                    Ok(mj) => {
+                        compare_results(&mj.pairs, &want, 1e-9).unwrap_or_else(|e| {
+                            panic!("massjoin {variant:?} {profile:?} θ={theta}: {e}")
+                        });
+                        massjoin_runs += 1;
+                    }
+                    Err(e) => {
+                        assert_eq!(variant, MassJoinVariant::Merge, "only Merge may DNF: {e}");
+                        assert!(e.estimated > e.budget);
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        massjoin_runs >= 8,
+        "expected MassJoin to complete on most short-record combinations, got {massjoin_runs}"
+    );
+}
+
+#[test]
+fn measures_agree_end_to_end() {
+    let c = corpus(CorpusProfile::WikiLike, 120);
+    for measure in Measure::all() {
+        for theta in [0.7, 0.85] {
+            let want = naive_self_join(&c.records, measure, theta);
+            let fs = fsjoin_suite::fsjoin::run_self_join(
+                &c,
+                &FsJoinConfig::default().with_theta(theta).with_measure(measure),
+            );
+            compare_results(&fs.pairs, &want, 1e-9)
+                .unwrap_or_else(|e| panic!("fsjoin {measure:?} θ={theta}: {e}"));
+            let rid = ridpairs_ppjoin(&c, measure, theta, &BaselineConfig::default());
+            compare_results(&rid.pairs, &want, 1e-9)
+                .unwrap_or_else(|e| panic!("ridpairs {measure:?} θ={theta}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let c = corpus(CorpusProfile::PubMedLike, 200);
+    let cfg = FsJoinConfig::default().with_theta(0.8);
+    let a = fsjoin_suite::fsjoin::run_self_join(&c, &cfg);
+    let b = fsjoin_suite::fsjoin::run_self_join(&c, &cfg);
+    assert_eq!(a.pairs.len(), b.pairs.len());
+    for (x, y) in a.pairs.iter().zip(&b.pairs) {
+        assert_eq!(x.ids(), y.ids());
+        assert_eq!(x.sim, y.sim);
+    }
+    assert_eq!(a.candidates, b.candidates);
+    assert_eq!(
+        a.chain.total_shuffle_bytes(),
+        b.chain.total_shuffle_bytes(),
+        "byte counters must be deterministic"
+    );
+    assert_eq!(a.filter_stats, b.filter_stats);
+}
+
+#[test]
+fn mr_encoding_path_agrees_with_local() {
+    let raw = CorpusProfile::WikiLike.config().with_records(100).generate();
+    let local = encode(&raw);
+    let (mr, metrics) = encode_mr(&raw, 4, 4);
+    assert_eq!(local.records, mr.records);
+    assert!(metrics.shuffle_records > 0);
+    let cfg = FsJoinConfig::default().with_theta(0.8);
+    let a = fsjoin_suite::fsjoin::run_self_join(&local, &cfg);
+    let b = fsjoin_suite::fsjoin::run_self_join(&mr, &cfg);
+    assert_eq!(a.pairs.len(), b.pairs.len());
+}

@@ -1,0 +1,148 @@
+//! Metrics invariants behind the paper's qualitative claims (Table I):
+//! duplication, load balance, and cluster-simulation monotonicity.
+
+use fsjoin_suite::baselines::ridpairs::ridpairs_ppjoin;
+use fsjoin_suite::baselines::BaselineConfig;
+use fsjoin_suite::prelude::*;
+use fsjoin_suite::text::encode;
+
+fn wiki(records: usize) -> Collection {
+    encode(&CorpusProfile::WikiLike.config().with_records(records).generate())
+}
+
+/// FS-Join-V shuffles every token exactly once: the filter job's shuffled
+/// bytes decompose into 25 bytes of per-segment metadata plus 4 bytes per
+/// token, with zero token duplication.
+#[test]
+fn fsjoin_vertical_is_duplicate_free() {
+    let c = wiki(400);
+    let res = fsjoin_suite::fsjoin::run_self_join(
+        &c,
+        &FsJoinConfig::default().with_theta(0.8).with_horizontal(0),
+    );
+    let filter = res.chain.job("fsjoin-filter").unwrap();
+    let total_tokens: usize = c.records.iter().map(|r| r.len()).sum();
+    let tokens_shuffled = (filter.shuffle_bytes - 25 * filter.shuffle_records) / 4;
+    assert_eq!(tokens_shuffled, total_tokens);
+}
+
+/// RIDPairsPPJoin duplicates records per prefix token; its kernel job's
+/// byte expansion must exceed FS-Join's several-fold at moderate θ.
+#[test]
+fn ridpairs_duplicates_tokens_fsjoin_does_not() {
+    let c = wiki(400);
+    let theta = 0.75;
+    let total_tokens: usize = c.records.iter().map(|r| r.len()).sum();
+
+    // FS-Join (horizontal on): tokens cross once per horizontal membership;
+    // boundary windows add a bounded extra (< 2x). Segment metadata is
+    // excluded — it is overhead, not duplication.
+    let fs = fsjoin_suite::fsjoin::run_self_join(&c, &FsJoinConfig::default().with_theta(theta));
+    let filter = fs.chain.job("fsjoin-filter").unwrap();
+    let fs_tokens = (filter.shuffle_bytes - 25 * filter.shuffle_records) / 4;
+    let fs_dup = fs_tokens as f64 / total_tokens as f64;
+    assert!(
+        (1.0..3.0).contains(&fs_dup),
+        "FS-Join token duplication {fs_dup} must stay bounded (θ=0.75 \
+         boundary windows are wide, so ~2x membership is expected)"
+    );
+
+    // RIDPairsPPJoin: each record's tokens cross once per prefix token —
+    // the duplication the paper measures. Kernel record = key(4) + rid(4)
+    // + vec prefix(4) + 4/token.
+    let rid = ridpairs_ppjoin(&c, Measure::Jaccard, theta, &BaselineConfig::default());
+    let kernel = rid.chain.job("ridpairs-kernel").unwrap();
+    let rid_tokens = (kernel.shuffle_bytes - 12 * kernel.shuffle_records) / 4;
+    let rid_dup = rid_tokens as f64 / total_tokens as f64;
+    assert!(
+        rid_dup > 3.0 * fs_dup,
+        "RIDPairs token duplication {rid_dup} should dwarf FS-Join's {fs_dup}"
+    );
+}
+
+/// Even-TF pivots balance the filter job's reduce inputs better than
+/// Random pivots on a skewed corpus.
+#[test]
+fn even_tf_balances_better_than_random() {
+    let c = wiki(800);
+    let skew_of = |strategy: PivotStrategy| {
+        let cfg = FsJoinConfig::default()
+            .with_theta(0.8)
+            .with_pivot_strategy(strategy)
+            .with_horizontal(0)
+            // One fragment per reduce task isolates pivot balance.
+            .with_fragments(12)
+            .with_tasks(8, 12);
+        let res = fsjoin_suite::fsjoin::run_self_join(&c, &cfg);
+        res.chain.job("fsjoin-filter").unwrap().reduce_input_balance().skew
+    };
+    let even_tf = skew_of(PivotStrategy::EvenTf);
+    let random = skew_of(PivotStrategy::Random);
+    assert!(
+        even_tf < random,
+        "Even-TF skew {even_tf} must beat Random {random}"
+    );
+    assert!(even_tf < 1.6, "Even-TF should be near-balanced, got {even_tf}");
+}
+
+/// The cluster simulation must be monotone: more nodes never increase the
+/// simulated makespan of the same measured run.
+#[test]
+fn cluster_simulation_monotone_in_nodes() {
+    let c = wiki(300);
+    let res = fsjoin_suite::fsjoin::run_self_join(&c, &FsJoinConfig::default().with_theta(0.8));
+    let mut last = f64::INFINITY;
+    for nodes in [1usize, 2, 5, 10, 20, 40] {
+        let secs = res.simulated_secs(&ClusterModel::paper_default(nodes));
+        assert!(
+            secs <= last + 1e-9,
+            "makespan must not grow with nodes: {nodes} nodes -> {secs}"
+        );
+        last = secs;
+    }
+}
+
+/// Filter power ordering on real corpora: adding segment filters and the
+/// prefix kernel never increases the candidate count (Table IV's rows).
+#[test]
+fn filter_candidates_shrink_monotonically() {
+    let c = wiki(500);
+    let candidates = |kernel: JoinKernel, filters: FilterSet| {
+        let cfg = FsJoinConfig::default()
+            .with_theta(0.8)
+            .with_kernel(kernel)
+            .with_filters(filters);
+        fsjoin_suite::fsjoin::run_self_join(&c, &cfg).candidates
+    };
+    let strl = candidates(JoinKernel::Loop, FilterSet::STRL_ONLY);
+    let segd = candidates(
+        JoinKernel::Loop,
+        FilterSet {
+            segd: true,
+            ..FilterSet::STRL_ONLY
+        },
+    );
+    let all = candidates(JoinKernel::Prefix, FilterSet::ALL);
+    assert!(segd <= strl, "SegD must prune: {segd} vs {strl}");
+    assert!(all <= segd, "All filters must prune most: {all} vs {segd}");
+    assert!(all < strl, "the full stack must beat StrL alone");
+}
+
+/// Verification phase is cheap relative to the filter phase once the
+/// filters have done their work (paper Figure 10's split).
+#[test]
+fn verification_cheaper_than_filtering() {
+    let c = wiki(800);
+    let res = fsjoin_suite::fsjoin::run_self_join(&c, &FsJoinConfig::default().with_theta(0.8));
+    let cluster = ClusterModel::paper_default(10);
+    let filter = cluster
+        .simulate_job(res.chain.job("fsjoin-filter").unwrap())
+        .total_secs();
+    let verify = cluster
+        .simulate_job(res.chain.job("fsjoin-verify").unwrap())
+        .total_secs();
+    assert!(
+        verify < filter,
+        "verification ({verify}s) should cost less than filtering ({filter}s)"
+    );
+}
