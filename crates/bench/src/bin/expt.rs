@@ -4,18 +4,40 @@
 //! cargo run --release -p ssj-bench --bin expt -- all
 //! cargo run --release -p ssj-bench --bin expt -- fig6 table4
 //! cargo run --release -p ssj-bench --bin expt -- --list
+//! cargo run --release -p ssj-bench --bin expt -- table1 --trace-out /tmp/trace
 //! ```
 //!
-//! Reports are echoed to stdout and written to `results/<id>.md`.
+//! Reports are echoed to stdout and written to `results/<id>.md`. Narration
+//! goes to stderr through the `SSJ_LOG` leveled logger (`quiet`/`info`/
+//! `debug`, default `info`).
+//!
+//! With `--trace-out <dir>`, the run records spans (jobs, phases, tasks,
+//! FS-Join stages), per-run simulated cluster timelines, and the metrics
+//! registry, then writes `<dir>/trace.json` (Chrome trace-event format —
+//! load in ui.perfetto.dev or chrome://tracing) and `<dir>/metrics.jsonl`.
 
 use ssj_bench::experiments;
 use ssj_bench::report::publish;
+use ssj_observe::ChromeTrace;
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out: Option<PathBuf> = match args.iter().position(|a| a == "--trace-out") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("error: --trace-out requires a directory argument");
+                std::process::exit(2);
+            }
+            let dir = PathBuf::from(args.remove(i + 1));
+            args.remove(i);
+            Some(dir)
+        }
+        None => None,
+    };
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: expt [--list] <experiment-id>... | all");
+        eprintln!("usage: expt [--list] [--trace-out <dir>] <experiment-id>... | all");
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -25,6 +47,12 @@ fn main() {
         }
         return;
     }
+
+    let observers = trace_out.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).expect("create trace-out dir");
+        (ssj_observe::install_collector(), ssj_observe::install_registry())
+    });
+
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         experiments::ALL.to_vec()
     } else {
@@ -32,15 +60,29 @@ fn main() {
     };
     for id in ids {
         let start = Instant::now();
+        let expt_span = ssj_observe::span("expt", id);
         match experiments::run(id) {
             Some(markdown) => {
+                drop(expt_span);
                 publish(id, &markdown);
-                eprintln!("[expt] {id} finished in {:.1}s", start.elapsed().as_secs_f64());
+                ssj_observe::info!("[expt] {id} finished in {:.1}s", start.elapsed().as_secs_f64());
             }
             None => {
                 eprintln!("[expt] unknown experiment {id:?}; try --list");
                 std::process::exit(2);
             }
         }
+    }
+
+    if let (Some(dir), Some((collector, registry))) = (trace_out, observers) {
+        ssj_observe::uninstall_collector();
+        ssj_observe::uninstall_registry();
+        let trace_path = dir.join("trace.json");
+        let metrics_path = dir.join("metrics.jsonl");
+        std::fs::write(&trace_path, ChromeTrace::from_collector(&collector).to_json())
+            .expect("write trace.json");
+        std::fs::write(&metrics_path, registry.to_jsonl()).expect("write metrics.jsonl");
+        ssj_observe::info!("[expt] wrote {}", trace_path.display());
+        ssj_observe::info!("[expt] wrote {}", metrics_path.display());
     }
 }

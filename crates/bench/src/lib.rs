@@ -17,6 +17,7 @@ pub mod datasets;
 pub mod experiments;
 pub mod report;
 pub mod runners;
+pub mod simtrace;
 
 pub use datasets::{bench_corpus, corpus, tuned_fsjoin, Scale};
 pub use runners::{run_algorithm, Algorithm, RunOutcome, RunStatus};

@@ -18,7 +18,7 @@ pub fn publish(id: &str, markdown: &str) {
     let path = results_dir().join(format!("{id}.md"));
     std::fs::write(&path, markdown).expect("write report");
     println!("{markdown}");
-    eprintln!("[expt] wrote {}", path.display());
+    ssj_observe::info!("[expt] wrote {}", path.display());
 }
 
 /// Format a simulated-seconds cell, with `DNF` for failed runs.

@@ -120,6 +120,9 @@ impl RunOutcome {
         cluster: &ClusterModel,
     ) -> Self {
         let sim_secs = cluster.simulate_chain(&chain).total_secs();
+        // When tracing is on, also render the simulated cluster occupancy
+        // for this run next to the real host spans.
+        crate::simtrace::record_chain(algorithm, cluster, &chain);
         let first = chain.jobs.first().expect("non-empty chain");
         RunOutcome {
             algorithm,

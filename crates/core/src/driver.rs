@@ -12,10 +12,10 @@ use crate::horizontal::{h_partitions_for, num_h_partitions, select_h_pivots, Joi
 use crate::pivots::select_pivots;
 use crate::segment::Segment;
 use crate::vertical::split_record;
-use parking_lot::Mutex;
 use ssj_mapreduce::{
     ChainMetrics, Dataset, DirectPartitioner, Emitter, JobBuilder, Mapper, Reducer,
 };
+use ssj_observe::{span, MetricsRegistry};
 use ssj_similarity::{Measure, SimilarPair};
 use ssj_text::{Collection, Record};
 use std::sync::Arc;
@@ -95,13 +95,15 @@ impl Mapper for PartitionMapper {
 }
 
 /// Filtering-job reducer: joins one fragment cell (paper Algorithm 1
-/// lines 10–13).
+/// lines 10–13). Pruning counters accumulate locally and flow into the
+/// run's [`MetricsRegistry`] at task cleanup (registry counters are
+/// additive, so concurrent reduce tasks never contend mid-join).
 struct FragmentReducer {
     cfg: FsJoinConfig,
     h_pivots: Arc<Vec<u32>>,
     scope: PairScope,
     local_stats: FilterStats,
-    shared_stats: Arc<Mutex<FilterStats>>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl Reducer for FragmentReducer {
@@ -118,6 +120,8 @@ impl Reducer for FragmentReducer {
     ) {
         let h = *cell as usize / self.cfg.num_fragments;
         let rule = JoinRule::for_partition(h, &self.h_pivots);
+        let before_pairs = self.local_stats.pairs_considered;
+        let before_emitted = self.local_stats.emitted;
         let records = join_fragment(
             &segments,
             rule,
@@ -129,13 +133,23 @@ impl Reducer for FragmentReducer {
             self.cfg.emit_policy,
             &mut self.local_stats,
         );
+        // Per-cell load distributions (skew diagnosis for the fragment
+        // join, independent of reduce-task packing).
+        self.registry.histogram_record(
+            "fsjoin.fragment.pairs",
+            self.local_stats.pairs_considered - before_pairs,
+        );
+        self.registry.histogram_record(
+            "fsjoin.fragment.candidates",
+            self.local_stats.emitted - before_emitted,
+        );
         for (pair, payload) in records {
             out.emit(pair, payload);
         }
     }
 
     fn cleanup(&mut self, _out: &mut Emitter<(u32, u32), (u32, u32, u32)>) {
-        self.shared_stats.lock().merge(&self.local_stats);
+        self.local_stats.record_to(&self.registry);
         self.local_stats = FilterStats::default();
     }
 }
@@ -216,8 +230,12 @@ fn run_join(
     scope: PairScope,
 ) -> FsJoinResult {
     cfg.validate();
+    let run_span = span("fsjoin.stage", "run")
+        .field("records", r_records.len() + s_records.len())
+        .field("theta", cfg.theta);
 
     // ---- Setup: pivot selection (Algorithm 1 lines 2–4) ------------------
+    let ordering_span = span("fsjoin.stage", "ordering");
     let pivots = Arc::new(select_pivots(
         freqs,
         cfg.num_fragments.saturating_sub(1),
@@ -238,6 +256,11 @@ fn run_join(
     lengths.extend(s_records.iter().map(Record::len));
     let h_pivots = Arc::new(select_h_pivots(&lengths, cfg.horizontal_pivots));
     let num_cells = num_h_partitions(&h_pivots) * num_fragments;
+    drop(
+        ordering_span
+            .field("fragments", num_fragments)
+            .field("h_partitions", num_h_partitions(&h_pivots)),
+    );
 
     // ---- Input dataset ----------------------------------------------------
     let offset = r_records.len() as u32;
@@ -255,7 +278,11 @@ fn run_join(
     let input = Dataset::from_records(input_records, cfg.map_tasks);
 
     // ---- Job 1: filtering (partition + fragment join) ---------------------
-    let shared_stats = Arc::new(Mutex::new(FilterStats::default()));
+    // Per-run registry: fragment reducers record pruning counters and
+    // per-cell histograms here; the aggregate is read back below and also
+    // merged into the process-global registry when one is installed.
+    let run_registry = Arc::new(MetricsRegistry::new());
+    let filter_span = span("fsjoin.stage", "filter-job").field("cells", num_cells);
     let reduce_tasks = cfg.reduce_tasks.min(num_cells).max(1);
     let (candidates_ds, filter_metrics) = JobBuilder::new("fsjoin-filter")
         .reduce_tasks(reduce_tasks)
@@ -274,7 +301,7 @@ fn run_join(
                 h_pivots: Arc::clone(&h_pivots),
                 scope,
                 local_stats: FilterStats::default(),
-                shared_stats: Arc::clone(&shared_stats),
+                registry: Arc::clone(&run_registry),
             },
             &DirectPartitioner::new(|cell: &u32| *cell as usize),
         );
@@ -282,8 +309,10 @@ fn run_join(
     // The reducer reads num_fragments from cfg; keep them consistent.
     debug_assert!(num_fragments >= 1);
     let candidates = candidates_ds.total_records();
+    drop(filter_span.field("candidates", candidates));
 
     // ---- Job 2: verification ----------------------------------------------
+    let verify_span = span("fsjoin.stage", "verify-job").field("candidates", candidates);
     let (verified, verify_metrics) = JobBuilder::new("fsjoin-verify")
         .reduce_tasks(cfg.reduce_tasks)
         .workers(cfg.workers)
@@ -303,12 +332,19 @@ fn run_join(
         .map(|((a, b), sim)| SimilarPair::new(a, b, sim))
         .collect();
     pairs.sort_unstable_by(|x, y| x.ids().cmp(&y.ids()));
+    drop(verify_span.field("pairs", pairs.len()));
 
     let mut chain = ChainMetrics::default();
     chain.push(filter_metrics);
     chain.push(verify_metrics);
 
-    let filter_stats = *shared_stats.lock();
+    let filter_stats = FilterStats::from_registry(&run_registry);
+    run_registry.gauge_set("fsjoin.candidates", candidates as f64);
+    run_registry.gauge_set("fsjoin.pairs", pairs.len() as f64);
+    if let Some(global) = ssj_observe::global_registry() {
+        global.merge_from(&run_registry);
+    }
+    drop(run_span.field("pairs", pairs.len()));
     FsJoinResult {
         pairs,
         chain,

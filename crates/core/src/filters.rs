@@ -106,6 +106,21 @@ pub struct FilterStats {
 }
 
 impl FilterStats {
+    /// `(counter name, value)` view of every field. The names are the
+    /// canonical `fsjoin.filter.*` metric keys used in registries and
+    /// metric dumps.
+    fn fields(&self) -> [(&'static str, u64); 7] {
+        [
+            ("fsjoin.filter.pairs_considered", self.pairs_considered),
+            ("fsjoin.filter.strl_pruned", self.strl_pruned),
+            ("fsjoin.filter.segl_pruned", self.segl_pruned),
+            ("fsjoin.filter.segi_pruned", self.segi_pruned),
+            ("fsjoin.filter.segd_pruned", self.segd_pruned),
+            ("fsjoin.filter.policy_dropped", self.policy_dropped),
+            ("fsjoin.filter.emitted", self.emitted),
+        ]
+    }
+
     /// Merge another task's counters into this one.
     pub fn merge(&mut self, other: &FilterStats) {
         self.pairs_considered += other.pairs_considered;
@@ -115,6 +130,29 @@ impl FilterStats {
         self.segd_pruned += other.segd_pruned;
         self.policy_dropped += other.policy_dropped;
         self.emitted += other.emitted;
+    }
+
+    /// Add these counters into `registry` under the `fsjoin.filter.*`
+    /// names (the registry's counters are additive, so concurrent reduce
+    /// tasks can record independently).
+    pub fn record_to(&self, registry: &ssj_observe::MetricsRegistry) {
+        for (name, value) in self.fields() {
+            registry.counter_add(name, value);
+        }
+    }
+
+    /// Reconstruct aggregated counters from a registry populated via
+    /// [`Self::record_to`]. Missing counters read as 0.
+    pub fn from_registry(registry: &ssj_observe::MetricsRegistry) -> FilterStats {
+        FilterStats {
+            pairs_considered: registry.counter_get("fsjoin.filter.pairs_considered"),
+            strl_pruned: registry.counter_get("fsjoin.filter.strl_pruned"),
+            segl_pruned: registry.counter_get("fsjoin.filter.segl_pruned"),
+            segi_pruned: registry.counter_get("fsjoin.filter.segi_pruned"),
+            segd_pruned: registry.counter_get("fsjoin.filter.segd_pruned"),
+            policy_dropped: registry.counter_get("fsjoin.filter.policy_dropped"),
+            emitted: registry.counter_get("fsjoin.filter.emitted"),
+        }
     }
 }
 
@@ -362,5 +400,29 @@ mod tests {
         a.merge(&a.clone());
         assert_eq!(a.pairs_considered, 20);
         assert_eq!(a.emitted, 10);
+    }
+
+    #[test]
+    fn stats_registry_round_trip() {
+        let stats = FilterStats {
+            pairs_considered: 100,
+            strl_pruned: 7,
+            segl_pruned: 11,
+            segi_pruned: 13,
+            segd_pruned: 17,
+            policy_dropped: 19,
+            emitted: 23,
+        };
+        let reg = ssj_observe::MetricsRegistry::new();
+        stats.record_to(&reg);
+        assert_eq!(FilterStats::from_registry(&reg), stats);
+        // Counters are additive: a second worker's record_to accumulates.
+        stats.record_to(&reg);
+        let doubled = FilterStats::from_registry(&reg);
+        assert_eq!(doubled.pairs_considered, 200);
+        assert_eq!(doubled.emitted, 46);
+        // An empty registry reads back as zeros.
+        let empty = ssj_observe::MetricsRegistry::new();
+        assert_eq!(FilterStats::from_registry(&empty), FilterStats::default());
     }
 }

@@ -37,13 +37,14 @@ use crate::config::FsJoinConfig;
 use crate::driver::{FsJoinResult, PartitionMapper};
 use crate::filters::FilterStats;
 use crate::fragment::PairScope;
-use crate::horizontal::{h_partitions_for, num_h_partitions, select_h_pivots, JoinRule};
+use crate::horizontal::{num_h_partitions, select_h_pivots, JoinRule};
 use crate::pivots::select_pivots;
 use crate::segment::Segment;
 use ssj_common::FxHashMap;
 use ssj_mapreduce::{
     ChainMetrics, Dataset, DirectPartitioner, Emitter, JobBuilder, Mapper, Reducer,
 };
+use ssj_observe::span;
 use ssj_similarity::intersect::intersect_count_merge;
 use ssj_similarity::{Measure, SimilarPair};
 use ssj_text::{Collection, Record};
@@ -249,6 +250,10 @@ fn run_pf(
     scope: PairScope,
 ) -> FsJoinResult {
     cfg.validate();
+    let run_span = span("fsjoin.stage", "run-pf")
+        .field("records", r_records.len() + s_records.len())
+        .field("theta", cfg.theta);
+    let ordering_span = span("fsjoin.stage", "ordering");
     let pivots = Arc::new(select_pivots(
         freqs,
         cfg.num_fragments.saturating_sub(1),
@@ -261,6 +266,11 @@ fn run_pf(
     lengths.extend(s_records.iter().map(Record::len));
     let h_pivots = Arc::new(select_h_pivots(&lengths, cfg.horizontal_pivots));
     let num_cells = num_h_partitions(&h_pivots) * num_fragments;
+    drop(
+        ordering_span
+            .field("fragments", num_fragments)
+            .field("h_partitions", num_h_partitions(&h_pivots)),
+    );
 
     let offset = r_records.len() as u32;
     let mut all_records: Vec<Record> = r_records.to_vec();
@@ -279,6 +289,7 @@ fn run_pf(
     let input = Dataset::from_records(input_records, cfg.map_tasks);
 
     // Job 1: partition + prefix discovery.
+    let discover_span = span("fsjoin.stage", "discover-job").field("cells", num_cells);
     let reduce_tasks = cfg.reduce_tasks.min(num_cells).max(1);
     let (candidates_ds, discover_metrics) = JobBuilder::new("fsjoin-pf-discover")
         .reduce_tasks(reduce_tasks)
@@ -302,14 +313,18 @@ fn run_pf(
             &DirectPartitioner::new(|cell: &u32| *cell as usize),
         );
     let raw_candidates = candidates_ds.total_records();
+    drop(discover_span.field("candidates", raw_candidates));
 
     // Job 2: dedup candidate pairs.
+    let dedup_span = span("fsjoin.stage", "dedup-job").field("candidates", raw_candidates);
     let (unique, dedup_metrics) = JobBuilder::new("fsjoin-pf-dedup")
         .reduce_tasks(cfg.reduce_tasks)
         .workers(cfg.workers)
         .run(&candidates_ds, |_| CandidateDedup, |_| KeepFirst);
+    drop(dedup_span.field("unique", unique.total_records()));
 
     // Job 3: cached exact verification.
+    let verify_span = span("fsjoin.stage", "verify-job");
     let cache = Arc::new(all_records);
     let (verified, verify_metrics) = JobBuilder::new("fsjoin-pf-verify")
         .reduce_tasks(cfg.reduce_tasks)
@@ -329,6 +344,8 @@ fn run_pf(
         .map(|((a, b), sim)| SimilarPair::new(a, b, sim))
         .collect();
     pairs.sort_unstable_by(|x, y| x.ids().cmp(&y.ids()));
+    drop(verify_span.field("pairs", pairs.len()));
+    drop(run_span.field("pairs", pairs.len()));
 
     let mut chain = ChainMetrics::default();
     chain.push(discover_metrics);

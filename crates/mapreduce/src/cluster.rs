@@ -124,6 +124,148 @@ impl ClusterModel {
             .map(|j| self.simulate_job(j))
             .fold(PhaseTimes::default(), PhaseTimes::add)
     }
+
+    /// List-schedule `durations` (in submission order) and return each
+    /// task's `(slot, start, end)` in seconds from `base`. Same greedy
+    /// earliest-available-slot policy as [`Self::makespan_secs`] (with
+    /// slot-index tie-breaking), so the resulting makespan is identical.
+    fn schedule_slots(
+        &self,
+        base: f64,
+        durations: impl IntoIterator<Item = f64>,
+    ) -> Vec<(usize, f64, f64)> {
+        let slots = self.total_slots().max(1);
+        let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> =
+            (0..slots).map(|s| Reverse((OrderedF64(base), s))).collect();
+        let mut out = Vec::new();
+        for d in durations {
+            let Reverse((OrderedF64(free_at), slot)) = heap.pop().expect("slots > 0");
+            let end = free_at + d / self.node_speed;
+            out.push((slot, free_at, end));
+            heap.push(Reverse((OrderedF64(end), slot)));
+        }
+        out
+    }
+
+    /// Simulate one job with full slot identity: where every task runs and
+    /// when, plus the shuffle interval between the phases. Phase totals
+    /// agree exactly with [`Self::simulate_job`]; this variant exists so a
+    /// timeline exporter can draw per-slot occupancy.
+    ///
+    /// `base_secs` offsets the whole schedule (for chaining jobs on one
+    /// simulated timeline).
+    pub fn simulate_job_schedule(&self, m: &JobMetrics, base_secs: f64) -> SimSchedule {
+        let mut tasks = Vec::with_capacity(m.map_tasks.len() + m.reduce_tasks.len());
+        let map_assignments = self.schedule_slots(base_secs, task_secs(&m.map_tasks));
+        let mut map_end = base_secs;
+        for (t, (slot, start, end)) in m.map_tasks.iter().zip(map_assignments) {
+            map_end = map_end.max(end);
+            tasks.push(SimTask {
+                kind: t.kind,
+                index: t.index,
+                node: slot / self.slots_per_node.max(1),
+                slot,
+                start_secs: start,
+                end_secs: end,
+            });
+        }
+
+        let record_overhead =
+            m.shuffle_records as f64 * self.per_record_secs / self.total_slots().max(1) as f64;
+        let shuffle_secs = self.shuffle_secs(m.shuffle_bytes) + record_overhead;
+        let reduce_base = map_end + shuffle_secs;
+
+        let reduce_assignments = self.schedule_slots(reduce_base, task_secs(&m.reduce_tasks));
+        let mut reduce_end = reduce_base;
+        for (t, (slot, start, end)) in m.reduce_tasks.iter().zip(reduce_assignments) {
+            reduce_end = reduce_end.max(end);
+            tasks.push(SimTask {
+                kind: t.kind,
+                index: t.index,
+                node: slot / self.slots_per_node.max(1),
+                slot,
+                start_secs: start,
+                end_secs: end,
+            });
+        }
+
+        SimSchedule {
+            job_name: m.name.clone(),
+            start_secs: base_secs,
+            shuffle_start_secs: map_end,
+            shuffle_end_secs: reduce_base,
+            end_secs: reduce_end,
+            shuffle_bytes: m.shuffle_bytes,
+            tasks,
+        }
+    }
+
+    /// Simulate a chain of jobs on one continuous timeline: each job's
+    /// schedule starts where the previous one ended.
+    pub fn simulate_chain_schedule(&self, chain: &ChainMetrics) -> Vec<SimSchedule> {
+        let mut out = Vec::with_capacity(chain.jobs.len());
+        let mut t0 = 0.0f64;
+        for job in &chain.jobs {
+            let s = self.simulate_job_schedule(job, t0);
+            t0 = s.end_secs;
+            out.push(s);
+        }
+        out
+    }
+}
+
+/// One task placed on the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTask {
+    /// Map or reduce.
+    pub kind: crate::metrics::TaskKind,
+    /// Task index within its phase.
+    pub index: usize,
+    /// Node the slot belongs to.
+    pub node: usize,
+    /// Global slot index (`node * slots_per_node + local_slot`).
+    pub slot: usize,
+    /// Simulated start time (seconds on the chain timeline).
+    pub start_secs: f64,
+    /// Simulated end time.
+    pub end_secs: f64,
+}
+
+/// A job's simulated schedule with slot identity (input to the timeline
+/// exporter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSchedule {
+    /// Job name.
+    pub job_name: String,
+    /// When the job was submitted on the chain timeline.
+    pub start_secs: f64,
+    /// Shuffle interval start (= end of the map phase).
+    pub shuffle_start_secs: f64,
+    /// Shuffle interval end (= start of the reduce phase).
+    pub shuffle_end_secs: f64,
+    /// When the last reduce task finished.
+    pub end_secs: f64,
+    /// Bytes charged to the shuffle interval.
+    pub shuffle_bytes: usize,
+    /// Every placed task, maps first then reduces.
+    pub tasks: Vec<SimTask>,
+}
+
+impl SimSchedule {
+    /// Phase totals, equal to [`ClusterModel::simulate_job`]'s output for
+    /// the same metrics (up to float rounding from the base offset).
+    pub fn phases(&self) -> PhaseTimes {
+        PhaseTimes {
+            map_secs: self.shuffle_start_secs - self.start_secs,
+            shuffle_secs: self.shuffle_end_secs - self.shuffle_start_secs,
+            reduce_secs: self.end_secs - self.shuffle_end_secs,
+        }
+    }
+
+    /// Total simulated job time.
+    pub fn makespan_secs(&self) -> f64 {
+        self.end_secs - self.start_secs
+    }
 }
 
 fn task_secs(tasks: &[TaskStat]) -> impl Iterator<Item = f64> + '_ {
@@ -242,6 +384,7 @@ mod tests {
             kind,
             index: 0,
             duration: Duration::from_millis(ms),
+            queue: Duration::ZERO,
             input_records: 1,
             input_bytes: bytes,
             output_records: 1,
@@ -260,6 +403,9 @@ mod tests {
             pre_combine_records: 3_000_000,
             pre_combine_bytes: 0,
             elapsed: Duration::ZERO,
+            map_elapsed: Duration::ZERO,
+            shuffle_elapsed: Duration::ZERO,
+            reduce_elapsed: Duration::ZERO,
         };
         let pure = ClusterModel::paper_default(10).simulate_job(&m);
         let hadoop = ClusterModel::hadoop_2010(10).simulate_job(&m);
@@ -279,6 +425,9 @@ mod tests {
             pre_combine_records: 1,
             pre_combine_bytes: 10,
             elapsed: Duration::from_millis(300),
+            map_elapsed: Duration::from_millis(100),
+            shuffle_elapsed: Duration::ZERO,
+            reduce_elapsed: Duration::from_millis(200),
         };
         let c = ClusterModel::paper_default(2);
         let p = c.simulate_job(&m);
@@ -287,5 +436,95 @@ mod tests {
         // 250 MB, half crosses, 2 * 125 MB/s aggregate -> 0.5s
         assert!((p.shuffle_secs - 0.5).abs() < 1e-9);
         assert!((p.total_secs() - 0.8).abs() < 1e-9);
+    }
+
+    fn many_task_metrics() -> JobMetrics {
+        JobMetrics {
+            name: "sched".into(),
+            map_tasks: (0..8)
+                .map(|i| {
+                    let mut t = one_task(TaskKind::Map, 100 + 30 * (i as u64 % 3), 10);
+                    t.index = i;
+                    t
+                })
+                .collect(),
+            reduce_tasks: (0..5)
+                .map(|i| {
+                    let mut t = one_task(TaskKind::Reduce, 200, 10);
+                    t.index = i;
+                    t
+                })
+                .collect(),
+            shuffle_records: 1000,
+            shuffle_bytes: 250_000_000,
+            pre_combine_records: 1000,
+            pre_combine_bytes: 10,
+            elapsed: Duration::from_secs(1),
+            map_elapsed: Duration::from_millis(400),
+            shuffle_elapsed: Duration::from_millis(100),
+            reduce_elapsed: Duration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn schedule_agrees_with_simulate_job() {
+        let m = many_task_metrics();
+        let c = ClusterModel::paper_default(2);
+        let p = c.simulate_job(&m);
+        let s = c.simulate_job_schedule(&m, 0.0);
+        let q = s.phases();
+        assert!((p.map_secs - q.map_secs).abs() < 1e-12, "{p:?} vs {q:?}");
+        assert!(
+            (p.shuffle_secs - q.shuffle_secs).abs() < 1e-12,
+            "{p:?} vs {q:?}"
+        );
+        assert!(
+            (p.reduce_secs - q.reduce_secs).abs() < 1e-12,
+            "{p:?} vs {q:?}"
+        );
+        assert_eq!(s.tasks.len(), 13);
+    }
+
+    #[test]
+    fn schedule_respects_slots_and_phases() {
+        let m = many_task_metrics();
+        let c = ClusterModel::paper_default(1); // 3 slots: tasks must queue
+        let s = c.simulate_job_schedule(&m, 0.0);
+        for t in &s.tasks {
+            assert!(t.slot < c.total_slots());
+            assert_eq!(t.node, t.slot / c.slots_per_node);
+            assert!(t.end_secs >= t.start_secs);
+            match t.kind {
+                TaskKind::Map => assert!(t.end_secs <= s.shuffle_start_secs + 1e-12),
+                TaskKind::Reduce => assert!(t.start_secs >= s.shuffle_end_secs - 1e-12),
+            }
+        }
+        // No two tasks overlap on the same slot.
+        for a in &s.tasks {
+            for b in &s.tasks {
+                if (a.index, a.kind) != (b.index, b.kind) && a.slot == b.slot {
+                    assert!(
+                        a.end_secs <= b.start_secs + 1e-12 || b.end_secs <= a.start_secs + 1e-12,
+                        "slot {} double-booked: {a:?} vs {b:?}",
+                        a.slot
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_schedule_is_sequential() {
+        let mut chain = ChainMetrics::default();
+        chain.push(many_task_metrics());
+        chain.push(many_task_metrics());
+        let c = ClusterModel::paper_default(2);
+        let scheds = c.simulate_chain_schedule(&chain);
+        assert_eq!(scheds.len(), 2);
+        assert_eq!(scheds[0].start_secs, 0.0);
+        assert_eq!(scheds[1].start_secs, scheds[0].end_secs);
+        let total: f64 = scheds.iter().map(|s| s.makespan_secs()).sum();
+        let phases = c.simulate_chain(&chain);
+        assert!((total - phases.total_secs()).abs() < 1e-9);
     }
 }

@@ -7,8 +7,8 @@
 //! inputs for the [`ClusterModel`](crate::ClusterModel) because each task
 //! runs on one thread from start to finish.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of worker threads to use by default: the host's available
 /// parallelism (at least 1).
@@ -52,16 +52,20 @@ where
                 if i >= n {
                     break;
                 }
-                let task = tasks[i].lock().take().expect("task taken twice");
+                let task = tasks[i].lock().unwrap().take().expect("task taken twice");
                 let out = f(i, task);
-                *results[i].lock() = Some(out);
+                *results[i].lock().unwrap() = Some(out);
             });
         }
     });
 
     results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("task produced no result"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result mutex poisoned")
+                .expect("task produced no result")
+        })
         .collect()
 }
 

@@ -8,6 +8,7 @@ use crate::metrics::{JobMetrics, TaskKind, TaskStat};
 use crate::partitioner::{HashPartitioner, Partitioner};
 use crate::traits::{Combiner, Key, Mapper, Reducer, Value};
 use ssj_common::ByteSize;
+use ssj_observe::{global_registry, span};
 use std::time::Instant;
 
 /// A combiner that passes values through unchanged (no combining).
@@ -121,12 +122,22 @@ impl JobBuilder {
     {
         let job_start = Instant::now();
         let num_reduce = self.reduce_tasks;
+        let mut job_span = span("mr.job", &self.name);
+        job_span.record("reduce_tasks", num_reduce);
 
         // ---- Map phase ---------------------------------------------------
         let splits: Vec<&[(M::InKey, M::InValue)]> =
             input.partitions().iter().map(|p| p.as_slice()).collect();
 
+        let map_phase_start = Instant::now();
+        let mut map_span = span("mr.phase", "map");
+        map_span.record("job", self.name.as_str());
+        map_span.record("tasks", splits.len());
         let map_results = run_tasks(self.workers, splits, |task_idx, split| {
+            let queue = map_phase_start.elapsed();
+            let mut task_span = span("mr.task", "map");
+            task_span.record("job", self.name.as_str());
+            task_span.record("index", task_idx);
             let start = Instant::now();
             let mut m = mapper(task_idx);
             let mut out: Emitter<M::OutKey, M::OutValue> = Emitter::new();
@@ -165,10 +176,13 @@ impl JobBuilder {
                     .sum::<usize>();
             }
 
+            task_span.record("input_records", split.len());
+            task_span.record("output_records", post_records);
             let stat = TaskStat {
                 kind: TaskKind::Map,
                 index: task_idx,
                 duration: start.elapsed(),
+                queue,
                 input_records: split.len(),
                 input_bytes,
                 output_records: post_records,
@@ -176,7 +190,12 @@ impl JobBuilder {
             };
             (buckets, stat, pre_records, pre_bytes)
         });
+        let map_elapsed = map_phase_start.elapsed();
+        drop(map_span);
 
+        let shuffle_start = Instant::now();
+        let mut shuffle_span = span("mr.phase", "shuffle");
+        shuffle_span.record("job", self.name.as_str());
         let mut map_stats = Vec::with_capacity(map_results.len());
         let mut pre_combine_records = 0usize;
         let mut pre_combine_bytes = 0usize;
@@ -198,8 +217,21 @@ impl JobBuilder {
             }
         }
 
+        shuffle_span.record("records", shuffle_records);
+        shuffle_span.record("bytes", shuffle_bytes);
+        let shuffle_elapsed = shuffle_start.elapsed();
+        drop(shuffle_span);
+
         // ---- Reduce phase ------------------------------------------------
+        let reduce_phase_start = Instant::now();
+        let mut reduce_span = span("mr.phase", "reduce");
+        reduce_span.record("job", self.name.as_str());
+        reduce_span.record("tasks", num_reduce);
         let reduce_results = run_tasks(self.workers, reduce_inputs, |task_idx, runs| {
+            let queue = reduce_phase_start.elapsed();
+            let mut task_span = span("mr.task", "reduce");
+            task_span.record("job", self.name.as_str());
+            task_span.record("index", task_idx);
             let start = Instant::now();
             let mut r = reducer(task_idx);
             let mut out: Emitter<R::OutKey, R::OutValue> = Emitter::new();
@@ -241,10 +273,13 @@ impl JobBuilder {
             let output_records = out.len();
             let output_bytes = out.bytes();
             let (pairs, _) = out.into_parts();
+            task_span.record("input_records", input_records);
+            task_span.record("output_records", output_records);
             let stat = TaskStat {
                 kind: TaskKind::Reduce,
                 index: task_idx,
                 duration: start.elapsed(),
+                queue,
                 input_records,
                 input_bytes,
                 output_records,
@@ -259,6 +294,8 @@ impl JobBuilder {
             reduce_stats.push(stat);
             output_partitions.push(pairs);
         }
+        let reduce_elapsed = reduce_phase_start.elapsed();
+        drop(reduce_span);
 
         let metrics = JobMetrics {
             name: self.name.clone(),
@@ -269,7 +306,31 @@ impl JobBuilder {
             pre_combine_records,
             pre_combine_bytes,
             elapsed: job_start.elapsed(),
+            map_elapsed,
+            shuffle_elapsed,
+            reduce_elapsed,
         };
+        job_span.record("shuffle_records", shuffle_records);
+        job_span.record("shuffle_bytes", shuffle_bytes);
+        job_span.record("pre_combine_records", pre_combine_records);
+        if let Some(reg) = global_registry() {
+            reg.counter_add("mr.jobs", 1);
+            reg.counter_add("mr.shuffle.records", shuffle_records as u64);
+            reg.counter_add("mr.shuffle.bytes", shuffle_bytes as u64);
+            reg.counter_add(
+                "mr.pre_combine.records",
+                metrics.pre_combine_records as u64,
+            );
+            for t in &metrics.map_tasks {
+                reg.histogram_record("mr.map.output_records", t.output_records as u64);
+                reg.histogram_record("mr.task.queue_us", t.queue.as_micros() as u64);
+            }
+            for t in &metrics.reduce_tasks {
+                reg.histogram_record("mr.reduce.input_records", t.input_records as u64);
+                reg.histogram_record("mr.reduce.input_bytes", t.input_bytes as u64);
+                reg.histogram_record("mr.task.queue_us", t.queue.as_micros() as u64);
+            }
+        }
         (Dataset::from_partitions(output_partitions), metrics)
     }
 }

@@ -68,7 +68,7 @@ pub mod metrics;
 pub mod partitioner;
 pub mod traits;
 
-pub use cluster::{ClusterModel, PhaseTimes};
+pub use cluster::{ClusterModel, PhaseTimes, SimSchedule, SimTask};
 pub use dataset::Dataset;
 pub use dfs::Dfs;
 pub use emitter::Emitter;

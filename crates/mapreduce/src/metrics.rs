@@ -26,6 +26,9 @@ pub struct TaskStat {
     pub index: usize,
     /// Wall-clock duration of the task body (excludes shuffle).
     pub duration: Duration,
+    /// Time the task waited in its phase's queue before a worker thread
+    /// picked it up (0 when it started immediately).
+    pub queue: Duration,
     /// Input records consumed.
     pub input_records: usize,
     /// Logical encoded input size.
@@ -55,6 +58,13 @@ pub struct JobMetrics {
     pub pre_combine_bytes: usize,
     /// Real wall-clock duration of the whole job on the host.
     pub elapsed: Duration,
+    /// Wall-clock of the map phase (first map task queued → last finished).
+    pub map_elapsed: Duration,
+    /// Wall-clock of the shuffle (transpose of map buckets into per-reduce
+    /// input runs).
+    pub shuffle_elapsed: Duration,
+    /// Wall-clock of the reduce phase.
+    pub reduce_elapsed: Duration,
 }
 
 impl JobMetrics {
@@ -153,6 +163,17 @@ impl ChainMetrics {
     pub fn job(&self, name: &str) -> Option<&JobMetrics> {
         self.jobs.iter().find(|j| j.name == name)
     }
+
+    /// Job names in execution order.
+    pub fn job_names(&self) -> Vec<&str> {
+        self.jobs.iter().map(|j| j.name.as_str()).collect()
+    }
+
+    /// Append every job of `other` (in order) to this chain — e.g. to
+    /// combine the pipelines of a multi-stage algorithm into one report.
+    pub fn merge(&mut self, other: ChainMetrics) {
+        self.jobs.extend(other.jobs);
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +185,7 @@ mod tests {
             kind,
             index: 0,
             duration: Duration::from_millis(10),
+            queue: Duration::ZERO,
             input_records,
             input_bytes: input_records * 8,
             output_records,
@@ -181,6 +203,9 @@ mod tests {
             pre_combine_records: 60,
             pre_combine_bytes: 480,
             elapsed: Duration::from_millis(25),
+            map_elapsed: Duration::from_millis(10),
+            shuffle_elapsed: Duration::from_millis(5),
+            reduce_elapsed: Duration::from_millis(10),
         }
     }
 
@@ -211,6 +236,20 @@ mod tests {
         assert_eq!(c.total_elapsed(), Duration::from_millis(50));
         assert!(c.job("test").is_some());
         assert!(c.job("absent").is_none());
+    }
+
+    #[test]
+    fn chain_names_and_merge() {
+        let mut a = ChainMetrics::default();
+        a.push(metrics());
+        let mut second = metrics();
+        second.name = "second".into();
+        let mut b = ChainMetrics::default();
+        b.push(second);
+        a.merge(b);
+        assert_eq!(a.job_names(), vec!["test", "second"]);
+        assert_eq!(a.total_shuffle_records(), 120);
+        assert!(a.job("second").is_some());
     }
 
     #[test]

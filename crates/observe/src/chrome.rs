@@ -1,0 +1,214 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! Produces the JSON object format (`{"traceEvents": [...]}`) that both
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load directly: `"M"` metadata events naming processes and threads,
+//! then `"X"` complete events sorted by `(pid, tid, ts)` so timestamps
+//! are monotonically non-decreasing within every lane.
+
+use std::collections::BTreeMap;
+
+use crate::json::{escape, fmt_f64};
+use crate::trace::{Collector, FieldValue, TraceEvent};
+
+/// Accumulates events and lane names, then serializes once.
+#[derive(Default)]
+pub struct ChromeTrace {
+    events: Vec<TraceEvent>,
+    process_names: BTreeMap<u32, String>,
+    thread_names: BTreeMap<(u32, u32), String>,
+}
+
+impl ChromeTrace {
+    /// Empty trace document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seed from everything a collector recorded.
+    pub fn from_collector(c: &Collector) -> Self {
+        ChromeTrace {
+            events: c.events(),
+            process_names: c.process_names(),
+            thread_names: c.thread_names(),
+        }
+    }
+
+    /// Append one event (used for synthetic timelines).
+    pub fn push_event(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// Name a process lane.
+    pub fn set_process_name(&mut self, pid: u32, name: &str) {
+        self.process_names.insert(pid, name.to_string());
+    }
+
+    /// Name a thread lane.
+    pub fn set_thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.thread_names.insert((pid, tid), name.to_string());
+    }
+
+    /// Number of interval events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no interval events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The interval events currently held (unsorted; `to_json` sorts).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Serialize to the trace-event JSON object format.
+    pub fn to_json(&self) -> String {
+        let mut events = self.events.clone();
+        events.sort_by(|a, b| {
+            (a.pid, a.tid, a.ts_us, std::cmp::Reverse(a.dur_us))
+                .cmp(&(b.pid, b.tid, b.ts_us, std::cmp::Reverse(b.dur_us)))
+        });
+
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push_obj = |out: &mut String, body: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('{');
+            out.push_str(&body);
+            out.push('}');
+        };
+
+        for (pid, name) in &self.process_names {
+            push_obj(
+                &mut out,
+                format!(
+                    "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                     \"args\":{{\"name\":\"{}\"}}",
+                    escape(name)
+                ),
+            );
+        }
+        for ((pid, tid), name) in &self.thread_names {
+            push_obj(
+                &mut out,
+                format!(
+                    "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{}\"}}",
+                    escape(name)
+                ),
+            );
+        }
+        for e in &events {
+            let mut body = format!(
+                "\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\
+                 \"ts\":{},\"dur\":{}",
+                escape(&e.name),
+                escape(e.cat),
+                e.pid,
+                e.tid,
+                e.ts_us,
+                e.dur_us
+            );
+            if !e.args.is_empty() {
+                body.push_str(",\"args\":{");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push_str(&format!("\"{}\":", escape(k)));
+                    match v {
+                        FieldValue::Int(x) => body.push_str(&x.to_string()),
+                        FieldValue::UInt(x) => body.push_str(&x.to_string()),
+                        FieldValue::Float(x) => body.push_str(&fmt_f64(*x)),
+                        FieldValue::Bool(x) => body.push_str(if *x { "true" } else { "false" }),
+                        FieldValue::Str(s) => body.push_str(&format!("\"{}\"", escape(s))),
+                    }
+                }
+                body.push('}');
+            }
+            push_obj(&mut out, body);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, pid: u32, tid: u32, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat: "test",
+            pid,
+            tid,
+            ts_us: ts,
+            dur_us: dur,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn export_sorts_per_lane_and_names_lanes() {
+        let mut t = ChromeTrace::new();
+        t.set_process_name(1, "host");
+        t.set_thread_name(1, 2, "worker \"2\"");
+        t.push_event(ev("b", 1, 2, 50, 5));
+        t.push_event(ev("a", 1, 2, 10, 5));
+        t.push_event(ev("c", 1, 1, 30, 5));
+        let json = t.to_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("worker \\\"2\\\""));
+        // Lane (1,2): "a" (ts 10) must precede "b" (ts 50).
+        let a = json.find("\"name\":\"a\"").unwrap();
+        let b = json.find("\"name\":\"b\"").unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn args_serialize_all_field_kinds() {
+        let mut t = ChromeTrace::new();
+        t.push_event(TraceEvent {
+            name: "n".into(),
+            cat: "c",
+            pid: 1,
+            tid: 1,
+            ts_us: 0,
+            dur_us: 1,
+            args: vec![
+                ("i", FieldValue::Int(-3)),
+                ("u", FieldValue::UInt(7)),
+                ("f", FieldValue::Float(0.5)),
+                ("b", FieldValue::Bool(true)),
+                ("s", FieldValue::Str("x\"y".into())),
+            ],
+        });
+        let json = t.to_json();
+        assert!(json.contains("\"i\":-3"));
+        assert!(json.contains("\"u\":7"));
+        assert!(json.contains("\"f\":0.5"));
+        assert!(json.contains("\"b\":true"));
+        assert!(json.contains("\"s\":\"x\\\"y\""));
+    }
+
+    #[test]
+    fn nested_spans_order_parent_first_at_equal_ts() {
+        // At equal ts the longer (enclosing) span must come first so the
+        // viewer nests correctly.
+        let mut t = ChromeTrace::new();
+        t.push_event(ev("child", 1, 1, 100, 10));
+        t.push_event(ev("parent", 1, 1, 100, 50));
+        let json = t.to_json();
+        let p = json.find("\"name\":\"parent\"").unwrap();
+        let c = json.find("\"name\":\"child\"").unwrap();
+        assert!(p < c);
+    }
+}

@@ -1,0 +1,111 @@
+//! Leveled stderr logging gated by the `SSJ_LOG` environment variable.
+//!
+//! Levels: `quiet` < `info` < `debug`; default `info`. Messages print
+//! verbatim via `eprintln!`, so a call site converted from `eprintln!` to
+//! [`info!`](crate::info) produces byte-identical output at the default
+//! level. The level is read once per process (first log call) and cached.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log verbosity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Suppress everything.
+    Quiet = 0,
+    /// Operator-facing narration (default).
+    Info = 1,
+    /// Extra detail for debugging runs.
+    Debug = 2,
+}
+
+const UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+fn level_from_env() -> Level {
+    match std::env::var("SSJ_LOG").as_deref() {
+        Ok("quiet") | Ok("off") | Ok("none") => Level::Quiet,
+        Ok("debug") => Level::Debug,
+        // Unknown values fall back to the default rather than erroring:
+        // logging must never take a run down.
+        _ => Level::Info,
+    }
+}
+
+/// Current level (reads `SSJ_LOG` on first call).
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        UNSET => {
+            let l = level_from_env();
+            LEVEL.store(l as u8, Ordering::Relaxed);
+            l
+        }
+        0 => Level::Quiet,
+        1 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Override the level programmatically (tests, embedders).
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether messages at `l` are emitted.
+pub fn enabled(l: Level) -> bool {
+    l <= level()
+}
+
+/// Print `args` to stderr if `l` is enabled. Prefer the macros.
+pub fn log(l: Level, args: std::fmt::Arguments<'_>) {
+    if enabled(l) {
+        eprintln!("{args}");
+    }
+}
+
+/// Log at [`Level::Info`] (formatting is skipped when suppressed).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::log($crate::log::Level::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Debug`] (formatting is skipped when suppressed).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::log($crate::log::Level::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_gating() {
+        assert!(Level::Quiet < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Quiet);
+        assert!(!enabled(Level::Info));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        // Restore the default for other tests in this process.
+        set_level(Level::Info);
+    }
+
+    #[test]
+    fn macros_compile_and_run() {
+        set_level(Level::Quiet);
+        info!("suppressed {}", 1);
+        debug!("suppressed {}", 2);
+        set_level(Level::Info);
+    }
+}

@@ -1,0 +1,356 @@
+//! Named counters, gauges and log-scale histograms with merge semantics.
+//!
+//! A [`MetricsRegistry`] is cheap to create; the FS-Join driver makes one
+//! per run to absorb worker-side filter statistics, then (if a global
+//! registry is installed by the exporter) merges it upstream. Counter
+//! names are dotted paths (`fsjoin.filter.segl_pruned`,
+//! `mr.job.fsjoin-filter.shuffle_records`); the JSONL export writes one
+//! self-describing object per metric.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::json::escape;
+
+/// Power-of-two-bucket histogram for nonnegative integers: value `v` lands
+/// in bucket `bits(v)` (so bucket `k` covers `[2^(k-1), 2^k)`, bucket 0
+/// holds zeros). 65 buckets cover the full `u64` range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        let bucket = (64 - v.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound_exclusive, count)` pairs; the
+    /// zero bucket reports upper bound 1.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| {
+                let upper = if k >= 64 { u64::MAX } else { 1u64 << k };
+                (upper, c)
+            })
+            .collect()
+    }
+}
+
+/// A single metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic sum.
+    Counter(u64),
+    /// Last-write-wins value.
+    Gauge(f64),
+    /// Distribution of nonnegative integers.
+    Histogram(LogHistogram),
+}
+
+/// Thread-safe name → metric map.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, MetricValue>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the counter `name` (created at zero).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut m = self.inner.lock().unwrap();
+        match m.get_mut(name) {
+            Some(MetricValue::Counter(c)) => *c += delta,
+            Some(other) => panic!("metric {name:?} is not a counter: {other:?}"),
+            None => {
+                m.insert(name.to_string(), MetricValue::Counter(delta));
+            }
+        }
+    }
+
+    /// Current counter value (0 if absent or not a counter).
+    pub fn counter_get(&self, name: &str) -> u64 {
+        match self.inner.lock().unwrap().get(name) {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Set the gauge `name`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Current gauge value (None if absent or not a gauge).
+    pub fn gauge_get(&self, name: &str) -> Option<f64> {
+        match self.inner.lock().unwrap().get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Record one observation into the histogram `name` (created empty).
+    pub fn histogram_record(&self, name: &str, value: u64) {
+        let mut m = self.inner.lock().unwrap();
+        match m.get_mut(name) {
+            Some(MetricValue::Histogram(h)) => h.record(value),
+            Some(other) => panic!("metric {name:?} is not a histogram: {other:?}"),
+            None => {
+                let mut h = LogHistogram::default();
+                h.record(value);
+                m.insert(name.to_string(), MetricValue::Histogram(h));
+            }
+        }
+    }
+
+    /// Snapshot of the histogram `name`, if present.
+    pub fn histogram_get(&self, name: &str) -> Option<LogHistogram> {
+        match self.inner.lock().unwrap().get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// Fold every metric of `other` into this registry: counters add,
+    /// gauges take `other`'s value, histograms merge.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        let theirs = other.inner.lock().unwrap().clone();
+        let mut mine = self.inner.lock().unwrap();
+        for (name, value) in theirs {
+            match (mine.get_mut(&name), value) {
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(&b),
+                (Some(MetricValue::Gauge(a)), MetricValue::Gauge(b)) => *a = b,
+                (Some(existing), incoming) => {
+                    panic!("metric {name:?} kind mismatch: {existing:?} vs {incoming:?}")
+                }
+                (None, v) => {
+                    mine.insert(name, v);
+                }
+            }
+        }
+    }
+
+    /// Sorted snapshot of all metrics.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Serialize every metric as one JSON object per line.
+    ///
+    /// * counter: `{"metric":NAME,"type":"counter","value":N}`
+    /// * gauge: `{"metric":NAME,"type":"gauge","value":X}`
+    /// * histogram: `{"metric":NAME,"type":"histogram","count":N,"sum":S,
+    ///   "min":m,"max":M,"mean":X,"buckets":{"UPPER":COUNT,...}}`
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.snapshot() {
+            out.push_str("{\"metric\":\"");
+            out.push_str(&escape(&name));
+            out.push('"');
+            match value {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!(",\"type\":\"counter\",\"value\":{c}"));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!(
+                        ",\"type\":\"gauge\",\"value\":{}",
+                        crate::json::fmt_f64(g)
+                    ));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        ",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max(),
+                        crate::json::fmt_f64(h.mean())
+                    ));
+                    out.push_str(",\"buckets\":{");
+                    let mut first = true;
+                    for (upper, count) in h.nonzero_buckets() {
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        out.push_str(&format!("\"{upper}\":{count}"));
+                    }
+                    out.push('}');
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::new();
+        r.counter_add("a.b", 3);
+        r.counter_add("a.b", 4);
+        assert_eq!(r.counter_get("a.b"), 7);
+        assert_eq!(r.counter_get("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = LogHistogram::default();
+        for v in [0u64, 1, 1, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 111);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        // Buckets: 0 -> [0], 1,1 -> (,1], 2,3 -> (,4]? No: bits(2)=2 ->
+        // bucket 2 upper 4; bits(3)=2; bits(4)=3 -> upper 8; bits(100)=7 ->
+        // upper 128.
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(1, 1), (2, 2), (4, 2), (8, 1), (128, 1)]
+        );
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_stream() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        let mut all = LogHistogram::default();
+        for v in [5u64, 9, 200] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 7] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn registry_merge_semantics() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        b.counter_add("c", 2);
+        b.counter_add("only_b", 5);
+        a.gauge_set("g", 1.0);
+        b.gauge_set("g", 2.5);
+        a.histogram_record("h", 4);
+        b.histogram_record("h", 9);
+        a.merge_from(&b);
+        assert_eq!(a.counter_get("c"), 3);
+        assert_eq!(a.counter_get("only_b"), 5);
+        assert_eq!(a.gauge_get("g"), Some(2.5));
+        let h = a.histogram_get("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 13);
+    }
+
+    #[test]
+    fn jsonl_lines_are_objects() {
+        let r = MetricsRegistry::new();
+        r.counter_add("n", 3);
+        r.gauge_set("x", 0.5);
+        r.histogram_record("d", 10);
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            assert!(line.starts_with("{\"metric\":\""), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(jsonl.contains("\"type\":\"counter\",\"value\":3"));
+        assert!(jsonl.contains("\"type\":\"histogram\",\"count\":1,\"sum\":10"));
+    }
+}

@@ -1,0 +1,410 @@
+//! Span tracer with a zero-cost disabled path.
+//!
+//! A global [`Collector`] is installed explicitly (e.g. by `expt
+//! --trace-out`); until then, [`span`] is one relaxed atomic load and
+//! returns an inert guard without touching the heap. Instrumented code
+//! therefore never needs `#[cfg]` gates or call-site checks.
+//!
+//! Timestamps are microseconds from the collector's install instant
+//! (monotonic, per-process). Each OS thread gets a stable small lane id
+//! (`tid` in the exported trace) so concurrent task spans render on
+//! separate tracks.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::MetricsRegistry;
+
+/// A typed span/event attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+macro_rules! impl_field_from {
+    ($($t:ty => $variant:ident as $as:ty),* $(,)?) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $as)
+            }
+        }
+    )*};
+}
+
+impl_field_from! {
+    i32 => Int as i64,
+    i64 => Int as i64,
+    u32 => UInt as u64,
+    u64 => UInt as u64,
+    usize => UInt as u64,
+    f64 => Float as f64,
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One completed interval, in Chrome trace-event terms (an `"X"` event).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Span name (e.g. `"map"`, `"fsjoin-filter"`).
+    pub name: String,
+    /// Category (e.g. `"mr.job"`, `"fsjoin.stage"`, `"sim.task"`).
+    pub cat: &'static str,
+    /// Process lane; `HOST_PID` for real execution, higher ids for
+    /// synthetic timelines.
+    pub pid: u32,
+    /// Thread lane within the process.
+    pub tid: u32,
+    /// Start, microseconds since the collector epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Key/value attributes (`args` in the exported JSON).
+    pub args: Vec<(&'static str, FieldValue)>,
+}
+
+/// `pid` used for spans recorded from real execution.
+pub const HOST_PID: u32 = 1;
+
+/// Thread-safe span sink. One is installed globally; clones of the `Arc`
+/// may also be held directly (e.g. by the exporter).
+pub struct Collector {
+    id: u64,
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    process_names: Mutex<BTreeMap<u32, String>>,
+    thread_names: Mutex<BTreeMap<(u32, u32), String>>,
+}
+
+impl Collector {
+    /// Fresh collector with its epoch at "now". Usually installed globally
+    /// via [`install_collector`], but standalone collectors work too (e.g.
+    /// synthetic timelines in tests).
+    pub fn new() -> Self {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        let c = Collector {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            process_names: Mutex::new(BTreeMap::new()),
+            thread_names: Mutex::new(BTreeMap::new()),
+        };
+        c.set_process_name(HOST_PID, "host");
+        c
+    }
+
+    /// Microseconds elapsed since this collector was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Append a finished event (used by `Span::drop` and by synthetic
+    /// timeline builders).
+    pub fn push(&self, event: TraceEvent) {
+        self.events.lock().unwrap().push(event);
+    }
+
+    /// Name a process lane in the exported trace.
+    pub fn set_process_name(&self, pid: u32, name: &str) {
+        self.process_names
+            .lock()
+            .unwrap()
+            .insert(pid, name.to_string());
+    }
+
+    /// Name a thread lane in the exported trace.
+    pub fn set_thread_name(&self, pid: u32, tid: u32, name: &str) {
+        self.thread_names
+            .lock()
+            .unwrap()
+            .insert((pid, tid), name.to_string());
+    }
+
+    /// Snapshot of all recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Snapshot of the process-name table.
+    pub fn process_names(&self) -> BTreeMap<u32, String> {
+        self.process_names.lock().unwrap().clone()
+    }
+
+    /// Snapshot of the thread-name table.
+    pub fn thread_names(&self) -> BTreeMap<(u32, u32), String> {
+        self.thread_names.lock().unwrap().clone()
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+fn collector_slot() -> &'static Mutex<Option<Arc<Collector>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<Collector>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// True when a collector is installed. One relaxed load; this is the
+/// entirety of the disabled-path cost beyond constructing an inert guard.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Install a fresh collector and enable tracing. Returns the collector so
+/// the caller can export from it later.
+pub fn install_collector() -> Arc<Collector> {
+    let c = Arc::new(Collector::new());
+    *collector_slot().lock().unwrap() = Some(Arc::clone(&c));
+    TRACING.store(true, Ordering::Release);
+    c
+}
+
+/// Disable tracing and drop the global reference. In-flight spans on other
+/// threads still hold their own `Arc` and finish recording harmlessly.
+pub fn uninstall_collector() -> Option<Arc<Collector>> {
+    TRACING.store(false, Ordering::Release);
+    collector_slot().lock().unwrap().take()
+}
+
+/// The installed collector, if any.
+pub fn collector() -> Option<Arc<Collector>> {
+    if !tracing_enabled() {
+        return None;
+    }
+    collector_slot().lock().unwrap().clone()
+}
+
+/// Stable small per-thread lane id, registered with `collector` by name on
+/// first use per collector generation.
+fn thread_lane(c: &Collector) -> u32 {
+    use std::cell::Cell;
+    static NEXT_LANE: AtomicU32 = AtomicU32::new(1);
+    thread_local! {
+        static LANE: Cell<u32> = const { Cell::new(0) };
+        static REGISTERED_FOR: Cell<u64> = const { Cell::new(0) };
+    }
+    let lane = LANE.with(|l| {
+        if l.get() == 0 {
+            l.set(NEXT_LANE.fetch_add(1, Ordering::Relaxed));
+        }
+        l.get()
+    });
+    REGISTERED_FOR.with(|r| {
+        if r.get() != c.id {
+            r.set(c.id);
+            let name = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("worker-{lane}"));
+            c.set_thread_name(HOST_PID, lane, &name);
+        }
+    });
+    lane
+}
+
+struct SpanInner {
+    collector: Arc<Collector>,
+    name: String,
+    cat: &'static str,
+    tid: u32,
+    start_us: u64,
+    args: Vec<(&'static str, FieldValue)>,
+}
+
+/// RAII span guard: records one [`TraceEvent`] on drop. Inert (no
+/// allocation, no collector reference) when tracing is disabled.
+pub struct Span {
+    inner: Option<Box<SpanInner>>,
+}
+
+/// Open a span. `cat` groups spans for filtering in the trace viewer;
+/// `name` is the label on the timeline bar. Keep `name` a plain `&str`
+/// that exists anyway (avoid `format!` at call sites) so the disabled
+/// path allocates nothing; use [`Span::field`] for variable data.
+#[inline]
+pub fn span(cat: &'static str, name: &str) -> Span {
+    if !tracing_enabled() {
+        return Span { inner: None };
+    }
+    let Some(c) = collector() else {
+        return Span { inner: None };
+    };
+    let tid = thread_lane(&c);
+    let start_us = c.now_us();
+    Span {
+        inner: Some(Box::new(SpanInner {
+            collector: c,
+            name: name.to_string(),
+            cat,
+            tid,
+            start_us,
+            args: Vec::new(),
+        })),
+    }
+}
+
+impl Span {
+    /// Attach an attribute. The value is only converted (and any
+    /// allocation only happens) when the span is live.
+    #[inline]
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.args.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Attach an attribute to an existing span (non-consuming variant, for
+    /// values only known mid-span).
+    #[inline]
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.args.push((key, value.into()));
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let end_us = inner.collector.now_us();
+            inner.collector.push(TraceEvent {
+                name: inner.name,
+                cat: inner.cat,
+                pid: HOST_PID,
+                tid: inner.tid,
+                ts_us: inner.start_us,
+                dur_us: end_us.saturating_sub(inner.start_us),
+                args: inner.args,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global metrics registry (installed alongside the collector by exporters).
+// ---------------------------------------------------------------------------
+
+fn registry_slot() -> &'static Mutex<Option<Arc<MetricsRegistry>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<MetricsRegistry>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Install a fresh global metrics registry and return it.
+pub fn install_registry() -> Arc<MetricsRegistry> {
+    let r = Arc::new(MetricsRegistry::new());
+    *registry_slot().lock().unwrap() = Some(Arc::clone(&r));
+    r
+}
+
+/// Remove and return the global registry.
+pub fn uninstall_registry() -> Option<Arc<MetricsRegistry>> {
+    registry_slot().lock().unwrap().take()
+}
+
+/// The global registry, if one is installed.
+pub fn global_registry() -> Option<Arc<MetricsRegistry>> {
+    registry_slot().lock().unwrap().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector slot is process-global; tests touching it run under a
+    // shared lock so `cargo test`'s parallel harness can't interleave them.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = serial();
+        uninstall_collector();
+        let s = span("test", "nothing").field("k", 1u64);
+        assert!(!s.is_active());
+        drop(s);
+    }
+
+    #[test]
+    fn spans_record_events_with_fields() {
+        let _g = serial();
+        let c = install_collector();
+        {
+            let _outer = span("test", "outer").field("n", 3usize);
+            let _inner = span("test", "inner").field("which", "i");
+        }
+        uninstall_collector();
+        let events = c.events();
+        assert_eq!(events.len(), 2);
+        // Drop order: inner recorded first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[1].args, vec![("n", FieldValue::UInt(3))]);
+        // Containment: outer started no later and ended no earlier.
+        let (i, o) = (&events[0], &events[1]);
+        assert!(o.ts_us <= i.ts_us);
+        assert!(o.ts_us + o.dur_us >= i.ts_us + i.dur_us);
+    }
+
+    #[test]
+    fn uninstall_disables_future_spans() {
+        let _g = serial();
+        let c = install_collector();
+        uninstall_collector();
+        drop(span("test", "late"));
+        assert!(c.events().is_empty());
+    }
+
+    #[test]
+    fn thread_lanes_are_distinct_and_named() {
+        let _g = serial();
+        let c = install_collector();
+        drop(span("test", "main-lane"));
+        std::thread::scope(|s| {
+            s.spawn(|| drop(span("test", "other-lane")));
+        });
+        uninstall_collector();
+        let events = c.events();
+        assert_eq!(events.len(), 2);
+        let tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
+        assert_ne!(tids[0], tids[1], "two threads, two lanes");
+        let names = c.thread_names();
+        for e in &events {
+            assert!(names.contains_key(&(HOST_PID, e.tid)));
+        }
+    }
+}

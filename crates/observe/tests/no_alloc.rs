@@ -1,0 +1,61 @@
+//! The acceptance bar for "near-zero cost when disabled": creating and
+//! dropping spans (including attaching fields) with no collector installed
+//! must perform zero heap allocations.
+//!
+//! This file intentionally holds a single test: the counting allocator is
+//! process-global, and a sibling test running on another harness thread
+//! would pollute the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_spans_allocate_nothing() {
+    assert!(ssj_observe::uninstall_collector().is_none());
+
+    // Warm up any lazy statics on the span path (the collector-slot
+    // OnceLock initializes its Mutex on first touch).
+    drop(ssj_observe::span("warmup", "warmup"));
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let s = ssj_observe::span("mr.task", "map")
+            .field("index", i)
+            .field("records", 12345u64);
+        drop(s);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span path must not touch the heap"
+    );
+
+    // Sanity check the counter actually counts.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let v: Vec<u8> = Vec::with_capacity(64);
+    drop(v);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(after > before, "counting allocator is wired in");
+}

@@ -1,0 +1,219 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! The build environment has no network access to crates.io (see
+//! `third_party/README.md`), so this crate provides an API-compatible
+//! wall-clock micro-runner: per benchmark it calibrates an iteration count
+//! targeting ~`measurement_time / sample_size` per sample, takes
+//! `sample_size` samples, and prints min/median/max time per iteration.
+//! There is no statistics engine, no outlier analysis, and no HTML report —
+//! the numbers are honest medians, good enough for the before/after
+//! comparisons this workspace's benches exist for.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted for API parity; the
+/// stub always runs setup once per measured invocation, which matches
+/// `PerIteration` semantics and is safe for every batch size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` over the calibrated iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of related benchmarks sharing runner settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (each sample is many iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<N: Into<String>, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        // Calibrate: time a single iteration, then pick a count that makes
+        // each sample last ~measurement_time / sample_size.
+        let mut probe = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut probe);
+        let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+        let sample_budget = self.measurement_time / self.sample_size as u32;
+        let iters = (sample_budget.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let med = samples[samples.len() / 2];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{}/{:<32} [{} x {} iters]  min {}  med {}  max {}",
+            self.name,
+            name,
+            self.sample_size,
+            iters,
+            fmt_secs(min),
+            fmt_secs(med),
+            fmt_secs(max)
+        );
+        self
+    }
+
+    /// End the group (API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Format seconds with an auto-selected unit, criterion-style.
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} µs", s * 1e6)
+    } else {
+        format!("{:.2} ns", s * 1e9)
+    }
+}
+
+/// Benchmark runner handle. Holds group defaults only.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+            default_measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) =
+            (self.default_sample_size, self.default_measurement_time);
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Chained configuration used by some harnesses; kept for parity.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runner function named `$group`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target. Extra CLI
+/// arguments from `cargo bench` (e.g. `--bench`, filters) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_executes_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3).measurement_time(Duration::from_millis(20));
+        let mut runs = 0u64;
+        g.bench_function("count_up", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+}
