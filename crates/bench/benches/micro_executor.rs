@@ -1,0 +1,41 @@
+//! Micro-benchmark of the task executor's result handoff: the lock-free
+//! slot vector ([`run_tasks`]) vs the retired per-task mutex slots
+//! ([`run_tasks_locked`]). Many tiny tasks make the handoff cost visible;
+//! the lock-free path skips one `Mutex` lock/unlock round-trip per task
+//! completion and shows up as a lower per-task overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssj_mapreduce::executor::{run_tasks, run_tasks_locked};
+use std::hint::black_box;
+
+/// A tiny task: a few arithmetic steps so the handoff dominates.
+fn tiny(i: usize, x: u64) -> u64 {
+    let mut h = x ^ (i as u64);
+    h = h.wrapping_mul(0x9e3779b97f4a7c15);
+    h ^= h >> 29;
+    h
+}
+
+fn bench_handoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_handoff");
+    g.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let tasks: Vec<u64> = (0..n as u64).collect();
+        g.bench_function(format!("lockfree_{n}_tasks"), |b| {
+            b.iter(|| {
+                let out = run_tasks(4, black_box(tasks.clone()), |i, x| tiny(i, x));
+                black_box(out)
+            })
+        });
+        g.bench_function(format!("mutex_{n}_tasks"), |b| {
+            b.iter(|| {
+                let out = run_tasks_locked(4, black_box(tasks.clone()), |i, x| tiny(i, x));
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_handoff);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Fault-tolerance experiment — makespan under injected failures.
+//!
+//! Runs a measured FS-Join once, then replays its task profile through the
+//! fault-aware cluster simulator ([`ClusterModel::simulate_chain_faults`])
+//! across failure rates and cluster sizes. Two questions, two tables:
+//!
+//! 1. How fast does makespan degrade with the injected failure rate, and
+//!    how much of the straggler-bound tail does speculative execution win
+//!    back? (5/10/15-node clusters, speculation off vs on.)
+//! 2. What does map-output checkpointing save when nodes are lost during
+//!    the reduce phase? (Re-fetch from materialized spills vs re-run the
+//!    lost node's map tasks.)
+//!
+//! Every number is deterministic in the fault-plan seed; cluster-lost
+//! seeds (every replica of the plan dies) are skipped and counted.
+
+use crate::datasets::{corpus, tuned_fsjoin, Scale};
+use crate::runners::{run_algorithm_cfg, Algorithm};
+use ssj_common::table::Table;
+use ssj_mapreduce::{ClusterModel, SimFaultPolicy};
+use ssj_faults::FaultPlan;
+use ssj_similarity::Measure;
+use ssj_text::CorpusProfile;
+
+const NODES: [usize; 3] = [5, 10, 15];
+const RATES: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
+const SEEDS: std::ops::Range<u64> = 0..8;
+
+/// Mean slowdown (faulty ÷ clean makespan) over the seed set; counts
+/// cluster-lost seeds separately.
+fn mean_slowdown(
+    cluster: &ClusterModel,
+    chain: &ssj_mapreduce::ChainMetrics,
+    rate: f64,
+    policy: &SimFaultPolicy,
+) -> (f64, usize) {
+    let mut total = 0.0;
+    let mut ok = 0usize;
+    let mut lost = 0usize;
+    for seed in SEEDS {
+        let plan = FaultPlan::chaos(seed, rate);
+        match cluster.simulate_chain_faults(chain, &plan, policy) {
+            Ok(out) => {
+                total += out.slowdown();
+                ok += 1;
+            }
+            Err(_) => lost += 1,
+        }
+    }
+    (if ok > 0 { total / ok as f64 } else { f64::NAN }, lost)
+}
+
+/// Run the experiment; returns markdown.
+pub fn run() -> String {
+    let profile = CorpusProfile::WikiLike;
+    let c = corpus(profile, Scale::Small);
+    let mut out = String::from(
+        "# Fault tolerance — makespan under injected failures\n\n\
+         FS-Join at θ = 0.8 (Jaccard, wiki-like corpus); measured task\n\
+         profile replayed through the fault-aware cluster simulator.\n\
+         Cells are mean makespan inflation over 8 seeds (1.00 = fault-free;\n\
+         chaos plan: rate split 60/40 between errors and panics, plus an\n\
+         equal rate of 4× stragglers).\n\n\
+         ## Makespan inflation vs failure rate\n\n",
+    );
+
+    let mut t = Table::new([
+        "Nodes",
+        "Speculation",
+        "0%",
+        "2%",
+        "5%",
+        "10%",
+    ]);
+    for &nodes in &NODES {
+        let r = run_algorithm_cfg(
+            Algorithm::FsJoin,
+            &c,
+            Measure::Jaccard,
+            0.8,
+            nodes,
+            &tuned_fsjoin(profile),
+        );
+        let chain = r.chain.as_ref().expect("FS-Join completes");
+        let cluster = ClusterModel::paper_default(nodes);
+        for (label, policy) in [
+            ("off", SimFaultPolicy::default()),
+            ("on", SimFaultPolicy::speculative()),
+        ] {
+            let mut row = vec![nodes.to_string(), label.to_string()];
+            for &rate in &RATES {
+                let (slow, lost) = mean_slowdown(&cluster, chain, rate, &policy);
+                let mark = if lost > 0 {
+                    format!(" ({lost} lost)")
+                } else {
+                    String::new()
+                };
+                row.push(format!("{slow:.2}×{mark}"));
+            }
+            t.push_row([
+                row[0].clone(),
+                row[1].clone(),
+                row[2].clone(),
+                row[3].clone(),
+                row[4].clone(),
+                row[5].clone(),
+            ]);
+        }
+    }
+    out.push_str(&t.to_markdown());
+
+    out.push_str(
+        "\nSpeculation cannot help with the error/panic share (those\n\
+         attempts must be retried) but it clips the straggler tail, so the\n\
+         \"on\" rows should sit at or below their \"off\" siblings at every\n\
+         rate — the gap widens with the rate as 4× stragglers dominate the\n\
+         critical path.\n\n\
+         ## Node loss — checkpointed map outputs vs map re-runs\n\n",
+    );
+
+    let nodes = 10;
+    let r = run_algorithm_cfg(
+        Algorithm::FsJoin,
+        &c,
+        Measure::Jaccard,
+        0.8,
+        nodes,
+        &tuned_fsjoin(profile),
+    );
+    let chain = r.chain.as_ref().expect("FS-Join completes");
+    let cluster = ClusterModel::paper_default(nodes);
+    let mut t2 = Table::new([
+        "Loss rate",
+        "Checkpointed slowdown",
+        "Re-map slowdown",
+        "Map re-runs",
+    ]);
+    for loss in [0.05, 0.10, 0.20] {
+        let mut ck = (0.0, 0usize);
+        let mut rm = (0.0, 0usize);
+        let mut reruns = 0u64;
+        for seed in SEEDS {
+            let plan = FaultPlan::new(seed).with_node_loss(loss);
+            let with = SimFaultPolicy {
+                checkpoint_map_outputs: true,
+                ..SimFaultPolicy::default()
+            };
+            let without = SimFaultPolicy {
+                checkpoint_map_outputs: false,
+                ..SimFaultPolicy::default()
+            };
+            if let Ok(o) = cluster.simulate_chain_faults(chain, &plan, &with) {
+                ck.0 += o.slowdown();
+                ck.1 += 1;
+            }
+            if let Ok(o) = cluster.simulate_chain_faults(chain, &plan, &without) {
+                rm.0 += o.slowdown();
+                rm.1 += 1;
+                reruns += o.map_reruns;
+            }
+        }
+        t2.push_row([
+            format!("{:.0}%", loss * 100.0),
+            format!("{:.2}×", ck.0 / ck.1.max(1) as f64),
+            format!("{:.2}×", rm.0 / rm.1.max(1) as f64),
+            reruns.to_string(),
+        ]);
+    }
+    out.push_str(&t2.to_markdown());
+    out.push_str(
+        "\nHadoop 0.20.2 materializes map output on local disk and lets\n\
+         reducers re-fetch it after a failed attempt; only losing the\n\
+         *node* forces map re-execution. The checkpointed column models\n\
+         the re-fetch path (our `SpillStore`); the re-map column pays the\n\
+         Hadoop-without-spills price.\n",
+    );
+    out
+}

@@ -2,6 +2,7 @@
 
 pub mod ext_ordering;
 pub mod ext_pf;
+pub mod faults;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -16,9 +17,9 @@ pub mod table3;
 pub mod table4;
 
 /// All experiment ids, in the paper's presentation order.
-pub const ALL: [&str; 14] = [
+pub const ALL: [&str; 15] = [
     "table1", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "lemma5", "ext-pf", "ext-ordering",
+    "fig13", "lemma5", "ext-pf", "ext-ordering", "faults",
 ];
 
 /// Run one experiment by id, returning its markdown report.
@@ -38,6 +39,7 @@ pub fn run(id: &str) -> Option<String> {
         "lemma5" => lemma5::run(),
         "ext-pf" => ext_pf::run(),
         "ext-ordering" => ext_ordering::run(),
+        "faults" => faults::run(),
         _ => return None,
     })
 }

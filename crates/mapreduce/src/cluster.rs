@@ -66,6 +66,21 @@ impl ClusterModel {
         }
     }
 
+    /// Panic with a clear message if the model cannot schedule anything.
+    /// Every simulation entry point calls this, so a mis-built model fails
+    /// fast instead of silently falling back to a 1-slot cluster.
+    fn validate(&self) {
+        assert!(self.nodes > 0, "ClusterModel: nodes must be >= 1");
+        assert!(
+            self.slots_per_node > 0,
+            "ClusterModel: slots_per_node must be >= 1"
+        );
+        assert!(
+            self.node_speed > 0.0,
+            "ClusterModel: node_speed must be positive"
+        );
+    }
+
     /// Total task slots.
     pub fn total_slots(&self) -> usize {
         self.nodes * self.slots_per_node
@@ -88,7 +103,8 @@ impl ClusterModel {
     /// FIFO slot scheduler approximates; we keep submission order (Hadoop
     /// launches tasks in order, not LPT-sorted).
     pub fn makespan_secs(&self, durations: impl IntoIterator<Item = f64>) -> f64 {
-        let slots = self.total_slots().max(1);
+        self.validate();
+        let slots = self.total_slots();
         let mut heap: BinaryHeap<Reverse<OrderedF64>> =
             (0..slots).map(|_| Reverse(OrderedF64(0.0))).collect();
         let mut makespan = 0.0f64;
@@ -103,9 +119,10 @@ impl ClusterModel {
 
     /// Simulate one job on this cluster from its measured metrics.
     pub fn simulate_job(&self, m: &JobMetrics) -> PhaseTimes {
+        self.validate();
         let map = self.makespan_secs(task_secs(&m.map_tasks));
         let record_overhead =
-            m.shuffle_records as f64 * self.per_record_secs / self.total_slots().max(1) as f64;
+            m.shuffle_records as f64 * self.per_record_secs / self.total_slots() as f64;
         let shuffle = self.shuffle_secs(m.shuffle_bytes) + record_overhead;
         let reduce = self.makespan_secs(task_secs(&m.reduce_tasks));
         PhaseTimes {
@@ -134,7 +151,8 @@ impl ClusterModel {
         base: f64,
         durations: impl IntoIterator<Item = f64>,
     ) -> Vec<(usize, f64, f64)> {
-        let slots = self.total_slots().max(1);
+        self.validate();
+        let slots = self.total_slots();
         let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> =
             (0..slots).map(|s| Reverse((OrderedF64(base), s))).collect();
         let mut out = Vec::new();
@@ -155,6 +173,7 @@ impl ClusterModel {
     /// `base_secs` offsets the whole schedule (for chaining jobs on one
     /// simulated timeline).
     pub fn simulate_job_schedule(&self, m: &JobMetrics, base_secs: f64) -> SimSchedule {
+        self.validate();
         let mut tasks = Vec::with_capacity(m.map_tasks.len() + m.reduce_tasks.len());
         let map_assignments = self.schedule_slots(base_secs, task_secs(&m.map_tasks));
         let mut map_end = base_secs;
@@ -163,7 +182,7 @@ impl ClusterModel {
             tasks.push(SimTask {
                 kind: t.kind,
                 index: t.index,
-                node: slot / self.slots_per_node.max(1),
+                node: slot / self.slots_per_node,
                 slot,
                 start_secs: start,
                 end_secs: end,
@@ -171,7 +190,7 @@ impl ClusterModel {
         }
 
         let record_overhead =
-            m.shuffle_records as f64 * self.per_record_secs / self.total_slots().max(1) as f64;
+            m.shuffle_records as f64 * self.per_record_secs / self.total_slots() as f64;
         let shuffle_secs = self.shuffle_secs(m.shuffle_bytes) + record_overhead;
         let reduce_base = map_end + shuffle_secs;
 
@@ -182,7 +201,7 @@ impl ClusterModel {
             tasks.push(SimTask {
                 kind: t.kind,
                 index: t.index,
-                node: slot / self.slots_per_node.max(1),
+                node: slot / self.slots_per_node,
                 slot,
                 start_secs: start,
                 end_secs: end,
@@ -406,6 +425,7 @@ mod tests {
             map_elapsed: Duration::ZERO,
             shuffle_elapsed: Duration::ZERO,
             reduce_elapsed: Duration::ZERO,
+            exec: Default::default(),
         };
         let pure = ClusterModel::paper_default(10).simulate_job(&m);
         let hadoop = ClusterModel::hadoop_2010(10).simulate_job(&m);
@@ -428,6 +448,7 @@ mod tests {
             map_elapsed: Duration::from_millis(100),
             shuffle_elapsed: Duration::ZERO,
             reduce_elapsed: Duration::from_millis(200),
+            exec: Default::default(),
         };
         let c = ClusterModel::paper_default(2);
         let p = c.simulate_job(&m);
@@ -463,6 +484,7 @@ mod tests {
             map_elapsed: Duration::from_millis(400),
             shuffle_elapsed: Duration::from_millis(100),
             reduce_elapsed: Duration::from_millis(500),
+            exec: Default::default(),
         }
     }
 
@@ -510,6 +532,89 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn zero_duration_tasks_have_zero_makespan() {
+        let c = ClusterModel::paper_default(3);
+        assert_eq!(c.makespan_secs(vec![0.0; 50]), 0.0);
+        // Mixed with real work, zero-duration tasks add nothing.
+        let with_work = c.makespan_secs(vec![0.0, 1.0, 0.0, 0.0]);
+        assert!((with_work - 1.0).abs() < 1e-9);
+        // And the schedule variant places them without NaN/negative spans.
+        let mut m = many_task_metrics();
+        for t in &mut m.map_tasks {
+            t.duration = Duration::ZERO;
+        }
+        let s = c.simulate_job_schedule(&m, 0.0);
+        for t in &s.tasks {
+            assert!(t.end_secs >= t.start_secs);
+            assert!(t.start_secs.is_finite() && t.end_secs.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slots_per_node must be >= 1")]
+    fn zero_slots_per_node_is_rejected() {
+        let c = ClusterModel {
+            slots_per_node: 0,
+            ..ClusterModel::paper_default(5)
+        };
+        c.makespan_secs(vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes must be >= 1")]
+    fn zero_nodes_is_rejected() {
+        let c = ClusterModel {
+            nodes: 0,
+            ..ClusterModel::paper_default(5)
+        };
+        c.simulate_job(&many_task_metrics());
+    }
+
+    #[test]
+    fn far_more_tasks_than_slot_capacity() {
+        // 1 node x 3 slots, 3000 unit tasks: the queue must drain in
+        // ceil(3000/3) = 1000 rounds with no slot ever double-booked.
+        let c = ClusterModel::paper_default(1);
+        let ms = c.makespan_secs(vec![1.0; 3000]);
+        assert!((ms - 1000.0).abs() < 1e-6, "{ms}");
+        let mut m = many_task_metrics();
+        m.map_tasks = (0..200)
+            .map(|i| {
+                let mut t = one_task(TaskKind::Map, 10, 1);
+                t.index = i;
+                t
+            })
+            .collect();
+        let s = c.simulate_job_schedule(&m, 0.0);
+        for a in &s.tasks {
+            for b in &s.tasks {
+                if (a.index, a.kind) != (b.index, b.kind) && a.slot == b.slot {
+                    assert!(
+                        a.end_secs <= b.start_secs + 1e-9 || b.end_secs <= a.start_secs + 1e-9,
+                        "slot {} double-booked",
+                        a.slot
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_job_monotone_in_nodes() {
+        // Full-job makespan (map + shuffle + reduce) must never increase
+        // with node count under the paper model, for nodes >= 2. (A single
+        // node is excluded: it pays no network cost at all, so going from
+        // 1 to 2 nodes can legitimately be slower when shuffle dominates.)
+        let m = many_task_metrics();
+        let mut prev = f64::INFINITY;
+        for nodes in [2, 3, 5, 10, 15] {
+            let t = ClusterModel::paper_default(nodes).simulate_job(&m).total_secs();
+            assert!(t <= prev + 1e-9, "{nodes} nodes: {t} > {prev}");
+            prev = t;
         }
     }
 

@@ -3,12 +3,15 @@
 
 use crate::dataset::Dataset;
 use crate::emitter::Emitter;
-use crate::executor::{default_workers, run_tasks};
-use crate::metrics::{JobMetrics, TaskKind, TaskStat};
+use crate::executor::{default_workers, run_tasks_ft, AttemptCtx, ExecPolicy};
+use crate::metrics::{ExecSummary, JobMetrics, TaskKind, TaskStat};
 use crate::partitioner::{HashPartitioner, Partitioner};
+use crate::spill::SpillStore;
 use crate::traits::{Combiner, Key, Mapper, Reducer, Value};
 use ssj_common::ByteSize;
+use ssj_faults::{FaultPlan, Phase, RetryPolicy, SpeculationPolicy};
 use ssj_observe::{global_registry, span};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A combiner that passes values through unchanged (no combining).
@@ -32,6 +35,9 @@ pub struct JobBuilder {
     name: String,
     reduce_tasks: usize,
     workers: usize,
+    retry: RetryPolicy,
+    speculation: SpeculationPolicy,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl JobBuilder {
@@ -41,6 +47,9 @@ impl JobBuilder {
             name: name.into(),
             reduce_tasks: 4,
             workers: default_workers(),
+            retry: RetryPolicy::default(),
+            speculation: SpeculationPolicy::default(),
+            faults: None,
         }
     }
 
@@ -61,6 +70,46 @@ impl JobBuilder {
         assert!(n > 0, "a job needs at least one worker thread");
         self.workers = n;
         self
+    }
+
+    /// Set the per-task retry budget and backoff (default: 4 attempts with
+    /// exponential backoff, Hadoop's `mapred.map.max.attempts`).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Configure speculative re-execution of stragglers (default: off).
+    pub fn speculation(mut self, policy: SpeculationPolicy) -> Self {
+        self.speculation = policy;
+        self
+    }
+
+    /// Inject faults from a deterministic [`FaultPlan`] into this job's
+    /// task attempts. When unset, the job still honours a process-global
+    /// plan installed via [`ssj_faults::install_plan`] (how the chaos CI
+    /// smoke drives an unmodified pipeline).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// The fault plan in effect: explicit builder setting, else the
+    /// process-global plan, else none.
+    fn effective_faults(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.clone().or_else(ssj_faults::active_plan)
+    }
+
+    /// Assemble the executor policy for one phase.
+    fn exec_policy(&self, phase: Phase) -> ExecPolicy {
+        ExecPolicy {
+            job: self.name.clone(),
+            phase,
+            workers: self.workers,
+            retry: self.retry,
+            speculation: self.speculation,
+            faults: self.effective_faults(),
+        }
     }
 
     /// Run with the default [`HashPartitioner`] and no combiner.
@@ -133,17 +182,22 @@ impl JobBuilder {
         let mut map_span = span("mr.phase", "map");
         map_span.record("job", self.name.as_str());
         map_span.record("tasks", splits.len());
-        let map_results = run_tasks(self.workers, splits, |task_idx, split| {
+        let map_policy = self.exec_policy(Phase::Map);
+        let (map_results, map_exec) = run_tasks_ft(&map_policy, splits, |task_idx, split, ctx: AttemptCtx| {
             let queue = map_phase_start.elapsed();
             let mut task_span = span("mr.task", "map");
             task_span.record("job", self.name.as_str());
             task_span.record("index", task_idx);
+            task_span.record("attempt", ctx.attempt);
+            if ctx.speculative {
+                task_span.record("speculative", 1u64);
+            }
             let start = Instant::now();
             let mut m = mapper(task_idx);
             let mut out: Emitter<M::OutKey, M::OutValue> = Emitter::new();
             m.setup();
             let mut input_bytes = 0usize;
-            for (k, v) in split {
+            for (k, v) in split.iter() {
                 input_bytes += k.byte_size() + v.byte_size();
                 m.map(k.clone(), v.clone(), &mut out);
             }
@@ -189,7 +243,8 @@ impl JobBuilder {
                 output_bytes: post_bytes,
             };
             (buckets, stat, pre_records, pre_bytes)
-        });
+        })
+        .unwrap_or_else(|failure| panic!("{failure}"));
         let map_elapsed = map_phase_start.elapsed();
         drop(map_span);
 
@@ -201,9 +256,9 @@ impl JobBuilder {
         let mut pre_combine_bytes = 0usize;
         let mut shuffle_records = 0usize;
         let mut shuffle_bytes = 0usize;
-        // Transpose: per-reduce-task input runs from every map task.
-        let mut reduce_inputs: Vec<Vec<Vec<(M::OutKey, M::OutValue)>>> =
-            (0..num_reduce).map(|_| Vec::new()).collect();
+        // Transpose into the spill store: per-reduce-task input runs from
+        // every map task, checkpointed so reduce attempts can re-fetch.
+        let mut spill: SpillStore<M::OutKey, M::OutValue> = SpillStore::new(num_reduce);
         for (buckets, stat, pre_r, pre_b) in map_results {
             pre_combine_records += pre_r;
             pre_combine_bytes += pre_b;
@@ -211,9 +266,7 @@ impl JobBuilder {
             shuffle_bytes += stat.output_bytes;
             map_stats.push(stat);
             for (r, bucket) in buckets.into_iter().enumerate() {
-                if !bucket.is_empty() {
-                    reduce_inputs[r].push(bucket);
-                }
+                spill.register(r, bucket);
             }
         }
 
@@ -227,11 +280,23 @@ impl JobBuilder {
         let mut reduce_span = span("mr.phase", "reduce");
         reduce_span.record("job", self.name.as_str());
         reduce_span.record("tasks", num_reduce);
-        let reduce_results = run_tasks(self.workers, reduce_inputs, |task_idx, runs| {
+        let reduce_policy = self.exec_policy(Phase::Reduce);
+        let reduce_indices: Vec<usize> = (0..num_reduce).collect();
+        let (reduce_results, reduce_exec) = run_tasks_ft(
+            &reduce_policy,
+            reduce_indices,
+            |task_idx, _, ctx: AttemptCtx| {
             let queue = reduce_phase_start.elapsed();
             let mut task_span = span("mr.task", "reduce");
             task_span.record("job", self.name.as_str());
             task_span.record("index", task_idx);
+            task_span.record("attempt", ctx.attempt);
+            if ctx.speculative {
+                task_span.record("speculative", 1u64);
+            }
+            // Fetch the checkpointed map output for this partition — every
+            // attempt re-fetches, none re-runs the map phase.
+            let runs = spill.fetch(task_idx);
             let start = Instant::now();
             let mut r = reducer(task_idx);
             let mut out: Emitter<R::OutKey, R::OutValue> = Emitter::new();
@@ -286,7 +351,9 @@ impl JobBuilder {
                 output_bytes,
             };
             (pairs, stat)
-        });
+        },
+        )
+        .unwrap_or_else(|failure| panic!("{failure}"));
 
         let mut reduce_stats = Vec::with_capacity(reduce_results.len());
         let mut output_partitions = Vec::with_capacity(reduce_results.len());
@@ -296,6 +363,10 @@ impl JobBuilder {
         }
         let reduce_elapsed = reduce_phase_start.elapsed();
         drop(reduce_span);
+
+        let mut exec = ExecSummary::default();
+        exec.add(&map_exec);
+        exec.add(&reduce_exec);
 
         let metrics = JobMetrics {
             name: self.name.clone(),
@@ -309,14 +380,28 @@ impl JobBuilder {
             map_elapsed,
             shuffle_elapsed,
             reduce_elapsed,
+            exec,
         };
         job_span.record("shuffle_records", shuffle_records);
         job_span.record("shuffle_bytes", shuffle_bytes);
         job_span.record("pre_combine_records", pre_combine_records);
+        if exec.retries > 0 {
+            job_span.record("retries", exec.retries);
+        }
+        if exec.speculative_launched > 0 {
+            job_span.record("speculative", exec.speculative_launched);
+        }
         if let Some(reg) = global_registry() {
             reg.counter_add("mr.jobs", 1);
             reg.counter_add("mr.shuffle.records", shuffle_records as u64);
             reg.counter_add("mr.shuffle.bytes", shuffle_bytes as u64);
+            reg.counter_add("mr.task.attempts", exec.attempts);
+            reg.counter_add("mr.task.retries", exec.retries);
+            reg.counter_add("mr.faults.injected.errors", exec.injected_errors);
+            reg.counter_add("mr.faults.injected.panics", exec.injected_panics);
+            reg.counter_add("mr.faults.injected.stragglers", exec.injected_stragglers);
+            reg.counter_add("mr.spec.launched", exec.speculative_launched);
+            reg.counter_add("mr.spec.wins", exec.speculative_wins);
             reg.counter_add(
                 "mr.pre_combine.records",
                 metrics.pre_combine_records as u64,

@@ -66,13 +66,18 @@ pub mod executor;
 pub mod job;
 pub mod metrics;
 pub mod partitioner;
+pub mod sim_faults;
+pub mod spill;
 pub mod traits;
 
 pub use cluster::{ClusterModel, PhaseTimes, SimSchedule, SimTask};
 pub use dataset::Dataset;
 pub use dfs::Dfs;
 pub use emitter::Emitter;
+pub use executor::{AttemptCtx, ExecPolicy, TaskError, TaskFailure};
 pub use job::{IdentityCombiner, JobBuilder};
-pub use metrics::{ChainMetrics, JobMetrics, TaskKind, TaskStat};
+pub use metrics::{ChainMetrics, ExecSummary, JobMetrics, TaskKind, TaskStat};
 pub use partitioner::{DirectPartitioner, HashPartitioner, Partitioner};
+pub use sim_faults::{SimFaultError, SimFaultOutcome, SimFaultPolicy};
+pub use spill::SpillStore;
 pub use traits::{Combiner, Key, Mapper, Reducer, SumCombiner, Value};

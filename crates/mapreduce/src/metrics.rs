@@ -39,6 +39,47 @@ pub struct TaskStat {
     pub output_bytes: usize,
 }
 
+/// Attempt-level execution counters for one job (or one phase): how many
+/// attempts ran, how many failed and were retried, what the fault injector
+/// did, and how speculation fared. Deterministic under a seeded
+/// [`FaultPlan`](ssj_faults::FaultPlan) — the chaos CI gate diffs these
+/// across runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecSummary {
+    /// Task attempts started (first attempts + retries + speculative copies).
+    pub attempts: u64,
+    /// Failed attempts that were re-queued within the retry budget.
+    pub retries: u64,
+    /// Injected transient errors observed.
+    pub injected_errors: u64,
+    /// Injected panics observed (caught and converted to task errors).
+    pub injected_panics: u64,
+    /// Injected straggler slowdowns observed.
+    pub injected_stragglers: u64,
+    /// Speculative backup attempts launched.
+    pub speculative_launched: u64,
+    /// Speculative attempts that finished before the original.
+    pub speculative_wins: u64,
+}
+
+impl ExecSummary {
+    /// Element-wise accumulate (e.g. map phase + reduce phase).
+    pub fn add(&mut self, other: &ExecSummary) {
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.injected_errors += other.injected_errors;
+        self.injected_panics += other.injected_panics;
+        self.injected_stragglers += other.injected_stragglers;
+        self.speculative_launched += other.speculative_launched;
+        self.speculative_wins += other.speculative_wins;
+    }
+
+    /// Total injected faults of any kind.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_errors + self.injected_panics + self.injected_stragglers
+    }
+}
+
 /// Aggregated metrics for one MapReduce job.
 #[derive(Debug, Clone)]
 pub struct JobMetrics {
@@ -65,6 +106,8 @@ pub struct JobMetrics {
     pub shuffle_elapsed: Duration,
     /// Wall-clock of the reduce phase.
     pub reduce_elapsed: Duration,
+    /// Attempt/retry/speculation counters across both phases.
+    pub exec: ExecSummary,
 }
 
 impl JobMetrics {
@@ -159,6 +202,15 @@ impl ChainMetrics {
         self.jobs.iter().map(|j| j.elapsed).sum()
     }
 
+    /// Attempt/retry/speculation counters summed across jobs.
+    pub fn total_exec(&self) -> ExecSummary {
+        let mut total = ExecSummary::default();
+        for j in &self.jobs {
+            total.add(&j.exec);
+        }
+        total
+    }
+
     /// Find a job's metrics by name.
     pub fn job(&self, name: &str) -> Option<&JobMetrics> {
         self.jobs.iter().find(|j| j.name == name)
@@ -206,6 +258,7 @@ mod tests {
             map_elapsed: Duration::from_millis(10),
             shuffle_elapsed: Duration::from_millis(5),
             reduce_elapsed: Duration::from_millis(10),
+            exec: ExecSummary::default(),
         }
     }
 
@@ -250,6 +303,35 @@ mod tests {
         assert_eq!(a.job_names(), vec!["test", "second"]);
         assert_eq!(a.total_shuffle_records(), 120);
         assert!(a.job("second").is_some());
+    }
+
+    #[test]
+    fn exec_summary_accumulates() {
+        let mut a = ExecSummary {
+            attempts: 10,
+            retries: 2,
+            injected_errors: 1,
+            injected_panics: 1,
+            injected_stragglers: 0,
+            speculative_launched: 1,
+            speculative_wins: 1,
+        };
+        a.add(&ExecSummary {
+            attempts: 5,
+            retries: 1,
+            ..ExecSummary::default()
+        });
+        assert_eq!(a.attempts, 15);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.injected_total(), 2);
+
+        let mut c = ChainMetrics::default();
+        let mut m = metrics();
+        m.exec = a;
+        c.push(m.clone());
+        c.push(m);
+        assert_eq!(c.total_exec().attempts, 30);
+        assert_eq!(c.total_exec().retries, 6);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Checkpointed map outputs.
+//!
+//! Hadoop materializes every map task's partitioned, sorted output on the
+//! mapper's local disk; reducers *fetch* those spill files over HTTP. The
+//! consequence that matters for fault tolerance: a failed reduce attempt
+//! only re-fetches — the map phase never re-runs. This module gives the
+//! in-process engine the same recovery boundary. [`JobBuilder`]
+//! (crate::JobBuilder) parks each map task's reduce-bucket output in a
+//! [`SpillStore`] at shuffle time, and every reduce *attempt* (first try,
+//! retry, or speculative copy) fetches a fresh clone of its input runs from
+//! the store. A [`SpillStore`] can also be registered with a [`Dfs`]
+//! (crate::Dfs) via [`Dfs::put_blob`](crate::Dfs::put_blob) when a driver
+//! wants the checkpoint to outlive the job (multi-job pipelines re-reading
+//! intermediate output).
+
+use crate::traits::{Key, Value};
+
+/// Checkpointed, partitioned map output: for each reduce task, the sorted
+/// runs produced by every map task that emitted into its partition.
+///
+/// Runs are write-once (the shuffle builds the store, then only reads
+/// happen), so fetches hand out clones and attempts can be replayed freely.
+#[derive(Debug, Clone)]
+pub struct SpillStore<K, V> {
+    /// `runs[r]` = the sorted runs destined for reduce task `r`.
+    runs: Vec<Vec<Vec<(K, V)>>>,
+}
+
+impl<K: Key, V: Value> SpillStore<K, V> {
+    /// An empty store with `reduce_tasks` partitions.
+    pub fn new(reduce_tasks: usize) -> Self {
+        SpillStore {
+            runs: (0..reduce_tasks).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Build a store directly from transposed shuffle output
+    /// (`inputs[r]` = runs for reduce task `r`).
+    pub fn from_runs(inputs: Vec<Vec<Vec<(K, V)>>>) -> Self {
+        SpillStore { runs: inputs }
+    }
+
+    /// Register one map task's output run for reduce task `r`. Empty runs
+    /// are dropped (nothing to fetch).
+    pub fn register(&mut self, r: usize, run: Vec<(K, V)>) {
+        if !run.is_empty() {
+            self.runs[r].push(run);
+        }
+    }
+
+    /// Number of reduce partitions.
+    pub fn reduce_tasks(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of checkpointed runs for reduce task `r`.
+    pub fn run_count(&self, r: usize) -> usize {
+        self.runs[r].len()
+    }
+
+    /// Fetch the input runs for reduce task `r`. Clones, so a retried or
+    /// speculative attempt sees exactly what the first attempt saw.
+    pub fn fetch(&self, r: usize) -> Vec<Vec<(K, V)>> {
+        self.runs[r].clone()
+    }
+
+    /// Total records checkpointed across all partitions.
+    pub fn total_records(&self) -> usize {
+        self.runs.iter().flatten().map(Vec::len).sum()
+    }
+
+    /// Total logical bytes checkpointed across all partitions.
+    pub fn total_bytes(&self) -> usize {
+        self.runs
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|(k, v)| k.byte_size() + v.byte_size())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SpillStore<u32, u64> {
+        let mut s = SpillStore::new(2);
+        s.register(0, vec![(1, 10), (3, 30)]);
+        s.register(1, vec![(2, 20)]);
+        s.register(0, vec![(5, 50)]);
+        s.register(1, Vec::new()); // dropped
+        s
+    }
+
+    #[test]
+    fn fetch_is_replayable() {
+        let s = store();
+        let first = s.fetch(0);
+        let second = s.fetch(0);
+        assert_eq!(first, second, "every attempt sees identical input");
+        assert_eq!(first, vec![vec![(1, 10), (3, 30)], vec![(5, 50)]]);
+    }
+
+    #[test]
+    fn empty_runs_are_dropped() {
+        let s = store();
+        assert_eq!(s.run_count(1), 1);
+        assert_eq!(s.fetch(1), vec![vec![(2, 20)]]);
+    }
+
+    #[test]
+    fn accounting() {
+        let s = store();
+        assert_eq!(s.reduce_tasks(), 2);
+        assert_eq!(s.total_records(), 4);
+        assert_eq!(s.total_bytes(), 4 * (4 + 8)); // u32 key + u64 value
+    }
+
+    #[test]
+    fn from_runs_round_trip() {
+        let s = SpillStore::from_runs(vec![vec![vec![(7u32, 70u64)]], vec![]]);
+        assert_eq!(s.fetch(0), vec![vec![(7, 70)]]);
+        assert!(s.fetch(1).is_empty());
+    }
+}

@@ -11,12 +11,19 @@ use std::hash::Hash;
 /// Hadoop's guarantee that a reducer sees its keys in ascending order),
 /// hashable (for [`HashPartitioner`](crate::HashPartitioner)), cloneable
 /// (group boundaries hand the reducer a borrowed key), and byte-accountable.
-pub trait Key: Ord + Hash + Clone + Send + ByteSize + 'static {}
-impl<T: Ord + Hash + Clone + Send + ByteSize + 'static> Key for T {}
+pub trait Key: Ord + Hash + Clone + Send + Sync + ByteSize + 'static {}
+impl<T: Ord + Hash + Clone + Send + Sync + ByteSize + 'static> Key for T {}
 
 /// Requirements on intermediate and output values.
-pub trait Value: Send + ByteSize + 'static {}
-impl<T: Send + ByteSize + 'static> Value for T {}
+///
+/// `Clone` lets the engine checkpoint map outputs in a
+/// [`SpillStore`](crate::SpillStore): a failed reduce attempt re-fetches its
+/// input runs instead of re-running the whole map phase (Hadoop's
+/// materialized-map-output recovery).
+/// (`Sync` because checkpointed runs are *shared* with every concurrent
+/// reduce attempt rather than moved into one.)
+pub trait Value: Clone + Send + Sync + ByteSize + 'static {}
+impl<T: Clone + Send + Sync + ByteSize + 'static> Value for T {}
 
 /// A map task.
 ///

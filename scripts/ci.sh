@@ -23,6 +23,25 @@ if [[ "${SKIP_SMOKE:-0}" == "1" ]]; then
     exit 0
 fi
 
+echo "== smoke: chaos determinism gate (seed 42, 5% failures) =="
+# Fault injection must never change results, and the same seed must
+# reproduce the exact same retry counters: run the seeded chaos smoke
+# twice and require byte-identical reports (pairs digest, retry and
+# injection counters, identical=true verdict).
+chaos_a="$(cargo run --release -p ssj-bench --bin chaos -- 42 0.05 2>/dev/null)"
+chaos_b="$(cargo run --release -p ssj-bench --bin chaos -- 42 0.05 2>/dev/null)"
+if [[ "$chaos_a" != "$chaos_b" ]]; then
+    echo "chaos gate FAILED: two runs with the same seed diverged" >&2
+    diff <(printf '%s\n' "$chaos_a") <(printf '%s\n' "$chaos_b") >&2 || true
+    exit 1
+fi
+if ! grep -q '^identical=true$' <<<"$chaos_a"; then
+    echo "chaos gate FAILED: fault injection changed the join output" >&2
+    printf '%s\n' "$chaos_a" >&2
+    exit 1
+fi
+echo "$chaos_a" | sed 's/^/  /'
+
 echo "== smoke: expt table1 --trace-out =="
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
