@@ -52,7 +52,7 @@ pub fn dedup_job(
         .into_records()
         .map(|((a, b), sim)| SimilarPair::new(a, b, sim))
         .collect();
-    pairs.sort_unstable_by(|x, y| x.ids().cmp(&y.ids()));
+    pairs.sort_unstable_by_key(|p| p.ids());
     (pairs, metrics)
 }
 

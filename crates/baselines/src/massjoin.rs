@@ -148,7 +148,7 @@ pub fn signature_volume(
         let carried = if carry_tokens { rec_len } else { 0 };
         bytes += (12 + 4 * seg_len + 13 + 4 * carried) as u64;
     };
-    for r in &collection.records {
+    for r in collection.iter() {
         let lt = r.len();
         if lt == 0 {
             continue;
@@ -210,7 +210,11 @@ impl Mapper for SignatureMapper {
         let m = m_segments(self.measure, self.theta, lt);
         for (i, (start, len)) in even_partition(lt, m).into_iter().enumerate() {
             out.emit(
-                (lt as u32, i as u32, record.tokens[start..start + len].to_vec()),
+                (
+                    lt as u32,
+                    i as u32,
+                    record.tokens[start..start + len].to_vec(),
+                ),
                 (ROLE_INDEXED, record.id, lt as u32, payload(&record.tokens)),
             );
         }
@@ -268,7 +272,10 @@ impl Reducer for MergeReducer {
                     } else {
                         (rid_t, rid_s)
                     };
-                    out.emit((a, b), self.measure.score(c, len_s as usize, len_t as usize));
+                    out.emit(
+                        (a, b),
+                        self.measure.score(c, len_s as usize, len_t as usize),
+                    );
                 }
             }
         }
@@ -398,10 +405,9 @@ pub fn massjoin(
 
     let input: Dataset<u32, Record> = Dataset::from_records(
         collection
-            .records
             .iter()
-            .filter(|r| !r.is_empty())
-            .map(|r| (r.id, r.clone()))
+            .filter(|v| !v.is_empty())
+            .map(|v| (v.id, v.to_record()))
             .collect(),
         cfg.map_tasks,
     );
@@ -445,7 +451,7 @@ pub fn massjoin(
                 .workers(cfg.workers)
                 .run(&candidates, |_| CandidateMapper, |_| CandidateDedupReducer);
             chain.push(dedup_metrics);
-            let records = Arc::new(collection.records.clone());
+            let records = Arc::new(collection.to_records());
             let (verified, verify_metrics) = JobBuilder::new("massjoin-verify")
                 .reduce_tasks(cfg.reduce_tasks)
                 .workers(cfg.workers)
@@ -463,7 +469,7 @@ pub fn massjoin(
                 .into_records()
                 .map(|((a, b), sim)| SimilarPair::new(a, b, sim))
                 .collect();
-            pairs.sort_unstable_by(|x, y| x.ids().cmp(&y.ids()));
+            pairs.sort_unstable_by_key(|p| p.ids());
             pairs
         }
     };
@@ -479,7 +485,12 @@ mod tests {
     use ssj_text::{encode, CorpusProfile};
 
     fn small_collection() -> Collection {
-        encode(&CorpusProfile::WikiLike.config().with_records(100).generate())
+        encode(
+            &CorpusProfile::WikiLike
+                .config()
+                .with_records(100)
+                .generate(),
+        )
     }
 
     #[test]
@@ -520,9 +531,15 @@ mod tests {
         let c = small_collection();
         for variant in [MassJoinVariant::Merge, MassJoinVariant::MergeLight] {
             for &theta in &[0.7, 0.8, 0.9] {
-                let want = naive_self_join(&c.records, Measure::Jaccard, theta);
-                let got = massjoin(&c, Measure::Jaccard, theta, variant, &BaselineConfig::default())
-                    .expect("within budget");
+                let want = naive_self_join(&c.views(), Measure::Jaccard, theta);
+                let got = massjoin(
+                    &c,
+                    Measure::Jaccard,
+                    theta,
+                    variant,
+                    &BaselineConfig::default(),
+                )
+                .expect("within budget");
                 compare_results(&got.pairs, &want, 1e-9)
                     .unwrap_or_else(|e| panic!("{variant:?} θ={theta}: {e}"));
             }
@@ -532,10 +549,18 @@ mod tests {
     #[test]
     fn signature_estimate_is_exact() {
         let c = small_collection();
-        for (variant, carry) in [(MassJoinVariant::Merge, true), (MassJoinVariant::MergeLight, false)]
-        {
-            let got = massjoin(&c, Measure::Jaccard, 0.8, variant, &BaselineConfig::default())
-                .unwrap();
+        for (variant, carry) in [
+            (MassJoinVariant::Merge, true),
+            (MassJoinVariant::MergeLight, false),
+        ] {
+            let got = massjoin(
+                &c,
+                Measure::Jaccard,
+                0.8,
+                variant,
+                &BaselineConfig::default(),
+            )
+            .unwrap();
             let sig = got.chain.job("massjoin-signatures").unwrap();
             let (records, bytes) = signature_volume(&c, Measure::Jaccard, 0.8, carry);
             assert_eq!(sig.map_output_records() as u64, records, "{variant:?}");
@@ -562,7 +587,8 @@ mod tests {
             &BaselineConfig::default(),
         )
         .unwrap();
-        let sig_bytes = |r: &JoinRunResult| r.chain.job("massjoin-signatures").unwrap().shuffle_bytes;
+        let sig_bytes =
+            |r: &JoinRunResult| r.chain.job("massjoin-signatures").unwrap().shuffle_bytes;
         assert!(
             sig_bytes(&light) < sig_bytes(&merge) / 2,
             "light {} merge {}",
@@ -583,14 +609,7 @@ mod tests {
     fn budget_aborts() {
         let c = small_collection();
         let tight = BaselineConfig::default().with_budget(100);
-        let err = massjoin(
-            &c,
-            Measure::Jaccard,
-            0.8,
-            MassJoinVariant::Merge,
-            &tight,
-        )
-        .unwrap_err();
+        let err = massjoin(&c, Measure::Jaccard, 0.8, MassJoinVariant::Merge, &tight).unwrap_err();
         assert_eq!(err.algorithm, "MassJoin");
     }
 }

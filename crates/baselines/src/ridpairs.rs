@@ -71,10 +71,9 @@ pub fn ridpairs_ppjoin(
     assert!(theta > 0.0 && theta <= 1.0, "θ must be in (0,1]");
     let input: Dataset<u32, Record> = Dataset::from_records(
         collection
-            .records
             .iter()
-            .filter(|r| !r.is_empty())
-            .map(|r| (r.id, r.clone()))
+            .filter(|v| !v.is_empty())
+            .map(|v| (v.id, v.to_record()))
             .collect(),
         cfg.map_tasks,
     );
@@ -101,7 +100,12 @@ mod tests {
     use ssj_text::{encode, CorpusProfile, RawCorpus, Tokenizer};
 
     fn small_collection() -> Collection {
-        encode(&CorpusProfile::WikiLike.config().with_records(150).generate())
+        encode(
+            &CorpusProfile::WikiLike
+                .config()
+                .with_records(150)
+                .generate(),
+        )
     }
 
     #[test]
@@ -109,7 +113,7 @@ mod tests {
         let c = small_collection();
         for m in Measure::all() {
             for &theta in &[0.6, 0.75, 0.85, 0.95] {
-                let want = naive_self_join(&c.records, m, theta);
+                let want = naive_self_join(&c.views(), m, theta);
                 let got = ridpairs_ppjoin(&c, m, theta, &BaselineConfig::default());
                 compare_results(&got.pairs, &want, 1e-9)
                     .unwrap_or_else(|e| panic!("{m:?} θ={theta}: {e}"));
@@ -143,10 +147,8 @@ mod tests {
 
     #[test]
     fn exact_duplicates_in_text() {
-        let corpus = RawCorpus::from_texts(
-            &["a b c d e", "a b c d e", "f g h i j"],
-            &Tokenizer::Words,
-        );
+        let corpus =
+            RawCorpus::from_texts(&["a b c d e", "a b c d e", "f g h i j"], &Tokenizer::Words);
         let c = encode(&corpus);
         let got = ridpairs_ppjoin(&c, Measure::Jaccard, 0.99, &BaselineConfig::default());
         assert_eq!(got.pairs.len(), 1);

@@ -148,10 +148,9 @@ pub fn vsmart_join(
 
     let input: Dataset<u32, Record> = Dataset::from_records(
         collection
-            .records
             .iter()
-            .filter(|r| !r.is_empty())
-            .map(|r| (r.id, r.clone()))
+            .filter(|v| !v.is_empty())
+            .map(|v| (v.id, v.to_record()))
             .collect(),
         cfg.map_tasks,
     );
@@ -162,13 +161,17 @@ pub fn vsmart_join(
     let (results, sim_metrics) = JobBuilder::new("vsmart-similarity")
         .reduce_tasks(cfg.reduce_tasks)
         .workers(cfg.workers)
-        .run(&partials, |_| PartialMapper, |_| AggregateReducer { measure, theta });
+        .run(
+            &partials,
+            |_| PartialMapper,
+            |_| AggregateReducer { measure, theta },
+        );
 
     let mut pairs: Vec<SimilarPair> = results
         .into_records()
         .map(|((a, b), sim)| SimilarPair::new(a, b, sim))
         .collect();
-    pairs.sort_unstable_by(|x, y| x.ids().cmp(&y.ids()));
+    pairs.sort_unstable_by_key(|p| p.ids());
     let mut chain = ChainMetrics::default();
     chain.push(join_metrics);
     chain.push(sim_metrics);
@@ -183,18 +186,22 @@ mod tests {
     use ssj_text::{encode, CorpusProfile};
 
     fn small_collection() -> Collection {
-        encode(&CorpusProfile::WikiLike.config().with_records(120).generate())
+        encode(
+            &CorpusProfile::WikiLike
+                .config()
+                .with_records(120)
+                .generate(),
+        )
     }
 
     #[test]
     fn matches_oracle() {
         let c = small_collection();
         for &theta in &[0.6, 0.8, 0.9] {
-            let want = naive_self_join(&c.records, Measure::Jaccard, theta);
+            let want = naive_self_join(&c.views(), Measure::Jaccard, theta);
             let got = vsmart_join(&c, Measure::Jaccard, theta, &BaselineConfig::default())
                 .expect("within budget");
-            compare_results(&got.pairs, &want, 1e-9)
-                .unwrap_or_else(|e| panic!("θ={theta}: {e}"));
+            compare_results(&got.pairs, &want, 1e-9).unwrap_or_else(|e| panic!("θ={theta}: {e}"));
         }
     }
 
@@ -204,7 +211,10 @@ mod tests {
         let got = vsmart_join(&c, Measure::Jaccard, 0.8, &BaselineConfig::default()).unwrap();
         let join = got.chain.job("vsmart-join").unwrap();
         assert_eq!(
-            join.reduce_tasks.iter().map(|t| t.output_records).sum::<usize>() as u64,
+            join.reduce_tasks
+                .iter()
+                .map(|t| t.output_records)
+                .sum::<usize>() as u64,
             estimate_pair_emissions(&c)
         );
     }

@@ -32,7 +32,9 @@ fn bench_emit_policy(c: &mut Criterion) {
         ("positive_bound_only", EmitPolicy::PositiveBoundOnly),
     ] {
         g.bench_function(name, |b| {
-            let cfg = FsJoinConfig::default().with_theta(0.8).with_emit_policy(policy);
+            let cfg = FsJoinConfig::default()
+                .with_theta(0.8)
+                .with_emit_policy(policy);
             b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
         });
     }
@@ -40,7 +42,10 @@ fn bench_emit_policy(c: &mut Criterion) {
 }
 
 fn bench_ordering_kinds(c: &mut Criterion) {
-    let raw = CorpusProfile::WikiLike.config().with_records(300).generate();
+    let raw = CorpusProfile::WikiLike
+        .config()
+        .with_records(300)
+        .generate();
     let mut g = c.benchmark_group("ext_ordering");
     g.sample_size(10).measurement_time(Duration::from_secs(8));
     for kind in OrderingKind::all() {
@@ -53,5 +58,10 @@ fn bench_ordering_kinds(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pf_variant, bench_emit_policy, bench_ordering_kinds);
+criterion_group!(
+    benches,
+    bench_pf_variant,
+    bench_emit_policy,
+    bench_ordering_kinds
+);
 criterion_main!(benches);

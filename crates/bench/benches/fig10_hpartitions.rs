@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(8));
     for t in [2usize, 5, 10] {
         g.bench_function(format!("fsjoin_h{t}"), |b| {
-            let cfg = fsjoin::FsJoinConfig::default().with_theta(0.8).with_horizontal(t);
+            let cfg = fsjoin::FsJoinConfig::default()
+                .with_theta(0.8)
+                .with_horizontal(t);
             b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
         });
     }

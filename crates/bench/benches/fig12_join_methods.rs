@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(8));
     for kernel in JoinKernel::all() {
         g.bench_function(format!("fsjoin_{}", kernel.name()), |b| {
-            let cfg = fsjoin::FsJoinConfig::default().with_theta(0.8).with_kernel(kernel);
+            let cfg = fsjoin::FsJoinConfig::default()
+                .with_theta(0.8)
+                .with_kernel(kernel);
             b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
         });
     }

@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
     });
     g.bench_function("fsjoin_v", |b| {
-        let cfg = fsjoin::FsJoinConfig::default().with_theta(0.8).with_horizontal(0);
+        let cfg = fsjoin::FsJoinConfig::default()
+            .with_theta(0.8)
+            .with_horizontal(0);
         b.iter(|| fsjoin::run_self_join(black_box(&collection), &cfg))
     });
     g.finish();

@@ -23,13 +23,13 @@ fn bench_handoff(c: &mut Criterion) {
         let tasks: Vec<u64> = (0..n as u64).collect();
         g.bench_function(format!("lockfree_{n}_tasks"), |b| {
             b.iter(|| {
-                let out = run_tasks(4, black_box(tasks.clone()), |i, x| tiny(i, x));
+                let out = run_tasks(4, black_box(tasks.clone()), tiny);
                 black_box(out)
             })
         });
         g.bench_function(format!("mutex_{n}_tasks"), |b| {
             b.iter(|| {
-                let out = run_tasks_locked(4, black_box(tasks.clone()), |i, x| tiny(i, x));
+                let out = run_tasks_locked(4, black_box(tasks.clone()), tiny);
                 black_box(out)
             })
         });

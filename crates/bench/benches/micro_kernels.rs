@@ -55,8 +55,18 @@ fn bench_vertical_partition(c: &mut Criterion) {
     g.sample_size(30);
     let tokens = sorted_set(7, 500, 50_000);
     let pivots: Vec<u32> = (1..16u32).map(|k| k * 3_000).collect();
+    let mut pool = ssj_text::TokenPool::new();
+    let span = pool.push(&tokens);
     g.bench_function("split_record_500tok_16frag", |bench| {
-        bench.iter(|| fsjoin::vertical::split_record(0, 0, black_box(&tokens), black_box(&pivots)))
+        bench.iter(|| {
+            fsjoin::vertical::split_record(
+                0,
+                0,
+                black_box(&tokens),
+                black_box(span),
+                black_box(&pivots),
+            )
+        })
     });
     g.finish();
 }
@@ -85,14 +95,14 @@ fn bench_inmemory_joins(c: &mut Criterion) {
     let collection = ssj_bench::bench_corpus();
     g.bench_function("ppjoin_bench_corpus", |bench| {
         bench.iter_batched(
-            || collection.records.clone(),
+            || collection.to_records(),
             |records| ssj_similarity::ppjoin::ppjoin_self_join(&records, Measure::Jaccard, 0.8),
             BatchSize::LargeInput,
         )
     });
     g.bench_function("allpairs_bench_corpus", |bench| {
         bench.iter_batched(
-            || collection.records.clone(),
+            || collection.to_records(),
             |records| ssj_similarity::allpairs::allpairs_self_join(&records, Measure::Jaccard, 0.8),
             BatchSize::LargeInput,
         )

@@ -13,9 +13,21 @@ fn bench(c: &mut Criterion) {
     let strl = FilterSet::STRL_ONLY;
     let combos: Vec<(&str, JoinKernel, FilterSet)> = vec![
         ("strl", JoinKernel::Loop, strl),
-        ("strl_segl", JoinKernel::Loop, FilterSet { segl: true, ..strl }),
-        ("strl_segi", JoinKernel::Loop, FilterSet { segi: true, ..strl }),
-        ("strl_segd", JoinKernel::Loop, FilterSet { segd: true, ..strl }),
+        (
+            "strl_segl",
+            JoinKernel::Loop,
+            FilterSet { segl: true, ..strl },
+        ),
+        (
+            "strl_segi",
+            JoinKernel::Loop,
+            FilterSet { segi: true, ..strl },
+        ),
+        (
+            "strl_segd",
+            JoinKernel::Loop,
+            FilterSet { segd: true, ..strl },
+        ),
         ("strl_prefix", JoinKernel::Prefix, strl),
         ("all", JoinKernel::Prefix, FilterSet::ALL),
     ];

@@ -18,10 +18,8 @@ use ssj_text::CorpusProfile;
 
 /// FNV-1a over the canonically sorted pair list (ids + exact score bits).
 fn digest(pairs: &[SimilarPair]) -> u64 {
-    let mut sorted: Vec<(u32, u32, u64)> = pairs
-        .iter()
-        .map(|p| (p.a, p.b, p.sim.to_bits()))
-        .collect();
+    let mut sorted: Vec<(u32, u32, u64)> =
+        pairs.iter().map(|p| (p.a, p.b, p.sim.to_bits())).collect();
     sorted.sort_unstable();
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |word: u64| {
@@ -51,9 +49,7 @@ fn join() -> (Vec<SimilarPair>, ssj_mapreduce::ExecSummary) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let seed: u64 = args.first().map_or(42, |s| s.parse().expect("seed: u64"));
-    let rate: f64 = args
-        .get(1)
-        .map_or(0.05, |s| s.parse().expect("rate: f64"));
+    let rate: f64 = args.get(1).map_or(0.05, |s| s.parse().expect("rate: f64"));
 
     ssj_faults::silence_injected_panics();
 

@@ -50,7 +50,10 @@ fn main() {
 
     let observers = trace_out.as_ref().map(|dir| {
         std::fs::create_dir_all(dir).expect("create trace-out dir");
-        (ssj_observe::install_collector(), ssj_observe::install_registry())
+        (
+            ssj_observe::install_collector(),
+            ssj_observe::install_registry(),
+        )
     });
 
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
@@ -65,7 +68,10 @@ fn main() {
             Some(markdown) => {
                 drop(expt_span);
                 publish(id, &markdown);
-                ssj_observe::info!("[expt] {id} finished in {:.1}s", start.elapsed().as_secs_f64());
+                ssj_observe::info!(
+                    "[expt] {id} finished in {:.1}s",
+                    start.elapsed().as_secs_f64()
+                );
             }
             None => {
                 eprintln!("[expt] unknown experiment {id:?}; try --list");
@@ -79,8 +85,11 @@ fn main() {
         ssj_observe::uninstall_registry();
         let trace_path = dir.join("trace.json");
         let metrics_path = dir.join("metrics.jsonl");
-        std::fs::write(&trace_path, ChromeTrace::from_collector(&collector).to_json())
-            .expect("write trace.json");
+        std::fs::write(
+            &trace_path,
+            ChromeTrace::from_collector(&collector).to_json(),
+        )
+        .expect("write trace.json");
         std::fs::write(&metrics_path, registry.to_jsonl()).expect("write metrics.jsonl");
         ssj_observe::info!("[expt] wrote {}", trace_path.display());
         ssj_observe::info!("[expt] wrote {}", metrics_path.display());

@@ -72,7 +72,11 @@ pub fn run() -> String {
                 ),
             ]);
         }
-        out.push_str(&format!("## {} (large)\n\n{}\n", profile.name(), t.to_markdown()));
+        out.push_str(&format!(
+            "## {} (large)\n\n{}\n",
+            profile.name(),
+            t.to_markdown()
+        ));
     }
     out.push_str(
         "Expectation: FS-Join-PF collapses the candidate volume (orders of \

@@ -17,8 +17,8 @@
 use crate::datasets::{corpus, tuned_fsjoin, Scale};
 use crate::runners::{run_algorithm_cfg, Algorithm};
 use ssj_common::table::Table;
-use ssj_mapreduce::{ClusterModel, SimFaultPolicy};
 use ssj_faults::FaultPlan;
+use ssj_mapreduce::{ClusterModel, SimFaultPolicy};
 use ssj_similarity::Measure;
 use ssj_text::CorpusProfile;
 
@@ -64,14 +64,7 @@ pub fn run() -> String {
          ## Makespan inflation vs failure rate\n\n",
     );
 
-    let mut t = Table::new([
-        "Nodes",
-        "Speculation",
-        "0%",
-        "2%",
-        "5%",
-        "10%",
-    ]);
+    let mut t = Table::new(["Nodes", "Speculation", "0%", "2%", "5%", "10%"]);
     for &nodes in &NODES {
         let r = run_algorithm_cfg(
             Algorithm::FsJoin,

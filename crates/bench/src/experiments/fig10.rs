@@ -27,7 +27,9 @@ pub fn run() -> String {
         let c = corpus(profile, Scale::Large);
         let mut t = Table::new(["# h-pivots", "filter (s)", "verify (s)", "total (s)"]);
         for t_pivots in H_PIVOTS {
-            let cfg = FsJoinConfig::default().with_fragments(30).with_horizontal(t_pivots);
+            let cfg = FsJoinConfig::default()
+                .with_fragments(30)
+                .with_horizontal(t_pivots);
             let o = run_algorithm_cfg(Algorithm::FsJoin, &c, Measure::Jaccard, 0.8, 10, &cfg);
             let chain = o.chain.expect("completed");
             let filter = cluster.simulate_job(chain.job("fsjoin-filter").unwrap());

@@ -32,8 +32,6 @@ pub fn run() -> String {
         }
         out.push_str(&format!("## {}\n\n{}\n", profile.name(), t.to_markdown()));
     }
-    out.push_str(
-        "Paper expectation: Even-TF fastest (best balance), Random worst.\n",
-    );
+    out.push_str("Paper expectation: Even-TF fastest (best balance), Random worst.\n");
     out
 }

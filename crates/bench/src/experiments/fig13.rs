@@ -25,8 +25,22 @@ pub fn run() -> String {
         let c = corpus(profile, Scale::Large);
         let mut t = Table::new(["θ", "FS-Join (s)", "FS-Join-V (s)", "gain"]);
         for theta in THETAS {
-            let fs = run_algorithm_cfg(Algorithm::FsJoin, &c, Measure::Jaccard, theta, 10, &tuned_fsjoin(profile));
-            let fsv = run_algorithm_cfg(Algorithm::FsJoinV, &c, Measure::Jaccard, theta, 10, &tuned_fsjoin(profile));
+            let fs = run_algorithm_cfg(
+                Algorithm::FsJoin,
+                &c,
+                Measure::Jaccard,
+                theta,
+                10,
+                &tuned_fsjoin(profile),
+            );
+            let fsv = run_algorithm_cfg(
+                Algorithm::FsJoinV,
+                &c,
+                Measure::Jaccard,
+                theta,
+                10,
+                &tuned_fsjoin(profile),
+            );
             assert_eq!(fs.result_pairs, fsv.result_pairs, "{profile:?} θ={theta}");
             t.push_row([
                 format!("{theta}"),

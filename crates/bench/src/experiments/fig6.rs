@@ -63,7 +63,11 @@ pub fn run() -> String {
                 ),
             ]);
         }
-        out.push_str(&format!("## {} (large)\n\n{}\n", profile.name(), t.to_markdown()));
+        out.push_str(&format!(
+            "## {} (large)\n\n{}\n",
+            profile.name(),
+            t.to_markdown()
+        ));
         // The paper notes MassJoin / V-Smart-Join cannot run at this scale.
         let mj = run_algorithm(Algorithm::MassJoinMerge, &c, Measure::Jaccard, 0.8, 10);
         let vs = run_algorithm(Algorithm::VSmart, &c, Measure::Jaccard, 0.8, 10);

@@ -33,7 +33,14 @@ pub fn run() -> String {
             let mut ok_counts: Vec<usize> = Vec::new();
             for algo in Algorithm::all_five() {
                 let o = if algo == Algorithm::FsJoin {
-                    run_algorithm_cfg(algo, &c, Measure::Jaccard, theta, 10, &tuned_fsjoin(profile))
+                    run_algorithm_cfg(
+                        algo,
+                        &c,
+                        Measure::Jaccard,
+                        theta,
+                        10,
+                        &tuned_fsjoin(profile),
+                    )
                 } else {
                     run_algorithm(algo, &c, Measure::Jaccard, theta, 10)
                 };
@@ -48,7 +55,11 @@ pub fn run() -> String {
             );
             t.push_row(cells);
         }
-        out.push_str(&format!("## {} (small)\n\n{}\n", profile.name(), t.to_markdown()));
+        out.push_str(&format!(
+            "## {} (small)\n\n{}\n",
+            profile.name(),
+            t.to_markdown()
+        ));
     }
     out.push_str(
         "Paper expectation: FS-Join ≈ RIDPairsPPJoin (small data), both far \

@@ -29,8 +29,15 @@ pub fn run() -> String {
         for theta in THETAS {
             let mut cells = vec![format!("{theta}")];
             for (frac, _) in SCALES {
-                let sample = full.sample(frac, 0xF16_8);
-                let o = run_algorithm_cfg(Algorithm::FsJoin, &sample, Measure::Jaccard, theta, 10, &tuned_fsjoin(profile));
+                let sample = full.sample(frac, 0xF168);
+                let o = run_algorithm_cfg(
+                    Algorithm::FsJoin,
+                    &sample,
+                    Measure::Jaccard,
+                    theta,
+                    10,
+                    &tuned_fsjoin(profile),
+                );
                 cells.push(secs_cell(o.sim_secs));
             }
             t.push_row(cells);

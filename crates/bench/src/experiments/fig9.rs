@@ -21,12 +21,29 @@ pub fn run() -> String {
          Simulated cluster seconds at θ = 0.8, Jaccard; reduce tasks = \
          3 × nodes.\n\n",
     );
-    let mut t = Table::new(["Dataset", "5 nodes", "10 nodes", "15 nodes", "Δ(5→10)", "Δ(10→15)"]);
+    let mut t = Table::new([
+        "Dataset",
+        "5 nodes",
+        "10 nodes",
+        "15 nodes",
+        "Δ(5→10)",
+        "Δ(10→15)",
+    ]);
     for profile in CorpusProfile::all() {
         let c = corpus(profile, Scale::Large);
         let secs: Vec<f64> = NODES
             .iter()
-            .map(|&n| run_algorithm_cfg(Algorithm::FsJoin, &c, Measure::Jaccard, 0.8, n, &tuned_fsjoin(profile)).sim_secs)
+            .map(|&n| {
+                run_algorithm_cfg(
+                    Algorithm::FsJoin,
+                    &c,
+                    Measure::Jaccard,
+                    0.8,
+                    n,
+                    &tuned_fsjoin(profile),
+                )
+                .sim_secs
+            })
             .collect();
         let drop1 = 100.0 * (1.0 - secs[1] / secs[0]);
         let drop2 = 100.0 * (1.0 - secs[2] / secs[1]);

@@ -22,7 +22,14 @@ pub fn run() -> String {
     let mut rows = Vec::new();
     for frac in FRACTIONS {
         let sample = full.sample(frac, 0x1E44A5);
-        let outcome = run_algorithm_cfg(Algorithm::FsJoin, &sample, Measure::Jaccard, 0.8, 10, &tuned_fsjoin(CorpusProfile::WikiLike));
+        let outcome = run_algorithm_cfg(
+            Algorithm::FsJoin,
+            &sample,
+            Measure::Jaccard,
+            0.8,
+            10,
+            &tuned_fsjoin(CorpusProfile::WikiLike),
+        );
         // Reconstruct the effective pivots the driver used, to feed the
         // cost model the same fragment geometry.
         let res = fsjoin::run_self_join(&sample, &tuned_fsjoin(CorpusProfile::WikiLike));
@@ -31,7 +38,13 @@ pub fn run() -> String {
         rows.push((frac, outcome.real_secs, predicted));
     }
     let (_, base_meas, base_pred) = rows[0];
-    let mut t = Table::new(["fraction", "measured (s)", "predicted (s)", "measured ×", "predicted ×"]);
+    let mut t = Table::new([
+        "fraction",
+        "measured (s)",
+        "predicted (s)",
+        "measured ×",
+        "predicted ×",
+    ]);
     for (frac, meas, pred) in &rows {
         t.push_row([
             format!("{frac}"),

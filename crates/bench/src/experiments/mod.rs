@@ -18,8 +18,21 @@ pub mod table4;
 
 /// All experiment ids, in the paper's presentation order.
 pub const ALL: [&str; 15] = [
-    "table1", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "lemma5", "ext-pf", "ext-ordering", "faults",
+    "table1",
+    "table3",
+    "table4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "lemma5",
+    "ext-pf",
+    "ext-ordering",
+    "faults",
 ];
 
 /// Run one experiment by id, returning its markdown report.

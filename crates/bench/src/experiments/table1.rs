@@ -51,7 +51,7 @@ fn first_job_overhead(algo: Algorithm) -> usize {
 /// Run the experiment; returns markdown.
 pub fn run() -> String {
     let c = corpus(CorpusProfile::WikiLike, Scale::Small);
-    let total_tokens: usize = c.records.iter().map(|r| r.len()).sum();
+    let total_tokens: usize = c.total_tokens() as usize;
     let mut t = Table::new([
         "Algorithm",
         "Token duplication",

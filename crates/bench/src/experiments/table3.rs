@@ -12,7 +12,12 @@ use ssj_text::CorpusProfile;
 /// Run the experiment; returns markdown.
 pub fn run() -> String {
     let mut t = Table::new([
-        "Dataset", "Records", "Distinct tokens", "Min len", "Max len", "Avg len",
+        "Dataset",
+        "Records",
+        "Distinct tokens",
+        "Min len",
+        "Max len",
+        "Avg len",
     ]);
     for profile in CorpusProfile::all() {
         let c = corpus(profile, Scale::Large);

@@ -37,9 +37,21 @@ pub fn run() -> String {
     let strl = FilterSet::STRL_ONLY;
     let rows: Vec<(&str, JoinKernel, FilterSet)> = vec![
         ("StrL", JoinKernel::Loop, strl),
-        ("StrL + SegL", JoinKernel::Loop, FilterSet { segl: true, ..strl }),
-        ("StrL + SegI", JoinKernel::Loop, FilterSet { segi: true, ..strl }),
-        ("StrL + SegD", JoinKernel::Loop, FilterSet { segd: true, ..strl }),
+        (
+            "StrL + SegL",
+            JoinKernel::Loop,
+            FilterSet { segl: true, ..strl },
+        ),
+        (
+            "StrL + SegI",
+            JoinKernel::Loop,
+            FilterSet { segi: true, ..strl },
+        ),
+        (
+            "StrL + SegD",
+            JoinKernel::Loop,
+            FilterSet { segd: true, ..strl },
+        ),
         ("StrL + Prefix", JoinKernel::Prefix, strl),
         ("All", JoinKernel::Prefix, FilterSet::ALL),
     ];
@@ -55,18 +67,24 @@ pub fn run() -> String {
         let mut t = Table::new(["Filter", "examined", "emitted"]);
         for (label, kernel, filters) in &rows {
             let (examined, emitted) = run_combo(&c, *kernel, *filters);
-            t.push_row([
-                label.to_string(),
-                fmt_count(examined),
-                fmt_count(emitted),
-            ]);
+            t.push_row([label.to_string(), fmt_count(examined), fmt_count(emitted)]);
         }
-        out.push_str(&format!("## {} (small)\n\n{}\n", profile.name(), t.to_markdown()));
+        out.push_str(&format!(
+            "## {} (small)\n\n{}\n",
+            profile.name(),
+            t.to_markdown()
+        ));
     }
     // Emission-policy ablation: what it takes to reach the paper's
     // Table IV magnitudes, and what it costs.
     out.push_str("## Emission-policy ablation (see `fsjoin::EmitPolicy`)\n\n");
-    let mut t = Table::new(["Dataset", "emitted (Exact)", "emitted (PositiveBoundOnly)", "results (Exact)", "results (PBO)"]);
+    let mut t = Table::new([
+        "Dataset",
+        "emitted (Exact)",
+        "emitted (PositiveBoundOnly)",
+        "results (Exact)",
+        "results (PBO)",
+    ]);
     for profile in CorpusProfile::all() {
         let c = corpus(profile, Scale::Small);
         let exact_cfg = FsJoinConfig::default().with_theta(0.8);

@@ -147,7 +147,14 @@ pub fn run_algorithm(
     theta: f64,
     nodes: usize,
 ) -> RunOutcome {
-    run_algorithm_cfg(algo, collection, measure, theta, nodes, &FsJoinConfig::default())
+    run_algorithm_cfg(
+        algo,
+        collection,
+        measure,
+        theta,
+        nodes,
+        &FsJoinConfig::default(),
+    )
 }
 
 /// Like [`run_algorithm`], but with an FS-Join configuration template

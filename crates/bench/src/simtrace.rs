@@ -50,7 +50,11 @@ pub fn record_sim_schedule(
         collector.set_thread_name(
             pid,
             s,
-            &format!("node{}/slot{}", s as usize / cluster.slots_per_node, s as usize % cluster.slots_per_node),
+            &format!(
+                "node{}/slot{}",
+                s as usize / cluster.slots_per_node,
+                s as usize % cluster.slots_per_node
+            ),
         );
     }
     collector.set_thread_name(pid, slots, "shuffle");
@@ -89,7 +93,10 @@ pub fn record_sim_schedule(
                 tid: task.slot as u32,
                 ts_us: us(task.start_secs),
                 dur_us: dur_us(task.start_secs, task.end_secs),
-                args: vec![("node", (task.node as u64).into()), ("job", sched.job_name.as_str().into())],
+                args: vec![
+                    ("node", (task.node as u64).into()),
+                    ("job", sched.job_name.as_str().into()),
+                ],
             });
         }
     }
@@ -135,7 +142,10 @@ mod tests {
     #[test]
     fn sim_timeline_renders_schedule() {
         let input = Dataset::from_records((0..64u32).map(|i| (i, i)).collect::<Vec<_>>(), 4);
-        let (_, metrics) = JobBuilder::new("simtrace-job").reduce_tasks(4).run(&input, |_| Id, |_| Sum);
+        let (_, metrics) =
+            JobBuilder::new("simtrace-job")
+                .reduce_tasks(4)
+                .run(&input, |_| Id, |_| Sum);
         let mut chain = ChainMetrics::default();
         chain.push(metrics);
 

@@ -77,7 +77,7 @@ impl CostInputs {
         let total_tokens = collection.total_tokens();
         // Count non-empty segments per record exactly.
         let mut total_segments = 0u64;
-        for r in &collection.records {
+        for r in collection.iter() {
             let mut segs = 0u64;
             let mut start = 0usize;
             for &b in pivots {
@@ -127,7 +127,8 @@ pub fn predict_cost(inputs: &CostInputs, coef: &CostCoefficients) -> f64 {
 
     let map_cost = tokens * coef.c_map;
     let shuffle_cost = tokens * coef.c_shuffle; // duplicate-free: tokens cross once
-    let reduce_cost = n * segments_per_fragment * segments_per_fragment * avg_seg_len * coef.c_reduce;
+    let reduce_cost =
+        n * segments_per_fragment * segments_per_fragment * avg_seg_len * coef.c_reduce;
     let k = inputs.candidates as f64;
     let verify_cost = k * (coef.c_map + coef.c_shuffle + coef.c_reduce + coef.c_out);
     let output_cost = k * inputs.result_fraction * coef.c_out;
@@ -140,13 +141,13 @@ mod tests {
     use ssj_text::Record;
 
     fn collection(records: usize, len: usize) -> Collection {
-        Collection {
-            records: (0..records as u32)
+        Collection::new(
+            (0..records as u32)
                 .map(|i| Record::new(i, (0..len as u32).map(|k| k * 7 % 97).collect()))
                 .collect(),
-            token_freqs: vec![1; 97],
-            vocab: None,
-        }
+            vec![1; 97],
+            None,
+        )
     }
 
     #[test]
@@ -182,10 +183,19 @@ mod tests {
             c_out: 0.0,
             c_reduce: 1e-9,
         };
-        let a = predict_cost(&CostInputs::from_run(&collection(100, 10), &[50], 0, 0), &coef);
-        let b = predict_cost(&CostInputs::from_run(&collection(200, 10), &[50], 0, 0), &coef);
+        let a = predict_cost(
+            &CostInputs::from_run(&collection(100, 10), &[50], 0, 0),
+            &coef,
+        );
+        let b = predict_cost(
+            &CostInputs::from_run(&collection(200, 10), &[50], 0, 0),
+            &coef,
+        );
         let ratio = b / a;
-        assert!((ratio - 4.0).abs() < 0.2, "quadratic growth expected, ratio={ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 0.2,
+            "quadratic growth expected, ratio={ratio}"
+        );
     }
 
     #[test]
@@ -199,16 +209,16 @@ mod tests {
             c_out: 0.0,
             c_reduce: 1e-9,
         };
-        let c = Collection {
-            records: (0..200u32)
+        let c = Collection::new(
+            (0..200u32)
                 .map(|i| {
                     let start = (i % 4) * 25; // band 0, 25, 50 or 75
                     Record::new(i, (start..start + 10).collect())
                 })
                 .collect(),
-            token_freqs: vec![1; 100],
-            vocab: None,
-        };
+            vec![1; 100],
+            None,
+        );
         let one = predict_cost(&CostInputs::from_run(&c, &[], 0, 0), &coef);
         let four = predict_cost(&CostInputs::from_run(&c, &[25, 50, 75], 0, 0), &coef);
         assert!(

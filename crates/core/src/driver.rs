@@ -13,12 +13,17 @@ use crate::pivots::select_pivots;
 use crate::segment::Segment;
 use crate::vertical::split_record;
 use ssj_mapreduce::{
-    ChainMetrics, Dataset, DirectPartitioner, Emitter, JobBuilder, Mapper, Reducer,
+    ChainMetrics, Dataset, Dfs, DirectPartitioner, Emitter, JobBuilder, Mapper, Reducer,
 };
 use ssj_observe::{span, MetricsRegistry};
 use ssj_similarity::{Measure, SimilarPair};
-use ssj_text::{Collection, Record};
+use ssj_text::{Collection, PooledRecord, TokenPool};
 use std::sync::Arc;
+
+/// Dfs name under which a join run publishes its token pool — the Hadoop
+/// distributed-cache analogue: one read-only arena shared by every map and
+/// reduce task instead of tokens travelling inside each record.
+pub(crate) const POOL_BLOB: &str = "fsjoin/token-pool";
 
 /// Everything an FS-Join run produces.
 #[derive(Debug, Clone)]
@@ -46,27 +51,48 @@ impl FsJoinResult {
     }
 }
 
-/// Self-join a collection.
+/// Self-join a collection. The collection's token pool is shared with the
+/// jobs as-is (an `Arc` clone) — no token is copied to set up the join.
 pub fn run_self_join(collection: &Collection, cfg: &FsJoinConfig) -> FsJoinResult {
-    run_join(&collection.records, &[], &collection.token_freqs, cfg, PairScope::SelfJoin)
+    run_join(
+        collection.share_pool(),
+        collection.len(),
+        0,
+        &collection.token_freqs,
+        cfg,
+        PairScope::SelfJoin,
+    )
 }
 
 /// R×S join of two collections encoded in the **same token-rank space**
 /// (see [`ssj_text::encode::encode_two`]). S-side record ids are offset by
-/// `r.records.len()` in the returned pairs: pair `(a, b)` with
-/// `b ≥ offset` refers to S-record `b − offset`.
+/// `r.len()` in the returned pairs: pair `(a, b)` with `b ≥ offset` refers
+/// to S-record `b − offset`.
 pub fn run_rs_join(r: &Collection, s: &Collection, cfg: &FsJoinConfig) -> FsJoinResult {
     assert_eq!(
         r.token_freqs, s.token_freqs,
         "R and S must be encoded together (shared global ordering)"
     );
-    run_join(&r.records, &s.records, &r.token_freqs, cfg, PairScope::CrossSides)
+    // One shared arena: R's records keep their offsets, S's follow (ids
+    // shift by r.len(), matching the pair-id offset contract above).
+    let pool = Arc::new(TokenPool::concat(r.pool(), s.pool()));
+    run_join(
+        pool,
+        r.len(),
+        s.len(),
+        &r.token_freqs,
+        cfg,
+        PairScope::CrossSides,
+    )
 }
 
 /// Filtering-job mapper: vertical + horizontal partitioning of one record
 /// (paper Algorithm 1 lines 6–9). Shared with the prefix-discovery variant
-/// ([`crate::pf`]).
+/// ([`crate::pf`]). Tokens are resolved against the run's shared pool
+/// (published as a [`Dfs`] blob); segments are `Copy` spans, so the map
+/// phase allocates no token storage.
 pub(crate) struct PartitionMapper {
+    pub(crate) pool: Arc<TokenPool>,
     pub(crate) pivots: Arc<Vec<u32>>,
     pub(crate) h_pivots: Arc<Vec<u32>>,
     pub(crate) num_fragments: usize,
@@ -76,19 +102,25 @@ pub(crate) struct PartitionMapper {
 
 impl Mapper for PartitionMapper {
     type InKey = u32;
-    type InValue = (u8, Record);
+    type InValue = (u8, PooledRecord);
     type OutKey = u32; // cell id = h * num_fragments + v
     type OutValue = Segment;
 
-    fn map(&mut self, _rid: u32, (side, record): (u8, Record), out: &mut Emitter<u32, Segment>) {
-        if record.is_empty() {
+    fn map(
+        &mut self,
+        _rid: u32,
+        (side, record): (u8, PooledRecord),
+        out: &mut Emitter<u32, Segment>,
+    ) {
+        if record.span.is_empty() {
             return;
         }
-        let hs = h_partitions_for(record.len(), &self.h_pivots, self.measure, self.theta);
-        let segments = split_record(record.id, side, &record.tokens, &self.pivots);
+        let tokens = self.pool.resolve(record.span);
+        let hs = h_partitions_for(tokens.len(), &self.h_pivots, self.measure, self.theta);
+        let segments = split_record(record.id, side, tokens, record.span, &self.pivots);
         for &h in &hs {
-            for (v, seg) in &segments {
-                out.emit((h * self.num_fragments + v) as u32, seg.clone());
+            for &(v, seg) in &segments {
+                out.emit((h * self.num_fragments + v) as u32, seg);
             }
         }
     }
@@ -99,6 +131,7 @@ impl Mapper for PartitionMapper {
 /// run's [`MetricsRegistry`] at task cleanup (registry counters are
 /// additive, so concurrent reduce tasks never contend mid-join).
 struct FragmentReducer {
+    pool: Arc<TokenPool>,
     cfg: FsJoinConfig,
     h_pivots: Arc<Vec<u32>>,
     scope: PairScope,
@@ -123,6 +156,7 @@ impl Reducer for FragmentReducer {
         let before_pairs = self.local_stats.pairs_considered;
         let before_emitted = self.local_stats.emitted;
         let records = join_fragment(
+            &self.pool,
             &segments,
             rule,
             self.scope,
@@ -143,8 +177,8 @@ impl Reducer for FragmentReducer {
             "fsjoin.fragment.candidates",
             self.local_stats.emitted - before_emitted,
         );
-        for (pair, payload) in records {
-            out.emit(pair, payload);
+        for rec in records {
+            out.emit(rec.key(), rec.value());
         }
     }
 
@@ -223,16 +257,25 @@ impl Reducer for VerifyReducer {
 }
 
 fn run_join(
-    r_records: &[Record],
-    s_records: &[Record],
+    pool: Arc<TokenPool>,
+    num_r: usize,
+    num_s: usize,
     freqs: &[u64],
     cfg: &FsJoinConfig,
     scope: PairScope,
 ) -> FsJoinResult {
     cfg.validate();
+    assert_eq!(pool.len(), num_r + num_s, "pool must hold exactly R ++ S");
     let run_span = span("fsjoin.stage", "run")
-        .field("records", r_records.len() + s_records.len())
+        .field("records", num_r + num_s)
         .field("theta", cfg.theta);
+
+    // Publish the token arena as job side data (the distributed-cache
+    // analogue): tasks fetch one shared Arc instead of each record
+    // carrying an owned token vector.
+    let mut dfs = Dfs::new();
+    dfs.put_blob(POOL_BLOB, Arc::clone(&pool));
+    let pool_side = dfs.get_blob::<Arc<TokenPool>>(POOL_BLOB).clone();
 
     // ---- Setup: pivot selection (Algorithm 1 lines 2–4) ------------------
     let ordering_span = span("fsjoin.stage", "ordering");
@@ -252,8 +295,7 @@ fn run_join(
         c
     };
 
-    let mut lengths: Vec<usize> = r_records.iter().map(Record::len).collect();
-    lengths.extend(s_records.iter().map(Record::len));
+    let lengths: Vec<usize> = pool.iter().map(<[u32]>::len).collect();
     let h_pivots = Arc::new(select_h_pivots(&lengths, cfg.horizontal_pivots));
     let num_cells = num_h_partitions(&h_pivots) * num_fragments;
     drop(
@@ -263,17 +305,22 @@ fn run_join(
     );
 
     // ---- Input dataset ----------------------------------------------------
-    let offset = r_records.len() as u32;
-    let mut input_records: Vec<(u32, (u8, Record))> = Vec::with_capacity(lengths.len());
-    for rec in r_records {
-        input_records.push((rec.id, (0, rec.clone())));
-    }
-    for rec in s_records {
-        let shifted = Record {
-            id: rec.id + offset,
-            tokens: rec.tokens.clone(),
-        };
-        input_records.push((shifted.id, (1, shifted)));
+    // Each input record is just (side tag, span) — the tokens stay in the
+    // shared pool. Logical input bytes are unchanged: a PooledRecord's
+    // ByteSize still counts id + length prefix + tokens.
+    let mut input_records: Vec<(u32, (u8, PooledRecord))> = Vec::with_capacity(num_r + num_s);
+    for rid in 0..(num_r + num_s) as u32 {
+        let side = u8::from(rid as usize >= num_r);
+        input_records.push((
+            rid,
+            (
+                side,
+                PooledRecord {
+                    id: rid,
+                    span: pool.span_of(rid),
+                },
+            ),
+        ));
     }
     let input = Dataset::from_records(input_records, cfg.map_tasks);
 
@@ -290,6 +337,7 @@ fn run_join(
         .run_partitioned(
             &input,
             |_| PartitionMapper {
+                pool: Arc::clone(&pool_side),
                 pivots: Arc::clone(&pivots),
                 h_pivots: Arc::clone(&h_pivots),
                 num_fragments,
@@ -297,6 +345,7 @@ fn run_join(
                 theta: cfg.theta,
             },
             |_| FragmentReducer {
+                pool: Arc::clone(&pool_side),
                 cfg: cfg_eff.clone(),
                 h_pivots: Arc::clone(&h_pivots),
                 scope,
@@ -331,7 +380,7 @@ fn run_join(
         .into_records()
         .map(|((a, b), sim)| SimilarPair::new(a, b, sim))
         .collect();
-    pairs.sort_unstable_by(|x, y| x.ids().cmp(&y.ids()));
+    pairs.sort_unstable_by_key(|x| x.ids());
     drop(verify_span.field("pairs", pairs.len()));
 
     let mut chain = ChainMetrics::default();
@@ -362,7 +411,7 @@ mod tests {
     use crate::pivots::PivotStrategy;
     use ssj_similarity::naive::naive_self_join;
     use ssj_similarity::pair::compare_results;
-    use ssj_text::{encode, RawCorpus, Tokenizer};
+    use ssj_text::{encode, RawCorpus, Record, Tokenizer};
 
     fn tiny_collection() -> Collection {
         let corpus = RawCorpus::from_texts(
@@ -382,7 +431,7 @@ mod tests {
     fn finds_near_duplicates() {
         let c = tiny_collection();
         let res = run_self_join(&c, &FsJoinConfig::default().with_theta(0.7));
-        let want = naive_self_join(&c.records, Measure::Jaccard, 0.7);
+        let want = naive_self_join(&c.views(), Measure::Jaccard, 0.7);
         compare_results(&res.pairs, &want, 1e-9).unwrap();
         assert!(res.candidates > 0);
         assert_eq!(res.chain.jobs.len(), 2);
@@ -391,7 +440,7 @@ mod tests {
     #[test]
     fn fragmentation_does_not_change_results() {
         let c = tiny_collection();
-        let want = naive_self_join(&c.records, Measure::Jaccard, 0.6);
+        let want = naive_self_join(&c.views(), Measure::Jaccard, 0.6);
         for fragments in [1, 2, 4, 32] {
             let cfg = FsJoinConfig::default()
                 .with_theta(0.6)
@@ -405,7 +454,7 @@ mod tests {
     #[test]
     fn kernels_filters_and_strategies_agree() {
         let c = tiny_collection();
-        let want = naive_self_join(&c.records, Measure::Jaccard, 0.7);
+        let want = naive_self_join(&c.views(), Measure::Jaccard, 0.7);
         for kernel in JoinKernel::all() {
             for filters in [FilterSet::ALL, FilterSet::NONE] {
                 for strategy in PivotStrategy::all() {
@@ -425,9 +474,12 @@ mod tests {
     #[test]
     fn horizontal_on_off_agree() {
         let c = tiny_collection();
-        let want = naive_self_join(&c.records, Measure::Jaccard, 0.7);
+        let want = naive_self_join(&c.views(), Measure::Jaccard, 0.7);
         for t in [0, 1, 3, 8] {
-            let res = run_self_join(&c, &FsJoinConfig::default().with_theta(0.7).with_horizontal(t));
+            let res = run_self_join(
+                &c,
+                &FsJoinConfig::default().with_theta(0.7).with_horizontal(t),
+            );
             compare_results(&res.pairs, &want, 1e-9).unwrap_or_else(|e| panic!("t={t}: {e}"));
         }
     }
@@ -441,7 +493,7 @@ mod tests {
         let cfg = FsJoinConfig::default().with_horizontal(0).with_theta(0.8);
         let res = run_self_join(&c, &cfg);
         let filter = res.chain.job("fsjoin-filter").unwrap();
-        let total_tokens: usize = c.records.iter().map(|r| r.len()).sum();
+        let total_tokens: usize = c.total_tokens() as usize;
         // Every shuffled record is one segment costing exactly
         // key(4) + rid(4) + side(1) + len/head/tail(12) + vec prefix(4)
         // = 25 bytes of metadata plus 4 bytes per token. Solving for the
@@ -470,17 +522,13 @@ mod tests {
         let (r, s) = ssj_text::encode::encode_two(&r_corpus, &s_corpus);
         let res = run_rs_join(&r, &s, &FsJoinConfig::default().with_theta(0.7));
         // Oracle with offset ids.
-        let offset = r.records.len() as u32;
+        let offset = r.len() as u32;
         let s_shifted: Vec<Record> = s
-            .records
             .iter()
-            .map(|rec| Record {
-                id: rec.id + offset,
-                tokens: rec.tokens.clone(),
-            })
+            .map(|v| Record::from_sorted(v.id + offset, v.tokens.to_vec()))
             .collect();
         let want =
-            ssj_similarity::naive::naive_rs_join(&r.records, &s_shifted, Measure::Jaccard, 0.7);
+            ssj_similarity::naive::naive_rs_join(&r.views(), &s_shifted, Measure::Jaccard, 0.7);
         compare_results(&res.pairs, &want, 1e-9).unwrap();
         assert_eq!(res.pairs.len(), 1);
         assert_eq!(res.pairs[0].ids(), (0, offset));
@@ -525,16 +573,14 @@ mod tests {
                 freqs[t as usize] += 1;
             }
         }
-        let c = Collection {
-            records,
-            token_freqs: freqs,
-            vocab: None,
-        };
+        let c = Collection::new(records, freqs, None);
         let exact_cfg = FsJoinConfig::default().with_theta(0.9).with_fragments(16);
-        let strict_cfg = exact_cfg.clone().with_emit_policy(EmitPolicy::PositiveBoundOnly);
+        let strict_cfg = exact_cfg
+            .clone()
+            .with_emit_policy(EmitPolicy::PositiveBoundOnly);
         let exact = run_self_join(&c, &exact_cfg);
         let strict = run_self_join(&c, &strict_cfg);
-        let oracle = naive_self_join(&c.records, Measure::Jaccard, 0.9);
+        let oracle = naive_self_join(&c.views(), Measure::Jaccard, 0.9);
         compare_results(&exact.pairs, &oracle, 1e-9).expect("Exact policy must stay exact");
         assert!(
             strict.candidates < exact.candidates,

@@ -190,8 +190,7 @@ impl PairBounds {
         tail_t: u32,
     ) -> Self {
         let alpha = measure.min_overlap(theta, len_s as usize, len_t as usize) as i64;
-        let required_local =
-            alpha - i64::from(head_s.min(head_t)) - i64::from(tail_s.min(tail_t));
+        let required_local = alpha - i64::from(head_s.min(head_t)) - i64::from(tail_s.min(tail_t));
         let max_total_diff = i64::from(len_s) + i64::from(len_t) - 2 * alpha;
         let max_local_diff = max_total_diff
             - i64::from(head_s.abs_diff(head_t))
@@ -234,7 +233,12 @@ pub fn segi_pass(bounds: &PairBounds, local_overlap: usize) -> bool {
 /// intersection with the lower bound `|seg_len_s − seg_len_t|` — see
 /// [`segd_pass_precheck`].
 #[inline]
-pub fn segd_pass(bounds: &PairBounds, seg_len_s: usize, seg_len_t: usize, local_overlap: usize) -> bool {
+pub fn segd_pass(
+    bounds: &PairBounds,
+    seg_len_s: usize,
+    seg_len_t: usize,
+    local_overlap: usize,
+) -> bool {
     let diff = (seg_len_s + seg_len_t) as i64 - 2 * local_overlap as i64;
     diff <= bounds.max_local_diff
 }
@@ -360,7 +364,14 @@ mod tests {
                                 for seg_s in 1..=ts {
                                     for seg_t in 1..=tt {
                                         let b = PairBounds::new(
-                                            m, theta, ls, hs, ts - seg_s, lt, ht, tt - seg_t,
+                                            m,
+                                            theta,
+                                            ls,
+                                            hs,
+                                            ts - seg_s,
+                                            lt,
+                                            ht,
+                                            tt - seg_t,
                                         );
                                         for c in 0..=seg_s.min(seg_t) as usize {
                                             assert_eq!(
@@ -382,8 +393,8 @@ mod tests {
     #[test]
     fn filterset_constants() {
         assert_eq!(FilterSet::default(), FilterSet::ALL);
-        assert!(FilterSet::STRL_ONLY.strl && !FilterSet::STRL_ONLY.segd);
-        assert!(!FilterSet::NONE.strl);
+        const { assert!(FilterSet::STRL_ONLY.strl && !FilterSet::STRL_ONLY.segd) };
+        const { assert!(!FilterSet::NONE.strl) };
     }
 
     #[test]

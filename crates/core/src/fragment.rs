@@ -13,7 +13,10 @@
 //!   then verify with an exact merge intersection. FS-Join's default.
 //!
 //! All kernels apply the same [`FilterSet`] and produce identical output
-//! (property-tested); they differ only in work.
+//! (property-tested); they differ only in work. Segments carry spans into
+//! the collection's shared [`TokenPool`], so every kernel takes the pool
+//! and resolves token slices on the fly (a bounds-checked slice of the
+//! flat arena — contiguous, cache-friendly, and allocation-free).
 
 use crate::filters::{
     segd_pass, segd_pass_precheck, segi_pass, segl_pass, strl_pass, EmitPolicy, FilterSet,
@@ -22,8 +25,9 @@ use crate::filters::{
 use crate::horizontal::JoinRule;
 use crate::segment::Segment;
 use ssj_common::FxHashMap;
-use ssj_similarity::intersect::intersect_count_merge;
+use ssj_similarity::intersect::intersect_count_adaptive;
 use ssj_similarity::Measure;
+use ssj_text::TokenPool;
 
 /// Which record pairs a join considers, besides the horizontal rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,12 +65,45 @@ impl JoinKernel {
     }
 }
 
-/// One candidate record: `((rid_a, rid_b), (common, len_a, len_b))` with
-/// `rid_a < rid_b`.
-pub type CandidateRecord = ((u32, u32), (u32, u32, u32));
+/// One candidate record emitted by a fragment join: a record pair
+/// (`rid_a < rid_b`) with its local overlap and both record lengths.
+///
+/// The field order (`rid_a`, `rid_b`, `common`, `len_a`, `len_b`) matches
+/// the former `((u32, u32), (u32, u32, u32))` tuple encoding, so the
+/// derived `Ord` sorts exactly as the tuples did and the MapReduce wire
+/// format `((rid_a, rid_b), (common, len_a, len_b))` round-trips
+/// losslessly through [`CandidateRecord::key`] / [`CandidateRecord::value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CandidateRecord {
+    /// Smaller record id of the pair.
+    pub rid_a: u32,
+    /// Larger record id of the pair.
+    pub rid_b: u32,
+    /// Common tokens within this fragment.
+    pub common: u32,
+    /// Full length of record `rid_a`.
+    pub len_a: u32,
+    /// Full length of record `rid_b`.
+    pub len_b: u32,
+}
+
+impl CandidateRecord {
+    /// The shuffle key: the record-id pair.
+    #[inline]
+    pub fn key(&self) -> (u32, u32) {
+        (self.rid_a, self.rid_b)
+    }
+
+    /// The shuffle value: `(common, len_a, len_b)`.
+    #[inline]
+    pub fn value(&self) -> (u32, u32, u32) {
+        (self.common, self.len_a, self.len_b)
+    }
+}
 
 /// Join all segments of one fragment cell. `segments` may contain at most
-/// one segment per `(rid, side)` (guaranteed by vertical partitioning).
+/// one segment per `(rid, side)` (guaranteed by vertical partitioning);
+/// their spans resolve against `pool`.
 ///
 /// Base cells (rule [`JoinRule::All`]) join all admissible pairs; boundary
 /// cells join **bipartitely** — segments are split at the pivot into the
@@ -75,6 +112,7 @@ pub type CandidateRecord = ((u32, u32), (u32, u32, u32));
 /// work on pairs the boundary rule would reject.
 #[allow(clippy::too_many_arguments)]
 pub fn join_fragment(
+    pool: &TokenPool,
     segments: &[Segment],
     rule: JoinRule,
     scope: PairScope,
@@ -87,9 +125,15 @@ pub fn join_fragment(
 ) -> Vec<CandidateRecord> {
     match rule {
         JoinRule::All => match kernel {
-            JoinKernel::Loop => loop_join(segments, scope, measure, theta, filters, policy, stats),
-            JoinKernel::Index => index_join(segments, scope, measure, theta, filters, policy, stats),
-            JoinKernel::Prefix => prefix_join(segments, scope, measure, theta, filters, policy, stats),
+            JoinKernel::Loop => loop_join(
+                pool, segments, scope, measure, theta, filters, policy, stats,
+            ),
+            JoinKernel::Index => index_join(
+                pool, segments, scope, measure, theta, filters, policy, stats,
+            ),
+            JoinKernel::Prefix => prefix_join(
+                pool, segments, scope, measure, theta, filters, policy, stats,
+            ),
         },
         JoinRule::Boundary { lo, pivot } => {
             let mut short: Vec<&Segment> = Vec::new();
@@ -102,7 +146,9 @@ pub fn join_fragment(
                 }
                 // Segments below `lo` can never satisfy the boundary rule.
             }
-            bipartite_join(&short, &long, scope, measure, theta, kernel, filters, policy, stats)
+            bipartite_join(
+                pool, &short, &long, scope, measure, theta, kernel, filters, policy, stats,
+            )
         }
     }
 }
@@ -152,11 +198,18 @@ fn finish_pair(
     }
     stats.emitted += 1;
     let (x, y) = if a.rid < b.rid { (a, b) } else { (b, a) };
-    Some(((x.rid, y.rid), (overlap as u32, x.len, y.len)))
+    Some(CandidateRecord {
+        rid_a: x.rid,
+        rid_b: y.rid,
+        common: overlap as u32,
+        len_a: x.len,
+        len_b: y.len,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
 fn loop_join(
+    pool: &TokenPool,
     segments: &[Segment],
     scope: PairScope,
     measure: Measure,
@@ -187,7 +240,7 @@ fn loop_join(
                 stats.segd_pruned += 1;
                 continue;
             }
-            let c = intersect_count_merge(&a.tokens, &b.tokens);
+            let c = intersect_count_adaptive(a.tokens(pool), b.tokens(pool));
             if let Some(rec) = finish_pair(a, b, c, measure, theta, filters, policy, stats) {
                 out.push(rec);
             }
@@ -198,6 +251,7 @@ fn loop_join(
 
 #[allow(clippy::too_many_arguments)]
 fn index_join(
+    pool: &TokenPool,
     segments: &[Segment],
     scope: PairScope,
     measure: Measure,
@@ -212,7 +266,7 @@ fn index_join(
     let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
     for (slot, a) in segments.iter().enumerate() {
         counts.clear();
-        for &t in &a.tokens {
+        for &t in a.tokens(pool) {
             if let Some(slots) = index.get(&t) {
                 for &s in slots {
                     *counts.entry(s).or_insert(0) += 1;
@@ -235,11 +289,12 @@ fn index_join(
                 stats.segl_pruned += 1;
                 continue;
             }
-            if let Some(rec) = finish_pair(a, b, c as usize, measure, theta, filters, policy, stats) {
+            if let Some(rec) = finish_pair(a, b, c as usize, measure, theta, filters, policy, stats)
+            {
                 out.push(rec);
             }
         }
-        for &t in &a.tokens {
+        for &t in a.tokens(pool) {
             index.entry(t).or_default().push(slot as u32);
         }
     }
@@ -268,6 +323,7 @@ fn local_prefix_len(measure: Measure, theta: f64, seg: &Segment) -> usize {
 
 #[allow(clippy::too_many_arguments)]
 fn prefix_join(
+    pool: &TokenPool,
     segments: &[Segment],
     scope: PairScope,
     measure: Measure,
@@ -281,8 +337,9 @@ fn prefix_join(
     let mut seen: FxHashMap<u32, ()> = FxHashMap::default();
     for (slot, a) in segments.iter().enumerate() {
         seen.clear();
+        let a_tokens = a.tokens(pool);
         let prefix = local_prefix_len(measure, theta, a);
-        for &t in &a.tokens[..prefix] {
+        for &t in &a_tokens[..prefix] {
             if let Some(slots) = index.get(&t) {
                 for &s in slots {
                     seen.entry(s).or_insert(());
@@ -309,12 +366,12 @@ fn prefix_join(
                 stats.segd_pruned += 1;
                 continue;
             }
-            let c = intersect_count_merge(&a.tokens, &b.tokens);
+            let c = intersect_count_adaptive(a_tokens, b.tokens(pool));
             if let Some(rec) = finish_pair(a, b, c, measure, theta, filters, policy, stats) {
                 out.push(rec);
             }
         }
-        for (pos, &t) in a.tokens.iter().enumerate().take(prefix) {
+        for (pos, &t) in a_tokens.iter().enumerate().take(prefix) {
             let _ = pos;
             index.entry(t).or_default().push(slot as u32);
         }
@@ -327,6 +384,7 @@ fn prefix_join(
 /// by cross-group token incidences.
 #[allow(clippy::too_many_arguments)]
 fn bipartite_join(
+    pool: &TokenPool,
     short: &[&Segment],
     long: &[&Segment],
     scope: PairScope,
@@ -364,8 +422,9 @@ fn bipartite_join(
                         stats.segd_pruned += 1;
                         continue;
                     }
-                    let c = intersect_count_merge(&a.tokens, &b.tokens);
-                    if let Some(rec) = finish_pair(a, b, c, measure, theta, filters, policy, stats) {
+                    let c = intersect_count_adaptive(a.tokens(pool), b.tokens(pool));
+                    if let Some(rec) = finish_pair(a, b, c, measure, theta, filters, policy, stats)
+                    {
                         out.push(rec);
                     }
                 }
@@ -376,14 +435,14 @@ fn bipartite_join(
             // probe with the long group, accumulating exact local overlaps.
             let mut index: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
             for (slot, a) in short.iter().enumerate() {
-                for &t in &a.tokens {
+                for &t in a.tokens(pool) {
                     index.entry(t).or_default().push(slot as u32);
                 }
             }
             let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
             for b in long {
                 counts.clear();
-                for &t in &b.tokens {
+                for &t in b.tokens(pool) {
                     if let Some(slots) = index.get(&t) {
                         for &s in slots {
                             *counts.entry(s).or_insert(0) += 1;
@@ -407,7 +466,8 @@ fn bipartite_join(
                         stats.segl_pruned += 1;
                         continue;
                     }
-                    if let Some(rec) = finish_pair(a, b, c as usize, measure, theta, filters, policy, stats)
+                    if let Some(rec) =
+                        finish_pair(a, b, c as usize, measure, theta, filters, policy, stats)
                     {
                         out.push(rec);
                     }
@@ -421,15 +481,16 @@ fn bipartite_join(
             let mut index: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
             for (slot, a) in short.iter().enumerate() {
                 let prefix = local_prefix_len(measure, theta, a);
-                for &t in &a.tokens[..prefix] {
+                for &t in &a.tokens(pool)[..prefix] {
                     index.entry(t).or_default().push(slot as u32);
                 }
             }
             let mut seen: FxHashMap<u32, ()> = FxHashMap::default();
             for b in long {
                 seen.clear();
+                let b_tokens = b.tokens(pool);
                 let prefix = local_prefix_len(measure, theta, b);
-                for &t in &b.tokens[..prefix] {
+                for &t in &b_tokens[..prefix] {
                     if let Some(slots) = index.get(&t) {
                         for &s in slots {
                             seen.entry(s).or_insert(());
@@ -457,8 +518,9 @@ fn bipartite_join(
                         stats.segd_pruned += 1;
                         continue;
                     }
-                    let c = intersect_count_merge(&a.tokens, &b.tokens);
-                    if let Some(rec) = finish_pair(a, b, c, measure, theta, filters, policy, stats) {
+                    let c = intersect_count_adaptive(a.tokens(pool), b_tokens);
+                    if let Some(rec) = finish_pair(a, b, c, measure, theta, filters, policy, stats)
+                    {
                         out.push(rec);
                     }
                 }
@@ -472,7 +534,7 @@ fn bipartite_join(
 mod tests {
     use super::*;
 
-    fn seg(rid: u32, len: u32, head: u32, tokens: &[u32]) -> Segment {
+    fn seg(pool: &mut TokenPool, rid: u32, len: u32, head: u32, tokens: &[u32]) -> Segment {
         let tail = len - head - tokens.len() as u32;
         Segment {
             rid,
@@ -480,11 +542,22 @@ mod tests {
             len,
             head,
             tail,
-            tokens: tokens.to_vec(),
+            span: pool.push(tokens),
+        }
+    }
+
+    fn cand(rid_a: u32, rid_b: u32, common: u32, len_a: u32, len_b: u32) -> CandidateRecord {
+        CandidateRecord {
+            rid_a,
+            rid_b,
+            common,
+            len_a,
+            len_b,
         }
     }
 
     fn run(
+        pool: &TokenPool,
         segments: &[Segment],
         kernel: JoinKernel,
         theta: f64,
@@ -492,6 +565,7 @@ mod tests {
     ) -> (Vec<CandidateRecord>, FilterStats) {
         let mut stats = FilterStats::default();
         let mut out = join_fragment(
+            pool,
             segments,
             JoinRule::All,
             PairScope::SelfJoin,
@@ -509,10 +583,14 @@ mod tests {
     #[test]
     fn identical_segments_emit_full_overlap() {
         // Whole records in one fragment (no pivots case).
-        let segs = vec![seg(0, 3, 0, &[1, 2, 3]), seg(1, 3, 0, &[1, 2, 3])];
+        let mut pool = TokenPool::new();
+        let segs = vec![
+            seg(&mut pool, 0, 3, 0, &[1, 2, 3]),
+            seg(&mut pool, 1, 3, 0, &[1, 2, 3]),
+        ];
         for k in JoinKernel::all() {
-            let (out, _) = run(&segs, k, 0.9, FilterSet::ALL);
-            assert_eq!(out, vec![((0, 1), (3, 3, 3))], "{k:?}");
+            let (out, _) = run(&pool, &segs, k, 0.9, FilterSet::ALL);
+            assert_eq!(out, vec![cand(0, 1, 3, 3, 3)], "{k:?}");
         }
     }
 
@@ -525,6 +603,7 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             ((state >> 33) as u32) % m
         };
+        let mut pool = TokenPool::new();
         let mut segments = Vec::new();
         for rid in 0..60u32 {
             let seg_len = 1 + next(8);
@@ -540,27 +619,27 @@ mod tests {
                 len,
                 head,
                 tail,
-                tokens: toks,
+                span: pool.push(&toks),
             });
         }
         for &theta in &[0.5, 0.7, 0.9] {
             for filters in [FilterSet::ALL, FilterSet::NONE, FilterSet::STRL_ONLY] {
-                let (loop_out, _) = run(&segments, JoinKernel::Loop, theta, filters);
-                let (index_out, _) = run(&segments, JoinKernel::Index, theta, filters);
+                let (loop_out, _) = run(&pool, &segments, JoinKernel::Loop, theta, filters);
+                let (index_out, _) = run(&pool, &segments, JoinKernel::Index, theta, filters);
                 assert_eq!(loop_out, index_out, "index θ={theta} {filters:?}");
                 // Prefix may legitimately emit a SUBSET (it skips pairs that
                 // provably cannot be θ-similar), but must contain every pair
                 // whose local overlap meets both records' local alphas.
-                let (prefix_out, _) = run(&segments, JoinKernel::Prefix, theta, filters);
+                let (prefix_out, _) = run(&pool, &segments, JoinKernel::Prefix, theta, filters);
                 for rec in &prefix_out {
                     assert!(loop_out.contains(rec), "prefix emitted non-loop record");
                 }
                 let m = Measure::Jaccard;
-                for rec @ &((a, b), (c, _, _)) in &loop_out {
-                    let sa = segments.iter().find(|s| s.rid == a).unwrap();
-                    let sb = segments.iter().find(|s| s.rid == b).unwrap();
+                for rec in &loop_out {
+                    let sa = segments.iter().find(|s| s.rid == rec.rid_a).unwrap();
+                    let sb = segments.iter().find(|s| s.rid == rec.rid_b).unwrap();
                     let need = local_alpha(m, theta, sa).max(local_alpha(m, theta, sb));
-                    if (c as usize) >= need {
+                    if (rec.common as usize) >= need {
                         assert!(
                             prefix_out.contains(rec),
                             "prefix missed a qualifying record {rec:?} (θ={theta})"
@@ -573,19 +652,21 @@ mod tests {
 
     #[test]
     fn cross_sides_scope_only_pairs_across() {
+        let mut pool = TokenPool::new();
         let segs = vec![
-            seg(0, 3, 0, &[1, 2, 3]),
+            seg(&mut pool, 0, 3, 0, &[1, 2, 3]),
             Segment {
                 side: 1,
-                ..seg(10, 3, 0, &[1, 2, 3])
+                ..seg(&mut pool, 10, 3, 0, &[1, 2, 3])
             },
             Segment {
                 side: 1,
-                ..seg(11, 3, 0, &[1, 2, 3])
+                ..seg(&mut pool, 11, 3, 0, &[1, 2, 3])
             },
         ];
         let mut stats = FilterStats::default();
         let mut out = join_fragment(
+            &pool,
             &segs,
             JoinRule::All,
             PairScope::CrossSides,
@@ -599,21 +680,23 @@ mod tests {
         out.sort_unstable();
         assert_eq!(
             out,
-            vec![((0, 10), (3, 3, 3)), ((0, 11), (3, 3, 3))],
+            vec![cand(0, 10, 3, 3, 3), cand(0, 11, 3, 3, 3)],
             "identical S-side records must not pair"
         );
     }
 
     #[test]
     fn boundary_rule_suppresses_same_side_pairs() {
+        let mut pool = TokenPool::new();
         let segs = vec![
-            seg(0, 8, 0, &[1, 2, 3]),
-            seg(1, 8, 0, &[1, 2, 3]),
-            seg(2, 12, 0, &[1, 2, 3]),
+            seg(&mut pool, 0, 8, 0, &[1, 2, 3]),
+            seg(&mut pool, 1, 8, 0, &[1, 2, 3]),
+            seg(&mut pool, 2, 12, 0, &[1, 2, 3]),
         ];
         let rule = JoinRule::Boundary { lo: 0, pivot: 10 };
         let mut stats = FilterStats::default();
         let mut out = join_fragment(
+            &pool,
             &segs,
             rule,
             PairScope::SelfJoin,
@@ -627,12 +710,13 @@ mod tests {
         out.sort_unstable();
         // Only (0,2) and (1,2) straddle the pivot.
         assert_eq!(out.len(), 2);
-        assert_eq!(out[0].0, (0, 2));
-        assert_eq!(out[1].0, (1, 2));
+        assert_eq!(out[0].key(), (0, 2));
+        assert_eq!(out[1].key(), (1, 2));
     }
 
     #[test]
     fn filters_reduce_emission_monotonically() {
+        let mut pool = TokenPool::new();
         let mut segments = Vec::new();
         let mut state = 5u64;
         let mut next = move |m: u32| {
@@ -651,33 +735,53 @@ mod tests {
                 len: head + tail + toks.len() as u32,
                 head,
                 tail,
-                tokens: toks,
+                span: pool.push(&toks),
             });
         }
-        let (none, _) = run(&segments, JoinKernel::Loop, 0.8, FilterSet::NONE);
-        let (all, stats) = run(&segments, JoinKernel::Loop, 0.8, FilterSet::ALL);
+        let (none, _) = run(&pool, &segments, JoinKernel::Loop, 0.8, FilterSet::NONE);
+        let (all, stats) = run(&pool, &segments, JoinKernel::Loop, 0.8, FilterSet::ALL);
         assert!(all.len() <= none.len());
         assert!(stats.strl_pruned + stats.segl_pruned + stats.segi_pruned + stats.segd_pruned > 0);
     }
 
     #[test]
     fn zero_overlap_pairs_never_emitted() {
-        let segs = vec![seg(0, 3, 0, &[1, 2, 3]), seg(1, 3, 0, &[7, 8, 9])];
+        let mut pool = TokenPool::new();
+        let segs = vec![
+            seg(&mut pool, 0, 3, 0, &[1, 2, 3]),
+            seg(&mut pool, 1, 3, 0, &[7, 8, 9]),
+        ];
         for k in JoinKernel::all() {
-            let (out, _) = run(&segs, k, 0.5, FilterSet::NONE);
+            let (out, _) = run(&pool, &segs, k, 0.5, FilterSet::NONE);
             assert!(out.is_empty(), "{k:?}");
         }
     }
 
     #[test]
+    fn candidate_record_orders_like_the_old_tuple_encoding() {
+        let records = [
+            cand(0, 1, 2, 3, 4),
+            cand(0, 1, 1, 9, 9),
+            cand(1, 0, 0, 0, 0),
+            cand(0, 2, 0, 0, 0),
+        ];
+        let mut by_struct = records;
+        by_struct.sort_unstable();
+        let mut by_tuple = records;
+        by_tuple.sort_unstable_by_key(|r| (r.key(), r.value()));
+        assert_eq!(by_struct, by_tuple);
+    }
+
+    #[test]
     fn local_prefix_len_bounds() {
         let m = Measure::Jaccard;
+        let mut pool = TokenPool::new();
         // Whole record as one segment: local alpha = ceil(θ|s|).
-        let s = seg(0, 10, 0, &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let s = seg(&mut pool, 0, 10, 0, &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
         assert_eq!(local_alpha(m, 0.8, &s), 8);
         assert_eq!(local_prefix_len(m, 0.8, &s), 3);
         // A tiny middle segment: alpha clamps to 1, prefix = full segment.
-        let s = seg(0, 20, 9, &[100, 101]);
+        let s = seg(&mut pool, 0, 20, 9, &[100, 101]);
         assert_eq!(local_alpha(m, 0.8, &s), 1);
         assert_eq!(local_prefix_len(m, 0.8, &s), 2);
     }

@@ -126,7 +126,10 @@ impl JoinRule {
             JoinRule::All
         } else {
             let j = h - t - 1;
-            assert!(j < t, "horizontal partition {h} out of range for {t} pivots");
+            assert!(
+                j < t,
+                "horizontal partition {h} out of range for {t} pivots"
+            );
             JoinRule::Boundary {
                 lo: if j == 0 { 0 } else { pivots[j - 1] },
                 pivot: pivots[j],
@@ -209,7 +212,7 @@ mod tests {
         let second = JoinRule::for_partition(4, &pivots);
         assert!(first.joinable(9, 11));
         assert!(!second.joinable(9, 11)); // 9 < lo = 10
-        // A pair (10, 12) straddles only the second pivot.
+                                          // A pair (10, 12) straddles only the second pivot.
         assert!(!first.joinable(10, 12));
         assert!(second.joinable(10, 12));
     }

@@ -54,7 +54,7 @@ pub mod vertical;
 
 pub use config::{EmitPolicy, FilterSet, FsJoinConfig, JoinKernel};
 pub use driver::{run_rs_join, run_self_join, FsJoinResult};
-pub use pf::{run_rs_join_pf, run_self_join_pf};
 pub use filters::FilterStats;
+pub use pf::{run_rs_join_pf, run_self_join_pf};
 pub use pivots::PivotStrategy;
 pub use segment::Segment;

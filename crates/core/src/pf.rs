@@ -34,7 +34,7 @@
 //! driver.
 
 use crate::config::FsJoinConfig;
-use crate::driver::{FsJoinResult, PartitionMapper};
+use crate::driver::{FsJoinResult, PartitionMapper, POOL_BLOB};
 use crate::filters::FilterStats;
 use crate::fragment::PairScope;
 use crate::horizontal::{num_h_partitions, select_h_pivots, JoinRule};
@@ -42,12 +42,12 @@ use crate::pivots::select_pivots;
 use crate::segment::Segment;
 use ssj_common::FxHashMap;
 use ssj_mapreduce::{
-    ChainMetrics, Dataset, DirectPartitioner, Emitter, JobBuilder, Mapper, Reducer,
+    ChainMetrics, Dataset, Dfs, DirectPartitioner, Emitter, JobBuilder, Mapper, Reducer,
 };
 use ssj_observe::span;
-use ssj_similarity::intersect::intersect_count_merge;
+use ssj_similarity::intersect::intersect_count_adaptive;
 use ssj_similarity::{Measure, SimilarPair};
-use ssj_text::{Collection, Record};
+use ssj_text::{Collection, PooledRecord, TokenPool};
 use std::sync::Arc;
 
 /// Number of leading tokens of a segment that belong to its record's
@@ -61,6 +61,7 @@ fn global_prefix_in_segment(measure: Measure, theta: f64, seg: &Segment) -> usiz
 
 /// Discovery reducer: index global-prefix tokens, emit candidate pairs.
 struct PrefixDiscoveryReducer {
+    pool: Arc<TokenPool>,
     measure: Measure,
     theta: f64,
     num_fragments: usize,
@@ -78,7 +79,7 @@ impl PrefixDiscoveryReducer {
     ) {
         let gp = global_prefix_in_segment(self.measure, self.theta, probe);
         let mut seen: Vec<u32> = Vec::new();
-        for &t in &probe.tokens[..gp] {
+        for &t in &probe.tokens(&self.pool)[..gp] {
             if let Some(slots) = index.get(&t) {
                 seen.extend_from_slice(slots);
             }
@@ -131,7 +132,7 @@ impl Reducer for PrefixDiscoveryReducer {
                 for (slot, seg) in pool.iter().enumerate() {
                     self.discover(seg, &index, &pool, out);
                     let gp = global_prefix_in_segment(self.measure, self.theta, seg);
-                    for &t in &seg.tokens[..gp] {
+                    for &t in &seg.tokens(&self.pool)[..gp] {
                         index.entry(t).or_default().push(slot as u32);
                     }
                 }
@@ -145,7 +146,7 @@ impl Reducer for PrefixDiscoveryReducer {
                 let mut index: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
                 for (slot, seg) in short.iter().enumerate() {
                     let gp = global_prefix_in_segment(self.measure, self.theta, seg);
-                    for &t in &seg.tokens[..gp] {
+                    for &t in &seg.tokens(&self.pool)[..gp] {
                         index.entry(t).or_default().push(slot as u32);
                     }
                 }
@@ -166,7 +167,12 @@ impl Mapper for CandidateDedup {
     type OutKey = (u32, u32);
     type OutValue = (u32, u32);
 
-    fn map(&mut self, pair: (u32, u32), lens: (u32, u32), out: &mut Emitter<(u32, u32), (u32, u32)>) {
+    fn map(
+        &mut self,
+        pair: (u32, u32),
+        lens: (u32, u32),
+        out: &mut Emitter<(u32, u32), (u32, u32)>,
+    ) {
         out.emit(pair, lens);
     }
 }
@@ -189,9 +195,11 @@ impl Reducer for KeepFirst {
     }
 }
 
-/// Cached verification: exact similarity from replicated records.
+/// Cached verification: exact similarity straight from the shared token
+/// pool (the arena *is* the replicated record cache — no second copy of
+/// the corpus is materialized for this job).
 struct CachedVerify {
-    records: Arc<Vec<Record>>,
+    pool: Arc<TokenPool>,
     measure: Measure,
     theta: f64,
 }
@@ -203,9 +211,9 @@ impl Mapper for CachedVerify {
     type OutValue = f64;
 
     fn map(&mut self, (a, b): (u32, u32), _lens: (u32, u32), out: &mut Emitter<(u32, u32), f64>) {
-        let s = &self.records[a as usize];
-        let t = &self.records[b as usize];
-        let c = intersect_count_merge(&s.tokens, &t.tokens);
+        let s = self.pool.tokens_of(a);
+        let t = self.pool.tokens_of(b);
+        let c = intersect_count_adaptive(s, t);
         if self.measure.passes(c, s.len(), t.len(), self.theta) {
             out.emit((a, b), self.measure.score(c, s.len(), t.len()));
         }
@@ -229,7 +237,14 @@ impl Reducer for PassThrough {
 /// configuration as [`crate::run_self_join`] (kernel, filters and
 /// emit-policy fields are ignored — discovery is always global-prefix).
 pub fn run_self_join_pf(collection: &Collection, cfg: &FsJoinConfig) -> FsJoinResult {
-    run_pf(&collection.records, &[], &collection.token_freqs, cfg, PairScope::SelfJoin)
+    run_pf(
+        collection.share_pool(),
+        collection.len(),
+        0,
+        &collection.token_freqs,
+        cfg,
+        PairScope::SelfJoin,
+    )
 }
 
 /// R×S join with the prefix-discovery variant (same conventions as
@@ -239,20 +254,37 @@ pub fn run_rs_join_pf(r: &Collection, s: &Collection, cfg: &FsJoinConfig) -> FsJ
         r.token_freqs, s.token_freqs,
         "R and S must be encoded together (shared global ordering)"
     );
-    run_pf(&r.records, &s.records, &r.token_freqs, cfg, PairScope::CrossSides)
+    let pool = Arc::new(TokenPool::concat(r.pool(), s.pool()));
+    run_pf(
+        pool,
+        r.len(),
+        s.len(),
+        &r.token_freqs,
+        cfg,
+        PairScope::CrossSides,
+    )
 }
 
 fn run_pf(
-    r_records: &[Record],
-    s_records: &[Record],
+    pool: Arc<TokenPool>,
+    num_r: usize,
+    num_s: usize,
     freqs: &[u64],
     cfg: &FsJoinConfig,
     scope: PairScope,
 ) -> FsJoinResult {
     cfg.validate();
+    assert_eq!(pool.len(), num_r + num_s, "pool must hold exactly R ++ S");
     let run_span = span("fsjoin.stage", "run-pf")
-        .field("records", r_records.len() + s_records.len())
+        .field("records", num_r + num_s)
         .field("theta", cfg.theta);
+
+    // Same side-data ceremony as the main driver: one shared arena, fetched
+    // by every task, doubling as the verification job's record cache.
+    let mut dfs = Dfs::new();
+    dfs.put_blob(POOL_BLOB, Arc::clone(&pool));
+    let pool_side = dfs.get_blob::<Arc<TokenPool>>(POOL_BLOB).clone();
+
     let ordering_span = span("fsjoin.stage", "ordering");
     let pivots = Arc::new(select_pivots(
         freqs,
@@ -262,8 +294,7 @@ fn run_pf(
     ));
     let num_fragments = pivots.len() + 1;
 
-    let mut lengths: Vec<usize> = r_records.iter().map(Record::len).collect();
-    lengths.extend(s_records.iter().map(Record::len));
+    let lengths: Vec<usize> = pool.iter().map(<[u32]>::len).collect();
     let h_pivots = Arc::new(select_h_pivots(&lengths, cfg.horizontal_pivots));
     let num_cells = num_h_partitions(&h_pivots) * num_fragments;
     drop(
@@ -272,19 +303,19 @@ fn run_pf(
             .field("h_partitions", num_h_partitions(&h_pivots)),
     );
 
-    let offset = r_records.len() as u32;
-    let mut all_records: Vec<Record> = r_records.to_vec();
-    let mut input_records: Vec<(u32, (u8, Record))> = r_records
-        .iter()
-        .map(|rec| (rec.id, (0u8, rec.clone())))
-        .collect();
-    for rec in s_records {
-        let shifted = Record {
-            id: rec.id + offset,
-            tokens: rec.tokens.clone(),
-        };
-        input_records.push((shifted.id, (1, shifted.clone())));
-        all_records.push(shifted);
+    let mut input_records: Vec<(u32, (u8, PooledRecord))> = Vec::with_capacity(num_r + num_s);
+    for rid in 0..(num_r + num_s) as u32 {
+        let side = u8::from(rid as usize >= num_r);
+        input_records.push((
+            rid,
+            (
+                side,
+                PooledRecord {
+                    id: rid,
+                    span: pool.span_of(rid),
+                },
+            ),
+        ));
     }
     let input = Dataset::from_records(input_records, cfg.map_tasks);
 
@@ -297,6 +328,7 @@ fn run_pf(
         .run_partitioned(
             &input,
             |_| PartitionMapper {
+                pool: Arc::clone(&pool_side),
                 pivots: Arc::clone(&pivots),
                 h_pivots: Arc::clone(&h_pivots),
                 num_fragments,
@@ -304,6 +336,7 @@ fn run_pf(
                 theta: cfg.theta,
             },
             |_| PrefixDiscoveryReducer {
+                pool: Arc::clone(&pool_side),
                 measure: cfg.measure,
                 theta: cfg.theta,
                 num_fragments,
@@ -323,16 +356,15 @@ fn run_pf(
         .run(&candidates_ds, |_| CandidateDedup, |_| KeepFirst);
     drop(dedup_span.field("unique", unique.total_records()));
 
-    // Job 3: cached exact verification.
+    // Job 3: cached exact verification (the shared pool is the cache).
     let verify_span = span("fsjoin.stage", "verify-job");
-    let cache = Arc::new(all_records);
     let (verified, verify_metrics) = JobBuilder::new("fsjoin-pf-verify")
         .reduce_tasks(cfg.reduce_tasks)
         .workers(cfg.workers)
         .run(
             &unique,
             |_| CachedVerify {
-                records: Arc::clone(&cache),
+                pool: Arc::clone(&pool_side),
                 measure: cfg.measure,
                 theta: cfg.theta,
             },
@@ -343,7 +375,7 @@ fn run_pf(
         .into_records()
         .map(|((a, b), sim)| SimilarPair::new(a, b, sim))
         .collect();
-    pairs.sort_unstable_by(|x, y| x.ids().cmp(&y.ids()));
+    pairs.sort_unstable_by_key(|x| x.ids());
     drop(verify_span.field("pairs", pairs.len()));
     drop(run_span.field("pairs", pairs.len()));
 
@@ -371,7 +403,12 @@ mod tests {
     use ssj_text::{CorpusProfile, RawCorpus, Tokenizer};
 
     fn wiki(records: usize) -> Collection {
-        encode(&CorpusProfile::WikiLike.config().with_records(records).generate())
+        encode(
+            &CorpusProfile::WikiLike
+                .config()
+                .with_records(records)
+                .generate(),
+        )
     }
 
     #[test]
@@ -379,10 +416,12 @@ mod tests {
         let c = wiki(150);
         for measure in Measure::all() {
             for &theta in &[0.6, 0.75, 0.9] {
-                let want = naive_self_join(&c.records, measure, theta);
+                let want = naive_self_join(&c.views(), measure, theta);
                 let got = run_self_join_pf(
                     &c,
-                    &FsJoinConfig::default().with_theta(theta).with_measure(measure),
+                    &FsJoinConfig::default()
+                        .with_theta(theta)
+                        .with_measure(measure),
                 );
                 compare_results(&got.pairs, &want, 1e-9)
                     .unwrap_or_else(|e| panic!("{measure:?} θ={theta}: {e}"));
@@ -393,7 +432,7 @@ mod tests {
     #[test]
     fn matches_oracle_across_partitioning() {
         let c = wiki(120);
-        let want = naive_self_join(&c.records, Measure::Jaccard, 0.75);
+        let want = naive_self_join(&c.views(), Measure::Jaccard, 0.75);
         for fragments in [1usize, 4, 30] {
             for h in [0usize, 3, 20] {
                 let cfg = FsJoinConfig::default()
@@ -442,20 +481,26 @@ mod tests {
         let (r, s) = ssj_text::encode::encode_two(&r_corpus, &s_corpus);
         let got = run_rs_join_pf(&r, &s, &FsJoinConfig::default().with_theta(0.7));
         assert_eq!(got.pairs.len(), 1);
-        assert_eq!(got.pairs[0].ids(), (0, r.records.len() as u32));
+        assert_eq!(got.pairs[0].ids(), (0, r.len() as u32));
     }
 
     #[test]
     fn global_prefix_in_segment_respects_head() {
         let m = Measure::Jaccard;
-        // Record of length 10 at θ=0.8: global prefix π = 3.
-        let seg = |head: u32, toks: usize| Segment {
-            rid: 0,
-            side: 0,
-            len: 10,
-            head,
-            tail: 10 - head - toks as u32,
-            tokens: (0..toks as u32).collect(),
+        // Record of length 10 at θ=0.8: global prefix π = 3. The prefix
+        // arithmetic only reads seg metadata plus the span length, so one
+        // throwaway pool per segment suffices.
+        let seg = |head: u32, toks: usize| {
+            let mut pool = TokenPool::new();
+            let span = pool.push(&(0..toks as u32).collect::<Vec<_>>());
+            Segment {
+                rid: 0,
+                side: 0,
+                len: 10,
+                head,
+                tail: 10 - head - toks as u32,
+                span,
+            }
         };
         assert_eq!(global_prefix_in_segment(m, 0.8, &seg(0, 5)), 3);
         assert_eq!(global_prefix_in_segment(m, 0.8, &seg(2, 5)), 1);

@@ -154,10 +154,9 @@ mod tests {
         let freqs = zipf_freqs(2000);
         let tf = select_pivots(&freqs, 9, PivotStrategy::EvenTf, 0);
         let iv = select_pivots(&freqs, 9, PivotStrategy::EvenInterval, 0);
-        let skew = |p: &[u32]| Summary::of_counts(
-            fragment_loads(&freqs, p).iter().map(|&l| l as usize),
-        )
-        .skew;
+        let skew = |p: &[u32]| {
+            Summary::of_counts(fragment_loads(&freqs, p).iter().map(|&l| l as usize)).skew
+        };
         assert!(
             skew(&tf) < skew(&iv),
             "Even-TF skew {} should beat Even-Interval {}",

@@ -53,7 +53,12 @@ fn arb_collection() -> impl Strategy<Value = Collection> {
             }
             let records = records
                 .into_iter()
-                .map(|r| Record::new(r.id, r.tokens.iter().map(|&t| rank_of[t as usize]).collect()))
+                .map(|r| {
+                    Record::new(
+                        r.id,
+                        r.tokens.iter().map(|&t| rank_of[t as usize]).collect(),
+                    )
+                })
                 .collect::<Vec<_>>();
             let mut rank_freqs = vec![0u64; 91];
             for r in &records {
@@ -61,16 +66,12 @@ fn arb_collection() -> impl Strategy<Value = Collection> {
                     rank_freqs[t as usize] += 1;
                 }
             }
-            Collection {
-                records,
-                token_freqs: rank_freqs,
-                vocab: None,
-            }
+            Collection::new(records, rank_freqs, None)
         })
 }
 
 fn check(c: &Collection, cfg: &FsJoinConfig, label: &str) -> Result<(), TestCaseError> {
-    let want = naive_self_join(&c.records, cfg.measure, cfg.theta);
+    let want = naive_self_join(&c.views(), cfg.measure, cfg.theta);
     let got = fsjoin::run_self_join(c, cfg);
     if let Err(e) = compare_results(&got.pairs, &want, 1e-9) {
         return Err(TestCaseError::fail(format!("{label}: {e}")));
@@ -174,18 +175,14 @@ fn horizontal_boundary_stress() {
         .map(|(i, r)| Record::new(i as u32, r.tokens))
         .collect();
     let freqs = vec![1u64; 41];
-    let c = Collection {
-        records,
-        token_freqs: freqs,
-        vocab: None,
-    };
+    let c = Collection::new(records, freqs, None);
     for theta in [0.6, 0.75, 0.9] {
         for t in [0, 1, 3, 7, 12] {
             let cfg = FsJoinConfig::default()
                 .with_theta(theta)
                 .with_horizontal(t)
                 .with_workers(1);
-            let want = naive_self_join(&c.records, Measure::Jaccard, theta);
+            let want = naive_self_join(&c.views(), Measure::Jaccard, theta);
             let got = fsjoin::run_self_join(&c, &cfg);
             compare_results(&got.pairs, &want, 1e-9)
                 .unwrap_or_else(|e| panic!("θ={theta} t={t}: {e}"));

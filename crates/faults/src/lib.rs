@@ -225,7 +225,11 @@ impl FaultPlan {
         }
         let mut g = SplitMix64::scoped(
             self.seed,
-            &[0x6e6f_6465_u64 /* "node" */, hash_str(job), node as u64],
+            &[
+                0x6e6f_6465_u64, /* "node" */
+                hash_str(job),
+                node as u64,
+            ],
         );
         if g.next_f64() < self.node_loss_rate {
             Some(g.next_f64() * horizon_secs)
@@ -395,7 +399,9 @@ mod tests {
 
     #[test]
     fn rates_are_respected_empirically() {
-        let plan = FaultPlan::new(7).with_failures(0.2, 0.1).with_stragglers(0.1, 3.0);
+        let plan = FaultPlan::new(7)
+            .with_failures(0.2, 0.1)
+            .with_stragglers(0.1, 3.0);
         let n = 20_000;
         let mut counts = [0usize; 4];
         for t in 0..n {
@@ -415,9 +421,15 @@ mod tests {
     #[test]
     fn different_scopes_draw_independently() {
         let plan = FaultPlan::chaos(1, 0.5);
-        let map: Vec<_> = (0..64).map(|t| plan.decide("j", Phase::Map, t, 0)).collect();
-        let red: Vec<_> = (0..64).map(|t| plan.decide("j", Phase::Reduce, t, 0)).collect();
-        let other: Vec<_> = (0..64).map(|t| plan.decide("k", Phase::Map, t, 0)).collect();
+        let map: Vec<_> = (0..64)
+            .map(|t| plan.decide("j", Phase::Map, t, 0))
+            .collect();
+        let red: Vec<_> = (0..64)
+            .map(|t| plan.decide("j", Phase::Reduce, t, 0))
+            .collect();
+        let other: Vec<_> = (0..64)
+            .map(|t| plan.decide("k", Phase::Map, t, 0))
+            .collect();
         assert_ne!(map, red);
         assert_ne!(map, other);
     }
@@ -427,7 +439,11 @@ mod tests {
         let plan = FaultPlan::new(3).with_failures(1.0, 0.0);
         assert_eq!(plan.decide("j", Phase::Map, 0, 0), Some(Fault::Error));
         assert_eq!(plan.decide("j", Phase::Map, 0, 1), Some(Fault::Error));
-        assert_eq!(plan.decide("j", Phase::Map, 0, 2), None, "progress guarantee");
+        assert_eq!(
+            plan.decide("j", Phase::Map, 0, 2),
+            None,
+            "progress guarantee"
+        );
     }
 
     #[test]

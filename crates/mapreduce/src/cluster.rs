@@ -11,8 +11,8 @@
 //! shuffled bytes crosses the network).
 
 use crate::metrics::{ChainMetrics, JobMetrics, TaskStat};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A cluster configuration for makespan simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,7 +139,7 @@ impl ClusterModel {
             .jobs
             .iter()
             .map(|j| self.simulate_job(j))
-            .fold(PhaseTimes::default(), PhaseTimes::add)
+            .fold(PhaseTimes::default(), std::ops::Add::add)
     }
 
     /// List-schedule `durations` (in submission order) and return each
@@ -307,9 +307,13 @@ impl PhaseTimes {
     pub fn total_secs(&self) -> f64 {
         self.map_secs + self.shuffle_secs + self.reduce_secs
     }
+}
 
-    /// Component-wise sum (sequential job chaining).
-    pub fn add(self, other: PhaseTimes) -> PhaseTimes {
+/// Component-wise sum (sequential job chaining).
+impl std::ops::Add for PhaseTimes {
+    type Output = PhaseTimes;
+
+    fn add(self, other: PhaseTimes) -> PhaseTimes {
         PhaseTimes {
             map_secs: self.map_secs + other.map_secs,
             shuffle_secs: self.shuffle_secs + other.shuffle_secs,
@@ -612,7 +616,9 @@ mod tests {
         let m = many_task_metrics();
         let mut prev = f64::INFINITY;
         for nodes in [2, 3, 5, 10, 15] {
-            let t = ClusterModel::paper_default(nodes).simulate_job(&m).total_secs();
+            let t = ClusterModel::paper_default(nodes)
+                .simulate_job(&m)
+                .total_secs();
             assert!(t <= prev + 1e-9, "{nodes} nodes: {t} > {prev}");
             prev = t;
         }

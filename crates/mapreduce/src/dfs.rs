@@ -142,17 +142,20 @@ impl Dfs {
             .entries
             .get(name)
             .unwrap_or_else(|| panic!("dfs: no dataset named {name:?}"));
-        entry.data.downcast_ref::<Dataset<K, V>>().unwrap_or_else(|| {
-            panic!(
-                "{}",
-                describe_mismatch(
-                    name,
-                    std::any::type_name::<K>(),
-                    std::any::type_name::<V>(),
-                    &entry.meta
+        entry
+            .data
+            .downcast_ref::<Dataset<K, V>>()
+            .unwrap_or_else(|| {
+                panic!(
+                    "{}",
+                    describe_mismatch(
+                        name,
+                        std::any::type_name::<K>(),
+                        std::any::type_name::<V>(),
+                        &entry.meta
+                    )
                 )
-            )
-        })
+            })
     }
 
     /// Remove and return a dataset by name.
@@ -319,10 +322,7 @@ mod tests {
         assert!(msg.contains("u32"), "stored key type: {msg}");
         assert!(msg.contains("u64"), "requested key type: {msg}");
         assert!(msg.contains("2 records"), "{msg}");
-        assert!(
-            msg.contains("offending record at byte offset 0"),
-            "{msg}"
-        );
+        assert!(msg.contains("offending record at byte offset 0"), "{msg}");
         assert!(msg.contains("hello world"), "payload preview: {msg}");
     }
 

@@ -60,7 +60,10 @@ unsafe impl<T: Send> Sync for SlotVec<T> {}
 impl<T> SlotVec<T> {
     fn filled(items: Vec<T>) -> Self {
         SlotVec {
-            cells: items.into_iter().map(|t| UnsafeCell::new(Some(t))).collect(),
+            cells: items
+                .into_iter()
+                .map(|t| UnsafeCell::new(Some(t)))
+                .collect(),
         }
     }
 
@@ -83,7 +86,10 @@ impl<T> SlotVec<T> {
     }
 
     fn into_values(self) -> impl Iterator<Item = Option<T>> {
-        self.cells.into_vec().into_iter().map(UnsafeCell::into_inner)
+        self.cells
+            .into_vec()
+            .into_iter()
+            .map(UnsafeCell::into_inner)
     }
 }
 
@@ -342,8 +348,7 @@ impl Sched {
         if self.completed_durations.is_empty() {
             return None;
         }
-        self.completed_durations
-            .sort_by(|a, b| a.total_cmp(b));
+        self.completed_durations.sort_by(|a, b| a.total_cmp(b));
         Some(self.completed_durations[self.completed_durations.len() / 2])
     }
 }
@@ -508,8 +513,10 @@ fn next_step(policy: &ExecPolicy, sched: &mut Sched, n: usize) -> Step {
     // but with speculation on, a straggler only *becomes* a candidate as
     // time passes, so the wait must be bounded by when the nearest
     // candidate would mature.
-    let mut deadline: Option<Duration> =
-        earliest.map(|t| t.saturating_duration_since(now).max(Duration::from_micros(100)));
+    let mut deadline: Option<Duration> = earliest.map(|t| {
+        t.saturating_duration_since(now)
+            .max(Duration::from_micros(100))
+    });
     if policy.speculation.enabled {
         if let Some(median) = sched.median_completed_secs() {
             let threshold = (median * policy.speculation.slowdown_threshold)
@@ -517,7 +524,9 @@ fn next_step(policy: &ExecPolicy, sched: &mut Sched, n: usize) -> Step {
             let matures = sched
                 .tasks
                 .iter()
-                .filter(|c| !c.done && c.running > 0 && !c.has_speculative && c.failed_attempts == 0)
+                .filter(|c| {
+                    !c.done && c.running > 0 && !c.has_speculative && c.failed_attempts == 0
+                })
                 .filter_map(|c| c.current_start)
                 .map(|s| (threshold - now.duration_since(s).as_secs_f64()).max(1e-3))
                 .fold(f64::INFINITY, f64::min);
@@ -765,8 +774,8 @@ mod tests {
 
     #[test]
     fn ft_empty_tasks() {
-        let (out, report) = run_tasks_ft(&clean_policy(4), Vec::<u32>::new(), |_, t, _| *t)
-            .expect("empty run");
+        let (out, report) =
+            run_tasks_ft(&clean_policy(4), Vec::<u32>::new(), |_, t, _| *t).expect("empty run");
         assert!(out.is_empty());
         assert_eq!(report.attempts, 0);
     }
@@ -809,7 +818,9 @@ mod tests {
         assert_eq!(err.index, 1);
         assert_eq!(err.attempts, 3);
         assert!(matches!(err.error, TaskError::Panicked(ref m) if m.contains("permanent")));
-        assert!(err.to_string().contains("map task 1 failed after 3 attempts"));
+        assert!(err
+            .to_string()
+            .contains("map task 1 failed after 3 attempts"));
     }
 
     #[test]
@@ -873,4 +884,3 @@ mod tests {
         assert_eq!(report.retries, 1);
     }
 }
-

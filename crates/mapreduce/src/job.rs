@@ -127,7 +127,13 @@ impl JobBuilder {
         M::InKey: Clone + Sync + ByteSize,
         M::InValue: Clone + Sync + ByteSize,
     {
-        self.run_full(input, mapper, reducer, &HashPartitioner, None::<&IdentityCombiner>)
+        self.run_full(
+            input,
+            mapper,
+            reducer,
+            &HashPartitioner,
+            None::<&IdentityCombiner>,
+        )
     }
 
     /// Run with a custom partitioner and no combiner.
@@ -147,7 +153,13 @@ impl JobBuilder {
         M::InKey: Clone + Sync + ByteSize,
         M::InValue: Clone + Sync + ByteSize,
     {
-        self.run_full(input, mapper, reducer, partitioner, None::<&IdentityCombiner>)
+        self.run_full(
+            input,
+            mapper,
+            reducer,
+            partitioner,
+            None::<&IdentityCombiner>,
+        )
     }
 
     /// Run with a custom partitioner and an optional map-side combiner.
@@ -183,68 +195,69 @@ impl JobBuilder {
         map_span.record("job", self.name.as_str());
         map_span.record("tasks", splits.len());
         let map_policy = self.exec_policy(Phase::Map);
-        let (map_results, map_exec) = run_tasks_ft(&map_policy, splits, |task_idx, split, ctx: AttemptCtx| {
-            let queue = map_phase_start.elapsed();
-            let mut task_span = span("mr.task", "map");
-            task_span.record("job", self.name.as_str());
-            task_span.record("index", task_idx);
-            task_span.record("attempt", ctx.attempt);
-            if ctx.speculative {
-                task_span.record("speculative", 1u64);
-            }
-            let start = Instant::now();
-            let mut m = mapper(task_idx);
-            let mut out: Emitter<M::OutKey, M::OutValue> = Emitter::new();
-            m.setup();
-            let mut input_bytes = 0usize;
-            for (k, v) in split.iter() {
-                input_bytes += k.byte_size() + v.byte_size();
-                m.map(k.clone(), v.clone(), &mut out);
-            }
-            m.cleanup(&mut out);
-
-            let pre_records = out.len();
-            let pre_bytes = out.bytes();
-            let (pairs, _) = out.into_parts();
-
-            // Partition into reduce buckets, sort each by key, and apply the
-            // combiner per key run (Hadoop's spill pipeline, without disk).
-            let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
-                (0..num_reduce).map(|_| Vec::new()).collect();
-            for (k, v) in pairs {
-                let p = partitioner.partition(&k, num_reduce);
-                debug_assert!(p < num_reduce);
-                buckets[p].push((k, v));
-            }
-            let mut post_bytes = 0usize;
-            let mut post_records = 0usize;
-            for bucket in &mut buckets {
-                bucket.sort_by(|a, b| a.0.cmp(&b.0));
-                if let Some(c) = combiner {
-                    *bucket = combine_runs(std::mem::take(bucket), c);
+        let (map_results, map_exec) =
+            run_tasks_ft(&map_policy, splits, |task_idx, split, ctx: AttemptCtx| {
+                let queue = map_phase_start.elapsed();
+                let mut task_span = span("mr.task", "map");
+                task_span.record("job", self.name.as_str());
+                task_span.record("index", task_idx);
+                task_span.record("attempt", ctx.attempt);
+                if ctx.speculative {
+                    task_span.record("speculative", 1u64);
                 }
-                post_records += bucket.len();
-                post_bytes += bucket
-                    .iter()
-                    .map(|(k, v)| k.byte_size() + v.byte_size())
-                    .sum::<usize>();
-            }
+                let start = Instant::now();
+                let mut m = mapper(task_idx);
+                let mut out: Emitter<M::OutKey, M::OutValue> = Emitter::new();
+                m.setup();
+                let mut input_bytes = 0usize;
+                for (k, v) in split.iter() {
+                    input_bytes += k.byte_size() + v.byte_size();
+                    m.map(k.clone(), v.clone(), &mut out);
+                }
+                m.cleanup(&mut out);
 
-            task_span.record("input_records", split.len());
-            task_span.record("output_records", post_records);
-            let stat = TaskStat {
-                kind: TaskKind::Map,
-                index: task_idx,
-                duration: start.elapsed(),
-                queue,
-                input_records: split.len(),
-                input_bytes,
-                output_records: post_records,
-                output_bytes: post_bytes,
-            };
-            (buckets, stat, pre_records, pre_bytes)
-        })
-        .unwrap_or_else(|failure| panic!("{failure}"));
+                let pre_records = out.len();
+                let pre_bytes = out.bytes();
+                let (pairs, _) = out.into_parts();
+
+                // Partition into reduce buckets, sort each by key, and apply the
+                // combiner per key run (Hadoop's spill pipeline, without disk).
+                let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
+                    (0..num_reduce).map(|_| Vec::new()).collect();
+                for (k, v) in pairs {
+                    let p = partitioner.partition(&k, num_reduce);
+                    debug_assert!(p < num_reduce);
+                    buckets[p].push((k, v));
+                }
+                let mut post_bytes = 0usize;
+                let mut post_records = 0usize;
+                for bucket in &mut buckets {
+                    bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                    if let Some(c) = combiner {
+                        *bucket = combine_runs(std::mem::take(bucket), c);
+                    }
+                    post_records += bucket.len();
+                    post_bytes += bucket
+                        .iter()
+                        .map(|(k, v)| k.byte_size() + v.byte_size())
+                        .sum::<usize>();
+                }
+
+                task_span.record("input_records", split.len());
+                task_span.record("output_records", post_records);
+                let stat = TaskStat {
+                    kind: TaskKind::Map,
+                    index: task_idx,
+                    duration: start.elapsed(),
+                    queue,
+                    input_records: split.len(),
+                    input_bytes,
+                    output_records: post_records,
+                    output_bytes: post_bytes,
+                };
+                (buckets, stat, pre_records, pre_bytes)
+            })
+            .unwrap_or_else(|failure| panic!("{failure}"));
         let map_elapsed = map_phase_start.elapsed();
         drop(map_span);
 
@@ -286,72 +299,72 @@ impl JobBuilder {
             &reduce_policy,
             reduce_indices,
             |task_idx, _, ctx: AttemptCtx| {
-            let queue = reduce_phase_start.elapsed();
-            let mut task_span = span("mr.task", "reduce");
-            task_span.record("job", self.name.as_str());
-            task_span.record("index", task_idx);
-            task_span.record("attempt", ctx.attempt);
-            if ctx.speculative {
-                task_span.record("speculative", 1u64);
-            }
-            // Fetch the checkpointed map output for this partition — every
-            // attempt re-fetches, none re-runs the map phase.
-            let runs = spill.fetch(task_idx);
-            let start = Instant::now();
-            let mut r = reducer(task_idx);
-            let mut out: Emitter<R::OutKey, R::OutValue> = Emitter::new();
-            r.setup();
-
-            // Merge the sorted runs. Concatenate + stable sort by key keeps
-            // deterministic value order (map-task order within a key).
-            let mut input_records = 0usize;
-            let mut input_bytes = 0usize;
-            let mut merged: Vec<(M::OutKey, M::OutValue)> =
-                Vec::with_capacity(runs.iter().map(Vec::len).sum());
-            for run in runs {
-                for kv in run {
-                    input_bytes += kv.0.byte_size() + kv.1.byte_size();
-                    merged.push(kv);
+                let queue = reduce_phase_start.elapsed();
+                let mut task_span = span("mr.task", "reduce");
+                task_span.record("job", self.name.as_str());
+                task_span.record("index", task_idx);
+                task_span.record("attempt", ctx.attempt);
+                if ctx.speculative {
+                    task_span.record("speculative", 1u64);
                 }
-            }
-            input_records += merged.len();
-            merged.sort_by(|a, b| a.0.cmp(&b.0));
+                // Fetch the checkpointed map output for this partition — every
+                // attempt re-fetches, none re-runs the map phase.
+                let runs = spill.fetch(task_idx);
+                let start = Instant::now();
+                let mut r = reducer(task_idx);
+                let mut out: Emitter<R::OutKey, R::OutValue> = Emitter::new();
+                r.setup();
 
-            // Walk key groups.
-            let mut current: Option<(M::OutKey, Vec<M::OutValue>)> = None;
-            for (k, v) in merged {
-                match &mut current {
-                    Some((ck, vals)) if *ck == k => vals.push(v),
-                    _ => {
-                        if let Some((ck, vals)) = current.take() {
-                            r.reduce(&ck, vals, &mut out);
-                        }
-                        current = Some((k, vec![v]));
+                // Merge the sorted runs. Concatenate + stable sort by key keeps
+                // deterministic value order (map-task order within a key).
+                let mut input_records = 0usize;
+                let mut input_bytes = 0usize;
+                let mut merged: Vec<(M::OutKey, M::OutValue)> =
+                    Vec::with_capacity(runs.iter().map(Vec::len).sum());
+                for run in runs {
+                    for kv in run {
+                        input_bytes += kv.0.byte_size() + kv.1.byte_size();
+                        merged.push(kv);
                     }
                 }
-            }
-            if let Some((ck, vals)) = current.take() {
-                r.reduce(&ck, vals, &mut out);
-            }
-            r.cleanup(&mut out);
+                input_records += merged.len();
+                merged.sort_by(|a, b| a.0.cmp(&b.0));
 
-            let output_records = out.len();
-            let output_bytes = out.bytes();
-            let (pairs, _) = out.into_parts();
-            task_span.record("input_records", input_records);
-            task_span.record("output_records", output_records);
-            let stat = TaskStat {
-                kind: TaskKind::Reduce,
-                index: task_idx,
-                duration: start.elapsed(),
-                queue,
-                input_records,
-                input_bytes,
-                output_records,
-                output_bytes,
-            };
-            (pairs, stat)
-        },
+                // Walk key groups.
+                let mut current: Option<(M::OutKey, Vec<M::OutValue>)> = None;
+                for (k, v) in merged {
+                    match &mut current {
+                        Some((ck, vals)) if *ck == k => vals.push(v),
+                        _ => {
+                            if let Some((ck, vals)) = current.take() {
+                                r.reduce(&ck, vals, &mut out);
+                            }
+                            current = Some((k, vec![v]));
+                        }
+                    }
+                }
+                if let Some((ck, vals)) = current.take() {
+                    r.reduce(&ck, vals, &mut out);
+                }
+                r.cleanup(&mut out);
+
+                let output_records = out.len();
+                let output_bytes = out.bytes();
+                let (pairs, _) = out.into_parts();
+                task_span.record("input_records", input_records);
+                task_span.record("output_records", output_records);
+                let stat = TaskStat {
+                    kind: TaskKind::Reduce,
+                    index: task_idx,
+                    duration: start.elapsed(),
+                    queue,
+                    input_records,
+                    input_bytes,
+                    output_records,
+                    output_bytes,
+                };
+                (pairs, stat)
+            },
         )
         .unwrap_or_else(|failure| panic!("{failure}"));
 
@@ -402,10 +415,7 @@ impl JobBuilder {
             reg.counter_add("mr.faults.injected.stragglers", exec.injected_stragglers);
             reg.counter_add("mr.spec.launched", exec.speculative_launched);
             reg.counter_add("mr.spec.wins", exec.speculative_wins);
-            reg.counter_add(
-                "mr.pre_combine.records",
-                metrics.pre_combine_records as u64,
-            );
+            reg.counter_add("mr.pre_combine.records", metrics.pre_combine_records as u64);
             for t in &metrics.map_tasks {
                 reg.histogram_record("mr.map.output_records", t.output_records as u64);
                 reg.histogram_record("mr.task.queue_us", t.queue.as_micros() as u64);
@@ -499,9 +509,10 @@ mod tests {
 
     #[test]
     fn word_count_end_to_end() {
-        let (out, m) = JobBuilder::new("wc")
-            .reduce_tasks(3)
-            .run(&wc_input(), |_| Tokenize, |_| Sum);
+        let (out, m) =
+            JobBuilder::new("wc")
+                .reduce_tasks(3)
+                .run(&wc_input(), |_| Tokenize, |_| Sum);
         assert_eq!(
             sorted_output(out),
             vec![
@@ -522,11 +533,10 @@ mod tests {
 
     #[test]
     fn combiner_reduces_shuffle_but_not_results() {
-        let (plain, m_plain) = JobBuilder::new("wc").reduce_tasks(2).run(
-            &wc_input(),
-            |_| Tokenize,
-            |_| Sum,
-        );
+        let (plain, m_plain) =
+            JobBuilder::new("wc")
+                .reduce_tasks(2)
+                .run(&wc_input(), |_| Tokenize, |_| Sum);
         let (combined, m_comb) = JobBuilder::new("wc+c").reduce_tasks(2).run_full(
             &wc_input(),
             |_| Tokenize,
@@ -611,9 +621,11 @@ mod tests {
             }
         }
         let input = Dataset::from_records((0u32..100).rev().map(|i| (i, i)).collect(), 5);
-        let (out, _) = JobBuilder::new("order")
-            .reduce_tasks(3)
-            .run(&input, |_| Id, |_| OrderCheck { last: None });
+        let (out, _) = JobBuilder::new("order").reduce_tasks(3).run(
+            &input,
+            |_| Id,
+            |_| OrderCheck { last: None },
+        );
         assert_eq!(out.total_records(), 100);
     }
 

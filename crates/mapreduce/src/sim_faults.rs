@@ -508,9 +508,7 @@ impl<'a> PhaseSim<'a> {
             .filter(|&n| self.alive[n] && !self.death_applied[n])
             .filter_map(|n| {
                 let horizon = self.plan_horizon();
-                self.plan
-                    .node_loss_at(self.job, n, horizon)
-                    .map(|t| (n, t))
+                self.plan.node_loss_at(self.job, n, horizon).map(|t| (n, t))
             })
             .collect();
         for (n, t) in deaths {
@@ -549,8 +547,7 @@ impl<'a> PhaseSim<'a> {
                 EvKind::Done { aid } => self.on_done(aid)?,
             }
             if !self.finished() {
-                let have_work = !self.pending.is_empty()
-                    || self.attempts.iter().any(|a| a.live);
+                let have_work = !self.pending.is_empty() || self.attempts.iter().any(|a| a.live);
                 if !have_work || self.alive.iter().all(|a| !a) {
                     return Err(SimFaultError::ClusterLost {
                         job: self.job.to_string(),
@@ -689,7 +686,9 @@ mod tests {
         };
         JobMetrics {
             name: name.into(),
-            map_tasks: (0..maps).map(|i| stat(TaskKind::Map, i, map_secs)).collect(),
+            map_tasks: (0..maps)
+                .map(|i| stat(TaskKind::Map, i, map_secs))
+                .collect(),
             reduce_tasks: (0..reduces)
                 .map(|i| stat(TaskKind::Reduce, i, reduce_secs))
                 .collect(),
@@ -729,8 +728,12 @@ mod tests {
         let c = ClusterModel::paper_default(3);
         let plan = FaultPlan::chaos(42, 0.3);
         let policy = SimFaultPolicy::default();
-        let a = c.simulate_job_faults(&m, &plan, &policy).expect("within budget");
-        let b = c.simulate_job_faults(&m, &plan, &policy).expect("within budget");
+        let a = c
+            .simulate_job_faults(&m, &plan, &policy)
+            .expect("within budget");
+        let b = c
+            .simulate_job_faults(&m, &plan, &policy)
+            .expect("within budget");
         assert_eq!(a, b, "same seed, same outcome");
         assert!(a.retries > 0, "30% failure rate over 30 tasks: {a:?}");
         assert!(a.makespan_secs >= a.clean_makespan_secs - 1e-9);
@@ -796,10 +799,7 @@ mod tests {
         let err = c
             .simulate_job_faults(&m, &plan, &SimFaultPolicy::default())
             .expect_err("all nodes die before the work can finish");
-        assert!(
-            matches!(err, SimFaultError::ClusterLost { .. }),
-            "{err:?}"
-        );
+        assert!(matches!(err, SimFaultError::ClusterLost { .. }), "{err:?}");
         assert!(err.to_string().contains("lost every node"));
     }
 
@@ -895,8 +895,12 @@ mod tests {
         let plan = FaultPlan::chaos(5, 0.2);
         let policy = SimFaultPolicy::default();
         let total = c.simulate_chain_faults(&chain, &plan, &policy).unwrap();
-        let a = c.simulate_job_faults(&chain.jobs[0], &plan, &policy).unwrap();
-        let b = c.simulate_job_faults(&chain.jobs[1], &plan, &policy).unwrap();
+        let a = c
+            .simulate_job_faults(&chain.jobs[0], &plan, &policy)
+            .unwrap();
+        let b = c
+            .simulate_job_faults(&chain.jobs[1], &plan, &policy)
+            .unwrap();
         assert!((total.makespan_secs - a.makespan_secs - b.makespan_secs).abs() < 1e-9);
         assert_eq!(total.attempts, a.attempts + b.attempts);
         assert_eq!(total.retries, a.retries + b.retries);

@@ -5,8 +5,7 @@
 
 use proptest::prelude::*;
 use ssj_mapreduce::{
-    Dataset, DirectPartitioner, Emitter, HashPartitioner, JobBuilder, Mapper, Partitioner, Reducer,
-    SumCombiner,
+    Dataset, DirectPartitioner, Emitter, HashPartitioner, JobBuilder, Mapper, Reducer, SumCombiner,
 };
 
 /// Identity mapper over (u32, u32).

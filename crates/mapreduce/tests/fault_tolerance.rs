@@ -128,9 +128,10 @@ fn globally_installed_plan_applies_and_uninstalls() {
     assert!(metrics.exec.injected_total() > 0);
 
     // After uninstall, jobs run clean again.
-    let (out2, metrics2) = JobBuilder::new("wordcount")
-        .reduce_tasks(4)
-        .run(&corpus(), |_| TokenMap, |_| CountRed);
+    let (out2, metrics2) =
+        JobBuilder::new("wordcount")
+            .reduce_tasks(4)
+            .run(&corpus(), |_| TokenMap, |_| CountRed);
     assert_eq!(sorted_counts(out2), clean);
     assert_eq!(metrics2.exec.injected_total(), 0);
 }

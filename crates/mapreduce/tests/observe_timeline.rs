@@ -60,8 +60,7 @@ fn run_traced_job() -> (Arc<Collector>, ssj_mapreduce::JobMetrics) {
 }
 
 fn contains(outer: &TraceEvent, inner: &TraceEvent) -> bool {
-    outer.ts_us <= inner.ts_us
-        && outer.ts_us + outer.dur_us >= inner.ts_us + inner.dur_us
+    outer.ts_us <= inner.ts_us && outer.ts_us + outer.dur_us >= inner.ts_us + inner.dur_us
 }
 
 #[test]
@@ -114,7 +113,9 @@ fn combiner_accounting_is_visible() {
     assert!(metrics.pre_combine_records > metrics.shuffle_records);
     assert!(metrics.shuffle_records > 0);
     // The split phase walls sum to the whole.
-    assert!(metrics.map_elapsed + metrics.shuffle_elapsed + metrics.reduce_elapsed <= metrics.elapsed);
+    assert!(
+        metrics.map_elapsed + metrics.shuffle_elapsed + metrics.reduce_elapsed <= metrics.elapsed
+    );
 }
 
 #[test]
@@ -140,7 +141,9 @@ fn export_is_valid_json_with_monotonic_lanes() {
     let mut last: std::collections::BTreeMap<(u64, u64), u64> = Default::default();
     for chunk in json.split("\"ph\":\"X\"").skip(1) {
         let field = |key: &str| -> u64 {
-            let at = chunk.find(key).unwrap_or_else(|| panic!("{key} in {chunk}"));
+            let at = chunk
+                .find(key)
+                .unwrap_or_else(|| panic!("{key} in {chunk}"));
             chunk[at + key.len()..]
                 .chars()
                 .take_while(char::is_ascii_digit)
@@ -173,6 +176,8 @@ fn registry_collects_engine_metrics() {
         registry.counter_get("mr.pre_combine.records"),
         metrics.pre_combine_records as u64
     );
-    let h = registry.histogram_get("mr.reduce.input_records").expect("histogram");
+    let h = registry
+        .histogram_get("mr.reduce.input_records")
+        .expect("histogram");
     assert_eq!(h.count(), 3);
 }

@@ -68,8 +68,12 @@ impl ChromeTrace {
     pub fn to_json(&self) -> String {
         let mut events = self.events.clone();
         events.sort_by(|a, b| {
-            (a.pid, a.tid, a.ts_us, std::cmp::Reverse(a.dur_us))
-                .cmp(&(b.pid, b.tid, b.ts_us, std::cmp::Reverse(b.dur_us)))
+            (a.pid, a.tid, a.ts_us, std::cmp::Reverse(a.dur_us)).cmp(&(
+                b.pid,
+                b.tid,
+                b.ts_us,
+                std::cmp::Reverse(b.dur_us),
+            ))
         });
 
         let mut out = String::from("{\"traceEvents\":[");

@@ -115,8 +115,9 @@ pub enum MetricValue {
     Counter(u64),
     /// Last-write-wins value.
     Gauge(f64),
-    /// Distribution of nonnegative integers.
-    Histogram(LogHistogram),
+    /// Distribution of nonnegative integers (boxed: a histogram is two
+    /// orders of magnitude larger than the scalar variants).
+    Histogram(Box<LogHistogram>),
 }
 
 /// Thread-safe name → metric map.
@@ -174,7 +175,7 @@ impl MetricsRegistry {
             Some(MetricValue::Histogram(h)) => h.record(value),
             Some(other) => panic!("metric {name:?} is not a histogram: {other:?}"),
             None => {
-                let mut h = LogHistogram::default();
+                let mut h = Box::new(LogHistogram::default());
                 h.record(value);
                 m.insert(name.to_string(), MetricValue::Histogram(h));
             }
@@ -184,7 +185,7 @@ impl MetricsRegistry {
     /// Snapshot of the histogram `name`, if present.
     pub fn histogram_get(&self, name: &str) -> Option<LogHistogram> {
         match self.inner.lock().unwrap().get(name) {
-            Some(MetricValue::Histogram(h)) => Some(h.clone()),
+            Some(MetricValue::Histogram(h)) => Some((**h).clone()),
             _ => None,
         }
     }

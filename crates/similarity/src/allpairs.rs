@@ -11,14 +11,21 @@ use crate::intersect::intersect_count_merge;
 use crate::measure::Measure;
 use crate::pair::SimilarPair;
 use ssj_common::FxHashSet;
-use ssj_text::Record;
+use ssj_text::TokenSet;
 
 /// Prefix-filter self-join, AllPairs style.
-pub fn allpairs_self_join(records: &[Record], measure: Measure, theta: f64) -> Vec<SimilarPair> {
-    assert!((0.0..=1.0).contains(&theta) && theta > 0.0, "θ must be in (0,1]");
+pub fn allpairs_self_join<R: TokenSet>(
+    records: &[R],
+    measure: Measure,
+    theta: f64,
+) -> Vec<SimilarPair> {
+    assert!(
+        (0.0..=1.0).contains(&theta) && theta > 0.0,
+        "θ must be in (0,1]"
+    );
     // Scan order: ascending length, ties by id for determinism.
-    let mut order: Vec<&Record> = records.iter().filter(|r| !r.is_empty()).collect();
-    order.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then(a.id.cmp(&b.id)));
+    let mut order: Vec<&R> = records.iter().filter(|r| !r.tokens().is_empty()).collect();
+    order.sort_unstable_by(|a, b| a.size().cmp(&b.size()).then(a.id().cmp(&b.id())));
 
     let mut index = InvertedIndex::new();
     let mut out = Vec::new();
@@ -26,27 +33,31 @@ pub fn allpairs_self_join(records: &[Record], measure: Measure, theta: f64) -> V
 
     for (slot, x) in order.iter().enumerate() {
         candidates.clear();
-        let min_len = measure.min_partner_len(theta, x.len());
-        let probe = measure.probe_prefix_len(theta, x.len());
-        for &w in &x.tokens[..probe] {
+        let min_len = measure.min_partner_len(theta, x.size());
+        let probe = measure.probe_prefix_len(theta, x.size());
+        for &w in &x.tokens()[..probe] {
             for p in index.get(w) {
                 let y = order[p.slot as usize];
                 // Indexed records are shorter or equal; only the lower
                 // length bound needs checking.
-                if y.len() >= min_len {
+                if y.size() >= min_len {
                     candidates.insert(p.slot);
                 }
             }
         }
         for &slot_y in &candidates {
             let y = order[slot_y as usize];
-            let c = intersect_count_merge(&x.tokens, &y.tokens);
-            if measure.passes(c, x.len(), y.len(), theta) {
-                out.push(SimilarPair::new(x.id, y.id, measure.score(c, x.len(), y.len())));
+            let c = intersect_count_merge(x.tokens(), y.tokens());
+            if measure.passes(c, x.size(), y.size(), theta) {
+                out.push(SimilarPair::new(
+                    x.id(),
+                    y.id(),
+                    measure.score(c, x.size(), y.size()),
+                ));
             }
         }
-        let index_prefix = measure.index_prefix_len(theta, x.len());
-        for (pos, &w) in x.tokens[..index_prefix].iter().enumerate() {
+        let index_prefix = measure.index_prefix_len(theta, x.size());
+        for (pos, &w) in x.tokens()[..index_prefix].iter().enumerate() {
             index.push(w, slot as u32, pos as u32);
         }
     }
@@ -58,6 +69,7 @@ mod tests {
     use super::*;
     use crate::naive::naive_self_join;
     use crate::pair::{compare_results, id_pairs};
+    use ssj_text::Record;
 
     fn rec(id: u32, tokens: &[u32]) -> Record {
         Record::new(id, tokens.to_vec())

@@ -31,7 +31,10 @@ impl InvertedIndex {
     /// stay sorted by slot).
     #[inline]
     pub fn push(&mut self, token: u32, slot: u32, pos: u32) {
-        self.lists.entry(token).or_default().push(Posting { slot, pos });
+        self.lists
+            .entry(token)
+            .or_default()
+            .push(Posting { slot, pos });
     }
 
     /// Postings for a token (empty slice when unseen).

@@ -119,7 +119,9 @@ pub fn symmetric_difference_count(a: &[u32], b: &[u32]) -> usize {
 mod tests {
     use super::*;
 
-    const KERNELS: [(&str, fn(&[u32], &[u32]) -> usize); 4] = [
+    type Kernel = fn(&[u32], &[u32]) -> usize;
+
+    const KERNELS: [(&str, Kernel); 4] = [
         ("merge", intersect_count_merge),
         ("gallop", intersect_count_gallop),
         ("hash", intersect_count_hash),
@@ -176,7 +178,9 @@ mod tests {
         // Pseudo-random sets via a simple LCG; all kernels must agree.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = move |m: u32| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as u32) % m
         };
         for _ in 0..200 {
@@ -193,6 +197,31 @@ mod tests {
             assert_eq!(intersect_count_at_least(&a, &b, want), Some(want));
             if want > 0 {
                 assert_eq!(intersect_count_at_least(&a, &b, want + 1), None);
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn sorted_set() -> impl Strategy<Value = Vec<u32>> {
+            // Deliberately includes very short and moderately long sets so
+            // the adaptive heuristic exercises both of its branches.
+            prop::collection::vec(0u32..500, 0..120).prop_map(|mut v| {
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn merge_and_gallop_agree(a in sorted_set(), b in sorted_set()) {
+                let want = intersect_count_merge(&a, &b);
+                prop_assert_eq!(intersect_count_gallop(&a, &b), want);
+                prop_assert_eq!(intersect_count_gallop(&b, &a), want);
+                prop_assert_eq!(intersect_count_adaptive(&a, &b), want);
             }
         }
     }

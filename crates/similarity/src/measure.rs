@@ -245,8 +245,8 @@ mod tests {
                 for ls in 1usize..25 {
                     let any = m.min_overlap_any(theta, ls);
                     let longer = m.min_overlap_longer(theta, ls);
-                    for lt in m.min_partner_len(theta, ls).max(1)
-                        ..=m.max_partner_len(theta, ls).min(60)
+                    for lt in
+                        m.min_partner_len(theta, ls).max(1)..=m.max_partner_len(theta, ls).min(60)
                     {
                         assert!(m.min_overlap(theta, ls, lt) >= any);
                         if lt >= ls {
@@ -303,6 +303,9 @@ mod tests {
 
     #[test]
     fn names_and_all() {
-        assert_eq!(Measure::all().map(|m| m.name()), ["jaccard", "dice", "cosine"]);
+        assert_eq!(
+            Measure::all().map(|m| m.name()),
+            ["jaccard", "dice", "cosine"]
+        );
     }
 }

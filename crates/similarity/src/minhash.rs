@@ -12,7 +12,7 @@ use crate::measure::Measure;
 use crate::pair::SimilarPair;
 use ssj_common::hash::fx_hash_one;
 use ssj_common::{FxHashMap, FxHashSet};
-use ssj_text::Record;
+use ssj_text::TokenSet;
 
 /// A family of `k` min-wise hash functions.
 #[derive(Debug, Clone)]
@@ -92,16 +92,19 @@ impl LshConfig {
 /// verification. Every returned pair truly satisfies `sim ≥ θ` (perfect
 /// precision); some qualifying pairs may be missed with probability
 /// `1 − candidate_probability(sim)`.
-pub fn lsh_self_join(
-    records: &[Record],
+pub fn lsh_self_join<R: TokenSet>(
+    records: &[R],
     measure: Measure,
     theta: f64,
     cfg: &LshConfig,
 ) -> Vec<SimilarPair> {
-    assert!((0.0..=1.0).contains(&theta) && theta > 0.0, "θ must be in (0,1]");
+    assert!(
+        (0.0..=1.0).contains(&theta) && theta > 0.0,
+        "θ must be in (0,1]"
+    );
     let hasher = MinHasher::new(cfg.bands * cfg.rows, cfg.seed);
-    let live: Vec<&Record> = records.iter().filter(|r| !r.is_empty()).collect();
-    let signatures: Vec<Vec<u64>> = live.iter().map(|r| hasher.signature(&r.tokens)).collect();
+    let live: Vec<&R> = records.iter().filter(|r| !r.tokens().is_empty()).collect();
+    let signatures: Vec<Vec<u64>> = live.iter().map(|r| hasher.signature(r.tokens())).collect();
 
     let mut candidates: FxHashSet<(u32, u32)> = FxHashSet::default();
     let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
@@ -125,12 +128,16 @@ pub fn lsh_self_join(
     let mut out = Vec::new();
     for &(i, j) in &candidates {
         let (x, y) = (live[i as usize], live[j as usize]);
-        let c = intersect_count_merge(&x.tokens, &y.tokens);
-        if measure.passes(c, x.len(), y.len(), theta) {
-            out.push(SimilarPair::new(x.id, y.id, measure.score(c, x.len(), y.len())));
+        let c = intersect_count_merge(x.tokens(), y.tokens());
+        if measure.passes(c, x.size(), y.size(), theta) {
+            out.push(SimilarPair::new(
+                x.id(),
+                y.id(),
+                measure.score(c, x.size(), y.size()),
+            ));
         }
     }
-    out.sort_unstable_by(|p, q| p.ids().cmp(&q.ids()));
+    out.sort_unstable_by_key(|p| p.ids());
     out
 }
 
@@ -139,6 +146,7 @@ mod tests {
     use super::*;
     use crate::naive::naive_self_join;
     use crate::pair::id_pairs;
+    use ssj_text::Record;
 
     fn rec(id: u32, tokens: &[u32]) -> Record {
         Record::new(id, tokens.to_vec())
@@ -191,7 +199,12 @@ mod tests {
             ((state >> 33) as u32) % m
         };
         let records: Vec<Record> = (0..150)
-            .map(|id| rec(id, &(0..(3 + next(15))).map(|_| next(60)).collect::<Vec<_>>()))
+            .map(|id| {
+                rec(
+                    id,
+                    &(0..(3 + next(15))).map(|_| next(60)).collect::<Vec<_>>(),
+                )
+            })
             .collect();
         let exact = id_pairs(&naive_self_join(&records, Measure::Jaccard, 0.7));
         let approx = id_pairs(&lsh_self_join(

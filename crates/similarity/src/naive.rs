@@ -7,29 +7,42 @@
 use crate::intersect::intersect_count_merge;
 use crate::measure::Measure;
 use crate::pair::SimilarPair;
-use ssj_text::Record;
+use ssj_text::TokenSet;
 
 /// Exact self-join by exhaustive pairwise comparison (with only the trivial
-/// length-window skip, which never changes results).
-pub fn naive_self_join(records: &[Record], measure: Measure, theta: f64) -> Vec<SimilarPair> {
-    assert!((0.0..=1.0).contains(&theta) && theta > 0.0, "θ must be in (0,1]");
+/// length-window skip, which never changes results). Generic over the
+/// record representation: owned [`ssj_text::Record`]s and pooled
+/// [`ssj_text::RecordView`]s join identically.
+pub fn naive_self_join<R: TokenSet>(
+    records: &[R],
+    measure: Measure,
+    theta: f64,
+) -> Vec<SimilarPair> {
+    assert!(
+        (0.0..=1.0).contains(&theta) && theta > 0.0,
+        "θ must be in (0,1]"
+    );
     let mut out = Vec::new();
     for i in 0..records.len() {
         let s = &records[i];
-        if s.is_empty() {
+        if s.tokens().is_empty() {
             continue;
         }
         for t in &records[i + 1..] {
-            if t.is_empty() {
+            if t.tokens().is_empty() {
                 continue;
             }
-            let (short, long) = if s.len() <= t.len() { (s, t) } else { (t, s) };
-            if short.len() < measure.min_partner_len(theta, long.len()) {
+            let (short, long) = if s.size() <= t.size() { (s, t) } else { (t, s) };
+            if short.size() < measure.min_partner_len(theta, long.size()) {
                 continue;
             }
-            let c = intersect_count_merge(&s.tokens, &t.tokens);
-            if measure.passes(c, s.len(), t.len(), theta) {
-                out.push(SimilarPair::new(s.id, t.id, measure.score(c, s.len(), t.len())));
+            let c = intersect_count_merge(s.tokens(), t.tokens());
+            if measure.passes(c, s.size(), t.size(), theta) {
+                out.push(SimilarPair::new(
+                    s.id(),
+                    t.id(),
+                    measure.score(c, s.size(), t.size()),
+                ));
             }
         }
     }
@@ -38,30 +51,41 @@ pub fn naive_self_join(records: &[Record], measure: Measure, theta: f64) -> Vec<
 
 /// Exact R×S join (records from different collections; ids must not clash —
 /// callers offset one side's ids).
-pub fn naive_rs_join(
-    r: &[Record],
-    s: &[Record],
+pub fn naive_rs_join<R: TokenSet, S: TokenSet>(
+    r: &[R],
+    s: &[S],
     measure: Measure,
     theta: f64,
 ) -> Vec<SimilarPair> {
-    assert!((0.0..=1.0).contains(&theta) && theta > 0.0, "θ must be in (0,1]");
+    assert!(
+        (0.0..=1.0).contains(&theta) && theta > 0.0,
+        "θ must be in (0,1]"
+    );
     let mut out = Vec::new();
     for x in r {
-        if x.is_empty() {
+        if x.tokens().is_empty() {
             continue;
         }
         for y in s {
-            if y.is_empty() {
+            if y.tokens().is_empty() {
                 continue;
             }
-            assert_ne!(x.id, y.id, "R and S record ids must be disjoint");
-            let (short, long) = if x.len() <= y.len() { (x, y) } else { (y, x) };
-            if short.len() < measure.min_partner_len(theta, long.len()) {
+            assert_ne!(x.id(), y.id(), "R and S record ids must be disjoint");
+            let (short, long) = if x.size() <= y.size() {
+                (x.size(), y.size())
+            } else {
+                (y.size(), x.size())
+            };
+            if short < measure.min_partner_len(theta, long) {
                 continue;
             }
-            let c = intersect_count_merge(&x.tokens, &y.tokens);
-            if measure.passes(c, x.len(), y.len(), theta) {
-                out.push(SimilarPair::new(x.id, y.id, measure.score(c, x.len(), y.len())));
+            let c = intersect_count_merge(x.tokens(), y.tokens());
+            if measure.passes(c, x.size(), y.size(), theta) {
+                out.push(SimilarPair::new(
+                    x.id(),
+                    y.id(),
+                    measure.score(c, x.size(), y.size()),
+                ));
             }
         }
     }
@@ -72,6 +96,7 @@ pub fn naive_rs_join(
 mod tests {
     use super::*;
     use crate::pair::id_pairs;
+    use ssj_text::Record;
 
     fn rec(id: u32, tokens: &[u32]) -> Record {
         Record::new(id, tokens.to_vec())
@@ -120,6 +145,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "θ must be in")]
     fn zero_theta_rejected() {
-        let _ = naive_self_join(&[], Measure::Jaccard, 0.0);
+        let _ = naive_self_join::<Record>(&[], Measure::Jaccard, 0.0);
     }
 }

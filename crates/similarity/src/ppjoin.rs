@@ -12,7 +12,7 @@ use crate::intersect::intersect_count_at_least;
 use crate::measure::Measure;
 use crate::pair::SimilarPair;
 use ssj_common::FxHashMap;
-use ssj_text::Record;
+use ssj_text::TokenSet;
 
 /// Candidate accumulator state: matches seen, or pruned.
 const PRUNED: u32 = u32::MAX;
@@ -29,19 +29,26 @@ pub struct PPJoinStats {
 }
 
 /// PPJoin self-join.
-pub fn ppjoin_self_join(records: &[Record], measure: Measure, theta: f64) -> Vec<SimilarPair> {
+pub fn ppjoin_self_join<R: TokenSet>(
+    records: &[R],
+    measure: Measure,
+    theta: f64,
+) -> Vec<SimilarPair> {
     ppjoin_self_join_stats(records, measure, theta).0
 }
 
 /// PPJoin self-join, also returning pruning statistics.
-pub fn ppjoin_self_join_stats(
-    records: &[Record],
+pub fn ppjoin_self_join_stats<R: TokenSet>(
+    records: &[R],
     measure: Measure,
     theta: f64,
 ) -> (Vec<SimilarPair>, PPJoinStats) {
-    assert!((0.0..=1.0).contains(&theta) && theta > 0.0, "θ must be in (0,1]");
-    let mut order: Vec<&Record> = records.iter().filter(|r| !r.is_empty()).collect();
-    order.sort_unstable_by(|a, b| a.len().cmp(&b.len()).then(a.id.cmp(&b.id)));
+    assert!(
+        (0.0..=1.0).contains(&theta) && theta > 0.0,
+        "θ must be in (0,1]"
+    );
+    let mut order: Vec<&R> = records.iter().filter(|r| !r.tokens().is_empty()).collect();
+    order.sort_unstable_by(|a, b| a.size().cmp(&b.size()).then(a.id().cmp(&b.id())));
 
     let mut index = InvertedIndex::new();
     let mut out = Vec::new();
@@ -51,21 +58,21 @@ pub fn ppjoin_self_join_stats(
 
     for (slot, x) in order.iter().enumerate() {
         acc.clear();
-        let min_len = measure.min_partner_len(theta, x.len());
-        let probe = measure.probe_prefix_len(theta, x.len());
-        for (i, &w) in x.tokens[..probe].iter().enumerate() {
+        let min_len = measure.min_partner_len(theta, x.size());
+        let probe = measure.probe_prefix_len(theta, x.size());
+        for (i, &w) in x.tokens()[..probe].iter().enumerate() {
             for p in index.get(w) {
                 let y = order[p.slot as usize];
-                if y.len() < min_len {
+                if y.size() < min_len {
                     continue;
                 }
                 let entry = acc.entry(p.slot).or_insert(0);
                 if *entry == PRUNED {
                     continue;
                 }
-                let alpha = measure.min_overlap(theta, x.len(), y.len()) as u32;
+                let alpha = measure.min_overlap(theta, x.size(), y.size()) as u32;
                 // Position filter: best-possible final overlap.
-                let remaining = (x.len() - i - 1).min(y.len() - p.pos as usize - 1) as u32;
+                let remaining = (x.size() - i - 1).min(y.size() - p.pos as usize - 1) as u32;
                 if *entry + 1 + remaining >= alpha {
                     *entry += 1;
                 } else {
@@ -79,16 +86,20 @@ pub fn ppjoin_self_join_stats(
                 continue;
             }
             let y = order[slot_y as usize];
-            let alpha = measure.min_overlap(theta, x.len(), y.len());
+            let alpha = measure.min_overlap(theta, x.size(), y.size());
             stats.verified += 1;
-            if let Some(c) = intersect_count_at_least(&x.tokens, &y.tokens, alpha) {
-                if measure.passes(c, x.len(), y.len(), theta) {
-                    out.push(SimilarPair::new(x.id, y.id, measure.score(c, x.len(), y.len())));
+            if let Some(c) = intersect_count_at_least(x.tokens(), y.tokens(), alpha) {
+                if measure.passes(c, x.size(), y.size(), theta) {
+                    out.push(SimilarPair::new(
+                        x.id(),
+                        y.id(),
+                        measure.score(c, x.size(), y.size()),
+                    ));
                 }
             }
         }
-        let index_prefix = measure.index_prefix_len(theta, x.len());
-        for (pos, &w) in x.tokens[..index_prefix].iter().enumerate() {
+        let index_prefix = measure.index_prefix_len(theta, x.size());
+        for (pos, &w) in x.tokens()[..index_prefix].iter().enumerate() {
             index.push(w, slot as u32, pos as u32);
         }
     }
@@ -102,6 +113,7 @@ mod tests {
     use crate::allpairs::allpairs_self_join;
     use crate::naive::naive_self_join;
     use crate::pair::compare_results;
+    use ssj_text::Record;
 
     fn rec(id: u32, tokens: &[u32]) -> Record {
         Record::new(id, tokens.to_vec())

@@ -74,7 +74,10 @@ mod tests {
         assert_eq!(c.docs.len(), 2);
         assert_eq!(c.docs[0], vec![0, 1, 0]);
         assert_eq!(c.docs[1], vec![1, 2]);
-        assert_eq!(c.vocab.as_deref(), Some(&["a", "b", "c"].map(String::from)[..]));
+        assert_eq!(
+            c.vocab.as_deref(),
+            Some(&["a", "b", "c"].map(String::from)[..])
+        );
     }
 
     #[test]

@@ -70,11 +70,7 @@ pub fn encode_with(corpus: &RawCorpus, ordering: &GlobalOrdering) -> Collection 
             .map(|rank| v[ordering.raw(rank) as usize].clone())
             .collect()
     });
-    Collection {
-        records,
-        token_freqs: ordering.freqs().to_vec(),
-        vocab,
-    }
+    Collection::new(records, ordering.freqs().to_vec(), vocab)
 }
 
 /// Encode two corpora into a **shared** token-rank space (required for R×S
@@ -87,35 +83,37 @@ pub fn encode_with(corpus: &RawCorpus, ordering: &GlobalOrdering) -> Collection 
 ///
 /// # Panics
 /// Panics when one corpus has a vocabulary and the other does not.
+/// Documents of both sides plus the unified vocabulary, mid-encode.
+type UnifiedDocs = (Vec<Vec<u64>>, Vec<Vec<u64>>, Option<Vec<String>>);
+
 pub fn encode_two(r: &RawCorpus, s: &RawCorpus) -> (Collection, Collection) {
-    let (r_docs, s_docs, vocab): (Vec<Vec<u64>>, Vec<Vec<u64>>, Option<Vec<String>>) =
-        match (&r.vocab, &s.vocab) {
-            (Some(vr), Some(vs)) => {
-                // Remap S's raw ids into R's namespace (extending it).
-                let mut intern: ssj_common::FxHashMap<&str, u64> = Default::default();
-                let mut vocab: Vec<String> = vr.clone();
-                for (i, t) in vr.iter().enumerate() {
-                    intern.insert(t.as_str(), i as u64);
-                }
-                let s_map: Vec<u64> = vs
-                    .iter()
-                    .map(|t| {
-                        *intern.entry(t.as_str()).or_insert_with(|| {
-                            vocab.push(t.clone());
-                            (vocab.len() - 1) as u64
-                        })
-                    })
-                    .collect();
-                let s_docs = s
-                    .docs
-                    .iter()
-                    .map(|d| d.iter().map(|&raw| s_map[raw as usize]).collect())
-                    .collect();
-                (r.docs.clone(), s_docs, Some(vocab))
+    let (r_docs, s_docs, vocab): UnifiedDocs = match (&r.vocab, &s.vocab) {
+        (Some(vr), Some(vs)) => {
+            // Remap S's raw ids into R's namespace (extending it).
+            let mut intern: ssj_common::FxHashMap<&str, u64> = Default::default();
+            let mut vocab: Vec<String> = vr.clone();
+            for (i, t) in vr.iter().enumerate() {
+                intern.insert(t.as_str(), i as u64);
             }
-            (None, None) => (r.docs.clone(), s.docs.clone(), None),
-            _ => panic!("encode_two: corpora must both have or both lack vocabularies"),
-        };
+            let s_map: Vec<u64> = vs
+                .iter()
+                .map(|t| {
+                    *intern.entry(t.as_str()).or_insert_with(|| {
+                        vocab.push(t.clone());
+                        (vocab.len() - 1) as u64
+                    })
+                })
+                .collect();
+            let s_docs = s
+                .docs
+                .iter()
+                .map(|d| d.iter().map(|&raw| s_map[raw as usize]).collect())
+                .collect();
+            (r.docs.clone(), s_docs, Some(vocab))
+        }
+        (None, None) => (r.docs.clone(), s.docs.clone(), None),
+        _ => panic!("encode_two: corpora must both have or both lack vocabularies"),
+    };
 
     let mut combined_docs = r_docs.clone();
     combined_docs.extend(s_docs.iter().cloned());
@@ -157,14 +155,14 @@ mod tests {
     fn records_are_ascending_rank_sets() {
         let c = encode(&corpus());
         assert_eq!(c.len(), 3);
-        for r in &c.records {
-            assert!(r.tokens.windows(2).all(|w| w[0] < w[1]));
+        for v in c.iter() {
+            assert!(v.tokens.windows(2).all(|w| w[0] < w[1]));
         }
         // Rarest token ("rare", freq 1) must have rank 0 and appear first
         // in record 0.
-        assert_eq!(c.records[0].tokens[0], 0);
+        assert_eq!(c.tokens(0)[0], 0);
         // Most frequent ("common", freq 3) is the last rank.
-        assert_eq!(*c.records[2].tokens.first().unwrap(), 2);
+        assert_eq!(*c.tokens(2).first().unwrap(), 2);
     }
 
     #[test]
@@ -181,7 +179,7 @@ mod tests {
         let raw = corpus();
         let local = encode(&raw);
         let (mr, _) = encode_mr(&raw, 2, 2);
-        assert_eq!(local.records, mr.records);
+        assert_eq!(local.pool(), mr.pool());
         assert_eq!(local.token_freqs, mr.token_freqs);
     }
 
@@ -193,11 +191,14 @@ mod tests {
         for kind in OrderingKind::all() {
             let enc = encode_with_kind(&raw, kind);
             // Overlaps are order-invariant.
-            for (r1, r2) in enc.records.iter().zip(&asc.records) {
+            for (r1, r2) in enc.iter().zip(asc.iter()) {
                 assert_eq!(r1.len(), r2.len());
             }
-            let inter = |c: &Collection, i: usize, j: usize| {
-                c.records[i].tokens.iter().filter(|t| c.records[j].tokens.contains(t)).count()
+            let inter = |c: &Collection, i: u32, j: u32| {
+                c.tokens(i)
+                    .iter()
+                    .filter(|t| c.tokens(j).contains(t))
+                    .count()
             };
             assert_eq!(inter(&enc, 0, 1), inter(&asc, 0, 1));
         }
@@ -210,7 +211,7 @@ mod tests {
     fn duplicate_tokens_become_sets() {
         let raw = RawCorpus::from_texts(&["a a b"], &Tokenizer::Words);
         let c = encode(&raw);
-        assert_eq!(c.records[0].len(), 2);
+        assert_eq!(c.tokens(0).len(), 2);
     }
 
     #[test]
@@ -224,8 +225,8 @@ mod tests {
         let s_vocab = se.vocab.as_ref().unwrap();
         assert_eq!(r_vocab, s_vocab);
         let shared_rank = r_vocab.iter().position(|t| t == "shared").unwrap() as u32;
-        assert!(re.records[0].tokens.contains(&shared_rank));
-        assert!(se.records[0].tokens.contains(&shared_rank));
+        assert!(re.tokens(0).contains(&shared_rank));
+        assert!(se.tokens(0).contains(&shared_rank));
         // "shared" has frequency 2, "only" 2, rest 1.
         assert_eq!(re.token_freqs.last(), Some(&2));
     }
@@ -242,10 +243,10 @@ mod tests {
         };
         let (re, se) = encode_two(&r, &s);
         assert_eq!(re.token_freqs.len(), 4);
-        let inter: Vec<u32> = re.records[0]
-            .tokens
+        let inter: Vec<u32> = re
+            .tokens(0)
             .iter()
-            .filter(|t| se.records[0].tokens.contains(t))
+            .filter(|t| se.tokens(0).contains(t))
             .copied()
             .collect();
         assert_eq!(inter.len(), 2);
@@ -267,8 +268,8 @@ mod tests {
         // Encoding is a bijection on tokens, so set overlaps are preserved.
         let raw = RawCorpus::from_texts(&["a b c d", "a b c e"], &Tokenizer::Words);
         let c = encode(&raw);
-        let s: std::collections::BTreeSet<u32> = c.records[0].tokens.iter().copied().collect();
-        let t: std::collections::BTreeSet<u32> = c.records[1].tokens.iter().copied().collect();
+        let s: std::collections::BTreeSet<u32> = c.tokens(0).iter().copied().collect();
+        let t: std::collections::BTreeSet<u32> = c.tokens(1).iter().copied().collect();
         assert_eq!(s.intersection(&t).count(), 3);
         assert_eq!(s.union(&t).count(), 5);
     }

@@ -334,9 +334,9 @@ mod tests {
         for i in 0..encoded.len() {
             for j in (i + 1)..encoded.len() {
                 let a: std::collections::BTreeSet<u32> =
-                    encoded.records[i].tokens.iter().copied().collect();
+                    encoded.tokens(i as u32).iter().copied().collect();
                 let b: std::collections::BTreeSet<u32> =
-                    encoded.records[j].tokens.iter().copied().collect();
+                    encoded.tokens(j as u32).iter().copied().collect();
                 let inter = a.intersection(&b).count();
                 let uni = a.len() + b.len() - inter;
                 if uni > 0 && inter as f64 / uni as f64 >= 0.7 {

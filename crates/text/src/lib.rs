@@ -25,6 +25,7 @@ pub mod corpus;
 pub mod encode;
 pub mod gen;
 pub mod ordering;
+pub mod pool;
 pub mod record;
 pub mod tokenize;
 
@@ -32,5 +33,8 @@ pub use corpus::RawCorpus;
 pub use encode::{encode, encode_mr, encode_with_kind};
 pub use gen::{CorpusProfile, GeneratorConfig};
 pub use ordering::{GlobalOrdering, OrderingKind};
-pub use record::{Collection, CorpusStats, Record, RecordId, TokenId};
+pub use pool::{PooledRecord, TokenPool, TokenSpan};
+pub use record::{
+    Collection, CorpusStats, MalformedRecord, Record, RecordId, RecordView, TokenId, TokenSet,
+};
 pub use tokenize::Tokenizer;

@@ -80,7 +80,7 @@ impl GlobalOrdering {
             OrderingKind::DescendingFrequency => {
                 pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)))
             }
-            OrderingKind::Lexicographic => pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0)),
+            OrderingKind::Lexicographic => pairs.sort_unstable_by_key(|a| a.0),
         }
         let mut rank_of = FxHashMap::default();
         rank_of.reserve(pairs.len());
@@ -266,12 +266,15 @@ mod tests {
         let pairs = vec![(10u64, 5u64), (20, 1), (30, 3)];
         let asc = GlobalOrdering::from_freqs_with(pairs.clone(), OrderingKind::AscendingFrequency);
         assert_eq!((asc.raw(0), asc.raw(1), asc.raw(2)), (20, 30, 10));
-        let desc = GlobalOrdering::from_freqs_with(pairs.clone(), OrderingKind::DescendingFrequency);
+        let desc =
+            GlobalOrdering::from_freqs_with(pairs.clone(), OrderingKind::DescendingFrequency);
         assert_eq!((desc.raw(0), desc.raw(1), desc.raw(2)), (10, 30, 20));
         let lex = GlobalOrdering::from_freqs_with(pairs, OrderingKind::Lexicographic);
         assert_eq!((lex.raw(0), lex.raw(1), lex.raw(2)), (10, 20, 30));
-        assert_eq!(OrderingKind::all().map(|k| k.name()),
-                   ["freq-asc", "freq-desc", "lexicographic"]);
+        assert_eq!(
+            OrderingKind::all().map(|k| k.name()),
+            ["freq-asc", "freq-desc", "lexicographic"]
+        );
     }
 
     #[test]

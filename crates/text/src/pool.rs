@@ -1,0 +1,282 @@
+//! Columnar token storage: one flat arena per collection.
+//!
+//! The paper's "no duplication" claim is about the *shuffle*; this module
+//! is the same idea applied to *memory*. Instead of every record (and every
+//! record segment) owning a heap-allocated `Vec<TokenId>`, a collection
+//! stores all tokens in one contiguous [`TokenPool`] — a CSR-style arena:
+//! a flat token vector plus an offsets table — and everything downstream
+//! refers to token runs through cheap, copyable [`TokenSpan`] views.
+//!
+//! Consequences (see DESIGN.md "Data layout"):
+//!
+//! * map-side vertical partitioning produces segments with **zero** token
+//!   allocations — a segment is 21 bytes of metadata plus a span;
+//! * kernel inner loops run over contiguous `&[TokenId]` slices resolved
+//!   once per task;
+//! * the pool is shared across tasks as an `Arc` blob through the engine's
+//!   [`Dfs`](../../ssj_mapreduce/struct.Dfs.html) side-data channel, the
+//!   way Hadoop ships read-only data via the distributed cache;
+//! * byte accounting stays *logical*: a span's shuffle cost is the size of
+//!   the tokens it denotes, not the 8 bytes of the view (which is why
+//!   `TokenSpan` deliberately does **not** implement `ByteSize` — its
+//!   serialized size depends on what it points at).
+
+use crate::record::{RecordId, TokenId};
+use ssj_common::ByteSize;
+
+/// A contiguous run of tokens inside a [`TokenPool`].
+///
+/// Spans are plain values (8 bytes, `Copy`): cloning a span never touches
+/// the tokens it denotes. A span is only meaningful together with the pool
+/// it was issued by; resolving it against another pool yields garbage (or a
+/// panic), exactly like a file offset against the wrong file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TokenSpan {
+    /// Offset of the first token in the pool's flat token vector.
+    pub start: u32,
+    /// Number of tokens.
+    pub len: u32,
+}
+
+impl TokenSpan {
+    /// Number of tokens the span denotes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the span denotes no tokens.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sub-span `[offset, offset + len)` of this span.
+    ///
+    /// # Panics
+    /// Panics when the sub-range exceeds the span.
+    #[inline]
+    pub fn slice(&self, offset: usize, len: usize) -> TokenSpan {
+        assert!(offset + len <= self.len as usize, "sub-span out of range");
+        TokenSpan {
+            start: self.start + offset as u32,
+            len: len as u32,
+        }
+    }
+}
+
+/// Arena-backed columnar token storage (CSR layout): record `i`'s tokens
+/// are `tokens[offsets[i]..offsets[i + 1]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenPool {
+    tokens: Vec<TokenId>,
+    /// `offsets.len() == record count + 1`; `offsets[0] == 0`.
+    offsets: Vec<u32>,
+}
+
+impl Default for TokenPool {
+    fn default() -> Self {
+        TokenPool::new()
+    }
+}
+
+impl TokenPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        TokenPool {
+            tokens: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// An empty pool with room for `records` records / `tokens` tokens.
+    pub fn with_capacity(records: usize, tokens: usize) -> Self {
+        let mut offsets = Vec::with_capacity(records + 1);
+        offsets.push(0);
+        TokenPool {
+            tokens: Vec::with_capacity(tokens),
+            offsets,
+        }
+    }
+
+    /// Append one record's tokens; returns its span. Records are dense:
+    /// the `n`-th push stores record id `n`.
+    pub fn push(&mut self, tokens: &[TokenId]) -> TokenSpan {
+        let start = self.tokens.len() as u32;
+        self.tokens.extend_from_slice(tokens);
+        self.offsets.push(self.tokens.len() as u32);
+        TokenSpan {
+            start,
+            len: tokens.len() as u32,
+        }
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the pool holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// Total tokens across all records.
+    #[inline]
+    pub fn total_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Tokens of record `rid`.
+    #[inline]
+    pub fn tokens_of(&self, rid: RecordId) -> &[TokenId] {
+        let i = rid as usize;
+        &self.tokens[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Span of record `rid`.
+    #[inline]
+    pub fn span_of(&self, rid: RecordId) -> TokenSpan {
+        let i = rid as usize;
+        TokenSpan {
+            start: self.offsets[i],
+            len: self.offsets[i + 1] - self.offsets[i],
+        }
+    }
+
+    /// Resolve a span issued by this pool to its token slice.
+    #[inline]
+    pub fn resolve(&self, span: TokenSpan) -> &[TokenId] {
+        &self.tokens[span.start as usize..(span.start + span.len) as usize]
+    }
+
+    /// Iterate over all records' token slices in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &[TokenId]> {
+        (0..self.len()).map(move |i| self.tokens_of(i as RecordId))
+    }
+
+    /// Concatenate two pools: `a`'s records keep their ids/offsets, `b`'s
+    /// records follow with ids shifted by `a.len()` and token offsets
+    /// shifted by `a.total_tokens()`. This is how an R×S join builds one
+    /// shared arena from two collections encoded in the same rank space.
+    pub fn concat(a: &TokenPool, b: &TokenPool) -> TokenPool {
+        let mut tokens = Vec::with_capacity(a.tokens.len() + b.tokens.len());
+        tokens.extend_from_slice(&a.tokens);
+        tokens.extend_from_slice(&b.tokens);
+        let shift = a.tokens.len() as u32;
+        let mut offsets = Vec::with_capacity(a.offsets.len() + b.offsets.len() - 1);
+        offsets.extend_from_slice(&a.offsets);
+        offsets.extend(b.offsets[1..].iter().map(|&o| o + shift));
+        TokenPool { tokens, offsets }
+    }
+}
+
+/// A record reference into a [`TokenPool`]: its id plus the span of its
+/// tokens. This is what FS-Join's map input carries instead of an owned
+/// [`Record`]; the *logical* serialized size is identical (the wire format
+/// would still ship id + token vector), so shuffle and duplication metrics
+/// are unchanged by the columnar layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PooledRecord {
+    /// Record id (also the pool index for dense collections).
+    pub id: RecordId,
+    /// Span of the record's tokens in its pool.
+    pub span: TokenSpan,
+}
+
+impl ByteSize for PooledRecord {
+    fn byte_size(&self) -> usize {
+        // id + (vec length prefix + tokens): identical to `Record`.
+        4 + 4 + 4 * self.span.len as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+
+    #[test]
+    fn push_and_resolve_round_trip() {
+        let mut pool = TokenPool::new();
+        assert!(pool.is_empty());
+        let s0 = pool.push(&[1, 2, 3]);
+        let s1 = pool.push(&[]);
+        let s2 = pool.push(&[9]);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.total_tokens(), 4);
+        assert_eq!(pool.resolve(s0), &[1, 2, 3]);
+        assert_eq!(pool.resolve(s1), &[] as &[u32]);
+        assert_eq!(pool.resolve(s2), &[9]);
+        assert_eq!(pool.tokens_of(0), &[1, 2, 3]);
+        assert_eq!(pool.tokens_of(1), &[] as &[u32]);
+        assert_eq!(pool.span_of(2), s2);
+        assert!(s1.is_empty());
+    }
+
+    #[test]
+    fn spans_are_stable_across_later_pushes() {
+        let mut pool = TokenPool::with_capacity(2, 8);
+        let s0 = pool.push(&[5, 6]);
+        pool.push(&[7, 8, 9]);
+        assert_eq!(pool.resolve(s0), &[5, 6]);
+        assert_eq!(s0, TokenSpan { start: 0, len: 2 });
+    }
+
+    #[test]
+    fn sub_spans() {
+        let mut pool = TokenPool::new();
+        let s = pool.push(&[10, 11, 12, 13]);
+        let mid = s.slice(1, 2);
+        assert_eq!(pool.resolve(mid), &[11, 12]);
+        assert_eq!(s.slice(4, 0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_sub_span_rejected() {
+        let mut pool = TokenPool::new();
+        let s = pool.push(&[1]);
+        let _ = s.slice(1, 1);
+    }
+
+    #[test]
+    fn concat_shifts_offsets() {
+        let mut a = TokenPool::new();
+        a.push(&[1, 2]);
+        a.push(&[3]);
+        let mut b = TokenPool::new();
+        b.push(&[4, 5, 6]);
+        b.push(&[]);
+        let c = TokenPool::concat(&a, &b);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.total_tokens(), 6);
+        assert_eq!(c.tokens_of(0), &[1, 2]);
+        assert_eq!(c.tokens_of(1), &[3]);
+        assert_eq!(c.tokens_of(2), &[4, 5, 6]);
+        assert_eq!(c.tokens_of(3), &[] as &[u32]);
+        let spans: Vec<TokenSpan> = (0..4).map(|i| c.span_of(i)).collect();
+        assert_eq!(spans[2], TokenSpan { start: 3, len: 3 });
+    }
+
+    #[test]
+    fn iter_visits_records_in_order() {
+        let mut pool = TokenPool::new();
+        pool.push(&[1]);
+        pool.push(&[2, 3]);
+        let all: Vec<Vec<u32>> = pool.iter().map(|s| s.to_vec()).collect();
+        assert_eq!(all, vec![vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn pooled_record_byte_size_matches_owned_record() {
+        let mut pool = TokenPool::new();
+        let span = pool.push(&[1, 2]);
+        let pr = PooledRecord { id: 0, span };
+        let owned = Record::new(0, vec![1, 2]);
+        assert_eq!(pr.byte_size(), owned.byte_size());
+        assert_eq!(pr.byte_size(), 4 + 4 + 8);
+    }
+}

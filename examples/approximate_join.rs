@@ -47,7 +47,7 @@ fn main() {
             seed: 7,
         };
         let start = Instant::now();
-        let approx = lsh_self_join(&collection.records, Measure::Jaccard, theta, &cfg);
+        let approx = lsh_self_join(&collection.views(), Measure::Jaccard, theta, &cfg);
         let secs = start.elapsed().as_secs_f64();
         let got = id_pairs(&approx);
         let hit = got.iter().filter(|p| truth.contains(p)).count();

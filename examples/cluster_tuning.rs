@@ -24,7 +24,10 @@ fn main() {
 
     // --- 1. Pivot strategy: balance decides the reduce-phase makespan ----
     println!("pivot strategy sweep (θ=0.8, 10 nodes):");
-    println!("{:<16} {:>12} {:>12} {:>14}", "strategy", "skew", "sim (ms)", "shuffle (KiB)");
+    println!(
+        "{:<16} {:>12} {:>12} {:>14}",
+        "strategy", "skew", "sim (ms)", "shuffle (KiB)"
+    );
     for strategy in PivotStrategy::all() {
         let cfg = FsJoinConfig::default().with_pivot_strategy(strategy);
         let res = fsjoin_suite::fsjoin::run_self_join(&collection, &cfg);
@@ -40,7 +43,10 @@ fn main() {
 
     // --- 2. Fragment count: parallelism vs per-fragment overhead ---------
     println!("\nfragment count sweep (θ=0.8, 10 nodes):");
-    println!("{:<12} {:>12} {:>14}", "fragments", "sim (ms)", "candidates");
+    println!(
+        "{:<12} {:>12} {:>14}",
+        "fragments", "sim (ms)", "candidates"
+    );
     for fragments in [4usize, 8, 16, 32, 64] {
         let cfg = FsJoinConfig::default().with_fragments(fragments);
         let res = fsjoin_suite::fsjoin::run_self_join(&collection, &cfg);
@@ -61,7 +67,12 @@ fn main() {
         let res = fsjoin_suite::fsjoin::run_self_join(&collection, &cfg);
         let secs = res.simulated_secs(&ClusterModel::paper_default(nodes));
         let base_secs = *base.get_or_insert(secs);
-        println!("{:<8} {:>12.1} {:>11.2}x", nodes, secs * 1e3, base_secs / secs);
+        println!(
+            "{:<8} {:>12.1} {:>11.2}x",
+            nodes,
+            secs * 1e3,
+            base_secs / secs
+        );
     }
 
     println!(

@@ -60,7 +60,10 @@ fn main() {
         &collection,
         &FsJoinConfig::default().with_theta(theta),
     );
-    println!("FS-Join found {} near-duplicate pairs at θ = {theta}", result.pairs.len());
+    println!(
+        "FS-Join found {} near-duplicate pairs at θ = {theta}",
+        result.pairs.len()
+    );
 
     // Group into duplicate clusters.
     let mut uf = UnionFind::new(collection.len());
@@ -83,7 +86,12 @@ fn main() {
     );
 
     // Cross-check with the strongest baseline.
-    let baseline = ridpairs_ppjoin(&collection, Measure::Jaccard, theta, &BaselineConfig::default());
+    let baseline = ridpairs_ppjoin(
+        &collection,
+        Measure::Jaccard,
+        theta,
+        &BaselineConfig::default(),
+    );
     assert_eq!(
         result.pairs.len(),
         baseline.pairs.len(),

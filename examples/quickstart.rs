@@ -29,7 +29,9 @@ fn main() {
     // 2. Run the join. The default configuration is the paper's: Even-TF
     //    pivots, prefix join kernel, all four filters, horizontal
     //    partitioning on.
-    let config = FsJoinConfig::default().with_theta(0.6).with_measure(Measure::Jaccard);
+    let config = FsJoinConfig::default()
+        .with_theta(0.6)
+        .with_measure(Measure::Jaccard);
     let result = fsjoin_suite::fsjoin::run_self_join(&collection, &config);
 
     println!("\nsimilar pairs (Jaccard ≥ 0.6):");
@@ -43,9 +45,18 @@ fn main() {
     // 3. Inspect what the engine did.
     let filter_job = result.chain.job("fsjoin-filter").expect("filter job ran");
     println!("\nengine metrics:");
-    println!("  candidates emitted by the filter job: {}", result.candidates);
-    println!("  shuffled bytes (filter job):          {}", filter_job.shuffle_bytes);
-    println!("  vertical pivots used:                 {:?}", result.pivots);
+    println!(
+        "  candidates emitted by the filter job: {}",
+        result.candidates
+    );
+    println!(
+        "  shuffled bytes (filter job):          {}",
+        filter_job.shuffle_bytes
+    );
+    println!(
+        "  vertical pivots used:                 {:?}",
+        result.pivots
+    );
     println!(
         "  simulated 10-node cluster time:       {:.1} ms",
         result.simulated_secs(&ClusterModel::paper_default(10)) * 1e3

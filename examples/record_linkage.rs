@@ -26,7 +26,7 @@ fn main() {
         "apple iphone 15 pro max smartphone 256gb titanium natural", // = A0
         "sony wh 1000xm5 noise canceling wireless headphones",       // = A2
         "lenovo thinkpad x1 carbon laptop 14 inch",
-        "samsung galaxy s24 ultra smartphone 512gb gray titanium",   // = A1
+        "samsung galaxy s24 ultra smartphone 512gb gray titanium", // = A1
     ];
 
     // Both sides must share one global ordering: encode them together.
@@ -39,7 +39,7 @@ fn main() {
     let result = run_rs_join(&r, &s, &FsJoinConfig::default().with_theta(theta));
 
     // S-side ids come back offset by |R|.
-    let offset = r.records.len() as u32;
+    let offset = r.len() as u32;
     println!("links at Jaccard ≥ {theta}:");
     let mut links = Vec::new();
     for p in &result.pairs {
@@ -51,7 +51,11 @@ fn main() {
         links.push((a_id, b_id));
     }
     links.sort_unstable();
-    assert_eq!(links, vec![(0, 0), (1, 3), (2, 1)], "expected exactly the three true links");
+    assert_eq!(
+        links,
+        vec![(0, 0), (1, 3), (2, 1)],
+        "expected exactly the three true links"
+    );
 
     // Threshold sweep: precision/recall trade-off for linkage.
     println!("\nthreshold sweep:");

@@ -12,6 +12,12 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+echo "== lint: rustfmt =="
+cargo fmt --check
+
+echo "== lint: clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
 echo "== tier-1: build =="
 cargo build --release
 

@@ -26,12 +26,10 @@ fn all_algorithms_agree_on_all_profiles() {
     ] {
         let c = corpus(profile, records);
         for theta in [0.75, 0.9] {
-            let want = naive_self_join(&c.records, Measure::Jaccard, theta);
+            let want = naive_self_join(&c.views(), Measure::Jaccard, theta);
 
-            let fs = fsjoin_suite::fsjoin::run_self_join(
-                &c,
-                &FsJoinConfig::default().with_theta(theta),
-            );
+            let fs =
+                fsjoin_suite::fsjoin::run_self_join(&c, &FsJoinConfig::default().with_theta(theta));
             compare_results(&fs.pairs, &want, 1e-9)
                 .unwrap_or_else(|e| panic!("fsjoin {profile:?} θ={theta}: {e}"));
 
@@ -72,7 +70,10 @@ fn all_algorithms_agree_on_all_profiles() {
                 let merge = dnf_estimate[0].unwrap_or_else(|| {
                     panic!("MergeLight DNF'd where Merge ran ({profile:?} θ={theta})")
                 });
-                assert!(light <= merge, "Light heavier than Merge: {light} > {merge}");
+                assert!(
+                    light <= merge,
+                    "Light heavier than Merge: {light} > {merge}"
+                );
             }
         }
     }
@@ -87,10 +88,12 @@ fn measures_agree_end_to_end() {
     let c = corpus(CorpusProfile::WikiLike, 120);
     for measure in Measure::all() {
         for theta in [0.7, 0.85] {
-            let want = naive_self_join(&c.records, measure, theta);
+            let want = naive_self_join(&c.views(), measure, theta);
             let fs = fsjoin_suite::fsjoin::run_self_join(
                 &c,
-                &FsJoinConfig::default().with_theta(theta).with_measure(measure),
+                &FsJoinConfig::default()
+                    .with_theta(theta)
+                    .with_measure(measure),
             );
             compare_results(&fs.pairs, &want, 1e-9)
                 .unwrap_or_else(|e| panic!("fsjoin {measure:?} θ={theta}: {e}"));
@@ -123,10 +126,13 @@ fn repeated_runs_are_byte_identical() {
 
 #[test]
 fn mr_encoding_path_agrees_with_local() {
-    let raw = CorpusProfile::WikiLike.config().with_records(100).generate();
+    let raw = CorpusProfile::WikiLike
+        .config()
+        .with_records(100)
+        .generate();
     let local = encode(&raw);
     let (mr, metrics) = encode_mr(&raw, 4, 4);
-    assert_eq!(local.records, mr.records);
+    assert_eq!(local.pool(), mr.pool());
     assert!(metrics.shuffle_records > 0);
     let cfg = FsJoinConfig::default().with_theta(0.8);
     let a = fsjoin_suite::fsjoin::run_self_join(&local, &cfg);

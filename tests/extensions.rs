@@ -60,7 +60,7 @@ fn lsh_join_is_precise_and_recalls_planted_duplicates() {
     let exact = run_self_join(&c, &FsJoinConfig::default().with_theta(theta));
     let truth = id_pairs(&exact.pairs);
     let approx = id_pairs(&lsh_self_join(
-        &c.records,
+        &c.views(),
         Measure::Jaccard,
         theta,
         &LshConfig::default(),

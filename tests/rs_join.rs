@@ -42,28 +42,30 @@ fn two_corpora(seed: u64) -> (RawCorpus, RawCorpus) {
 fn rs_join_matches_oracle_across_measures() {
     let (r_raw, s_raw) = two_corpora(99);
     let (r, s) = encode_two(&r_raw, &s_raw);
-    let offset = r.records.len() as u32;
+    let offset = r.len() as u32;
     let s_shifted: Vec<Record> = s
-        .records
         .iter()
-        .map(|rec| Record {
-            id: rec.id + offset,
-            tokens: rec.tokens.clone(),
-        })
+        .map(|v| Record::from_sorted(v.id + offset, v.tokens.to_vec()))
         .collect();
     for measure in Measure::all() {
         for theta in [0.7, 0.9] {
-            let want = naive_rs_join(&r.records, &s_shifted, measure, theta);
+            let want = naive_rs_join(&r.views(), &s_shifted, measure, theta);
             let got = run_rs_join(
                 &r,
                 &s,
-                &FsJoinConfig::default().with_theta(theta).with_measure(measure),
+                &FsJoinConfig::default()
+                    .with_theta(theta)
+                    .with_measure(measure),
             );
             compare_results(&got.pairs, &want, 1e-9)
                 .unwrap_or_else(|e| panic!("{measure:?} θ={theta}: {e}"));
             // Every pair must actually cross the collections.
             for p in &got.pairs {
-                assert!(p.a < offset && p.b >= offset, "non-crossing pair {:?}", p.ids());
+                assert!(
+                    p.a < offset && p.b >= offset,
+                    "non-crossing pair {:?}",
+                    p.ids()
+                );
             }
         }
     }
@@ -99,7 +101,7 @@ fn rs_join_with_text_corpora() {
     );
     let (r, s) = encode_two(&r_raw, &s_raw);
     let got = run_rs_join(&r, &s, &FsJoinConfig::default().with_theta(0.8));
-    let offset = r.records.len() as u32;
+    let offset = r.len() as u32;
     let links: Vec<(u32, u32)> = got.pairs.iter().map(|p| (p.a, p.b - offset)).collect();
     assert_eq!(links, vec![(0, 0), (1, 2)]);
 }

@@ -91,8 +91,8 @@ impl BenchmarkGroup<'_> {
         f(&mut probe);
         let per_iter = probe.elapsed.max(Duration::from_nanos(1));
         let sample_budget = self.measurement_time / self.sample_size as u32;
-        let iters = (sample_budget.as_nanos() / per_iter.as_nanos().max(1))
-            .clamp(1, 1_000_000) as u64;
+        let iters =
+            (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
 
         let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
