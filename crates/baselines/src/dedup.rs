@@ -6,7 +6,9 @@
 //! of why those pipelines carry an extra job that FS-Join does not need.
 
 use crate::BaselineConfig;
-use ssj_mapreduce::{Dataset, Emitter, JobBuilder, JobMetrics, Mapper, Reducer};
+use ssj_mapreduce::{
+    Dataset, Emitter, GroupValues, JobBuilder, JobMetrics, Mapper, StreamingReducer,
+};
 use ssj_similarity::SimilarPair;
 
 /// Identity mapper over `((a, b), sim)`.
@@ -23,18 +25,24 @@ impl Mapper for DedupMapper {
     }
 }
 
-/// Keeps one score per pair.
+/// Keeps one score per pair. Streams: only the head of each group is
+/// read, duplicates are skipped by the engine without buffering.
 struct DedupReducer;
 
-impl Reducer for DedupReducer {
+impl StreamingReducer for DedupReducer {
     type InKey = (u32, u32);
     type InValue = f64;
     type OutKey = (u32, u32);
     type OutValue = f64;
 
-    fn reduce(&mut self, pair: &(u32, u32), sims: Vec<f64>, out: &mut Emitter<(u32, u32), f64>) {
+    fn reduce_group(
+        &mut self,
+        pair: &(u32, u32),
+        sims: &mut GroupValues<'_, '_, (u32, u32), f64>,
+        out: &mut Emitter<(u32, u32), f64>,
+    ) {
         // All duplicates carry the same exact score; keep the first.
-        out.emit(*pair, sims[0]);
+        out.emit(*pair, *sims.next().expect("group has at least one value"));
     }
 }
 

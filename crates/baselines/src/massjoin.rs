@@ -24,7 +24,9 @@
 
 use crate::dedup::dedup_job;
 use crate::{BaselineConfig, BudgetExceeded, JoinRunResult};
-use ssj_mapreduce::{ChainMetrics, Dataset, Emitter, JobBuilder, Mapper, Reducer};
+use ssj_mapreduce::{
+    ChainMetrics, Dataset, Emitter, GroupValues, JobBuilder, Mapper, Reducer, StreamingReducer,
+};
 use ssj_similarity::intersect::intersect_count_merge;
 use ssj_similarity::{Measure, SimilarPair};
 use ssj_text::{Collection, Record};
@@ -310,16 +312,22 @@ impl Reducer for LightReducer {
     }
 }
 
-/// Candidate-dedup reducer for the Light variant.
+/// Candidate-dedup reducer for the Light variant. Streams: the group's
+/// values are never read, so the engine skips them without buffering.
 struct CandidateDedupReducer;
 
-impl Reducer for CandidateDedupReducer {
+impl StreamingReducer for CandidateDedupReducer {
     type InKey = (u32, u32);
     type InValue = u8;
     type OutKey = (u32, u32);
     type OutValue = u8;
 
-    fn reduce(&mut self, pair: &(u32, u32), _v: Vec<u8>, out: &mut Emitter<(u32, u32), u8>) {
+    fn reduce_group(
+        &mut self,
+        pair: &(u32, u32),
+        _v: &mut GroupValues<'_, '_, (u32, u32), u8>,
+        out: &mut Emitter<(u32, u32), u8>,
+    ) {
         out.emit(*pair, 0);
     }
 }
@@ -362,17 +370,23 @@ impl Mapper for CachedVerifyMapper {
     }
 }
 
-/// Pass-through reducer keeping the single verified score.
+/// Pass-through reducer keeping the single verified score (streaming
+/// take-first).
 struct KeepFirstReducer;
 
-impl Reducer for KeepFirstReducer {
+impl StreamingReducer for KeepFirstReducer {
     type InKey = (u32, u32);
     type InValue = f64;
     type OutKey = (u32, u32);
     type OutValue = f64;
 
-    fn reduce(&mut self, pair: &(u32, u32), sims: Vec<f64>, out: &mut Emitter<(u32, u32), f64>) {
-        out.emit(*pair, sims[0]);
+    fn reduce_group(
+        &mut self,
+        pair: &(u32, u32),
+        sims: &mut GroupValues<'_, '_, (u32, u32), f64>,
+        out: &mut Emitter<(u32, u32), f64>,
+    ) {
+        out.emit(*pair, *sims.next().expect("group has at least one value"));
     }
 }
 

@@ -12,7 +12,9 @@
 //! "cannot run completely" without hanging the test suite.
 
 use crate::{BaselineConfig, BudgetExceeded, JoinRunResult};
-use ssj_mapreduce::{ChainMetrics, Dataset, Emitter, JobBuilder, Mapper, Reducer};
+use ssj_mapreduce::{
+    ChainMetrics, Dataset, Emitter, GroupValues, JobBuilder, Mapper, StreamingReducer,
+};
 use ssj_similarity::{Measure, SimilarPair};
 use ssj_text::{Collection, Record};
 
@@ -32,21 +34,30 @@ impl Mapper for TokenMapper {
     }
 }
 
-/// Join-phase reducer: enumerate all pairs of the posting list.
-struct PairEnumReducer;
+/// Join-phase reducer: enumerate all pairs of the posting list. Streams
+/// each posting list into a scratch buffer reused across tokens (pair
+/// enumeration needs random access, so the list must be materialized, but
+/// its allocation is amortized over the whole task).
+#[derive(Default)]
+struct PairEnumReducer {
+    scratch: Vec<(u32, u32)>,
+}
 
-impl Reducer for PairEnumReducer {
+impl StreamingReducer for PairEnumReducer {
     type InKey = u32;
     type InValue = (u32, u32);
     type OutKey = (u32, u32);
     type OutValue = (u32, u32, u32);
 
-    fn reduce(
+    fn reduce_group(
         &mut self,
         _token: &u32,
-        postings: Vec<(u32, u32)>,
+        values: &mut GroupValues<'_, '_, u32, (u32, u32)>,
         out: &mut Emitter<(u32, u32), (u32, u32, u32)>,
     ) {
+        self.scratch.clear();
+        self.scratch.extend(values.copied());
+        let postings = &self.scratch;
         for i in 0..postings.len() {
             let (rid_a, len_a) = postings[i];
             for &(rid_b, len_b) in &postings[i + 1..] {
@@ -81,25 +92,26 @@ impl Mapper for PartialMapper {
 }
 
 /// Similarity-phase reducer: aggregate counts, apply θ at the end.
+/// Streams — the count folds partial-by-partial, nothing is buffered.
 struct AggregateReducer {
     measure: Measure,
     theta: f64,
 }
 
-impl Reducer for AggregateReducer {
+impl StreamingReducer for AggregateReducer {
     type InKey = (u32, u32);
     type InValue = (u32, u32, u32);
     type OutKey = (u32, u32);
     type OutValue = f64;
 
-    fn reduce(
+    fn reduce_group(
         &mut self,
         pair: &(u32, u32),
-        partials: Vec<(u32, u32, u32)>,
+        partials: &mut GroupValues<'_, '_, (u32, u32), (u32, u32, u32)>,
         out: &mut Emitter<(u32, u32), f64>,
     ) {
         let (mut c, mut la, mut lb) = (0usize, 0usize, 0usize);
-        for (n, a, b) in partials {
+        for &(n, a, b) in partials {
             c += n as usize;
             la = a as usize;
             lb = b as usize;
@@ -157,7 +169,7 @@ pub fn vsmart_join(
     let (partials, join_metrics) = JobBuilder::new("vsmart-join")
         .reduce_tasks(cfg.reduce_tasks)
         .workers(cfg.workers)
-        .run(&input, |_| TokenMapper, |_| PairEnumReducer);
+        .run(&input, |_| TokenMapper, |_| PairEnumReducer::default());
     let (results, sim_metrics) = JobBuilder::new("vsmart-similarity")
         .reduce_tasks(cfg.reduce_tasks)
         .workers(cfg.workers)

@@ -1,0 +1,78 @@
+//! Shuffle-determinism probe: run the fig6-style FS-Join comparison
+//! workload at bench scale with a caller-chosen worker-thread count and
+//! print a deterministic report — result digest, candidate count, and
+//! per-job shuffle record/byte accounting.
+//!
+//! ```text
+//! cargo run --release -p ssj-bench --bin determinism -- [workers]
+//! ```
+//!
+//! Worker count parallelizes the map/shuffle/reduce phases but must never
+//! change output, metrics, or byte accounting (the engine's streaming
+//! shuffle merges spill runs in deterministic map-task order regardless of
+//! which thread transposed them). The CI gate runs this binary with two
+//! different worker counts and diffs the outputs byte-for-byte.
+
+use ssj_bench::datasets::{bench_corpus, tuned_fsjoin};
+use ssj_similarity::{Measure, SimilarPair};
+use ssj_text::CorpusProfile;
+
+/// FNV-1a over the canonically sorted pair list (ids + exact score bits).
+fn digest(pairs: &[SimilarPair]) -> u64 {
+    let mut sorted: Vec<(u32, u32, u64)> =
+        pairs.iter().map(|p| (p.a, p.b, p.sim.to_bits())).collect();
+    sorted.sort_unstable();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (a, b, s) in sorted {
+        mix(a as u64);
+        mix(b as u64);
+        mix(s);
+    }
+    h
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workers: usize = args
+        .first()
+        .map_or(2, |s| s.parse().expect("workers: usize"));
+
+    let corpus = bench_corpus();
+    let cfg = tuned_fsjoin(CorpusProfile::WikiLike)
+        .with_theta(0.8)
+        .with_measure(Measure::Jaccard)
+        .with_tasks(8, 12)
+        .with_workers(workers);
+    let res = fsjoin::run_self_join(&corpus, &cfg);
+
+    // Every line below must be byte-identical across worker counts.
+    println!(
+        "result: pairs={} digest={:#018x} candidates={}",
+        res.pairs.len(),
+        digest(&res.pairs),
+        res.candidates
+    );
+    println!(
+        "filters: pairs_considered={} emitted={}",
+        res.filter_stats.pairs_considered, res.filter_stats.emitted
+    );
+    for job in &res.chain.jobs {
+        println!(
+            "job {}: shuffle_records={} shuffle_bytes={} pre_combine_records={} \
+             pre_combine_bytes={} map_out={} reduce_out={}",
+            job.name,
+            job.shuffle_records,
+            job.shuffle_bytes,
+            job.pre_combine_records,
+            job.pre_combine_bytes,
+            job.map_output_records(),
+            job.reduce_output_records()
+        );
+    }
+}

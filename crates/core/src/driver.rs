@@ -13,7 +13,8 @@ use crate::pivots::select_pivots;
 use crate::segment::Segment;
 use crate::vertical::split_record;
 use ssj_mapreduce::{
-    ChainMetrics, Dataset, Dfs, DirectPartitioner, Emitter, JobBuilder, Mapper, Reducer,
+    ChainMetrics, Dataset, Dfs, DirectPartitioner, Emitter, GroupValues, JobBuilder, Mapper,
+    StreamingReducer,
 };
 use ssj_observe::{span, MetricsRegistry};
 use ssj_similarity::{Measure, SimilarPair};
@@ -130,6 +131,12 @@ impl Mapper for PartitionMapper {
 /// lines 10–13). Pruning counters accumulate locally and flow into the
 /// run's [`MetricsRegistry`] at task cleanup (registry counters are
 /// additive, so concurrent reduce tasks never contend mid-join).
+///
+/// Implements [`StreamingReducer`] directly: each cell's segments stream
+/// off the k-way merge into a scratch buffer reused across cells — the
+/// engine allocates nothing per key, and the reducer amortizes its one
+/// buffer over the whole task ([`Segment`]s are `Copy` spans, so the copy
+/// is 16 bytes/segment with no token movement).
 struct FragmentReducer {
     pool: Arc<TokenPool>,
     cfg: FsJoinConfig,
@@ -137,27 +144,31 @@ struct FragmentReducer {
     scope: PairScope,
     local_stats: FilterStats,
     registry: Arc<MetricsRegistry>,
+    scratch: Vec<Segment>,
 }
 
-impl Reducer for FragmentReducer {
+impl StreamingReducer for FragmentReducer {
     type InKey = u32;
     type InValue = Segment;
     type OutKey = (u32, u32);
     type OutValue = (u32, u32, u32);
 
-    fn reduce(
+    fn reduce_group(
         &mut self,
         cell: &u32,
-        segments: Vec<Segment>,
+        segments: &mut GroupValues<'_, '_, u32, Segment>,
         out: &mut Emitter<(u32, u32), (u32, u32, u32)>,
     ) {
+        self.scratch.clear();
+        self.scratch.extend(segments.copied());
+        let segments = &self.scratch;
         let h = *cell as usize / self.cfg.num_fragments;
         let rule = JoinRule::for_partition(h, &self.h_pivots);
         let before_pairs = self.local_stats.pairs_considered;
         let before_emitted = self.local_stats.emitted;
         let records = join_fragment(
             &self.pool,
-            &segments,
+            segments,
             rule,
             self.scope,
             self.cfg.measure,
@@ -204,6 +215,13 @@ impl ssj_mapreduce::Combiner<(u32, u32), (u32, u32, u32)> for VerifyCombiner {
         }
         vec![(total, la, lb)]
     }
+
+    /// Integer-count sum; every contribution for a pair carries the same
+    /// record lengths, so the fold is a pure function of the value
+    /// multiset. This licenses the engine's unstable map-side bucket sort.
+    fn is_commutative(&self) -> bool {
+        true
+    }
 }
 
 /// Verification-job mapper: identity (paper Algorithm 1 lines 15–16).
@@ -226,26 +244,27 @@ impl Mapper for VerifyMapper {
 }
 
 /// Verification-job reducer: sums per-fragment counts and computes the
-/// exact score from counts alone (paper §V-B).
+/// exact score from counts alone (paper §V-B). Streams its group — the
+/// sum folds contribution-by-contribution with no buffering anywhere.
 struct VerifyReducer {
     measure: Measure,
     theta: f64,
 }
 
-impl Reducer for VerifyReducer {
+impl StreamingReducer for VerifyReducer {
     type InKey = (u32, u32);
     type InValue = (u32, u32, u32);
     type OutKey = (u32, u32);
     type OutValue = f64;
 
-    fn reduce(
+    fn reduce_group(
         &mut self,
         pair: &(u32, u32),
-        contributions: Vec<(u32, u32, u32)>,
+        contributions: &mut GroupValues<'_, '_, (u32, u32), (u32, u32, u32)>,
         out: &mut Emitter<(u32, u32), f64>,
     ) {
         let (mut total, mut len_a, mut len_b) = (0usize, 0usize, 0usize);
-        for (c, la, lb) in contributions {
+        for &(c, la, lb) in contributions {
             total += c as usize;
             len_a = la as usize;
             len_b = lb as usize;
@@ -351,6 +370,7 @@ fn run_join(
                 scope,
                 local_stats: FilterStats::default(),
                 registry: Arc::clone(&run_registry),
+                scratch: Vec::new(),
             },
             &DirectPartitioner::new(|cell: &u32| *cell as usize),
         );

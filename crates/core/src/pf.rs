@@ -42,7 +42,8 @@ use crate::pivots::select_pivots;
 use crate::segment::Segment;
 use ssj_common::FxHashMap;
 use ssj_mapreduce::{
-    ChainMetrics, Dataset, Dfs, DirectPartitioner, Emitter, JobBuilder, Mapper, Reducer,
+    ChainMetrics, Dataset, Dfs, DirectPartitioner, Emitter, GroupValues, JobBuilder, Mapper,
+    StreamingReducer,
 };
 use ssj_observe::span;
 use ssj_similarity::intersect::intersect_count_adaptive;
@@ -60,6 +61,8 @@ fn global_prefix_in_segment(measure: Measure, theta: f64, seg: &Segment) -> usiz
 }
 
 /// Discovery reducer: index global-prefix tokens, emit candidate pairs.
+/// Streams each cell's segments into a scratch buffer reused across cells
+/// (segments are `Copy` spans; the engine allocates nothing per key).
 struct PrefixDiscoveryReducer {
     pool: Arc<TokenPool>,
     measure: Measure,
@@ -67,6 +70,7 @@ struct PrefixDiscoveryReducer {
     num_fragments: usize,
     h_pivots: Arc<Vec<u32>>,
     scope: PairScope,
+    scratch: Vec<Segment>,
 }
 
 impl PrefixDiscoveryReducer {
@@ -109,18 +113,25 @@ impl PrefixDiscoveryReducer {
     }
 }
 
-impl Reducer for PrefixDiscoveryReducer {
+impl StreamingReducer for PrefixDiscoveryReducer {
     type InKey = u32;
     type InValue = Segment;
     type OutKey = (u32, u32);
     type OutValue = (u32, u32);
 
-    fn reduce(
+    fn reduce_group(
         &mut self,
         cell: &u32,
-        segments: Vec<Segment>,
+        values: &mut GroupValues<'_, '_, u32, Segment>,
         out: &mut Emitter<(u32, u32), (u32, u32)>,
     ) {
+        // Take the scratch buffer out of `self` so `discover` (which
+        // borrows `&self`) can run while the segments are in use; the
+        // buffer goes back at the end, keeping its capacity for the next
+        // cell.
+        let mut segments = std::mem::take(&mut self.scratch);
+        segments.clear();
+        segments.extend(values.copied());
         let h = *cell as usize / self.num_fragments;
         let rule = JoinRule::for_partition(h, &self.h_pivots);
         match rule {
@@ -155,6 +166,7 @@ impl Reducer for PrefixDiscoveryReducer {
                 }
             }
         }
+        self.scratch = segments;
     }
 }
 
@@ -179,19 +191,21 @@ impl Mapper for CandidateDedup {
 
 struct KeepFirst;
 
-impl Reducer for KeepFirst {
+impl StreamingReducer for KeepFirst {
     type InKey = (u32, u32);
     type InValue = (u32, u32);
     type OutKey = (u32, u32);
     type OutValue = (u32, u32);
 
-    fn reduce(
+    fn reduce_group(
         &mut self,
         pair: &(u32, u32),
-        lens: Vec<(u32, u32)>,
+        lens: &mut GroupValues<'_, '_, (u32, u32), (u32, u32)>,
         out: &mut Emitter<(u32, u32), (u32, u32)>,
     ) {
-        out.emit(*pair, lens[0]);
+        // Streaming take-first: duplicates beyond the head are skipped by
+        // the engine without ever being buffered.
+        out.emit(*pair, *lens.next().expect("group has at least one value"));
     }
 }
 
@@ -222,14 +236,19 @@ impl Mapper for CachedVerify {
 
 struct PassThrough;
 
-impl Reducer for PassThrough {
+impl StreamingReducer for PassThrough {
     type InKey = (u32, u32);
     type InValue = f64;
     type OutKey = (u32, u32);
     type OutValue = f64;
 
-    fn reduce(&mut self, pair: &(u32, u32), sims: Vec<f64>, out: &mut Emitter<(u32, u32), f64>) {
-        out.emit(*pair, sims[0]);
+    fn reduce_group(
+        &mut self,
+        pair: &(u32, u32),
+        sims: &mut GroupValues<'_, '_, (u32, u32), f64>,
+        out: &mut Emitter<(u32, u32), f64>,
+    ) {
+        out.emit(*pair, *sims.next().expect("group has at least one value"));
     }
 }
 
@@ -342,6 +361,7 @@ fn run_pf(
                 num_fragments,
                 h_pivots: Arc::clone(&h_pivots),
                 scope,
+                scratch: Vec::new(),
             },
             &DirectPartitioner::new(|cell: &u32| *cell as usize),
         );

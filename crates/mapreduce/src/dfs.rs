@@ -379,10 +379,10 @@ mod tests {
         {
             let s = dfs.get_blob::<SpillStore<u32, u64>>("job0/map-output");
             assert_eq!(s.total_records(), 3);
-            assert_eq!(s.fetch(0), vec![vec![(1, 10)]]);
+            assert_eq!(*s.fetch(0)[0], vec![(1, 10)]);
         }
         let s = dfs.take_blob::<SpillStore<u32, u64>>("job0/map-output");
-        assert_eq!(s.fetch(1), vec![vec![(2, 20), (3, 30)]]);
+        assert_eq!(*s.fetch(1)[0], vec![(2, 20), (3, 30)]);
         assert!(!dfs.contains("job0/map-output"));
     }
 

@@ -1,13 +1,24 @@
 //! Job construction and execution: split → map → combine → partition →
 //! sort-merge shuffle → reduce.
+//!
+//! The reduce-side data plane is streaming: map tasks spill *sorted* runs
+//! per reduce partition, the shuffle transposes them (in parallel, across
+//! partitions) into an [`SpillStore`] of `Arc`-shared immutable runs, and
+//! each reduce task k-way-merges its runs ([`GroupedRuns`]) instead of
+//! concatenating and re-sorting — `O(n log k)` where the map side already
+//! paid the `O(n log n)`. Key groups stream to the reducer by reference;
+//! batch [`Reducer`]s get their `Vec` through the adapter in
+//! [`crate::traits`], [`StreamingReducer`]s consume groups without any
+//! engine-side per-key allocation.
 
 use crate::dataset::Dataset;
 use crate::emitter::Emitter;
-use crate::executor::{default_workers, run_tasks_ft, AttemptCtx, ExecPolicy};
+use crate::executor::{default_workers, run_tasks, run_tasks_ft, AttemptCtx, ExecPolicy};
+use crate::merge::GroupedRuns;
 use crate::metrics::{ExecSummary, JobMetrics, TaskKind, TaskStat};
 use crate::partitioner::{HashPartitioner, Partitioner};
-use crate::spill::SpillStore;
-use crate::traits::{Combiner, Key, Mapper, Reducer, Value};
+use crate::spill::{SharedRun, SpillStore};
+use crate::traits::{Combiner, Key, Mapper, StreamingReducer, Value};
 use ssj_common::ByteSize;
 use ssj_faults::{FaultPlan, Phase, RetryPolicy, SpeculationPolicy};
 use ssj_observe::{global_registry, span};
@@ -121,7 +132,7 @@ impl JobBuilder {
     ) -> (Dataset<R::OutKey, R::OutValue>, JobMetrics)
     where
         M: Mapper,
-        R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue>,
         FM: Fn(usize) -> M + Sync,
         FR: Fn(usize) -> R + Sync,
         M::InKey: Clone + Sync + ByteSize,
@@ -146,7 +157,7 @@ impl JobBuilder {
     ) -> (Dataset<R::OutKey, R::OutValue>, JobMetrics)
     where
         M: Mapper,
-        R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue>,
         P: Partitioner<M::OutKey>,
         FM: Fn(usize) -> M + Sync,
         FR: Fn(usize) -> R + Sync,
@@ -173,7 +184,7 @@ impl JobBuilder {
     ) -> (Dataset<R::OutKey, R::OutValue>, JobMetrics)
     where
         M: Mapper,
-        R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue>,
         P: Partitioner<M::OutKey>,
         C: Combiner<M::OutKey, M::OutValue>,
         FM: Fn(usize) -> M + Sync,
@@ -185,6 +196,12 @@ impl JobBuilder {
         let num_reduce = self.reduce_tasks;
         let mut job_span = span("mr.job", &self.name);
         job_span.record("reduce_tasks", num_reduce);
+
+        // A commutative combiner erases any equal-key permutation before
+        // the shuffle observes it, which licenses the faster unstable
+        // map-side bucket sort; everything else keeps the stable sort so
+        // reducers see values in exact emission order.
+        let unstable_bucket_sort = combiner.is_some_and(Combiner::is_commutative);
 
         // ---- Map phase ---------------------------------------------------
         let splits: Vec<&[(M::InKey, M::InValue)]> =
@@ -232,7 +249,11 @@ impl JobBuilder {
                 let mut post_bytes = 0usize;
                 let mut post_records = 0usize;
                 for bucket in &mut buckets {
-                    bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                    if unstable_bucket_sort {
+                        bucket.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                    } else {
+                        bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                    }
                     if let Some(c) = combiner {
                         *bucket = combine_runs(std::mem::take(bucket), c);
                     }
@@ -269,19 +290,31 @@ impl JobBuilder {
         let mut pre_combine_bytes = 0usize;
         let mut shuffle_records = 0usize;
         let mut shuffle_bytes = 0usize;
-        // Transpose into the spill store: per-reduce-task input runs from
-        // every map task, checkpointed so reduce attempts can re-fetch.
-        let mut spill: SpillStore<M::OutKey, M::OutValue> = SpillStore::new(num_reduce);
+        // Seal each map task's sorted buckets behind Arcs (O(1) per
+        // bucket — the data is not copied, only ownership moves), then
+        // transpose into per-reduce-partition run lists in parallel on the
+        // executor pool: partition r's task clones the r-th Arc of every
+        // map output, in map-task order (the merge's determinism
+        // tie-break). The result is checkpointed in the SpillStore so
+        // reduce attempts re-fetch shared views, never copies.
+        let mut sealed: Vec<Vec<SharedRun<M::OutKey, M::OutValue>>> =
+            Vec::with_capacity(map_results.len());
         for (buckets, stat, pre_r, pre_b) in map_results {
             pre_combine_records += pre_r;
             pre_combine_bytes += pre_b;
             shuffle_records += stat.output_records;
             shuffle_bytes += stat.output_bytes;
             map_stats.push(stat);
-            for (r, bucket) in buckets.into_iter().enumerate() {
-                spill.register(r, bucket);
-            }
+            sealed.push(buckets.into_iter().map(Arc::new).collect());
         }
+        let columns = run_tasks(self.workers, (0..num_reduce).collect(), |_, r| {
+            sealed
+                .iter()
+                .map(|task_runs| Arc::clone(&task_runs[r]))
+                .collect::<Vec<_>>()
+        });
+        drop(sealed);
+        let spill: SpillStore<M::OutKey, M::OutValue> = SpillStore::from_shared(columns);
 
         shuffle_span.record("records", shuffle_records);
         shuffle_span.record("bytes", shuffle_bytes);
@@ -308,44 +341,33 @@ impl JobBuilder {
                     task_span.record("speculative", 1u64);
                 }
                 // Fetch the checkpointed map output for this partition — every
-                // attempt re-fetches, none re-runs the map phase.
+                // attempt re-fetches shared views of the same runs, none
+                // re-runs the map phase (and none copies the data).
                 let runs = spill.fetch(task_idx);
                 let start = Instant::now();
                 let mut r = reducer(task_idx);
                 let mut out: Emitter<R::OutKey, R::OutValue> = Emitter::new();
                 r.setup();
 
-                // Merge the sorted runs. Concatenate + stable sort by key keeps
-                // deterministic value order (map-task order within a key).
+                // Byte-account the input up front (same totals the old
+                // concat loop produced), then k-way merge the sorted runs —
+                // O(n log k); the map side already paid the O(n log n).
+                // Equal keys drain in run (map-task) order, reproducing the
+                // old concat + stable sort element-for-element.
                 let mut input_records = 0usize;
                 let mut input_bytes = 0usize;
-                let mut merged: Vec<(M::OutKey, M::OutValue)> =
-                    Vec::with_capacity(runs.iter().map(Vec::len).sum());
-                for run in runs {
-                    for kv in run {
-                        input_bytes += kv.0.byte_size() + kv.1.byte_size();
-                        merged.push(kv);
-                    }
+                for run in &runs {
+                    input_records += run.len();
+                    input_bytes += run
+                        .iter()
+                        .map(|(k, v)| k.byte_size() + v.byte_size())
+                        .sum::<usize>();
                 }
-                input_records += merged.len();
-                merged.sort_by(|a, b| a.0.cmp(&b.0));
-
-                // Walk key groups.
-                let mut current: Option<(M::OutKey, Vec<M::OutValue>)> = None;
-                for (k, v) in merged {
-                    match &mut current {
-                        Some((ck, vals)) if *ck == k => vals.push(v),
-                        _ => {
-                            if let Some((ck, vals)) = current.take() {
-                                r.reduce(&ck, vals, &mut out);
-                            }
-                            current = Some((k, vec![v]));
-                        }
-                    }
-                }
-                if let Some((ck, vals)) = current.take() {
-                    r.reduce(&ck, vals, &mut out);
-                }
+                let slices: Vec<&[(M::OutKey, M::OutValue)]> =
+                    runs.iter().map(|run| run.as_slice()).collect();
+                GroupedRuns::new(slices).for_each_group(|key, values| {
+                    r.reduce_group(key, values, &mut out);
+                });
                 r.cleanup(&mut out);
 
                 let output_records = out.len();
@@ -442,27 +464,44 @@ fn combine_runs<K: Key, V: Value, C: Combiner<K, V>>(
             Some((ck, vals)) if *ck == k => vals.push(v),
             _ => {
                 if let Some((ck, vals)) = current.take() {
-                    for cv in combiner.combine(&ck, vals) {
-                        out.push((ck.clone(), cv));
-                    }
+                    emit_combined(ck, vals, combiner, &mut out);
                 }
                 current = Some((k, vec![v]));
             }
         }
     }
     if let Some((ck, vals)) = current.take() {
-        for cv in combiner.combine(&ck, vals) {
-            out.push((ck.clone(), cv));
-        }
+        emit_combined(ck, vals, combiner, &mut out);
     }
     out
+}
+
+/// Emit one combined key group, cloning the key only for the first `n - 1`
+/// pairs and moving it into the last (the common single-value case clones
+/// nothing).
+fn emit_combined<K: Key, V: Value, C: Combiner<K, V>>(
+    key: K,
+    values: Vec<V>,
+    combiner: &C,
+    out: &mut Vec<(K, V)>,
+) {
+    let mut combined = combiner.combine(&key, values).into_iter();
+    let mut prev = match combined.next() {
+        Some(v) => v,
+        None => return,
+    };
+    for next in combined {
+        out.push((key.clone(), prev));
+        prev = next;
+    }
+    out.push((key, prev));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::partitioner::DirectPartitioner;
-    use crate::traits::SumCombiner;
+    use crate::traits::{Reducer, SumCombiner};
 
     /// Emits (token, 1) for each whitespace token.
     struct Tokenize;

@@ -64,6 +64,7 @@ pub mod dfs;
 pub mod emitter;
 pub mod executor;
 pub mod job;
+pub mod merge;
 pub mod metrics;
 pub mod partitioner;
 pub mod sim_faults;
@@ -76,8 +77,9 @@ pub use dfs::Dfs;
 pub use emitter::Emitter;
 pub use executor::{AttemptCtx, ExecPolicy, TaskError, TaskFailure};
 pub use job::{IdentityCombiner, JobBuilder};
+pub use merge::{GroupValues, GroupedRuns, KWayMerge};
 pub use metrics::{ChainMetrics, ExecSummary, JobMetrics, TaskKind, TaskStat};
 pub use partitioner::{DirectPartitioner, HashPartitioner, Partitioner};
 pub use sim_faults::{SimFaultError, SimFaultOutcome, SimFaultPolicy};
-pub use spill::SpillStore;
-pub use traits::{Combiner, Key, Mapper, Reducer, SumCombiner, Value};
+pub use spill::{SharedRun, SpillStore};
+pub use traits::{Combiner, Key, Mapper, Reducer, StreamingReducer, SumCombiner, Value};

@@ -1,0 +1,649 @@
+//! Streaming k-way merge over sorted spill runs.
+//!
+//! The map phase already sorts every spill run (per reduce bucket, by
+//! key); the reduce side therefore never needs to re-sort. [`KWayMerge`]
+//! merges `k` sorted runs in `O(n log k)` with a loser tree (tournament
+//! tree) of run cursors, and [`GroupedRuns`] layers the sort-based
+//! grouping contract on top: one callback per distinct key, values
+//! streamed by reference with no per-key buffer on the engine side.
+//!
+//! # Determinism
+//!
+//! Hadoop's contract (and this engine's, pinned by the golden digests in
+//! `crates/core/tests/columnar_equivalence.rs`) is that a reducer sees a
+//! key's values in *map-task order*, and within one map task in emission
+//! order. The previous implementation got this from a stable sort over the
+//! concatenated runs; the merge reproduces it exactly by tie-breaking
+//! equal keys on the **run index** (runs are registered in map-task
+//! order): for a key present in runs 0 and 2, all of run 0's values drain
+//! before run 2's, each in within-run order — element-for-element what
+//! concat + stable sort produced.
+//!
+//! # The packed fast path
+//!
+//! Nearly every key this engine actually shuffles is a small integer:
+//! `u32` cell ids in the filter job, `(u32, u32)` record pairs in the
+//! verification job and the baselines, `u64` token ranks in the ordering
+//! job. For those, the merge dispatches (by `TypeId`, the same trick the
+//! standard library uses to specialise sorts for primitives) to a
+//! tournament whose nodes hold the key and the run index embedded in one
+//! wide integer, ordered exactly like `(key, run)` — so a tournament
+//! match is a single integer compare with no pointer chasing, no `Option`
+//! tag, and no separate tie-break, and the winner/loser exchange lowers
+//! to conditional moves. Exhausted runs are encoded as sentinels above
+//! every real packed value (still ordered by run index among themselves).
+//! Any other key type takes the generic by-reference tree below, which
+//! preserves identical semantics.
+
+use std::any::TypeId;
+
+// ---- Generic by-reference loser tree ---------------------------------------
+
+/// One tournament contender: a run's index plus a reference to its
+/// current head key (`None` = exhausted, loses to everything). Caching
+/// the key reference in the node keeps every comparison a single deref
+/// into run data instead of a `runs[j][pos[j]]` double indirection.
+struct Contender<'r, K> {
+    key: Option<&'r K>,
+    run: u32,
+}
+
+// Derived `Clone`/`Copy` would bound `K: Clone`; the node only holds a
+// reference, so implement them unconditionally.
+impl<K> Clone for Contender<'_, K> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K> Copy for Contender<'_, K> {}
+
+/// Does contender `a` beat contender `b`? Total order over `(key, run)`
+/// with exhausted runs greatest — the merge's determinism tie-break.
+#[inline]
+fn beats<K: Ord>(a: &Contender<'_, K>, b: &Contender<'_, K>) -> bool {
+    match (a.key, b.key) {
+        // `.then` (eager — the run compare is two registers) lets the
+        // whole expression lower to a branch-free compare chain; the
+        // tournament's winner branch is data-dependent and unpredictable,
+        // so keeping comparisons select-based matters.
+        (Some(ka), Some(kb)) => ka.cmp(kb).then(a.run.cmp(&b.run)).is_lt(),
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        (None, None) => a.run < b.run,
+    }
+}
+
+/// Loser tree over by-reference contenders: works for any `Ord` key.
+struct RefTree<'r, K, V> {
+    /// `heads[j]` = run `j`'s unconsumed suffix.
+    heads: Vec<&'r [(K, V)]>,
+    /// `tree[0]` = overall winner; `tree[1..k]` = loser of each internal
+    /// match (leaf `j` sits implicitly at `k + j`, its parent at
+    /// `(k + j) / 2`).
+    tree: Vec<Contender<'r, K>>,
+}
+
+impl<'r, K: Ord, V> RefTree<'r, K, V> {
+    fn new(runs: Vec<&'r [(K, V)]>) -> Self {
+        let k = runs.len();
+        let mut tree = vec![Contender { key: None, run: 0 }; k.max(1)];
+        if k > 0 {
+            // Bottom-up tournament: leaf `j` sits at implicit index
+            // `k + j`; each internal node plays its children's winners,
+            // records the loser, and sends the winner up. `winners` is
+            // scaffolding, dropped after the build.
+            let mut winners = vec![Contender { key: None, run: 0 }; 2 * k];
+            for (j, slot) in winners[k..].iter_mut().enumerate() {
+                *slot = Contender {
+                    key: runs[j].first().map(|pair| &pair.0),
+                    run: j as u32,
+                };
+            }
+            for node in (1..k).rev() {
+                let (a, b) = (winners[2 * node], winners[2 * node + 1]);
+                if beats(&a, &b) {
+                    winners[node] = a;
+                    tree[node] = b;
+                } else {
+                    winners[node] = b;
+                    tree[node] = a;
+                }
+            }
+            tree[0] = winners[1];
+        }
+        RefTree { heads: runs, tree }
+    }
+
+    /// Replay the winner's leaf-to-root path after its head advanced
+    /// (`tree[0]` holds the advanced cursor on entry).
+    #[inline]
+    fn replay(&mut self) {
+        let k = self.heads.len();
+        let mut cur = self.tree[0];
+        let mut node = (k + cur.run as usize) / 2;
+        while node > 0 {
+            // SAFETY: `cur.run < k` by construction, so `node` starts at
+            // `(k + cur.run) / 2 < k` and halves each step — always in
+            // bounds of `tree` (length `k`).
+            let slot = unsafe { self.tree.get_unchecked_mut(node) };
+            // Whether the stored loser beats the climber is a coin flip on
+            // random data; express the winner/loser exchange as value
+            // selects (conditional moves) rather than a branched swap so
+            // the loop carries no unpredictable branch.
+            let other = *slot;
+            let other_wins = beats(&other, &cur);
+            *slot = if other_wins { cur } else { other };
+            cur = if other_wins { other } else { cur };
+            node /= 2;
+        }
+        self.tree[0] = cur;
+    }
+
+    #[inline]
+    fn next(&mut self) -> Option<&'r (K, V)> {
+        // Winner key `None` ⇒ every run is exhausted (or there are none).
+        self.tree[0].key?;
+        let w = self.tree[0].run as usize;
+        // SAFETY: every contender's `run` is < `heads.len()` by
+        // construction (leaves are built from `0..k`).
+        let head = unsafe { self.heads.get_unchecked_mut(w) };
+        let (item, rest) = head.split_first()?;
+        *head = rest;
+        prefetch_run(rest);
+        match rest.first() {
+            // Winner stays when the next key equals the yielded key: the
+            // new head compares identically (same key value, same run
+            // index) against every opponent, so the tournament's outcome
+            // cannot change — no tree walk. (`tree[0].key` still points
+            // at the consumed pair's key; its *value* is what comparisons
+            // read, and that is unchanged.)
+            Some(next) if next.0 == item.0 => {}
+            next => {
+                self.tree[0].key = next.map(|pair| &pair.0);
+                self.replay();
+            }
+        }
+        Some(item)
+    }
+}
+
+/// Hint the next line of a run's stream into cache: its elements are
+/// consumed again only after ~k other pops, so the hardware prefetcher
+/// (which tracks few streams) misses this pattern at large k. Prefetch is
+/// advisory — an address past the run's end is harmless.
+#[inline]
+fn prefetch_run<T>(rest: &[T]) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch((rest.as_ptr() as usize + 64) as *const i8, _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = rest;
+}
+
+// ---- Packed integer-key fast path ------------------------------------------
+
+/// Keys with an order-preserving embedding into a wide integer alongside
+/// the run index: `pack(a, i) < pack(b, j)` iff `(a, i) < (b, j)`
+/// lexicographically, and [`Pack::exhausted`] sentinels sort above every
+/// packed value (increasing in run index, preserving the exhausted-run
+/// tie-break of the generic tree).
+trait Pack: Copy + Ord + 'static {
+    type P: Copy + Ord;
+    fn pack(self, run: u32) -> Self::P;
+    fn exhausted(run: u32, k: u32) -> Self::P;
+    /// The run index of a (non-exhausted) packed value.
+    fn run_of(p: Self::P) -> u32;
+}
+
+impl Pack for u32 {
+    type P = u64;
+    #[inline]
+    fn pack(self, run: u32) -> u64 {
+        (u64::from(self) << 32) | u64::from(run)
+    }
+    #[inline]
+    fn exhausted(run: u32, k: u32) -> u64 {
+        // Top of the u64 range, ordered by run. Distinct from every real
+        // pack as long as 2k fits in the run field — guaranteed by the
+        // `k < 2^31` assert at build.
+        u64::MAX - u64::from(k - 1 - run)
+    }
+    #[inline]
+    fn run_of(p: u64) -> u32 {
+        p as u32
+    }
+}
+
+impl Pack for u64 {
+    type P = u128;
+    #[inline]
+    fn pack(self, run: u32) -> u128 {
+        (u128::from(self) << 64) | u128::from(run)
+    }
+    #[inline]
+    fn exhausted(run: u32, k: u32) -> u128 {
+        u128::MAX - u128::from(k - 1 - run)
+    }
+    #[inline]
+    fn run_of(p: u128) -> u32 {
+        p as u32
+    }
+}
+
+impl Pack for (u32, u32) {
+    type P = u128;
+    #[inline]
+    fn pack(self, run: u32) -> u128 {
+        let key = (u64::from(self.0) << 32) | u64::from(self.1);
+        (u128::from(key) << 64) | u128::from(run)
+    }
+    #[inline]
+    fn exhausted(run: u32, k: u32) -> u128 {
+        u128::MAX - u128::from(k - 1 - run)
+    }
+    #[inline]
+    fn run_of(p: u128) -> u32 {
+        p as u32
+    }
+}
+
+/// Loser tree whose nodes are packed `(key, run)` integers: one compare
+/// per tournament match, conditional-move exchanges, keys re-read from
+/// run data only on advance.
+struct PackedTree<'r, KC: Pack, V> {
+    heads: Vec<&'r [(KC, V)]>,
+    /// `tree[0]` = winner; `tree[1..k]` = losers, as packed integers.
+    tree: Vec<KC::P>,
+    /// Smallest exhausted sentinel: a winner at or above it means done.
+    exhaust_min: KC::P,
+}
+
+impl<'r, KC: Pack, V> PackedTree<'r, KC, V> {
+    fn new(runs: Vec<&'r [(KC, V)]>) -> Self {
+        let k = runs.len();
+        assert!(k < (1 << 31), "too many runs for the packed tie-break");
+        let kk = k.max(1) as u32;
+        let exhaust_min = KC::exhausted(0, kk);
+        let mut tree = vec![exhaust_min; k.max(1)];
+        if k > 0 {
+            let mut winners = vec![exhaust_min; 2 * k];
+            for (j, slot) in winners[k..].iter_mut().enumerate() {
+                *slot = match runs[j].first() {
+                    Some(pair) => pair.0.pack(j as u32),
+                    None => KC::exhausted(j as u32, kk),
+                };
+            }
+            for node in (1..k).rev() {
+                let (a, b) = (winners[2 * node], winners[2 * node + 1]);
+                // Packed values are distinct (the run field differs), so
+                // `<` is the full (key, run) order.
+                if a < b {
+                    winners[node] = a;
+                    tree[node] = b;
+                } else {
+                    winners[node] = b;
+                    tree[node] = a;
+                }
+            }
+            tree[0] = winners[1];
+        }
+        PackedTree {
+            heads: runs,
+            tree,
+            exhaust_min,
+        }
+    }
+
+    #[inline]
+    fn next(&mut self) -> Option<&'r (KC, V)> {
+        let top = self.tree[0];
+        if top >= self.exhaust_min {
+            return None;
+        }
+        let w = KC::run_of(top);
+        // SAFETY: packed run indices are < `heads.len()` by construction.
+        let head = unsafe { self.heads.get_unchecked_mut(w as usize) };
+        let (item, rest) = head.split_first()?;
+        *head = rest;
+        prefetch_run(rest);
+        let k = self.heads.len();
+        let cur = match rest.first() {
+            Some(pair) => pair.0.pack(w),
+            None => KC::exhausted(w, k as u32),
+        };
+        if cur == top {
+            // Winner stays: same key, same run — the tournament cannot
+            // change, and `tree[0]` already holds this packed value.
+            return Some(item);
+        }
+        let mut cur = cur;
+        let mut node = (k + w as usize) / 2;
+        while node > 0 {
+            // SAFETY: `w < k`, so `node < k` and halves each step.
+            let slot = unsafe { self.tree.get_unchecked_mut(node) };
+            let other = *slot;
+            let other_wins = other < cur;
+            *slot = if other_wins { cur } else { other };
+            cur = if other_wins { other } else { cur };
+            node /= 2;
+        }
+        self.tree[0] = cur;
+        Some(item)
+    }
+}
+
+// ---- Dispatch --------------------------------------------------------------
+
+enum Inner<'r, K, V> {
+    /// Generic by-reference tree: any `Ord` key.
+    ByRef(RefTree<'r, K, V>),
+    /// Packed trees, constructed only when `K` *is* the concrete type.
+    U32(PackedTree<'r, u32, V>),
+    U64(PackedTree<'r, u64, V>),
+    PairU32(PackedTree<'r, (u32, u32), V>),
+}
+
+/// Reinterpret the run vector's key type. The cast is an identity:
+///
+/// # Safety
+/// The caller must have proven `K` and `KC` are the same type (via
+/// `TypeId` equality), making `(K, V)` and `(KC, V)` the same type.
+unsafe fn cast_runs<'r, K: 'static, KC: 'static, V>(runs: Vec<&'r [(K, V)]>) -> Vec<&'r [(KC, V)]> {
+    debug_assert_eq!(TypeId::of::<K>(), TypeId::of::<KC>());
+    let mut runs = std::mem::ManuallyDrop::new(runs);
+    let (ptr, len, cap) = (runs.as_mut_ptr(), runs.len(), runs.capacity());
+    Vec::from_raw_parts(ptr as *mut &'r [(KC, V)], len, cap)
+}
+
+/// Reinterpret a yielded pair back to the caller's key type.
+///
+/// # Safety
+/// Same precondition as [`cast_runs`]: `K` and `KC` are the same type.
+#[inline]
+unsafe fn cast_pair<KC, K, V>(pair: &(KC, V)) -> &(K, V) {
+    &*(pair as *const (KC, V) as *const (K, V))
+}
+
+/// Streaming k-way merge of sorted `(key, value)` runs.
+///
+/// Yields references into the runs in ascending key order, equal keys in
+/// run order (see the module docs for why that reproduces the stable
+/// sort). Implemented as a **loser tree** (tournament tree of run
+/// cursors): exactly `⌈log₂ k⌉` comparisons per element — half of what a
+/// binary heap's pop + push costs — with a packed-integer fast path for
+/// the engine's primitive key types (module docs) and a winner-stays
+/// shortcut that skips the tree walk entirely when a run's next key
+/// equals the key it just yielded (the new head beats exactly the
+/// opponents the old head beat, tie-break included), which makes
+/// duplicate-heavy groups — the common shape of combined shuffle runs —
+/// nearly comparison-free.
+pub struct KWayMerge<'r, K, V> {
+    inner: Inner<'r, K, V>,
+    /// Element count at build time (the run suffixes shrink as the merge
+    /// drains).
+    total: usize,
+}
+
+impl<'r, K: Ord + 'static, V> KWayMerge<'r, K, V> {
+    /// Build a merge over `runs`. Each run must be sorted by key (as every
+    /// spill run is); empty runs are permitted and ignored.
+    pub fn new(runs: Vec<&'r [(K, V)]>) -> Self {
+        debug_assert!(runs
+            .iter()
+            .all(|run| run.windows(2).all(|w| w[0].0 <= w[1].0)));
+        let total = runs.iter().map(|r| r.len()).sum();
+        let key = TypeId::of::<K>();
+        // SAFETY (all three arms): the packed variant is chosen only when
+        // `TypeId` proves `K` is that exact type, so the cast is identity.
+        let inner = if key == TypeId::of::<u32>() {
+            Inner::U32(PackedTree::new(unsafe { cast_runs(runs) }))
+        } else if key == TypeId::of::<u64>() {
+            Inner::U64(PackedTree::new(unsafe { cast_runs(runs) }))
+        } else if key == TypeId::of::<(u32, u32)>() {
+            Inner::PairU32(PackedTree::new(unsafe { cast_runs(runs) }))
+        } else {
+            Inner::ByRef(RefTree::new(runs))
+        };
+        KWayMerge { inner, total }
+    }
+
+    /// Total number of elements across all runs (consumed or not).
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+}
+
+impl<'r, K: Ord, V> Iterator for KWayMerge<'r, K, V> {
+    type Item = &'r (K, V);
+
+    #[inline]
+    fn next(&mut self) -> Option<&'r (K, V)> {
+        match &mut self.inner {
+            Inner::ByRef(tree) => tree.next(),
+            // SAFETY: these variants exist only when `K` is the matching
+            // concrete type (see `new`).
+            Inner::U32(tree) => tree.next().map(|p| unsafe { cast_pair(p) }),
+            Inner::U64(tree) => tree.next().map(|p| unsafe { cast_pair(p) }),
+            Inner::PairU32(tree) => tree.next().map(|p| unsafe { cast_pair(p) }),
+        }
+    }
+}
+
+/// The values of one key group, streamed by reference out of a
+/// [`KWayMerge`] — the engine-side replacement for the per-key `Vec` the
+/// old group-walk allocated.
+///
+/// Consumers may stop early; [`GroupedRuns::for_each_group`] drains any
+/// unread remainder so the next group starts at the right boundary.
+pub struct GroupValues<'m, 'r, K, V> {
+    key: &'r K,
+    first: Option<&'r V>,
+    merge: &'m mut KWayMerge<'r, K, V>,
+    /// First pair of the *next* group, discovered while iterating this one.
+    boundary: Option<&'r (K, V)>,
+    done: bool,
+}
+
+impl<'m, 'r, K: Ord, V> GroupValues<'m, 'r, K, V> {
+    /// The group's key.
+    pub fn key(&self) -> &'r K {
+        self.key
+    }
+}
+
+impl<'m, 'r, K: Ord, V> Iterator for GroupValues<'m, 'r, K, V> {
+    type Item = &'r V;
+
+    fn next(&mut self) -> Option<&'r V> {
+        if let Some(v) = self.first.take() {
+            return Some(v);
+        }
+        if self.done {
+            return None;
+        }
+        match self.merge.next() {
+            Some(pair) if pair.0 == *self.key => Some(&pair.1),
+            other => {
+                self.boundary = other;
+                self.done = true;
+                None
+            }
+        }
+    }
+}
+
+/// Sort-based grouping over merged spill runs: one callback per distinct
+/// key, in ascending key order, values in deterministic run order.
+pub struct GroupedRuns<'r, K, V> {
+    merge: KWayMerge<'r, K, V>,
+}
+
+impl<'r, K: Ord + 'static, V> GroupedRuns<'r, K, V> {
+    /// Group the merge of `runs` (each sorted by key).
+    pub fn new(runs: Vec<&'r [(K, V)]>) -> Self {
+        GroupedRuns {
+            merge: KWayMerge::new(runs),
+        }
+    }
+
+    /// Drive `f` once per key group. Internal iteration sidesteps the
+    /// lending-iterator problem: `GroupValues` mutably borrows the merge,
+    /// so groups cannot coexist — exactly the reduce contract (groups are
+    /// consumed one at a time, in order).
+    pub fn for_each_group<F>(mut self, mut f: F)
+    where
+        F: FnMut(&'r K, &mut GroupValues<'_, 'r, K, V>),
+    {
+        let mut pending = self.merge.next();
+        while let Some(pair) = pending {
+            let mut values = GroupValues {
+                key: &pair.0,
+                first: Some(&pair.1),
+                merge: &mut self.merge,
+                boundary: None,
+                done: false,
+            };
+            f(&pair.0, &mut values);
+            // Drain whatever the consumer left unread, so `boundary` is
+            // populated (or the merge is exhausted).
+            while values.next().is_some() {}
+            pending = values.boundary;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<'r>(m: KWayMerge<'r, u32, u32>) -> Vec<(u32, u32)> {
+        m.map(|&(k, v)| (k, v)).collect()
+    }
+
+    #[test]
+    fn merges_disjoint_runs() {
+        let a = [(1u32, 10u32), (4, 40)];
+        let b = [(2, 20), (3, 30)];
+        let m = KWayMerge::new(vec![&a[..], &b[..]]);
+        assert_eq!(m.total_len(), 4);
+        assert_eq!(drain(m), vec![(1, 10), (2, 20), (3, 30), (4, 40)]);
+    }
+
+    #[test]
+    fn equal_keys_drain_in_run_order() {
+        // Key 5 appears in runs 0, 1 and 2; values must come out in run
+        // order, within-run order preserved — the stable-sort contract.
+        let r0 = [(5u32, 1u32), (5, 2)];
+        let r1 = [(3, 0), (5, 3)];
+        let r2 = [(5, 4), (7, 9)];
+        let m = KWayMerge::new(vec![&r0[..], &r1[..], &r2[..]]);
+        assert_eq!(
+            drain(m),
+            vec![(3, 0), (5, 1), (5, 2), (5, 3), (5, 4), (7, 9)]
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_runs() {
+        let empty: [(u32, u32); 0] = [];
+        let single = [(9u32, 90u32)];
+        let m = KWayMerge::new(vec![&empty[..], &single[..], &empty[..]]);
+        assert_eq!(drain(m), vec![(9, 90)]);
+        let none = KWayMerge::new(Vec::<&[(u32, u32)]>::new());
+        assert_eq!(drain(none), vec![]);
+    }
+
+    #[test]
+    fn generic_path_matches_packed_path() {
+        // String keys exercise the by-reference tree; the same data as
+        // u32 keys exercises the packed tree. Orders must agree.
+        let s0 = [("b".to_string(), 1u32), ("d".to_string(), 2)];
+        let s1 = [("a".to_string(), 3), ("b".to_string(), 4)];
+        let merged: Vec<(String, u32)> = KWayMerge::new(vec![&s0[..], &s1[..]])
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        assert_eq!(
+            merged,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 1),
+                ("b".to_string(), 4),
+                ("d".to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn packed_pair_keys_drain_in_run_order() {
+        // (u32, u32) keys take the u128-packed path; the equal-key
+        // run-order contract must hold there too.
+        let r0 = [((1u32, 2u32), 10u32), ((3, 0), 11)];
+        let r1 = [((1, 2), 20), ((2, 9), 21)];
+        let merged: Vec<((u32, u32), u32)> = KWayMerge::new(vec![&r0[..], &r1[..]])
+            .map(|&(k, v)| (k, v))
+            .collect();
+        assert_eq!(
+            merged,
+            vec![((1, 2), 10), ((1, 2), 20), ((2, 9), 21), ((3, 0), 11)]
+        );
+    }
+
+    #[test]
+    fn packed_u64_keys_merge_and_exhaust() {
+        let r0 = [(u64::MAX, 1u32)];
+        let r1 = [(0u64, 2), (u64::MAX, 3)];
+        let merged: Vec<(u64, u32)> = KWayMerge::new(vec![&r0[..], &r1[..]])
+            .map(|&(k, v)| (k, v))
+            .collect();
+        assert_eq!(merged, vec![(0, 2), (u64::MAX, 1), (u64::MAX, 3)]);
+    }
+
+    #[test]
+    fn packed_extreme_key_values_stay_below_sentinels() {
+        // u32::MAX keys must still sort below exhausted-run sentinels.
+        let r0 = [(u32::MAX, 1u32), (u32::MAX, 2)];
+        let r1 = [(0u32, 0)];
+        let r2 = [(u32::MAX, 3)];
+        let m = KWayMerge::new(vec![&r0[..], &r1[..], &r2[..]]);
+        assert_eq!(
+            drain(m),
+            vec![(0, 0), (u32::MAX, 1), (u32::MAX, 2), (u32::MAX, 3)]
+        );
+    }
+
+    #[test]
+    fn grouped_walk_matches_group_boundaries() {
+        let r0 = [(1u32, 1u32), (2, 2), (2, 3)];
+        let r1 = [(2, 4), (3, 5)];
+        let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
+        GroupedRuns::new(vec![&r0[..], &r1[..]]).for_each_group(|k, vs| {
+            groups.push((*k, vs.copied().collect()));
+        });
+        assert_eq!(groups, vec![(1, vec![1]), (2, vec![2, 3, 4]), (3, vec![5])]);
+    }
+
+    #[test]
+    fn unread_groups_are_drained() {
+        // A consumer that reads nothing must still see every group once.
+        let r0 = [(1u32, 1u32), (1, 2), (2, 3)];
+        let r1 = [(2, 4), (9, 5)];
+        let mut keys = Vec::new();
+        GroupedRuns::new(vec![&r0[..], &r1[..]]).for_each_group(|k, vs| {
+            assert_eq!(vs.key(), k);
+            keys.push(*k);
+        });
+        assert_eq!(keys, vec![1, 2, 9]);
+    }
+
+    #[test]
+    fn partial_reads_do_not_bleed_between_groups() {
+        let r0 = [(1u32, 1u32), (1, 2), (1, 3), (2, 4)];
+        let mut firsts = Vec::new();
+        GroupedRuns::new(vec![&r0[..]]).for_each_group(|k, vs| {
+            firsts.push((*k, *vs.next().unwrap()));
+        });
+        assert_eq!(firsts, vec![(1, 1), (2, 4)]);
+    }
+}

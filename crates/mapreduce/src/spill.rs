@@ -7,23 +7,34 @@
 //! in-process engine the same recovery boundary. [`JobBuilder`]
 //! (crate::JobBuilder) parks each map task's reduce-bucket output in a
 //! [`SpillStore`] at shuffle time, and every reduce *attempt* (first try,
-//! retry, or speculative copy) fetches a fresh clone of its input runs from
-//! the store. A [`SpillStore`] can also be registered with a [`Dfs`]
-//! (crate::Dfs) via [`Dfs::put_blob`](crate::Dfs::put_blob) when a driver
-//! wants the checkpoint to outlive the job (multi-job pipelines re-reading
+//! retry, or speculative copy) fetches its input runs from the store. A
+//! [`SpillStore`] can also be registered with a [`Dfs`] (crate::Dfs) via
+//! [`Dfs::put_blob`](crate::Dfs::put_blob) when a driver wants the
+//! checkpoint to outlive the job (multi-job pipelines re-reading
 //! intermediate output).
+//!
+//! Runs are immutable once registered, so a fetch hands out `Arc`-shared
+//! **views**, not deep copies: a retried or speculative reduce attempt
+//! re-fetches pointers to the same allocations the first attempt read.
+//! The replay-identical-input contract is preserved by immutability (the
+//! store exposes no `&mut` access to a registered run), and the zero-copy
+//! fetch is asserted by test below (`Arc::ptr_eq` across fetches).
 
 use crate::traits::{Key, Value};
+use std::sync::Arc;
+
+/// An immutable, `Arc`-shared sorted spill run (one map task's output for
+/// one reduce partition).
+pub type SharedRun<K, V> = Arc<Vec<(K, V)>>;
 
 /// Checkpointed, partitioned map output: for each reduce task, the sorted
-/// runs produced by every map task that emitted into its partition.
-///
-/// Runs are write-once (the shuffle builds the store, then only reads
-/// happen), so fetches hand out clones and attempts can be replayed freely.
+/// runs produced by every map task that emitted into its partition, in
+/// map-task order (the k-way merge's determinism tie-break relies on that
+/// order).
 #[derive(Debug, Clone)]
 pub struct SpillStore<K, V> {
     /// `runs[r]` = the sorted runs destined for reduce task `r`.
-    runs: Vec<Vec<Vec<(K, V)>>>,
+    runs: Vec<Vec<SharedRun<K, V>>>,
 }
 
 impl<K: Key, V: Value> SpillStore<K, V> {
@@ -37,14 +48,30 @@ impl<K: Key, V: Value> SpillStore<K, V> {
     /// Build a store directly from transposed shuffle output
     /// (`inputs[r]` = runs for reduce task `r`).
     pub fn from_runs(inputs: Vec<Vec<Vec<(K, V)>>>) -> Self {
-        SpillStore { runs: inputs }
+        SpillStore {
+            runs: inputs
+                .into_iter()
+                .map(|part| part.into_iter().map(Arc::new).collect())
+                .collect(),
+        }
+    }
+
+    /// Build a store from already-shared runs (the parallel shuffle
+    /// transpose produces these). Empty runs are dropped.
+    pub fn from_shared(inputs: Vec<Vec<SharedRun<K, V>>>) -> Self {
+        SpillStore {
+            runs: inputs
+                .into_iter()
+                .map(|part| part.into_iter().filter(|run| !run.is_empty()).collect())
+                .collect(),
+        }
     }
 
     /// Register one map task's output run for reduce task `r`. Empty runs
     /// are dropped (nothing to fetch).
     pub fn register(&mut self, r: usize, run: Vec<(K, V)>) {
         if !run.is_empty() {
-            self.runs[r].push(run);
+            self.runs[r].push(Arc::new(run));
         }
     }
 
@@ -58,15 +85,16 @@ impl<K: Key, V: Value> SpillStore<K, V> {
         self.runs[r].len()
     }
 
-    /// Fetch the input runs for reduce task `r`. Clones, so a retried or
-    /// speculative attempt sees exactly what the first attempt saw.
-    pub fn fetch(&self, r: usize) -> Vec<Vec<(K, V)>> {
-        self.runs[r].clone()
+    /// Fetch the input runs for reduce task `r`: `Arc`-shared views of the
+    /// checkpointed runs (no copy), so a retried or speculative attempt
+    /// sees *the same bytes* the first attempt saw.
+    pub fn fetch(&self, r: usize) -> Vec<SharedRun<K, V>> {
+        self.runs[r].iter().map(Arc::clone).collect()
     }
 
     /// Total records checkpointed across all partitions.
     pub fn total_records(&self) -> usize {
-        self.runs.iter().flatten().map(Vec::len).sum()
+        self.runs.iter().flatten().map(|run| run.len()).sum()
     }
 
     /// Total logical bytes checkpointed across all partitions.
@@ -74,7 +102,7 @@ impl<K: Key, V: Value> SpillStore<K, V> {
         self.runs
             .iter()
             .flatten()
-            .flatten()
+            .flat_map(|run| run.iter())
             .map(|(k, v)| k.byte_size() + v.byte_size())
             .sum()
     }
@@ -93,20 +121,48 @@ mod tests {
         s
     }
 
+    fn materialize(runs: &[SharedRun<u32, u64>]) -> Vec<Vec<(u32, u64)>> {
+        runs.iter().map(|run| run.to_vec()).collect()
+    }
+
     #[test]
     fn fetch_is_replayable() {
         let s = store();
         let first = s.fetch(0);
         let second = s.fetch(0);
         assert_eq!(first, second, "every attempt sees identical input");
-        assert_eq!(first, vec![vec![(1, 10), (3, 30)], vec![(5, 50)]]);
+        assert_eq!(
+            materialize(&first),
+            vec![vec![(1, 10), (3, 30)], vec![(5, 50)]]
+        );
+    }
+
+    #[test]
+    fn fetch_shares_allocations_instead_of_deep_cloning() {
+        let s = store();
+        let first = s.fetch(0);
+        // A reduce attempt reads its runs; nothing it can do mutates the
+        // store (runs are behind Arc with no &mut access).
+        let consumed: usize = first.iter().map(|run| run.len()).sum();
+        assert_eq!(consumed, 3);
+        // A second (retried / speculative) attempt re-fetches *views of
+        // the same allocations* — zero-copy, byte-identical by identity.
+        let second = s.fetch(0);
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert!(
+                Arc::ptr_eq(a, b),
+                "fetch must hand out shared runs, not deep clones"
+            );
+        }
+        assert_eq!(materialize(&first), materialize(&second));
     }
 
     #[test]
     fn empty_runs_are_dropped() {
         let s = store();
         assert_eq!(s.run_count(1), 1);
-        assert_eq!(s.fetch(1), vec![vec![(2, 20)]]);
+        assert_eq!(materialize(&s.fetch(1)), vec![vec![(2, 20)]]);
     }
 
     #[test]
@@ -120,7 +176,18 @@ mod tests {
     #[test]
     fn from_runs_round_trip() {
         let s = SpillStore::from_runs(vec![vec![vec![(7u32, 70u64)]], vec![]]);
-        assert_eq!(s.fetch(0), vec![vec![(7, 70)]]);
+        assert_eq!(materialize(&s.fetch(0)), vec![vec![(7, 70)]]);
         assert!(s.fetch(1).is_empty());
+    }
+
+    #[test]
+    fn from_shared_drops_empty_runs() {
+        let shared = vec![
+            vec![Arc::new(vec![(1u32, 1u64)]), Arc::new(Vec::new())],
+            vec![Arc::new(Vec::new())],
+        ];
+        let s = SpillStore::from_shared(shared);
+        assert_eq!(s.run_count(0), 1);
+        assert_eq!(s.run_count(1), 0);
     }
 }

@@ -1,7 +1,9 @@
-//! Core MapReduce task traits: [`Mapper`], [`Reducer`], [`Combiner`] and the
-//! [`Key`]/[`Value`] marker traits their key/value types must satisfy.
+//! Core MapReduce task traits: [`Mapper`], [`Reducer`], [`StreamingReducer`],
+//! [`Combiner`] and the [`Key`]/[`Value`] marker traits their key/value
+//! types must satisfy.
 
 use crate::emitter::Emitter;
+use crate::merge::GroupValues;
 use ssj_common::ByteSize;
 use std::hash::Hash;
 
@@ -87,6 +89,75 @@ pub trait Reducer: Send {
     fn cleanup(&mut self, _out: &mut Emitter<Self::OutKey, Self::OutValue>) {}
 }
 
+/// A streaming reduce task: sees each key group's values as a by-reference
+/// iterator straight off the k-way merge of the sorted spill runs, with
+/// **no per-key `Vec` materialization on the engine side**.
+///
+/// This is the engine's native reduce interface; every [`Reducer`] is also
+/// a `StreamingReducer` through a blanket adapter that collects the group
+/// into the `Vec` its signature requires. Hot reducers (FS-Join's fragment
+/// join, count/fold-style aggregation) implement this trait directly and
+/// either fold values as they stream or copy them into a reused scratch
+/// buffer.
+///
+/// Contract (identical to [`Reducer`]): `reduce_group` is invoked once per
+/// distinct key, keys ascend within the task, and a key's values arrive in
+/// map-task order (within a map task, in emission order). Values left
+/// unread when `reduce_group` returns are skipped, not redelivered.
+pub trait StreamingReducer: Send {
+    /// Intermediate key type (must match the mapper's `OutKey`).
+    type InKey: Key;
+    /// Intermediate value type (must match the mapper's `OutValue`).
+    type InValue: Value;
+    /// Output key type.
+    type OutKey: Key;
+    /// Output value type.
+    type OutValue: Value;
+
+    /// Called once before the first `reduce_group` call of the task.
+    fn setup(&mut self) {}
+
+    /// Process one key group, consuming its values as a stream.
+    fn reduce_group(
+        &mut self,
+        key: &Self::InKey,
+        values: &mut GroupValues<'_, '_, Self::InKey, Self::InValue>,
+        out: &mut Emitter<Self::OutKey, Self::OutValue>,
+    );
+
+    /// Called once after the last group; may emit trailing pairs.
+    fn cleanup(&mut self, _out: &mut Emitter<Self::OutKey, Self::OutValue>) {}
+}
+
+/// Every batch [`Reducer`] reduces streamed groups by materializing each
+/// group into the `Vec` its signature requires — one clone per value (what
+/// the old deep-cloning fetch paid for the *whole run* up front), one
+/// `Vec` per key (inherent to the batch signature).
+impl<R: Reducer> StreamingReducer for R {
+    type InKey = R::InKey;
+    type InValue = R::InValue;
+    type OutKey = R::OutKey;
+    type OutValue = R::OutValue;
+
+    fn setup(&mut self) {
+        Reducer::setup(self);
+    }
+
+    fn reduce_group(
+        &mut self,
+        key: &R::InKey,
+        values: &mut GroupValues<'_, '_, R::InKey, R::InValue>,
+        out: &mut Emitter<R::OutKey, R::OutValue>,
+    ) {
+        let materialized: Vec<R::InValue> = values.cloned().collect();
+        Reducer::reduce(self, key, materialized, out);
+    }
+
+    fn cleanup(&mut self, out: &mut Emitter<R::OutKey, R::OutValue>) {
+        Reducer::cleanup(self, out);
+    }
+}
+
 /// A map-side combiner, applied to each map task's sorted output before the
 /// shuffle (Hadoop semantics: an optimization that must be semantically
 /// transparent — the reducer must produce the same result with or without
@@ -94,6 +165,20 @@ pub trait Reducer: Send {
 pub trait Combiner<K: Key, V: Value>: Send + Sync {
     /// Fold one key group of a single map task's output into fewer values.
     fn combine(&self, key: &K, values: Vec<V>) -> Vec<V>;
+
+    /// Whether `combine`'s output is a function of the input **multiset**
+    /// only — the values' order never affects the combined output (count
+    /// and content), bit-for-bit.
+    ///
+    /// When true, the engine may sort map-side buckets with an *unstable*
+    /// sort: an unstable sort only ever permutes equal-key pairs, and a
+    /// commutative combiner erases that permutation before anything else
+    /// observes it. Defaults to `false` (order preserved via stable sort).
+    /// Floating-point folds must stay `false`: `f64` addition is not
+    /// associative, so a reorder can flip result bits.
+    fn is_commutative(&self) -> bool {
+        false
+    }
 }
 
 /// Combiner that sums numeric values — the common case for counting jobs
@@ -102,16 +187,22 @@ pub trait Combiner<K: Key, V: Value>: Send + Sync {
 pub struct SumCombiner;
 
 macro_rules! impl_sum_combiner {
-    ($($t:ty),*) => {
+    ($commutative:literal; $($t:ty),*) => {
         $(impl<K: Key> Combiner<K, $t> for SumCombiner {
             fn combine(&self, _key: &K, values: Vec<$t>) -> Vec<$t> {
                 vec![values.into_iter().sum()]
+            }
+            fn is_commutative(&self) -> bool {
+                $commutative
             }
         })*
     };
 }
 
-impl_sum_combiner!(u32, u64, usize, i32, i64, f64);
+// Integer sums are order-independent; f64 addition is not associative, so
+// its combiner must keep the stable map-side sort (see `is_commutative`).
+impl_sum_combiner!(true; u32, u64, usize, i32, i64);
+impl_sum_combiner!(false; f64);
 
 #[cfg(test)]
 mod tests {

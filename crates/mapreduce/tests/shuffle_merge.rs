@@ -1,0 +1,193 @@
+//! Property tests for the streaming shuffle data plane: the k-way merge
+//! must be element-for-element equal to the old concat + stable-sort
+//! (including duplicate-key value order — the determinism contract the
+//! golden digests in `crates/core/tests/columnar_equivalence.rs` pin), and
+//! [`GroupedRuns`] must produce exactly the groups the old group-walk
+//! produced. Also checks the end-to-end equivalence of a job driven
+//! through a [`StreamingReducer`] against its batch [`Reducer`] twin.
+
+use proptest::prelude::*;
+use ssj_mapreduce::{
+    Dataset, Emitter, GroupValues, GroupedRuns, JobBuilder, KWayMerge, Mapper, Reducer,
+    StreamingReducer,
+};
+
+/// Arbitrary set of sorted runs (what the map phase spills): up to 8 runs
+/// of up to 40 pairs each, keys drawn from a small domain so duplicate
+/// keys across and within runs are common.
+fn arb_sorted_runs() -> impl Strategy<Value = Vec<Vec<(u32, u32)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..20, 0u32..1000), 0..40).prop_map(|mut run| {
+            // Stable sort by key only: within-run value order for equal
+            // keys is emission order, exactly like a spill run.
+            run.sort_by_key(|&(k, _)| k);
+            run
+        }),
+        0..8,
+    )
+}
+
+/// The reference semantics the merge must reproduce: concatenate the runs
+/// in registration order and stable-sort by key.
+fn concat_stable_sort(runs: &[Vec<(u32, u32)>]) -> Vec<(u32, u32)> {
+    let mut all: Vec<(u32, u32)> = runs.iter().flatten().copied().collect();
+    all.sort_by_key(|a| a.0);
+    all
+}
+
+/// The old reduce-side group-walk over a sorted sequence.
+fn group_walk(sorted: &[(u32, u32)]) -> Vec<(u32, Vec<u32>)> {
+    let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
+    for &(k, v) in sorted {
+        match groups.last_mut() {
+            Some((ck, vals)) if *ck == k => vals.push(v),
+            _ => groups.push((k, vec![v])),
+        }
+    }
+    groups
+}
+
+proptest! {
+    /// K-way merge output == concat + stable sort, element for element —
+    /// duplicate-key value order included.
+    #[test]
+    fn merge_equals_concat_stable_sort(runs in arb_sorted_runs()) {
+        let slices: Vec<&[(u32, u32)]> = runs.iter().map(Vec::as_slice).collect();
+        let merge = KWayMerge::new(slices);
+        prop_assert_eq!(merge.total_len(), runs.iter().map(Vec::len).sum::<usize>());
+        let merged: Vec<(u32, u32)> = merge.copied().collect();
+        prop_assert_eq!(merged, concat_stable_sort(&runs));
+    }
+
+    /// GroupedRuns produces exactly the groups the old group-walk produced:
+    /// same keys, same order, same values per key.
+    #[test]
+    fn grouped_runs_match_group_walk(runs in arb_sorted_runs()) {
+        let slices: Vec<&[(u32, u32)]> = runs.iter().map(Vec::as_slice).collect();
+        let mut streamed: Vec<(u32, Vec<u32>)> = Vec::new();
+        GroupedRuns::new(slices).for_each_group(|k, vs| {
+            streamed.push((*k, vs.copied().collect()));
+        });
+        prop_assert_eq!(streamed, group_walk(&concat_stable_sort(&runs)));
+    }
+
+    /// Same contract on the generic by-reference tree: `u16` keys have no
+    /// packed embedding, so they take the fallback path the engine uses
+    /// for compound keys (e.g. MassJoin signatures).
+    #[test]
+    fn merge_equals_concat_stable_sort_generic_path(
+        runs in prop::collection::vec(
+            prop::collection::vec((0u16..20, 0u32..1000), 0..40).prop_map(|mut run| {
+                run.sort_by_key(|&(k, _)| k);
+                run
+            }),
+            0..8,
+        )
+    ) {
+        let slices: Vec<&[(u16, u32)]> = runs.iter().map(Vec::as_slice).collect();
+        let merged: Vec<(u16, u32)> = KWayMerge::new(slices).copied().collect();
+        let mut all: Vec<(u16, u32)> = runs.iter().flatten().copied().collect();
+        all.sort_by_key(|a| a.0);
+        prop_assert_eq!(merged, all);
+    }
+
+    /// Same contract on the u128-packed path: `(u32, u32)` keys — the
+    /// verification job's record-pair keys.
+    #[test]
+    fn merge_equals_concat_stable_sort_pair_keys(
+        runs in prop::collection::vec(
+            prop::collection::vec(((0u32..6, 0u32..6), 0u32..1000), 0..40).prop_map(|mut run| {
+                run.sort_by_key(|&(k, _)| k);
+                run
+            }),
+            0..8,
+        )
+    ) {
+        let slices: Vec<&[((u32, u32), u32)]> = runs.iter().map(Vec::as_slice).collect();
+        let merged: Vec<((u32, u32), u32)> = KWayMerge::new(slices).copied().collect();
+        let mut all: Vec<((u32, u32), u32)> = runs.iter().flatten().copied().collect();
+        all.sort_by_key(|a| a.0);
+        prop_assert_eq!(merged, all);
+    }
+
+    /// Groups arrive whole even when the consumer reads only a prefix of
+    /// each group's values (the engine must drain the remainder).
+    #[test]
+    fn partial_consumption_preserves_boundaries(
+        runs in arb_sorted_runs(),
+        take in 0usize..3,
+    ) {
+        let slices: Vec<&[(u32, u32)]> = runs.iter().map(Vec::as_slice).collect();
+        let mut streamed: Vec<(u32, Vec<u32>)> = Vec::new();
+        GroupedRuns::new(slices).for_each_group(|k, vs| {
+            streamed.push((*k, vs.take(take).copied().collect()));
+        });
+        let expect: Vec<(u32, Vec<u32>)> = group_walk(&concat_stable_sort(&runs))
+            .into_iter()
+            .map(|(k, vals)| (k, vals.into_iter().take(take).collect()))
+            .collect();
+        prop_assert_eq!(streamed, expect);
+    }
+
+    /// End-to-end: a job driven through a native StreamingReducer yields
+    /// byte-identical output partitions and metrics to the same job driven
+    /// through the equivalent batch Reducer (the adapter path).
+    #[test]
+    fn streaming_and_batch_reducers_agree(
+        records in prop::collection::vec((0u32..30, 0u32..1000), 0..150),
+        splits in 1usize..5,
+        reducers in 1usize..5,
+    ) {
+        let input = Dataset::from_records(records, splits);
+        let (batch_out, batch_m) = JobBuilder::new("batch")
+            .reduce_tasks(reducers)
+            .run(&input, |_| IdMap, |_| BatchSum);
+        let (stream_out, stream_m) = JobBuilder::new("stream")
+            .reduce_tasks(reducers)
+            .run(&input, |_| IdMap, |_| StreamSum);
+        prop_assert_eq!(batch_out.partitions(), stream_out.partitions());
+        prop_assert_eq!(batch_m.shuffle_records, stream_m.shuffle_records);
+        prop_assert_eq!(batch_m.shuffle_bytes, stream_m.shuffle_bytes);
+    }
+}
+
+/// Identity mapper over (u32, u32).
+struct IdMap;
+impl Mapper for IdMap {
+    type InKey = u32;
+    type InValue = u32;
+    type OutKey = u32;
+    type OutValue = u32;
+    fn map(&mut self, k: u32, v: u32, out: &mut Emitter<u32, u32>) {
+        out.emit(k, v);
+    }
+}
+
+/// Batch sum (goes through the Reducer → StreamingReducer adapter).
+struct BatchSum;
+impl Reducer for BatchSum {
+    type InKey = u32;
+    type InValue = u32;
+    type OutKey = u32;
+    type OutValue = u64;
+    fn reduce(&mut self, k: &u32, vs: Vec<u32>, out: &mut Emitter<u32, u64>) {
+        out.emit(*k, vs.into_iter().map(u64::from).sum());
+    }
+}
+
+/// Native streaming sum (no per-key materialization anywhere).
+struct StreamSum;
+impl StreamingReducer for StreamSum {
+    type InKey = u32;
+    type InValue = u32;
+    type OutKey = u32;
+    type OutValue = u64;
+    fn reduce_group(
+        &mut self,
+        k: &u32,
+        vs: &mut GroupValues<'_, '_, u32, u32>,
+        out: &mut Emitter<u32, u64>,
+    ) {
+        out.emit(*k, vs.map(|&v| u64::from(v)).sum());
+    }
+}

@@ -48,6 +48,22 @@ if ! grep -q '^identical=true$' <<<"$chaos_a"; then
 fi
 echo "$chaos_a" | sed 's/^/  /'
 
+echo "== smoke: shuffle determinism gate (workers 2 vs 7) =="
+# The worker-thread count parallelizes map/shuffle/reduce but must never
+# change output, metrics, or byte accounting: the streaming shuffle
+# merges spill runs in deterministic map-task order no matter which
+# thread transposed them. Run the fig6-style probe with two different
+# worker counts and require byte-identical reports (result digest,
+# candidate counts, filter counters, per-job shuffle records/bytes).
+det_a="$(cargo run --release -p ssj-bench --bin determinism -- 2 2>/dev/null)"
+det_b="$(cargo run --release -p ssj-bench --bin determinism -- 7 2>/dev/null)"
+if [[ "$det_a" != "$det_b" ]]; then
+    echo "shuffle determinism gate FAILED: worker count changed the report" >&2
+    diff <(printf '%s\n' "$det_a") <(printf '%s\n' "$det_b") >&2 || true
+    exit 1
+fi
+echo "$det_a" | sed 's/^/  /'
+
 echo "== smoke: expt table1 --trace-out =="
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
