@@ -22,7 +22,7 @@ pub mod massjoin;
 pub mod ridpairs;
 pub mod vsmart;
 
-use ssj_mapreduce::ChainMetrics;
+use ssj_mapreduce::{ChainMetrics, PlanMode};
 use ssj_similarity::SimilarPair;
 
 /// Result of a baseline run: exact pairs plus full engine metrics.
@@ -32,6 +32,9 @@ pub struct JoinRunResult {
     pub pairs: Vec<SimilarPair>,
     /// Metrics of every MapReduce job in the pipeline, in order.
     pub chain: ChainMetrics,
+    /// High-water mark of live intermediate bytes held between the
+    /// pipeline's stages (`PlanOutcome::peak_live_bytes`).
+    pub peak_live_bytes: usize,
 }
 
 impl JoinRunResult {
@@ -56,6 +59,10 @@ pub struct BaselineConfig {
     /// it aborts the run with [`BudgetExceeded`], the analogue of the
     /// paper's "cannot run completely on the large datasets".
     pub intermediate_budget: u64,
+    /// How the execution plan sequences each baseline's jobs (default
+    /// [`PlanMode::Pipelined`]). Affects wall-clock and peak intermediate
+    /// memory only — results and logical metrics are mode-invariant.
+    pub plan_mode: PlanMode,
 }
 
 impl Default for BaselineConfig {
@@ -65,6 +72,7 @@ impl Default for BaselineConfig {
             reduce_tasks: 12,
             workers: ssj_mapreduce::executor::default_workers(),
             intermediate_budget: 1_200_000_000,
+            plan_mode: PlanMode::default(),
         }
     }
 }
@@ -86,6 +94,12 @@ impl BaselineConfig {
     /// Override worker threads.
     pub fn with_workers(mut self, w: usize) -> Self {
         self.workers = w;
+        self
+    }
+
+    /// Set the plan sequencing mode (pipelined vs stage-barriered).
+    pub fn with_plan_mode(mut self, mode: PlanMode) -> Self {
+        self.plan_mode = mode;
         self
     }
 }

@@ -22,10 +22,10 @@
 //!   candidates and a final job re-attaches records from a read-only
 //!   replica (Hadoop distributed-cache style) to verify.
 
-use crate::dedup::dedup_job;
+use crate::dedup::{add_dedup_stage, collect_pairs};
 use crate::{BaselineConfig, BudgetExceeded, JoinRunResult};
 use ssj_mapreduce::{
-    ChainMetrics, Dataset, Emitter, GroupValues, JobBuilder, Mapper, Reducer, StreamingReducer,
+    Dataset, Emitter, GroupValues, Mapper, Plan, PlanRunner, Reducer, StreamingReducer,
 };
 use ssj_similarity::intersect::intersect_count_merge;
 use ssj_similarity::{Measure, SimilarPair};
@@ -425,70 +425,73 @@ pub fn massjoin(
             .collect(),
         cfg.map_tasks,
     );
-    let mut chain = ChainMetrics::default();
-
-    let pairs = match variant {
+    let (pairs, peak_live_bytes, chain) = match variant {
         MassJoinVariant::Merge => {
-            let (raw, sig_metrics) = JobBuilder::new("massjoin-signatures")
-                .reduce_tasks(cfg.reduce_tasks)
-                .workers(cfg.workers)
-                .run(
-                    &input,
-                    |_| SignatureMapper {
-                        measure,
-                        theta,
-                        carry_tokens: true,
-                    },
-                    |_| MergeReducer { measure, theta },
-                );
-            chain.push(sig_metrics);
-            let (pairs, dedup_metrics) = dedup_job(&raw, cfg, "massjoin-dedup");
-            chain.push(dedup_metrics);
-            pairs
+            let mut plan = Plan::new("massjoin").with_workers(cfg.workers);
+            let raw = plan.add(
+                "massjoin-signatures",
+                input,
+                cfg.reduce_tasks,
+                move |_| SignatureMapper {
+                    measure,
+                    theta,
+                    carry_tokens: true,
+                },
+                move |_| MergeReducer { measure, theta },
+            );
+            let unique = add_dedup_stage(&mut plan, raw, cfg.reduce_tasks, "massjoin-dedup");
+            let mut outcome = PlanRunner::new(cfg.plan_mode).run(plan);
+            let pairs = collect_pairs(outcome.take_output(unique));
+            (pairs, outcome.peak_live_bytes, outcome.metrics)
         }
         MassJoinVariant::MergeLight => {
-            let (candidates, sig_metrics) = JobBuilder::new("massjoin-signatures")
-                .reduce_tasks(cfg.reduce_tasks)
-                .workers(cfg.workers)
-                .run(
-                    &input,
-                    |_| SignatureMapper {
-                        measure,
-                        theta,
-                        carry_tokens: false,
-                    },
-                    |_| LightReducer,
-                );
-            chain.push(sig_metrics);
-            let (unique, dedup_metrics) = JobBuilder::new("massjoin-candidate-dedup")
-                .reduce_tasks(cfg.reduce_tasks)
-                .workers(cfg.workers)
-                .run(&candidates, |_| CandidateMapper, |_| CandidateDedupReducer);
-            chain.push(dedup_metrics);
+            let mut plan = Plan::new("massjoin-light").with_workers(cfg.workers);
+            let candidates = plan.add(
+                "massjoin-signatures",
+                input,
+                cfg.reduce_tasks,
+                move |_| SignatureMapper {
+                    measure,
+                    theta,
+                    carry_tokens: false,
+                },
+                |_| LightReducer,
+            );
+            let unique = plan.add(
+                "massjoin-candidate-dedup",
+                candidates,
+                cfg.reduce_tasks,
+                |_| CandidateMapper,
+                |_| CandidateDedupReducer,
+            );
             let records = Arc::new(collection.to_records());
-            let (verified, verify_metrics) = JobBuilder::new("massjoin-verify")
-                .reduce_tasks(cfg.reduce_tasks)
-                .workers(cfg.workers)
-                .run(
-                    &unique,
-                    |_| CachedVerifyMapper {
-                        records: Arc::clone(&records),
-                        measure,
-                        theta,
-                    },
-                    |_| KeepFirstReducer,
-                );
-            chain.push(verify_metrics);
-            let mut pairs: Vec<SimilarPair> = verified
+            let verified = plan.add(
+                "massjoin-verify",
+                unique,
+                cfg.reduce_tasks,
+                move |_| CachedVerifyMapper {
+                    records: Arc::clone(&records),
+                    measure,
+                    theta,
+                },
+                |_| KeepFirstReducer,
+            );
+            let mut outcome = PlanRunner::new(cfg.plan_mode).run(plan);
+            let mut pairs: Vec<SimilarPair> = outcome
+                .take_output(verified)
                 .into_records()
                 .map(|((a, b), sim)| SimilarPair::new(a, b, sim))
                 .collect();
             pairs.sort_unstable_by_key(|p| p.ids());
-            pairs
+            (pairs, outcome.peak_live_bytes, outcome.metrics)
         }
     };
 
-    Ok(JoinRunResult { pairs, chain })
+    Ok(JoinRunResult {
+        pairs,
+        chain,
+        peak_live_bytes,
+    })
 }
 
 #[cfg(test)]

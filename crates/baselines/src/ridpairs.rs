@@ -11,9 +11,9 @@
 //! by tokens, so group sizes follow the token-frequency distribution — no
 //! balance guarantee (contrast with FS-Join's `Even-TF` fragments).
 
-use crate::dedup::dedup_job;
+use crate::dedup::{add_dedup_stage, collect_pairs};
 use crate::{BaselineConfig, JoinRunResult};
-use ssj_mapreduce::{ChainMetrics, Dataset, Emitter, JobBuilder, Mapper, Reducer};
+use ssj_mapreduce::{Dataset, Emitter, Mapper, Plan, PlanRunner, Reducer};
 use ssj_similarity::ppjoin::ppjoin_self_join;
 use ssj_similarity::Measure;
 use ssj_text::{Collection, Record};
@@ -61,7 +61,9 @@ impl Reducer for GroupPPJoinReducer {
     }
 }
 
-/// Run RIDPairsPPJoin end-to-end (kernel + dedup jobs).
+/// Run RIDPairsPPJoin end-to-end (a two-stage kernel + dedup plan; the
+/// dedup stage's maps start partition-by-partition while kernel reducers
+/// are still running when [`BaselineConfig::plan_mode`] is pipelined).
 pub fn ridpairs_ppjoin(
     collection: &Collection,
     measure: Measure,
@@ -77,19 +79,22 @@ pub fn ridpairs_ppjoin(
             .collect(),
         cfg.map_tasks,
     );
-    let (raw_results, kernel_metrics) = JobBuilder::new("ridpairs-kernel")
-        .reduce_tasks(cfg.reduce_tasks)
-        .workers(cfg.workers)
-        .run(
-            &input,
-            |_| SignatureMapper { measure, theta },
-            |_| GroupPPJoinReducer { measure, theta },
-        );
-    let (pairs, dedup_metrics) = dedup_job(&raw_results, cfg, "ridpairs-dedup");
-    let mut chain = ChainMetrics::default();
-    chain.push(kernel_metrics);
-    chain.push(dedup_metrics);
-    JoinRunResult { pairs, chain }
+    let mut plan = Plan::new("ridpairs").with_workers(cfg.workers);
+    let raw = plan.add(
+        "ridpairs-kernel",
+        input,
+        cfg.reduce_tasks,
+        move |_| SignatureMapper { measure, theta },
+        move |_| GroupPPJoinReducer { measure, theta },
+    );
+    let unique = add_dedup_stage(&mut plan, raw, cfg.reduce_tasks, "ridpairs-dedup");
+    let mut outcome = PlanRunner::new(cfg.plan_mode).run(plan);
+    let pairs = collect_pairs(outcome.take_output(unique));
+    JoinRunResult {
+        pairs,
+        peak_live_bytes: outcome.peak_live_bytes,
+        chain: outcome.metrics,
+    }
 }
 
 #[cfg(test)]

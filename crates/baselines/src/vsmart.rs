@@ -12,9 +12,7 @@
 //! "cannot run completely" without hanging the test suite.
 
 use crate::{BaselineConfig, BudgetExceeded, JoinRunResult};
-use ssj_mapreduce::{
-    ChainMetrics, Dataset, Emitter, GroupValues, JobBuilder, Mapper, StreamingReducer,
-};
+use ssj_mapreduce::{Dataset, Emitter, GroupValues, Mapper, Plan, PlanRunner, StreamingReducer};
 use ssj_similarity::{Measure, SimilarPair};
 use ssj_text::{Collection, Record};
 
@@ -166,28 +164,34 @@ pub fn vsmart_join(
             .collect(),
         cfg.map_tasks,
     );
-    let (partials, join_metrics) = JobBuilder::new("vsmart-join")
-        .reduce_tasks(cfg.reduce_tasks)
-        .workers(cfg.workers)
-        .run(&input, |_| TokenMapper, |_| PairEnumReducer::default());
-    let (results, sim_metrics) = JobBuilder::new("vsmart-similarity")
-        .reduce_tasks(cfg.reduce_tasks)
-        .workers(cfg.workers)
-        .run(
-            &partials,
-            |_| PartialMapper,
-            |_| AggregateReducer { measure, theta },
-        );
+    let mut plan = Plan::new("vsmart").with_workers(cfg.workers);
+    let partials = plan.add(
+        "vsmart-join",
+        input,
+        cfg.reduce_tasks,
+        |_| TokenMapper,
+        |_| PairEnumReducer::default(),
+    );
+    let aggregated = plan.add(
+        "vsmart-similarity",
+        partials,
+        cfg.reduce_tasks,
+        |_| PartialMapper,
+        move |_| AggregateReducer { measure, theta },
+    );
+    let mut outcome = PlanRunner::new(cfg.plan_mode).run(plan);
+    let results = outcome.take_output(aggregated);
 
     let mut pairs: Vec<SimilarPair> = results
         .into_records()
         .map(|((a, b), sim)| SimilarPair::new(a, b, sim))
         .collect();
     pairs.sort_unstable_by_key(|p| p.ids());
-    let mut chain = ChainMetrics::default();
-    chain.push(join_metrics);
-    chain.push(sim_metrics);
-    Ok(JoinRunResult { pairs, chain })
+    Ok(JoinRunResult {
+        pairs,
+        peak_live_bytes: outcome.peak_live_bytes,
+        chain: outcome.metrics,
+    })
 }
 
 #[cfg(test)]

@@ -7,10 +7,14 @@
 //! global allocator and prints them before Criterion runs: the streaming
 //! grouped path ([`GroupedRuns`]) must perform **zero per-key engine
 //! allocations**, while the legacy group-walk pays one `Vec` per key (plus
-//! its growth). Numbers are recorded in `results/shuffle.md`.
+//! its growth). The same counter guards the map-side combine path: a
+//! fold-style [`Combiner::combine_into`] override (what [`SumCombiner`]
+//! ships) must not allocate per key, while a combiner that only implements
+//! the batch `combine` pays the default adapter's per-key `Vec`. Numbers
+//! are recorded in `results/shuffle.md`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ssj_mapreduce::{GroupedRuns, KWayMerge};
+use ssj_mapreduce::{Combiner, GroupedRuns, KWayMerge, SumCombiner};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -165,6 +169,47 @@ fn grouped_legacy(runs: &[Vec<(u32, u64)>]) -> (usize, u64) {
     (groups, acc)
 }
 
+/// A combiner identical to [`SumCombiner`] except it implements only the
+/// batch `combine` — so it pays the trait's default `combine_into`
+/// adapter, which collects every key group into a fresh `Vec`. This is
+/// what all fold-style combiners cost before the `combine_into` override
+/// existed.
+struct BatchSumCombiner;
+
+impl Combiner<u32, u64> for BatchSumCombiner {
+    fn combine(&self, _key: &u32, values: Vec<u64>) -> Vec<u64> {
+        vec![values.into_iter().sum()]
+    }
+}
+
+/// The engine's map-side combine shape: walk a sorted bucket key group by
+/// key group, streaming each group's values into `combine_into` with one
+/// reused output vector.
+fn combine_bucket<C: Combiner<u32, u64>>(c: &C, bucket: &[(u32, u64)]) -> (usize, u64) {
+    let mut out: Vec<u64> = Vec::with_capacity(4);
+    let mut groups = 0usize;
+    let mut acc = 0u64;
+    let mut i = 0usize;
+    while i < bucket.len() {
+        let key = bucket[i].0;
+        let mut end = i + 1;
+        while end < bucket.len() && bucket[end].0 == key {
+            end += 1;
+        }
+        out.clear();
+        c.combine_into(&key, &mut bucket[i..end].iter().map(|&(_, v)| v), &mut out);
+        groups += 1;
+        for &v in &out {
+            acc = acc
+                .wrapping_mul(31)
+                .wrapping_add(u64::from(key))
+                .wrapping_add(v);
+        }
+        i = end;
+    }
+    (groups, acc)
+}
+
 // ---- Allocation report (printed once, before Criterion) --------------------
 
 fn report_allocations() {
@@ -194,10 +239,42 @@ fn report_allocations() {
     );
 }
 
+fn report_combine_allocations() {
+    // One key-sorted map bucket, the shape the spill path combines.
+    let bucket = {
+        let runs = make_runs(1, 200_000, KeyDist::Uniform, 17);
+        runs.into_iter().next().unwrap()
+    };
+    let warm = combine_bucket(&SumCombiner, &bucket);
+    let ((groups, fold_sum), fold_allocs) = allocs_during(|| combine_bucket(&SumCombiner, &bucket));
+    let ((batch_groups, batch_sum), batch_allocs) =
+        allocs_during(|| combine_bucket(&BatchSumCombiner, &bucket));
+    assert_eq!(warm, (groups, fold_sum));
+    assert_eq!((groups, fold_sum), (batch_groups, batch_sum));
+    println!(
+        "combine-report: groups={groups} fold_allocs={fold_allocs} batch_allocs={batch_allocs}"
+    );
+    // The perf fix's claim: a fold-style `combine_into` override combines
+    // a whole bucket with a bounded handful of allocations (the reused
+    // output vector), while the default batch adapter collects one `Vec`
+    // per key group.
+    assert!(
+        fold_allocs < 8,
+        "fold-style combine_into must not allocate per key \
+         ({fold_allocs} allocs for {groups} groups)"
+    );
+    assert!(
+        batch_allocs >= groups,
+        "batch-default combine_into should allocate per key \
+         ({batch_allocs} allocs for {groups} groups)"
+    );
+}
+
 // ---- Criterion groups ------------------------------------------------------
 
 fn bench_merge_vs_resort(c: &mut Criterion) {
     report_allocations();
+    report_combine_allocations();
     const TOTAL: usize = 200_000;
     for (dist, label) in [(KeyDist::Uniform, "uniform"), (KeyDist::Skewed, "skewed")] {
         let mut g = c.benchmark_group(format!("shuffle_merge_{label}"));

@@ -4,16 +4,20 @@
 //! per-job shuffle record/byte accounting.
 //!
 //! ```text
-//! cargo run --release -p ssj-bench --bin determinism -- [workers]
+//! cargo run --release -p ssj-bench --bin determinism -- [workers] [mode]
 //! ```
 //!
 //! Worker count parallelizes the map/shuffle/reduce phases but must never
 //! change output, metrics, or byte accounting (the engine's streaming
 //! shuffle merges spill runs in deterministic map-task order regardless of
-//! which thread transposed them). The CI gate runs this binary with two
-//! different worker counts and diffs the outputs byte-for-byte.
+//! which thread transposed them). `mode` is `pipelined` (default) or
+//! `sequential` and selects how the plan runner sequences the two-stage
+//! chain — pipelining overlaps stages but must be equally invisible in
+//! this report. The CI gates run this binary across worker counts *and*
+//! across plan modes and diff the outputs byte-for-byte.
 
 use ssj_bench::datasets::{bench_corpus, tuned_fsjoin};
+use ssj_mapreduce::PlanMode;
 use ssj_similarity::{Measure, SimilarPair};
 use ssj_text::CorpusProfile;
 
@@ -42,13 +46,19 @@ fn main() {
     let workers: usize = args
         .first()
         .map_or(2, |s| s.parse().expect("workers: usize"));
+    let mode = match args.get(1).map(String::as_str) {
+        None | Some("pipelined") => PlanMode::Pipelined,
+        Some("sequential") => PlanMode::Sequential,
+        Some(other) => panic!("mode must be `pipelined` or `sequential`, got `{other}`"),
+    };
 
     let corpus = bench_corpus();
     let cfg = tuned_fsjoin(CorpusProfile::WikiLike)
         .with_theta(0.8)
         .with_measure(Measure::Jaccard)
         .with_tasks(8, 12)
-        .with_workers(workers);
+        .with_workers(workers)
+        .with_plan_mode(mode);
     let res = fsjoin::run_self_join(&corpus, &cfg);
 
     // Every line below must be byte-identical across worker counts.

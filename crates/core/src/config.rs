@@ -3,6 +3,7 @@
 pub use crate::filters::{EmitPolicy, FilterSet};
 pub use crate::fragment::JoinKernel;
 use crate::pivots::PivotStrategy;
+use ssj_mapreduce::PlanMode;
 use ssj_similarity::Measure;
 
 /// Full configuration of an FS-Join run. Build with the `with_*` methods:
@@ -48,6 +49,10 @@ pub struct FsJoinConfig {
     pub reduce_tasks: usize,
     /// Host worker threads (affects wall-clock only, never results).
     pub workers: usize,
+    /// How the execution plan sequences the run's jobs (default
+    /// [`PlanMode::Pipelined`]). Affects wall-clock and peak intermediate
+    /// memory only — results and logical metrics are mode-invariant.
+    pub plan_mode: PlanMode,
     /// Seed for the Random pivot strategy.
     pub seed: u64,
 }
@@ -66,6 +71,7 @@ impl Default for FsJoinConfig {
             map_tasks: 8,
             reduce_tasks: 12,
             workers: ssj_mapreduce::executor::default_workers(),
+            plan_mode: PlanMode::default(),
             seed: 42,
         }
     }
@@ -130,6 +136,12 @@ impl FsJoinConfig {
     /// Set host worker threads.
     pub fn with_workers(mut self, w: usize) -> Self {
         self.workers = w;
+        self
+    }
+
+    /// Set the plan sequencing mode (pipelined vs stage-barriered).
+    pub fn with_plan_mode(mut self, mode: PlanMode) -> Self {
+        self.plan_mode = mode;
         self
     }
 

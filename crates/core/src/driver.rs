@@ -13,8 +13,8 @@ use crate::pivots::select_pivots;
 use crate::segment::Segment;
 use crate::vertical::split_record;
 use ssj_mapreduce::{
-    ChainMetrics, Dataset, Dfs, DirectPartitioner, Emitter, GroupValues, JobBuilder, Mapper,
-    StreamingReducer,
+    ChainMetrics, Dataset, Dfs, DirectPartitioner, Emitter, GroupValues, HashPartitioner, Mapper,
+    Plan, PlanRunner, StreamingReducer,
 };
 use ssj_observe::{span, MetricsRegistry};
 use ssj_similarity::{Measure, SimilarPair};
@@ -42,6 +42,9 @@ pub struct FsJoinResult {
     pub pivots: Vec<u32>,
     /// The horizontal length pivots used (empty for FS-Join-V).
     pub h_pivots: Vec<u32>,
+    /// High-water mark of live intermediate bytes held between stages
+    /// (see [`ssj_mapreduce::PlanOutcome::peak_live_bytes`]).
+    pub peak_live_bytes: usize,
 }
 
 impl FsJoinResult {
@@ -216,6 +219,25 @@ impl ssj_mapreduce::Combiner<(u32, u32), (u32, u32, u32)> for VerifyCombiner {
         vec![(total, la, lb)]
     }
 
+    /// Fold-style streaming path: sums contributions straight off the
+    /// sorted bucket with no per-key `Vec` (see
+    /// [`Combiner::combine_into`](ssj_mapreduce::Combiner::combine_into)).
+    fn combine_into(
+        &self,
+        _pair: &(u32, u32),
+        values: &mut dyn Iterator<Item = (u32, u32, u32)>,
+        out: &mut Vec<(u32, u32, u32)>,
+    ) {
+        let mut total = 0u32;
+        let (mut la, mut lb) = (0u32, 0u32);
+        for (c, a, b) in values {
+            total += c;
+            la = a;
+            lb = b;
+        }
+        out.push((total, la, lb));
+    }
+
     /// Integer-count sum; every contribution for a pair carries the same
     /// record lengths, so the fold is a pure function of the value
     /// multiset. This licenses the engine's unstable map-side bucket sort.
@@ -314,8 +336,9 @@ fn run_join(
         c
     };
 
-    let lengths: Vec<usize> = pool.iter().map(<[u32]>::len).collect();
-    let h_pivots = Arc::new(select_h_pivots(&lengths, cfg.horizontal_pivots));
+    // Length histogram straight off the pool's CSR offsets — no span
+    // resolution, no intermediate Vec.
+    let h_pivots = Arc::new(select_h_pivots(pool.lengths(), cfg.horizontal_pivots));
     let num_cells = num_h_partitions(&h_pivots) * num_fragments;
     drop(
         ordering_span
@@ -343,58 +366,80 @@ fn run_join(
     }
     let input = Dataset::from_records(input_records, cfg.map_tasks);
 
-    // ---- Job 1: filtering (partition + fragment join) ---------------------
+    // ---- Plan: filtering → verification -----------------------------------
+    // One declarative two-stage plan: the filter stage's reduce partitions
+    // feed the verify stage's map splits. Under the default pipelined mode
+    // each candidate partition is verified the moment its fragment join
+    // completes and dropped right after — the verify job overlaps the
+    // filter job's reduce tail instead of waiting behind a barrier.
+    //
     // Per-run registry: fragment reducers record pruning counters and
     // per-cell histograms here; the aggregate is read back below and also
     // merged into the process-global registry when one is installed.
     let run_registry = Arc::new(MetricsRegistry::new());
     let filter_span = span("fsjoin.stage", "filter-job").field("cells", num_cells);
+    let verify_span = span("fsjoin.stage", "verify-job");
     let reduce_tasks = cfg.reduce_tasks.min(num_cells).max(1);
-    let (candidates_ds, filter_metrics) = JobBuilder::new("fsjoin-filter")
-        .reduce_tasks(reduce_tasks)
-        .workers(cfg.workers)
-        .run_partitioned(
-            &input,
-            |_| PartitionMapper {
-                pool: Arc::clone(&pool_side),
+
+    let mut plan = Plan::new("fsjoin").with_workers(cfg.workers);
+    let candidates_h = plan.add_partitioned(
+        "fsjoin-filter",
+        input,
+        reduce_tasks,
+        {
+            let pool = Arc::clone(&pool_side);
+            let pivots = Arc::clone(&pivots);
+            let h_pivots = Arc::clone(&h_pivots);
+            let (measure, theta) = (cfg.measure, cfg.theta);
+            move |_| PartitionMapper {
+                pool: Arc::clone(&pool),
                 pivots: Arc::clone(&pivots),
                 h_pivots: Arc::clone(&h_pivots),
                 num_fragments,
-                measure: cfg.measure,
-                theta: cfg.theta,
-            },
-            |_| FragmentReducer {
-                pool: Arc::clone(&pool_side),
+                measure,
+                theta,
+            }
+        },
+        {
+            let pool = Arc::clone(&pool_side);
+            let h_pivots = Arc::clone(&h_pivots);
+            let registry = Arc::clone(&run_registry);
+            move |_| FragmentReducer {
+                pool: Arc::clone(&pool),
                 cfg: cfg_eff.clone(),
                 h_pivots: Arc::clone(&h_pivots),
                 scope,
                 local_stats: FilterStats::default(),
-                registry: Arc::clone(&run_registry),
+                registry: Arc::clone(&registry),
                 scratch: Vec::new(),
-            },
-            &DirectPartitioner::new(|cell: &u32| *cell as usize),
-        );
+            }
+        },
+        DirectPartitioner::new(|cell: &u32| *cell as usize),
+    );
+    let verified_h = plan.add_full(
+        "fsjoin-verify",
+        candidates_h,
+        cfg.reduce_tasks,
+        |_| VerifyMapper,
+        {
+            let (measure, theta) = (cfg.measure, cfg.theta);
+            move |_| VerifyReducer { measure, theta }
+        },
+        HashPartitioner,
+        Some(VerifyCombiner),
+    );
 
     // The reducer reads num_fragments from cfg; keep them consistent.
     debug_assert!(num_fragments >= 1);
-    let candidates = candidates_ds.total_records();
+    let mut outcome = PlanRunner::new(cfg.plan_mode).run(plan);
+    let verified = outcome.take_output(verified_h);
+    let peak_live_bytes = outcome.peak_live_bytes;
+    let chain = outcome.metrics;
+    // The candidate count is the filter stage's reduce output — the same
+    // quantity `total_records()` reported on the materialized dataset
+    // (which pipelining no longer keeps around).
+    let candidates = chain.jobs[0].reduce_output_records();
     drop(filter_span.field("candidates", candidates));
-
-    // ---- Job 2: verification ----------------------------------------------
-    let verify_span = span("fsjoin.stage", "verify-job").field("candidates", candidates);
-    let (verified, verify_metrics) = JobBuilder::new("fsjoin-verify")
-        .reduce_tasks(cfg.reduce_tasks)
-        .workers(cfg.workers)
-        .run_full(
-            &candidates_ds,
-            |_| VerifyMapper,
-            |_| VerifyReducer {
-                measure: cfg.measure,
-                theta: cfg.theta,
-            },
-            &ssj_mapreduce::HashPartitioner,
-            Some(&VerifyCombiner),
-        );
 
     let mut pairs: Vec<SimilarPair> = verified
         .into_records()
@@ -402,10 +447,6 @@ fn run_join(
         .collect();
     pairs.sort_unstable_by_key(|x| x.ids());
     drop(verify_span.field("pairs", pairs.len()));
-
-    let mut chain = ChainMetrics::default();
-    chain.push(filter_metrics);
-    chain.push(verify_metrics);
 
     let filter_stats = FilterStats::from_registry(&run_registry);
     run_registry.gauge_set("fsjoin.candidates", candidates as f64);
@@ -421,6 +462,7 @@ fn run_join(
         candidates,
         pivots: Arc::try_unwrap(pivots).unwrap_or_else(|a| (*a).clone()),
         h_pivots: Arc::try_unwrap(h_pivots).unwrap_or_else(|a| (*a).clone()),
+        peak_live_bytes,
     }
 }
 

@@ -23,11 +23,18 @@ use ssj_similarity::Measure;
 /// Select up to `t` strictly increasing length pivots from the length
 /// histogram, equalizing *token mass* (Σ lengths) per base partition — the
 /// horizontal analogue of Even-TF.
-pub fn select_h_pivots(lengths: &[usize], t: usize) -> Vec<u32> {
-    if t == 0 || lengths.is_empty() {
+///
+/// Takes any length iterator so callers can feed lengths straight off a
+/// CSR offsets table ([`TokenPool::lengths`](ssj_text::TokenPool::lengths))
+/// without materializing a `Vec` or resolving spans.
+pub fn select_h_pivots(lengths: impl IntoIterator<Item = usize>, t: usize) -> Vec<u32> {
+    if t == 0 {
         return Vec::new();
     }
-    let mut sorted: Vec<usize> = lengths.to_vec();
+    let mut sorted: Vec<usize> = lengths.into_iter().collect();
+    if sorted.is_empty() {
+        return Vec::new();
+    }
     sorted.sort_unstable();
     let total: u128 = sorted.iter().map(|&l| l as u128).sum();
     if total == 0 {
@@ -269,20 +276,19 @@ mod tests {
     fn pivot_selection_balances_token_mass() {
         // Lengths 1..=100: total mass 5050; 1 pivot should cut near the
         // mass median (~71), not the count median (~50).
-        let lengths: Vec<usize> = (1..=100).collect();
-        let p = select_h_pivots(&lengths, 1);
+        let p = select_h_pivots(1..=100, 1);
         assert_eq!(p.len(), 1);
         assert!(p[0] >= 65 && p[0] <= 78, "pivot {p:?}");
     }
 
     #[test]
     fn pivot_selection_degenerate() {
-        assert!(select_h_pivots(&[], 2).is_empty());
-        assert!(select_h_pivots(&[5, 5, 5], 0).is_empty());
-        assert!(select_h_pivots(&[0, 0], 2).is_empty());
+        assert!(select_h_pivots(std::iter::empty(), 2).is_empty());
+        assert!(select_h_pivots([5, 5, 5], 0).is_empty());
+        assert!(select_h_pivots([0, 0], 2).is_empty());
         // Uniform lengths: at most one distinct cut, and it must not
         // exceed the max length.
-        let p = select_h_pivots(&[7; 50], 3);
+        let p = select_h_pivots([7; 50], 3);
         assert!(p.len() <= 1);
         for &x in &p {
             assert!(x <= 7);
@@ -291,8 +297,7 @@ mod tests {
 
     #[test]
     fn pivots_strictly_increasing() {
-        let lengths: Vec<usize> = (0..1000).map(|i| 1 + (i * 7919) % 200).collect();
-        let p = select_h_pivots(&lengths, 8);
+        let p = select_h_pivots((0..1000).map(|i| 1 + (i * 7919) % 200), 8);
         assert!(p.windows(2).all(|w| w[0] < w[1]));
         assert!(!p.is_empty());
     }

@@ -42,7 +42,7 @@ use crate::pivots::select_pivots;
 use crate::segment::Segment;
 use ssj_common::FxHashMap;
 use ssj_mapreduce::{
-    ChainMetrics, Dataset, Dfs, DirectPartitioner, Emitter, GroupValues, JobBuilder, Mapper,
+    Dataset, Dfs, DirectPartitioner, Emitter, GroupValues, Mapper, Plan, PlanRunner,
     StreamingReducer,
 };
 use ssj_observe::span;
@@ -313,8 +313,7 @@ fn run_pf(
     ));
     let num_fragments = pivots.len() + 1;
 
-    let lengths: Vec<usize> = pool.iter().map(<[u32]>::len).collect();
-    let h_pivots = Arc::new(select_h_pivots(&lengths, cfg.horizontal_pivots));
+    let h_pivots = Arc::new(select_h_pivots(pool.lengths(), cfg.horizontal_pivots));
     let num_cells = num_h_partitions(&h_pivots) * num_fragments;
     drop(
         ordering_span
@@ -338,58 +337,81 @@ fn run_pf(
     }
     let input = Dataset::from_records(input_records, cfg.map_tasks);
 
-    // Job 1: partition + prefix discovery.
+    // One declarative three-stage plan: discover → dedup → verify. Under
+    // the default pipelined mode each discovered candidate partition flows
+    // into dedup, and each deduped partition into cached verification, as
+    // soon as it is sealed — the three jobs' phases overlap and the
+    // candidate intermediates are dropped partition by partition.
     let discover_span = span("fsjoin.stage", "discover-job").field("cells", num_cells);
+    let dedup_span = span("fsjoin.stage", "dedup-job");
+    let verify_span = span("fsjoin.stage", "verify-job");
     let reduce_tasks = cfg.reduce_tasks.min(num_cells).max(1);
-    let (candidates_ds, discover_metrics) = JobBuilder::new("fsjoin-pf-discover")
-        .reduce_tasks(reduce_tasks)
-        .workers(cfg.workers)
-        .run_partitioned(
-            &input,
-            |_| PartitionMapper {
-                pool: Arc::clone(&pool_side),
+
+    let mut plan = Plan::new("fsjoin-pf").with_workers(cfg.workers);
+    let candidates_h = plan.add_partitioned(
+        "fsjoin-pf-discover",
+        input,
+        reduce_tasks,
+        {
+            let pool = Arc::clone(&pool_side);
+            let pivots = Arc::clone(&pivots);
+            let h_pivots = Arc::clone(&h_pivots);
+            let (measure, theta) = (cfg.measure, cfg.theta);
+            move |_| PartitionMapper {
+                pool: Arc::clone(&pool),
                 pivots: Arc::clone(&pivots),
                 h_pivots: Arc::clone(&h_pivots),
                 num_fragments,
-                measure: cfg.measure,
-                theta: cfg.theta,
-            },
-            |_| PrefixDiscoveryReducer {
-                pool: Arc::clone(&pool_side),
-                measure: cfg.measure,
-                theta: cfg.theta,
+                measure,
+                theta,
+            }
+        },
+        {
+            let pool = Arc::clone(&pool_side);
+            let h_pivots = Arc::clone(&h_pivots);
+            let (measure, theta) = (cfg.measure, cfg.theta);
+            move |_| PrefixDiscoveryReducer {
+                pool: Arc::clone(&pool),
+                measure,
+                theta,
                 num_fragments,
                 h_pivots: Arc::clone(&h_pivots),
                 scope,
                 scratch: Vec::new(),
-            },
-            &DirectPartitioner::new(|cell: &u32| *cell as usize),
-        );
-    let raw_candidates = candidates_ds.total_records();
+            }
+        },
+        DirectPartitioner::new(|cell: &u32| *cell as usize),
+    );
+    let unique_h = plan.add(
+        "fsjoin-pf-dedup",
+        candidates_h,
+        cfg.reduce_tasks,
+        |_| CandidateDedup,
+        |_| KeepFirst,
+    );
+    let verified_h = plan.add(
+        "fsjoin-pf-verify",
+        unique_h,
+        cfg.reduce_tasks,
+        {
+            let pool = Arc::clone(&pool_side);
+            let (measure, theta) = (cfg.measure, cfg.theta);
+            move |_| CachedVerify {
+                pool: Arc::clone(&pool),
+                measure,
+                theta,
+            }
+        },
+        |_| PassThrough,
+    );
+
+    let mut outcome = PlanRunner::new(cfg.plan_mode).run(plan);
+    let verified = outcome.take_output(verified_h);
+    let peak_live_bytes = outcome.peak_live_bytes;
+    let chain = outcome.metrics;
+    let raw_candidates = chain.jobs[0].reduce_output_records();
     drop(discover_span.field("candidates", raw_candidates));
-
-    // Job 2: dedup candidate pairs.
-    let dedup_span = span("fsjoin.stage", "dedup-job").field("candidates", raw_candidates);
-    let (unique, dedup_metrics) = JobBuilder::new("fsjoin-pf-dedup")
-        .reduce_tasks(cfg.reduce_tasks)
-        .workers(cfg.workers)
-        .run(&candidates_ds, |_| CandidateDedup, |_| KeepFirst);
-    drop(dedup_span.field("unique", unique.total_records()));
-
-    // Job 3: cached exact verification (the shared pool is the cache).
-    let verify_span = span("fsjoin.stage", "verify-job");
-    let (verified, verify_metrics) = JobBuilder::new("fsjoin-pf-verify")
-        .reduce_tasks(cfg.reduce_tasks)
-        .workers(cfg.workers)
-        .run(
-            &unique,
-            |_| CachedVerify {
-                pool: Arc::clone(&pool_side),
-                measure: cfg.measure,
-                theta: cfg.theta,
-            },
-            |_| PassThrough,
-        );
+    drop(dedup_span.field("unique", chain.jobs[1].reduce_output_records()));
 
     let mut pairs: Vec<SimilarPair> = verified
         .into_records()
@@ -398,11 +420,6 @@ fn run_pf(
     pairs.sort_unstable_by_key(|x| x.ids());
     drop(verify_span.field("pairs", pairs.len()));
     drop(run_span.field("pairs", pairs.len()));
-
-    let mut chain = ChainMetrics::default();
-    chain.push(discover_metrics);
-    chain.push(dedup_metrics);
-    chain.push(verify_metrics);
     FsJoinResult {
         pairs,
         chain,
@@ -410,6 +427,7 @@ fn run_pf(
         candidates: raw_candidates,
         pivots: Arc::try_unwrap(pivots).unwrap_or_else(|a| (*a).clone()),
         h_pivots: Arc::try_unwrap(h_pivots).unwrap_or_else(|a| (*a).clone()),
+        peak_live_bytes,
     }
 }
 

@@ -128,6 +128,26 @@ pub struct FaultPlan {
     /// Fraction of an attempt's clean duration that elapses before an
     /// injected failure manifests (simulator: work lost to the failure).
     pub failure_point: f64,
+    /// Deterministic targeted injections, consulted *before* the
+    /// probabilistic rates (and exempt from `max_injected_attempts` — the
+    /// target's own attempt bound governs). Lets tests pin a fault on one
+    /// `(job, phase)` without perturbing any other decision.
+    pub targets: Vec<FaultTarget>,
+}
+
+/// One deterministic injection rule: every task of `(job, phase)` fails
+/// with `fault` on attempt ordinals `< attempts`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTarget {
+    /// Job (or plan-stage) name the rule applies to.
+    pub job: String,
+    /// Phase the rule applies to.
+    pub phase: Phase,
+    /// The fault to inject.
+    pub fault: Fault,
+    /// Attempt ordinals `< attempts` are injected (`u32::MAX` = always,
+    /// which exhausts any finite retry budget).
+    pub attempts: u32,
 }
 
 impl FaultPlan {
@@ -143,6 +163,7 @@ impl FaultPlan {
             node_loss_rate: 0.0,
             max_injected_attempts: 2,
             failure_point: 0.5,
+            targets: Vec::new(),
         }
     }
 
@@ -178,6 +199,24 @@ impl FaultPlan {
         self.check()
     }
 
+    /// Add a deterministic targeted injection: every task of
+    /// `(job, phase)` fails with `fault` on attempt ordinals `< attempts`.
+    pub fn with_target(
+        mut self,
+        job: impl Into<String>,
+        phase: Phase,
+        fault: Fault,
+        attempts: u32,
+    ) -> Self {
+        self.targets.push(FaultTarget {
+            job: job.into(),
+            phase,
+            fault,
+            attempts,
+        });
+        self
+    }
+
     fn check(self) -> Self {
         let total = self.error_rate + self.panic_rate + self.straggler_rate;
         assert!(
@@ -198,6 +237,11 @@ impl FaultPlan {
     /// `(seed, job, phase, task, attempt)`: call it twice, get the same
     /// answer; reorder the calls, nothing changes.
     pub fn decide(&self, job: &str, phase: Phase, task: usize, attempt: u32) -> Option<Fault> {
+        for t in &self.targets {
+            if t.job == job && t.phase == phase && attempt < t.attempts {
+                return Some(t.fault);
+            }
+        }
         if attempt >= self.max_injected_attempts {
             return None;
         }
@@ -244,6 +288,7 @@ impl FaultPlan {
             || self.panic_rate > 0.0
             || self.straggler_rate > 0.0
             || self.node_loss_rate > 0.0
+            || !self.targets.is_empty()
     }
 }
 

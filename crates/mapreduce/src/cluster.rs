@@ -231,6 +231,184 @@ impl ClusterModel {
         }
         out
     }
+
+    /// Simulate a plan DAG with **partition-granular pipelining** (the
+    /// model of [`PlanRunner`](crate::plan::PlanRunner)'s pipelined mode,
+    /// and of Hadoop slow-start): `deps[j]` names the upstream job feeding
+    /// job `j` (`None` = external input). Map split *i* of job `j` is
+    /// *released* the moment reduce task *i* of its upstream finishes —
+    /// not when the whole upstream job ends — so downstream map work
+    /// overlaps the upstream reduce tail whenever slots are free. (If the
+    /// map-split and upstream-reduce counts disagree, the job falls back
+    /// to a whole-stage barrier.) Reduce tasks of job `j` are released
+    /// when its last map finishes plus the job's shuffle transfer time.
+    ///
+    /// Released tasks are placed FIFO by release time onto the same
+    /// `nodes × slots` pool as [`Self::makespan_secs`]. A single-job plan
+    /// reproduces [`Self::simulate_job_schedule`] exactly; a linear chain
+    /// is the pipelined counterpart of [`Self::simulate_chain_schedule`]
+    /// (whose makespan it can never exceed, since every release time is
+    /// no later). Returns one [`SimSchedule`] per job; the plan makespan
+    /// is the maximum `end_secs`.
+    ///
+    /// # Panics
+    /// Panics if `deps.len() != chain.jobs.len()` or a dependency index is
+    /// not an earlier job.
+    pub fn simulate_plan(&self, chain: &ChainMetrics, deps: &[Option<usize>]) -> Vec<SimSchedule> {
+        self.validate();
+        assert_eq!(deps.len(), chain.jobs.len(), "one dependency entry per job");
+        let n = chain.jobs.len();
+        for (j, d) in deps.iter().enumerate() {
+            if let Some(u) = d {
+                assert!(*u < j, "job {j} must depend on an earlier job, got {u}");
+            }
+        }
+        let mut downstream: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (j, d) in deps.iter().enumerate() {
+            if let Some(u) = d {
+                downstream[*u].push(j);
+            }
+        }
+
+        /// Per-job progress while the event loop runs.
+        struct JobState {
+            maps_left: usize,
+            reds_left: usize,
+            map_end: f64,
+            shuffle_start: f64,
+            shuffle_end: f64,
+            start: f64,
+            end: f64,
+            tasks: Vec<SimTask>,
+        }
+        let mut js: Vec<JobState> = chain
+            .jobs
+            .iter()
+            .map(|m| JobState {
+                maps_left: m.map_tasks.len(),
+                reds_left: m.reduce_tasks.len(),
+                map_end: 0.0,
+                shuffle_start: 0.0,
+                shuffle_end: 0.0,
+                start: f64::INFINITY,
+                end: 0.0,
+                tasks: Vec::with_capacity(m.map_tasks.len() + m.reduce_tasks.len()),
+            })
+            .collect();
+
+        // Ready heap: FIFO by (release, arrival ordinal). Kind 0 = map,
+        // 1 = reduce. Durations ride along so pops are self-contained.
+        type Item = Reverse<(OrderedF64, u64, usize, u8, usize, OrderedF64)>;
+        let mut ready: BinaryHeap<Item> = BinaryHeap::new();
+        let mut ord = 0u64;
+        let mut push = |heap: &mut BinaryHeap<Item>,
+                        release: f64,
+                        job: usize,
+                        kind: u8,
+                        idx: usize,
+                        dur: f64| {
+            heap.push(Reverse((
+                OrderedF64(release),
+                ord,
+                job,
+                kind,
+                idx,
+                OrderedF64(dur),
+            )));
+            ord += 1;
+        };
+        for (j, m) in chain.jobs.iter().enumerate() {
+            if deps[j].is_none() {
+                for t in &m.map_tasks {
+                    push(&mut ready, 0.0, j, 0, t.index, t.duration.as_secs_f64());
+                }
+            }
+        }
+
+        let mut slots: BinaryHeap<Reverse<(OrderedF64, usize)>> = (0..self.total_slots())
+            .map(|s| Reverse((OrderedF64(0.0), s)))
+            .collect();
+
+        while let Some(Reverse((OrderedF64(release), _, j, kind, idx, OrderedF64(dur)))) =
+            ready.pop()
+        {
+            let Reverse((OrderedF64(free_at), slot)) = slots.pop().expect("slots > 0");
+            let start = release.max(free_at);
+            let end = start + dur / self.node_speed;
+            slots.push(Reverse((OrderedF64(end), slot)));
+            let kind_enum = if kind == 0 {
+                crate::metrics::TaskKind::Map
+            } else {
+                crate::metrics::TaskKind::Reduce
+            };
+            js[j].tasks.push(SimTask {
+                kind: kind_enum,
+                index: idx,
+                node: slot / self.slots_per_node,
+                slot,
+                start_secs: start,
+                end_secs: end,
+            });
+            js[j].start = js[j].start.min(start);
+            if kind == 0 {
+                js[j].map_end = js[j].map_end.max(end);
+                js[j].maps_left -= 1;
+                if js[j].maps_left == 0 {
+                    let m = &chain.jobs[j];
+                    let record_overhead =
+                        m.shuffle_records as f64 * self.per_record_secs / self.total_slots() as f64;
+                    let shuffle = self.shuffle_secs(m.shuffle_bytes) + record_overhead;
+                    js[j].shuffle_start = js[j].map_end;
+                    js[j].shuffle_end = js[j].map_end + shuffle;
+                    let base = js[j].shuffle_end;
+                    for t in &m.reduce_tasks {
+                        push(&mut ready, base, j, 1, t.index, t.duration.as_secs_f64());
+                    }
+                }
+            } else {
+                js[j].end = js[j].end.max(end);
+                js[j].reds_left -= 1;
+                for &k in &downstream[j] {
+                    let k_maps = &chain.jobs[k].map_tasks;
+                    if k_maps.len() == chain.jobs[j].reduce_tasks.len() {
+                        // Partition-granular release: split `idx` of job k
+                        // consumes exactly reduce partition `idx` of job j.
+                        let t = &k_maps[idx];
+                        push(&mut ready, end, k, 0, t.index, t.duration.as_secs_f64());
+                    } else if js[j].reds_left == 0 {
+                        // Shape mismatch: whole-stage barrier.
+                        for t in k_maps {
+                            push(
+                                &mut ready,
+                                js[j].end,
+                                k,
+                                0,
+                                t.index,
+                                t.duration.as_secs_f64(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        js.into_iter()
+            .zip(&chain.jobs)
+            .map(|(mut s, m)| {
+                s.tasks
+                    .sort_by_key(|t| (matches!(t.kind, crate::metrics::TaskKind::Reduce), t.index));
+                SimSchedule {
+                    job_name: m.name.clone(),
+                    start_secs: if s.start.is_finite() { s.start } else { 0.0 },
+                    shuffle_start_secs: s.shuffle_start,
+                    shuffle_end_secs: s.shuffle_end,
+                    end_secs: s.end,
+                    shuffle_bytes: m.shuffle_bytes,
+                    tasks: s.tasks,
+                }
+            })
+            .collect()
+    }
 }
 
 /// One task placed on the simulated cluster.
@@ -419,6 +597,7 @@ mod tests {
     fn hadoop_calibration_charges_per_record() {
         let m = JobMetrics {
             name: "t".into(),
+            plan_stage: None,
             map_tasks: vec![one_task(TaskKind::Map, 0, 0)],
             reduce_tasks: vec![one_task(TaskKind::Reduce, 0, 0)],
             shuffle_records: 3_000_000,
@@ -442,6 +621,7 @@ mod tests {
     fn simulate_job_sums_phases() {
         let m = JobMetrics {
             name: "t".into(),
+            plan_stage: None,
             map_tasks: vec![one_task(TaskKind::Map, 100, 10)],
             reduce_tasks: vec![one_task(TaskKind::Reduce, 200, 10)],
             shuffle_records: 1,
@@ -466,6 +646,7 @@ mod tests {
     fn many_task_metrics() -> JobMetrics {
         JobMetrics {
             name: "sched".into(),
+            plan_stage: None,
             map_tasks: (0..8)
                 .map(|i| {
                     let mut t = one_task(TaskKind::Map, 100 + 30 * (i as u64 % 3), 10);
@@ -637,5 +818,140 @@ mod tests {
         let total: f64 = scheds.iter().map(|s| s.makespan_secs()).sum();
         let phases = c.simulate_chain(&chain);
         assert!((total - phases.total_secs()).abs() < 1e-9);
+    }
+
+    fn plan_job(name: &str, maps_ms: &[u64], reds_ms: &[u64]) -> JobMetrics {
+        let task = |kind, i: usize, ms: u64| {
+            let mut t = one_task(kind, ms, 10);
+            t.index = i;
+            t
+        };
+        JobMetrics {
+            name: name.into(),
+            plan_stage: None,
+            map_tasks: maps_ms
+                .iter()
+                .enumerate()
+                .map(|(i, &ms)| task(TaskKind::Map, i, ms))
+                .collect(),
+            reduce_tasks: reds_ms
+                .iter()
+                .enumerate()
+                .map(|(i, &ms)| task(TaskKind::Reduce, i, ms))
+                .collect(),
+            shuffle_records: 0,
+            shuffle_bytes: 0,
+            pre_combine_records: 0,
+            pre_combine_bytes: 0,
+            elapsed: Duration::ZERO,
+            map_elapsed: Duration::ZERO,
+            shuffle_elapsed: Duration::ZERO,
+            reduce_elapsed: Duration::ZERO,
+            exec: Default::default(),
+        }
+    }
+
+    fn plan_makespan(scheds: &[SimSchedule]) -> f64 {
+        scheds.iter().map(|s| s.end_secs).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn plan_single_job_matches_job_schedule() {
+        let m = many_task_metrics();
+        let mut chain = ChainMetrics::default();
+        chain.push(m.clone());
+        let c = ClusterModel::paper_default(2);
+        let plan = c.simulate_plan(&chain, &[None]);
+        let solo = c.simulate_job_schedule(&m, 0.0);
+        assert_eq!(plan.len(), 1);
+        assert!((plan[0].end_secs - solo.end_secs).abs() < 1e-12);
+        assert!((plan[0].shuffle_start_secs - solo.shuffle_start_secs).abs() < 1e-12);
+        assert!((plan[0].shuffle_end_secs - solo.shuffle_end_secs).abs() < 1e-12);
+        assert_eq!(plan[0].tasks.len(), solo.tasks.len());
+        for (a, b) in plan[0].tasks.iter().zip(&solo.tasks) {
+            assert_eq!((a.kind, a.index), (b.kind, b.index));
+            assert!(
+                (a.start_secs - b.start_secs).abs() < 1e-12,
+                "{a:?} vs {b:?}"
+            );
+            assert!((a.end_secs - b.end_secs).abs() < 1e-12, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn plan_pipelines_across_job_boundary() {
+        // 1 node x 2 slots, no shuffle cost. Upstream: a zero-cost map,
+        // then four reduce partitions with one straggler (1s,1s,1s,4s).
+        // Downstream: one 2s map per upstream partition, one 1s reduce.
+        //
+        // Serialized: upstream reduces pack as [0-1, 0-1, 1-2, 1-5];
+        // downstream maps start at 5 in pairs -> 9; reduce -> 10.
+        //
+        // Pipelined: splits 0/1 release at 1, split 2 at 2, split 3 at 5.
+        // They interleave with the straggling reduce on the free slot:
+        // maps run 2-4, 4-6, 5-7, 6-8; reduce 8-9. Makespan 9 < 10.
+        let c = ClusterModel {
+            nodes: 1,
+            slots_per_node: 2,
+            net_bytes_per_sec: 125_000_000.0,
+            node_speed: 1.0,
+            per_record_secs: 0.0,
+        };
+        let mut chain = ChainMetrics::default();
+        chain.push(plan_job("up", &[0], &[1000, 1000, 1000, 4000]));
+        chain.push(plan_job("down", &[2000, 2000, 2000, 2000], &[1000]));
+        let deps = [None, Some(0)];
+        let piped = plan_makespan(&c.simulate_plan(&chain, &deps));
+        let serial = c.simulate_chain_schedule(&chain).last().unwrap().end_secs;
+        assert!((serial - 10.0).abs() < 1e-9, "serialized {serial}");
+        assert!((piped - 9.0).abs() < 1e-9, "pipelined {piped}");
+    }
+
+    #[test]
+    fn plan_never_slower_than_serialized_chain() {
+        let mut chain = ChainMetrics::default();
+        chain.push(many_task_metrics());
+        chain.push(many_task_metrics());
+        chain.push(many_task_metrics());
+        let deps = [None, Some(0), Some(1)];
+        for nodes in [1, 2, 5] {
+            let c = ClusterModel::paper_default(nodes);
+            let piped = plan_makespan(&c.simulate_plan(&chain, &deps));
+            let serial = c.simulate_chain_schedule(&chain).last().unwrap().end_secs;
+            assert!(piped <= serial + 1e-9, "{nodes} nodes: {piped} > {serial}");
+        }
+    }
+
+    #[test]
+    fn plan_shape_mismatch_barriers_like_chain() {
+        // Downstream map count != upstream reduce count: the whole
+        // upstream stage must finish first, so the plan degenerates to
+        // the serialized chain.
+        let mut chain = ChainMetrics::default();
+        chain.push(plan_job("up", &[500], &[1000, 2000]));
+        chain.push(plan_job("down", &[700, 700, 700], &[900]));
+        let c = ClusterModel::paper_default(1);
+        let piped = plan_makespan(&c.simulate_plan(&chain, &[None, Some(0)]));
+        let serial = c.simulate_chain_schedule(&chain).last().unwrap().end_secs;
+        assert!((piped - serial).abs() < 1e-9, "{piped} vs {serial}");
+    }
+
+    #[test]
+    fn plan_simulation_is_deterministic() {
+        let mut chain = ChainMetrics::default();
+        chain.push(many_task_metrics());
+        chain.push(many_task_metrics());
+        let c = ClusterModel::paper_default(3);
+        let a = c.simulate_plan(&chain, &[None, Some(0)]);
+        let b = c.simulate_plan(&chain, &[None, Some(0)]);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one dependency entry per job")]
+    fn plan_deps_length_mismatch_is_rejected() {
+        let mut chain = ChainMetrics::default();
+        chain.push(many_task_metrics());
+        ClusterModel::paper_default(1).simulate_plan(&chain, &[None, Some(0)]);
     }
 }

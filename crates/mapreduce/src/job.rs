@@ -33,6 +33,10 @@ impl<K: Key, V: Value> Combiner<K, V> for IdentityCombiner {
     fn combine(&self, _key: &K, values: Vec<V>) -> Vec<V> {
         values
     }
+
+    fn combine_into(&self, _key: &K, values: &mut dyn Iterator<Item = V>, out: &mut Vec<V>) {
+        out.extend(values);
+    }
 }
 
 /// Configures and runs a MapReduce job.
@@ -405,6 +409,7 @@ impl JobBuilder {
 
         let metrics = JobMetrics {
             name: self.name.clone(),
+            plan_stage: None,
             map_tasks: map_stats,
             reduce_tasks: reduce_stats,
             shuffle_records,
@@ -452,49 +457,76 @@ impl JobBuilder {
     }
 }
 
+/// One key run drained straight off a sorted bucket iterator: yields the
+/// values of `key` and stops at the first pair with a different key,
+/// leaving it in the underlying iterator.
+struct RunValues<'a, K: Key, V: Value, I: Iterator<Item = (K, V)>> {
+    first: Option<V>,
+    key: &'a K,
+    rest: &'a mut std::iter::Peekable<I>,
+}
+
+impl<K: Key, V: Value, I: Iterator<Item = (K, V)>> Iterator for RunValues<'_, K, V, I> {
+    type Item = V;
+
+    fn next(&mut self) -> Option<V> {
+        if let Some(v) = self.first.take() {
+            return Some(v);
+        }
+        if self.rest.peek().is_some_and(|(k, _)| k == self.key) {
+            return self.rest.next().map(|(_, v)| v);
+        }
+        None
+    }
+}
+
 /// Apply a combiner to every key run of a sorted bucket.
-fn combine_runs<K: Key, V: Value, C: Combiner<K, V>>(
+///
+/// Key groups stream off the bucket through [`Combiner::combine_into`]:
+/// fold-style combiners ([`crate::SumCombiner`], the verification-count
+/// combiner) run with **no per-key allocation** — one reused scratch vector
+/// amortizes over the whole bucket. Exposed (as an engine internal) so the
+/// counting-allocator bench can pin that property.
+pub fn combine_runs<K: Key, V: Value, C: Combiner<K, V>>(
     bucket: Vec<(K, V)>,
     combiner: &C,
 ) -> Vec<(K, V)> {
     let mut out = Vec::with_capacity(bucket.len());
-    let mut current: Option<(K, Vec<V>)> = None;
-    for (k, v) in bucket {
-        match &mut current {
-            Some((ck, vals)) if *ck == k => vals.push(v),
-            _ => {
-                if let Some((ck, vals)) = current.take() {
-                    emit_combined(ck, vals, combiner, &mut out);
-                }
-                current = Some((k, vec![v]));
-            }
+    let mut vals: Vec<V> = Vec::new(); // reused across key groups
+    let mut it = bucket.into_iter().peekable();
+    while let Some((key, first)) = it.next() {
+        {
+            let mut run = RunValues {
+                first: Some(first),
+                key: &key,
+                rest: &mut it,
+            };
+            combiner.combine_into(&key, &mut run, &mut vals);
+            // The contract says the combiner exhausts the run; drain any
+            // leftovers so a lazy combiner cannot leak values into the
+            // next group.
+            for _leftover in run {}
         }
-    }
-    if let Some((ck, vals)) = current.take() {
-        emit_combined(ck, vals, combiner, &mut out);
+        flush_combined(key, &mut vals, &mut out);
     }
     out
 }
 
-/// Emit one combined key group, cloning the key only for the first `n - 1`
-/// pairs and moving it into the last (the common single-value case clones
-/// nothing).
-fn emit_combined<K: Key, V: Value, C: Combiner<K, V>>(
-    key: K,
-    values: Vec<V>,
-    combiner: &C,
-    out: &mut Vec<(K, V)>,
-) {
-    let mut combined = combiner.combine(&key, values).into_iter();
-    let mut prev = match combined.next() {
-        Some(v) => v,
-        None => return,
-    };
-    for next in combined {
-        out.push((key.clone(), prev));
-        prev = next;
+/// Move one combined key group out of the scratch buffer, cloning the key
+/// only for the first `n - 1` pairs and moving it into the last (the
+/// common single-value case clones nothing).
+fn flush_combined<K: Key, V: Value>(key: K, vals: &mut Vec<V>, out: &mut Vec<(K, V)>) {
+    let n = vals.len();
+    if n == 0 {
+        return;
     }
-    out.push((key, prev));
+    let mut drained = vals.drain(..);
+    for _ in 0..n - 1 {
+        out.push((key.clone(), drained.next().expect("n values")));
+    }
+    let last = drained.next().expect("n values");
+    drop(drained);
+    out.push((key, last));
 }
 
 #[cfg(test)]

@@ -67,6 +67,7 @@ pub mod job;
 pub mod merge;
 pub mod metrics;
 pub mod partitioner;
+pub mod plan;
 pub mod sim_faults;
 pub mod spill;
 pub mod traits;
@@ -80,6 +81,7 @@ pub use job::{IdentityCombiner, JobBuilder};
 pub use merge::{GroupValues, GroupedRuns, KWayMerge};
 pub use metrics::{ChainMetrics, ExecSummary, JobMetrics, TaskKind, TaskStat};
 pub use partitioner::{DirectPartitioner, HashPartitioner, Partitioner};
+pub use plan::{Plan, PlanMode, PlanOutcome, PlanRunner, Stage, StageHandle, StageInput};
 pub use sim_faults::{SimFaultError, SimFaultOutcome, SimFaultPolicy};
 pub use spill::{SharedRun, SpillStore};
 pub use traits::{Combiner, Key, Mapper, Reducer, StreamingReducer, SumCombiner, Value};

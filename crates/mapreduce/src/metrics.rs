@@ -85,6 +85,11 @@ impl ExecSummary {
 pub struct JobMetrics {
     /// Job name (for reports).
     pub name: String,
+    /// Identity of this job inside an execution plan: `(plan name, stage
+    /// index)`. `None` for standalone [`JobBuilder`](crate::JobBuilder)
+    /// jobs; set by [`PlanRunner`](crate::plan::PlanRunner) so reports and
+    /// traces can attribute a stage to its DAG.
+    pub plan_stage: Option<(String, usize)>,
     /// Per-map-task counters.
     pub map_tasks: Vec<TaskStat>,
     /// Per-reduce-task counters.
@@ -248,6 +253,7 @@ mod tests {
     fn metrics() -> JobMetrics {
         JobMetrics {
             name: "test".into(),
+            plan_stage: None,
             map_tasks: vec![stat(TaskKind::Map, 10, 30), stat(TaskKind::Map, 10, 30)],
             reduce_tasks: vec![stat(TaskKind::Reduce, 30, 5), stat(TaskKind::Reduce, 30, 5)],
             shuffle_records: 60,

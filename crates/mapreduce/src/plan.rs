@@ -1,0 +1,1618 @@
+//! Declarative execution plans: job DAGs with partition-granular
+//! pipelining across job boundaries.
+//!
+//! A [`Plan`] is a DAG of [`Stage`]s — each stage is one MapReduce job
+//! (mapper/reducer factories, partitioner, optional combiner) whose input
+//! is either an external [`Dataset`] or the output of an earlier stage.
+//! The [`PlanRunner`] executes the whole DAG on one worker pool with
+//! **partition-granular pipelining** ([`PlanMode::Pipelined`]): the moment
+//! reduce partition *i* of an upstream stage completes, it is sealed
+//! behind an `Arc` (the same [`SharedRun`]-style immutable-view machinery
+//! the shuffle uses) and scheduled as map split *i* of every downstream
+//! stage — the in-process analogue of Hadoop's slow-start, where the next
+//! job's maps begin while the previous job's reduces are still draining.
+//! Consumed intermediate partitions are dropped eagerly (the runner
+//! prefers downstream-most runnable tasks), cutting peak live intermediate
+//! memory; [`PlanOutcome::peak_live_bytes`] reports the high-water mark.
+//!
+//! **The hard invariant:** pipelining changes *when* tasks run, never
+//! *what* they compute. Per-stage task bodies are byte-for-byte the ones
+//! [`JobBuilder`](crate::JobBuilder) runs (same split → map → combine →
+//! partition → sort → transpose → k-way-merge → reduce pipeline, same
+//! spans, same byte accounting), stage inputs are the upstream reduce
+//! partitions in reduce-task order (exactly what
+//! `Dataset::from_partitions` would hand the next job), and retries
+//! re-fetch sealed partitions instead of re-running upstream work. So all
+//! *logical* metrics — shuffle records/bytes, duplication, per-key
+//! grouping, result digests — are bit-identical between
+//! [`PlanMode::Pipelined`], [`PlanMode::Sequential`], and the legacy
+//! imperative `JobBuilder` chain. Only wall-clock durations (and the
+//! memory high-water mark) differ.
+
+use crate::dataset::Dataset;
+use crate::dfs::Dfs;
+use crate::emitter::Emitter;
+use crate::executor::{default_workers, panic_message};
+use crate::job::{combine_runs, IdentityCombiner};
+use crate::merge::GroupedRuns;
+use crate::metrics::{ChainMetrics, ExecSummary, JobMetrics, TaskKind, TaskStat};
+use crate::partitioner::{HashPartitioner, Partitioner};
+use crate::spill::{SharedRun, SpillStore};
+use crate::traits::{Combiner, Key, Mapper, StreamingReducer, Value};
+use ssj_common::ByteSize;
+use ssj_faults::{Fault, FaultPlan, InjectedPanic, Phase, RetryPolicy};
+use ssj_observe::{global_registry, span, Span};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::executor::{TaskError, TaskFailure};
+
+// ---------------------------------------------------------------------------
+// Type-erased stage data.
+// ---------------------------------------------------------------------------
+
+/// One sealed partition: an `Arc<Vec<(K, V)>>` behind `dyn Any`. Upstream
+/// reduce outputs are published in this form; downstream map attempts
+/// re-fetch shared views (an `Arc` clone), never copies — which is what
+/// makes a downstream retry free for the upstream stage.
+type AnyPart = Arc<dyn Any + Send + Sync>;
+
+/// One map task's sealed output: `Vec<SharedRun<K, V>>`, one sorted
+/// (combined) run per reduce partition of its own stage.
+type AnySealed = Box<dyn Any + Send>;
+
+/// One stage's transposed map output: `SpillStore<K, V>` behind `dyn Any`.
+type AnySpill = Arc<dyn Any + Send + Sync>;
+
+/// Result of one map attempt: sealed runs, task stat, pre-combine records
+/// and bytes.
+type MapOut = (AnySealed, TaskStat, usize, usize);
+
+type MapFn = Box<dyn Fn(usize, &AnyPart, u32, Instant) -> MapOut + Send + Sync>;
+type TransposeFn = Box<dyn Fn(Vec<AnySealed>) -> AnySpill + Send + Sync>;
+type ReduceFn = Box<dyn Fn(usize, &AnySpill, u32, Instant) -> (AnyPart, TaskStat) + Send + Sync>;
+
+/// Where a stage's map input comes from.
+enum InputSrc {
+    /// External partitions, sealed at plan-build time.
+    External(Vec<AnyPart>),
+    /// Output partitions of an earlier stage (by index).
+    Upstream(usize),
+}
+
+/// One type-erased stage of a [`Plan`]. Built by [`Plan::add_full`]; the
+/// closures replicate [`JobBuilder::run_full`]'s task bodies exactly.
+pub struct Stage {
+    name: String,
+    input: InputSrc,
+    reduce_tasks: usize,
+    run_map: MapFn,
+    transpose: TransposeFn,
+    run_reduce: ReduceFn,
+}
+
+impl Stage {
+    /// Stage (job) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of reduce tasks (= output partitions).
+    pub fn reduce_tasks(&self) -> usize {
+        self.reduce_tasks
+    }
+
+    /// Index of the upstream stage feeding this one, if any.
+    pub fn upstream(&self) -> Option<usize> {
+        match self.input {
+            InputSrc::External(_) => None,
+            InputSrc::Upstream(u) => Some(u),
+        }
+    }
+
+    fn map_tasks(&self, stages: &[Stage]) -> usize {
+        match &self.input {
+            InputSrc::External(parts) => parts.len(),
+            InputSrc::Upstream(u) => stages[*u].reduce_tasks,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed handles.
+// ---------------------------------------------------------------------------
+
+/// Typed reference to a stage's output dataset — returned by the `add`
+/// methods, consumed as a later stage's input or passed to
+/// [`PlanOutcome::take_output`].
+pub struct StageHandle<K, V> {
+    idx: usize,
+    _t: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> Clone for StageHandle<K, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K, V> Copy for StageHandle<K, V> {}
+
+impl<K, V> StageHandle<K, V> {
+    /// Index of the stage within its plan.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+}
+
+/// A stage's input: a materialized dataset or an earlier stage's output.
+pub enum StageInput<K, V> {
+    /// External input partitions.
+    Dataset(Dataset<K, V>),
+    /// Output of an earlier stage in the same plan.
+    Stage(StageHandle<K, V>),
+}
+
+impl<K, V> From<Dataset<K, V>> for StageInput<K, V> {
+    fn from(d: Dataset<K, V>) -> Self {
+        StageInput::Dataset(d)
+    }
+}
+
+impl<K, V> From<StageHandle<K, V>> for StageInput<K, V> {
+    fn from(h: StageHandle<K, V>) -> Self {
+        StageInput::Stage(h)
+    }
+}
+
+impl<K: Send + Sync + 'static, V: Send + Sync + 'static> StageInput<K, V> {
+    /// Take a named dataset out of the [`Dfs`] as an external stage input.
+    pub fn from_dfs(dfs: &mut Dfs, name: &str) -> Self {
+        StageInput::Dataset(dfs.take(name))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan.
+// ---------------------------------------------------------------------------
+
+/// How the [`PlanRunner`] sequences stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Partition-granular pipelining: downstream map split *i* is released
+    /// the moment upstream reduce partition *i* completes; consumed
+    /// partitions are dropped as soon as their last consumer map succeeds.
+    #[default]
+    Pipelined,
+    /// Stage-barriered execution (a faithful stand-in for the legacy
+    /// `JobBuilder` chain): a stage's maps are released only when its
+    /// upstream stage has fully completed, and an upstream stage's output
+    /// partitions are dropped only when the consuming stage completes.
+    Sequential,
+}
+
+/// A declarative DAG of MapReduce stages. Build with the `add*` methods
+/// (each returns a typed [`StageHandle`] usable as a later stage's input),
+/// then execute with a [`PlanRunner`].
+pub struct Plan {
+    name: String,
+    workers: usize,
+    retry: RetryPolicy,
+    faults: Option<Arc<FaultPlan>>,
+    stages: Vec<Stage>,
+}
+
+impl Plan {
+    /// Start an empty plan.
+    pub fn new(name: impl Into<String>) -> Self {
+        Plan {
+            name: name.into(),
+            workers: default_workers(),
+            retry: RetryPolicy::default(),
+            faults: None,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Set the number of host worker threads shared by *all* stages
+    /// (default: available parallelism). Affects only wall-clock, never
+    /// results or logical counters.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        assert!(n > 0, "a plan needs at least one worker thread");
+        self.workers = n;
+        self
+    }
+
+    /// Set the per-task retry budget and backoff (default:
+    /// [`RetryPolicy::default`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Inject faults from a deterministic [`FaultPlan`] into every stage's
+    /// task attempts (decisions are keyed by stage name, phase, task and
+    /// attempt — exactly like [`JobBuilder::faults`](crate::JobBuilder)).
+    /// When unset, a process-global plan installed via
+    /// [`ssj_faults::install_plan`] still applies.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Plan name (spans, `JobMetrics::plan_stage`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stages added so far, in declaration order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Upstream dependency of each stage (`None` = external input), in
+    /// stage order — the dependency vector [`ClusterModel::simulate_plan`]
+    /// (crate::ClusterModel::simulate_plan) consumes.
+    pub fn deps(&self) -> Vec<Option<usize>> {
+        self.stages.iter().map(Stage::upstream).collect()
+    }
+
+    /// Add a stage with the default [`HashPartitioner`] and no combiner.
+    pub fn add<M, R, FM, FR>(
+        &mut self,
+        name: impl Into<String>,
+        input: impl Into<StageInput<M::InKey, M::InValue>>,
+        reduce_tasks: usize,
+        mapper: FM,
+        reducer: FR,
+    ) -> StageHandle<R::OutKey, R::OutValue>
+    where
+        M: Mapper,
+        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue>,
+        FM: Fn(usize) -> M + Send + Sync + 'static,
+        FR: Fn(usize) -> R + Send + Sync + 'static,
+        M::InKey: Clone + Sync + ByteSize,
+        M::InValue: Clone + Sync + ByteSize,
+    {
+        self.add_full(
+            name,
+            input,
+            reduce_tasks,
+            mapper,
+            reducer,
+            HashPartitioner,
+            None::<IdentityCombiner>,
+        )
+    }
+
+    /// Add a stage with a custom partitioner and no combiner.
+    pub fn add_partitioned<M, R, P, FM, FR>(
+        &mut self,
+        name: impl Into<String>,
+        input: impl Into<StageInput<M::InKey, M::InValue>>,
+        reduce_tasks: usize,
+        mapper: FM,
+        reducer: FR,
+        partitioner: P,
+    ) -> StageHandle<R::OutKey, R::OutValue>
+    where
+        M: Mapper,
+        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue>,
+        P: Partitioner<M::OutKey> + Send + Sync + 'static,
+        FM: Fn(usize) -> M + Send + Sync + 'static,
+        FR: Fn(usize) -> R + Send + Sync + 'static,
+        M::InKey: Clone + Sync + ByteSize,
+        M::InValue: Clone + Sync + ByteSize,
+    {
+        self.add_full(
+            name,
+            input,
+            reduce_tasks,
+            mapper,
+            reducer,
+            partitioner,
+            None::<IdentityCombiner>,
+        )
+    }
+
+    /// Add a stage with a custom partitioner and an optional map-side
+    /// combiner. Returns a typed handle to the stage's output.
+    ///
+    /// The factories are owned (`'static`) because stages outlive the call
+    /// site: capture shared state (token pools, pivot arrays) behind `Arc`s
+    /// and `move` it in.
+    ///
+    /// # Panics
+    /// Panics if `reduce_tasks == 0` or the input handle does not refer to
+    /// an earlier stage of this plan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_full<M, R, P, C, FM, FR>(
+        &mut self,
+        name: impl Into<String>,
+        input: impl Into<StageInput<M::InKey, M::InValue>>,
+        reduce_tasks: usize,
+        mapper: FM,
+        reducer: FR,
+        partitioner: P,
+        combiner: Option<C>,
+    ) -> StageHandle<R::OutKey, R::OutValue>
+    where
+        M: Mapper,
+        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue>,
+        P: Partitioner<M::OutKey> + Send + Sync + 'static,
+        C: Combiner<M::OutKey, M::OutValue> + 'static,
+        FM: Fn(usize) -> M + Send + Sync + 'static,
+        FR: Fn(usize) -> R + Send + Sync + 'static,
+        M::InKey: Clone + Sync + ByteSize,
+        M::InValue: Clone + Sync + ByteSize,
+    {
+        assert!(reduce_tasks > 0, "a stage needs at least one reduce task");
+        let name = name.into();
+        let num_reduce = reduce_tasks;
+
+        let input = match input.into() {
+            StageInput::Dataset(d) => {
+                let mut parts: Vec<AnyPart> = d
+                    .into_partitions()
+                    .into_iter()
+                    .map(|p| Arc::new(p) as AnyPart)
+                    .collect();
+                if parts.is_empty() {
+                    // A stage must have at least one map task or its
+                    // shuffle would never trigger.
+                    parts.push(Arc::new(Vec::<(M::InKey, M::InValue)>::new()));
+                }
+                InputSrc::External(parts)
+            }
+            StageInput::Stage(h) => {
+                assert!(
+                    h.idx < self.stages.len(),
+                    "input handle does not refer to an earlier stage of this plan"
+                );
+                InputSrc::Upstream(h.idx)
+            }
+        };
+
+        // A commutative combiner licenses the unstable map-side bucket
+        // sort — the same rule JobBuilder::run_full applies.
+        let unstable_bucket_sort = combiner.as_ref().is_some_and(|c| c.is_commutative());
+
+        let map_name = name.clone();
+        let run_map: MapFn = Box::new(move |task_idx, part, attempt, phase_start| {
+            let split: &Vec<(M::InKey, M::InValue)> = part
+                .downcast_ref()
+                .expect("plan stage map input has the stage's declared type");
+            let queue = phase_start.elapsed();
+            let mut task_span = span("mr.task", "map");
+            task_span.record("job", map_name.as_str());
+            task_span.record("index", task_idx);
+            task_span.record("attempt", attempt);
+            let start = Instant::now();
+            let mut m = mapper(task_idx);
+            let mut out: Emitter<M::OutKey, M::OutValue> = Emitter::new();
+            m.setup();
+            let mut input_bytes = 0usize;
+            for (k, v) in split.iter() {
+                input_bytes += k.byte_size() + v.byte_size();
+                m.map(k.clone(), v.clone(), &mut out);
+            }
+            m.cleanup(&mut out);
+
+            let pre_records = out.len();
+            let pre_bytes = out.bytes();
+            let (pairs, _) = out.into_parts();
+
+            let mut buckets: Vec<Vec<(M::OutKey, M::OutValue)>> =
+                (0..num_reduce).map(|_| Vec::new()).collect();
+            for (k, v) in pairs {
+                let p = partitioner.partition(&k, num_reduce);
+                debug_assert!(p < num_reduce);
+                buckets[p].push((k, v));
+            }
+            let mut post_bytes = 0usize;
+            let mut post_records = 0usize;
+            for bucket in &mut buckets {
+                if unstable_bucket_sort {
+                    bucket.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                } else {
+                    bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                }
+                if let Some(c) = combiner.as_ref() {
+                    *bucket = combine_runs(std::mem::take(bucket), c);
+                }
+                post_records += bucket.len();
+                post_bytes += bucket
+                    .iter()
+                    .map(|(k, v)| k.byte_size() + v.byte_size())
+                    .sum::<usize>();
+            }
+
+            task_span.record("input_records", split.len());
+            task_span.record("output_records", post_records);
+            let stat = TaskStat {
+                kind: TaskKind::Map,
+                index: task_idx,
+                duration: start.elapsed(),
+                queue,
+                input_records: split.len(),
+                input_bytes,
+                output_records: post_records,
+                output_bytes: post_bytes,
+            };
+            let sealed: Vec<SharedRun<M::OutKey, M::OutValue>> =
+                buckets.into_iter().map(Arc::new).collect();
+            (Box::new(sealed) as AnySealed, stat, pre_records, pre_bytes)
+        });
+
+        let transpose: TransposeFn = Box::new(move |sealed| {
+            let sealed: Vec<Vec<SharedRun<M::OutKey, M::OutValue>>> = sealed
+                .into_iter()
+                .map(|b| {
+                    *b.downcast::<Vec<SharedRun<M::OutKey, M::OutValue>>>()
+                        .expect("sealed map output has the stage's declared type")
+                })
+                .collect();
+            let columns: Vec<Vec<SharedRun<M::OutKey, M::OutValue>>> = (0..num_reduce)
+                .map(|r| {
+                    sealed
+                        .iter()
+                        .map(|task_runs| Arc::clone(&task_runs[r]))
+                        .collect()
+                })
+                .collect();
+            Arc::new(SpillStore::from_shared(columns)) as AnySpill
+        });
+
+        let reduce_name = name.clone();
+        let run_reduce: ReduceFn = Box::new(move |task_idx, spill, attempt, phase_start| {
+            let spill: &SpillStore<M::OutKey, M::OutValue> = spill
+                .downcast_ref()
+                .expect("spill store has the stage's declared type");
+            let queue = phase_start.elapsed();
+            let mut task_span = span("mr.task", "reduce");
+            task_span.record("job", reduce_name.as_str());
+            task_span.record("index", task_idx);
+            task_span.record("attempt", attempt);
+            // Every attempt re-fetches shared views of the checkpointed
+            // runs — a retry never re-runs the map phase.
+            let runs = spill.fetch(task_idx);
+            let start = Instant::now();
+            let mut r = reducer(task_idx);
+            let mut out: Emitter<R::OutKey, R::OutValue> = Emitter::new();
+            r.setup();
+
+            let mut input_records = 0usize;
+            let mut input_bytes = 0usize;
+            for run in &runs {
+                input_records += run.len();
+                input_bytes += run
+                    .iter()
+                    .map(|(k, v)| k.byte_size() + v.byte_size())
+                    .sum::<usize>();
+            }
+            let slices: Vec<&[(M::OutKey, M::OutValue)]> =
+                runs.iter().map(|run| run.as_slice()).collect();
+            GroupedRuns::new(slices).for_each_group(|key, values| {
+                r.reduce_group(key, values, &mut out);
+            });
+            r.cleanup(&mut out);
+
+            let output_records = out.len();
+            let output_bytes = out.bytes();
+            let (pairs, _) = out.into_parts();
+            task_span.record("input_records", input_records);
+            task_span.record("output_records", output_records);
+            let stat = TaskStat {
+                kind: TaskKind::Reduce,
+                index: task_idx,
+                duration: start.elapsed(),
+                queue,
+                input_records,
+                input_bytes,
+                output_records,
+                output_bytes,
+            };
+            (Arc::new(pairs) as AnyPart, stat)
+        });
+
+        let idx = self.stages.len();
+        self.stages.push(Stage {
+            name,
+            input,
+            reduce_tasks,
+            run_map,
+            transpose,
+            run_reduce,
+        });
+        StageHandle {
+            idx,
+            _t: PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner.
+// ---------------------------------------------------------------------------
+
+/// Executes a [`Plan`] on one shared worker pool.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanRunner {
+    mode: PlanMode,
+}
+
+impl PlanRunner {
+    /// A runner with the given sequencing mode.
+    pub fn new(mode: PlanMode) -> Self {
+        PlanRunner { mode }
+    }
+
+    /// A pipelined runner (the default).
+    pub fn pipelined() -> Self {
+        PlanRunner::new(PlanMode::Pipelined)
+    }
+
+    /// A stage-barriered runner (the sequential baseline).
+    pub fn sequential() -> Self {
+        PlanRunner::new(PlanMode::Sequential)
+    }
+
+    /// Execute every stage of the plan.
+    ///
+    /// # Panics
+    /// Panics with the [`TaskFailure`] message if any task exhausts its
+    /// retry budget — the same failure surface as
+    /// [`JobBuilder`](crate::JobBuilder).
+    pub fn run(&self, plan: Plan) -> PlanOutcome {
+        run_plan(plan, self.mode)
+    }
+}
+
+/// The result of executing a [`Plan`].
+pub struct PlanOutcome {
+    /// Per-stage [`JobMetrics`] in stage-declaration order, each with
+    /// [`JobMetrics::plan_stage`] set to `(plan name, stage index)`.
+    pub metrics: ChainMetrics,
+    /// High-water mark of live intermediate bytes: the summed logical size
+    /// of reduce-output partitions that had been produced but not yet
+    /// dropped (only stages with downstream consumers count — terminal
+    /// outputs are results, not intermediates).
+    pub peak_live_bytes: usize,
+    deps: Vec<Option<usize>>,
+    outputs: Vec<Vec<Option<AnyPart>>>,
+}
+
+impl PlanOutcome {
+    /// Upstream dependency of each stage (`None` = external input) — the
+    /// shape [`ClusterModel::simulate_plan`](crate::ClusterModel::simulate_plan)
+    /// takes alongside [`Self::metrics`].
+    pub fn deps(&self) -> &[Option<usize>] {
+        &self.deps
+    }
+
+    /// Take a stage's output dataset (partitions in reduce-task order —
+    /// identical to what `JobBuilder` returns for the same job).
+    ///
+    /// # Panics
+    /// Panics if the output was consumed by a downstream stage (consumed
+    /// intermediates are dropped eagerly) or already taken.
+    pub fn take_output<K: Key, V: Value>(&mut self, h: StageHandle<K, V>) -> Dataset<K, V> {
+        let parts = &mut self.outputs[h.idx];
+        let partitions: Vec<Vec<(K, V)>> = parts
+            .iter_mut()
+            .map(|slot| {
+                let part = slot
+                    .take()
+                    .expect("stage output was consumed by a downstream stage or already taken");
+                let part = part
+                    .downcast::<Vec<(K, V)>>()
+                    .expect("stage output has the handle's declared type");
+                Arc::try_unwrap(part).unwrap_or_else(|shared| (*shared).clone())
+            })
+            .collect();
+        Dataset::from_partitions(partitions)
+    }
+
+    /// Take a stage's output and store it into the [`Dfs`] under `name`.
+    pub fn store_output<K: Key + std::fmt::Debug, V: Value + std::fmt::Debug>(
+        &mut self,
+        h: StageHandle<K, V>,
+        dfs: &mut Dfs,
+        name: impl Into<String>,
+    ) {
+        let out = self.take_output(h);
+        dfs.put(name, out);
+    }
+}
+
+/// One schedulable attempt.
+struct Queued {
+    stage: usize,
+    phase: Phase,
+    task: usize,
+    attempt: u32,
+    not_before: Instant,
+}
+
+/// Per-stage mutable scheduler state.
+struct StageRt {
+    maps_total: usize,
+    consumers: usize,
+    map_done: usize,
+    reduce_done: usize,
+    map_launched: Vec<u32>,
+    map_failed: Vec<u32>,
+    red_launched: Vec<u32>,
+    red_failed: Vec<u32>,
+    sealed: Vec<Option<AnySealed>>,
+    spill: Option<AnySpill>,
+    outputs: Vec<Option<AnyPart>>,
+    out_bytes: Vec<usize>,
+    part_consumers: Vec<usize>,
+    map_stats: Vec<Option<TaskStat>>,
+    red_stats: Vec<Option<TaskStat>>,
+    pre_records: usize,
+    pre_bytes: usize,
+    shuffle_records: usize,
+    shuffle_bytes: usize,
+    exec: ExecSummary,
+    started: Option<Instant>,
+    map_started: Option<Instant>,
+    map_elapsed: Duration,
+    shuffle_elapsed: Duration,
+    reduce_started: Option<Instant>,
+    reduce_elapsed: Duration,
+    job_span: Option<Span>,
+    map_span: Option<Span>,
+    reduce_span: Option<Span>,
+    metrics: Option<JobMetrics>,
+}
+
+impl StageRt {
+    fn new(maps_total: usize, reduce_tasks: usize, consumers: usize) -> Self {
+        StageRt {
+            maps_total,
+            consumers,
+            map_done: 0,
+            reduce_done: 0,
+            map_launched: vec![0; maps_total],
+            map_failed: vec![0; maps_total],
+            red_launched: vec![0; reduce_tasks],
+            red_failed: vec![0; reduce_tasks],
+            sealed: (0..maps_total).map(|_| None).collect(),
+            spill: None,
+            outputs: (0..reduce_tasks).map(|_| None).collect(),
+            out_bytes: vec![0; reduce_tasks],
+            part_consumers: vec![0; reduce_tasks],
+            map_stats: (0..maps_total).map(|_| None).collect(),
+            red_stats: (0..reduce_tasks).map(|_| None).collect(),
+            pre_records: 0,
+            pre_bytes: 0,
+            shuffle_records: 0,
+            shuffle_bytes: 0,
+            exec: ExecSummary::default(),
+            started: None,
+            map_started: None,
+            map_elapsed: Duration::ZERO,
+            shuffle_elapsed: Duration::ZERO,
+            reduce_started: None,
+            reduce_elapsed: Duration::ZERO,
+            job_span: None,
+            map_span: None,
+            reduce_span: None,
+            metrics: None,
+        }
+    }
+}
+
+/// Shared scheduler state.
+struct RunState {
+    stages: Vec<StageRt>,
+    queue: VecDeque<Queued>,
+    completed_stages: usize,
+    fatal: Option<TaskFailure>,
+    live_bytes: usize,
+    peak_live_bytes: usize,
+}
+
+enum Step {
+    Run(Queued),
+    Wait(Option<Duration>),
+    Exit,
+}
+
+/// Pick the next runnable attempt. Among runnable entries the runner
+/// prefers the *downstream-most* stage (then lowest task index): draining
+/// downstream maps first is what drops consumed upstream partitions
+/// eagerly and keeps the live-intermediate high-water mark low. Any pick
+/// order yields identical results and logical metrics — this one just
+/// minimizes memory.
+fn next_step(state: &mut RunState, n_stages: usize) -> Step {
+    if state.fatal.is_some() {
+        // Plan is lost: start no new attempts; in-flight attempts finish
+        // (the scope join waits for them).
+        return Step::Exit;
+    }
+    if state.completed_stages == n_stages {
+        return Step::Exit;
+    }
+    let now = Instant::now();
+    let mut earliest: Option<Instant> = None;
+    let mut pick: Option<(usize, usize, usize)> = None; // (stage, task, queue idx)
+    for (qi, item) in state.queue.iter().enumerate() {
+        if item.not_before > now {
+            earliest = Some(earliest.map_or(item.not_before, |e| e.min(item.not_before)));
+            continue;
+        }
+        let better = match pick {
+            None => true,
+            Some((s, t, _)) => item.stage > s || (item.stage == s && item.task < t),
+        };
+        if better {
+            pick = Some((item.stage, item.task, qi));
+        }
+    }
+    if let Some((_, _, qi)) = pick {
+        let item = state.queue.remove(qi).expect("index in range");
+        return Step::Run(item);
+    }
+    Step::Wait(earliest.map(|t| {
+        t.saturating_duration_since(now)
+            .max(Duration::from_micros(100))
+    }))
+}
+
+fn run_plan(plan: Plan, mode: PlanMode) -> PlanOutcome {
+    let n_stages = plan.stages.len();
+    let deps = plan.deps();
+    let mut plan_span = span("mr.plan", &plan.name);
+    plan_span.record("stages", n_stages);
+    plan_span.record(
+        "mode",
+        match mode {
+            PlanMode::Pipelined => "pipelined",
+            PlanMode::Sequential => "sequential",
+        },
+    );
+
+    // Consumer lists: which stages read stage u's output.
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n_stages];
+    for (j, dep) in deps.iter().enumerate() {
+        if let Some(u) = dep {
+            consumers[*u].push(j);
+        }
+    }
+
+    let effective_faults = plan.faults.clone().or_else(ssj_faults::active_plan);
+    let fault_plan = effective_faults.as_deref().filter(|p| p.is_active());
+    let retry = plan.retry;
+    let workers = plan.workers.max(1);
+
+    let mut stage_rts = Vec::with_capacity(n_stages);
+    let mut initial = VecDeque::new();
+    for (j, stage) in plan.stages.iter().enumerate() {
+        let maps_total = stage.map_tasks(&plan.stages);
+        stage_rts.push(StageRt::new(
+            maps_total,
+            stage.reduce_tasks,
+            consumers[j].len(),
+        ));
+        if matches!(stage.input, InputSrc::External(_)) {
+            for t in 0..maps_total {
+                initial.push_back(Queued {
+                    stage: j,
+                    phase: Phase::Map,
+                    task: t,
+                    attempt: 0,
+                    not_before: Instant::now(),
+                });
+            }
+        }
+    }
+
+    let state = Mutex::new(RunState {
+        stages: stage_rts,
+        queue: initial,
+        completed_stages: 0,
+        fatal: None,
+        live_bytes: 0,
+        peak_live_bytes: 0,
+    });
+    let wakeup = Condvar::new();
+    let plan_ref = &plan;
+    let consumers_ref = &consumers;
+    let deps_ref = &deps;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                plan_worker_loop(
+                    plan_ref,
+                    mode,
+                    fault_plan,
+                    &retry,
+                    consumers_ref,
+                    deps_ref,
+                    &state,
+                    &wakeup,
+                );
+            });
+        }
+    });
+
+    let state = state.into_inner().unwrap_or_else(|e| e.into_inner());
+    if let Some(failure) = state.fatal {
+        panic!("{failure}");
+    }
+    let mut metrics = ChainMetrics::default();
+    let mut outputs = Vec::with_capacity(n_stages);
+    for rt in state.stages {
+        metrics.push(rt.metrics.expect("completed stage has metrics"));
+        outputs.push(rt.outputs);
+    }
+    plan_span.record("peak_live_bytes", state.peak_live_bytes);
+    drop(plan_span);
+
+    PlanOutcome {
+        metrics,
+        peak_live_bytes: state.peak_live_bytes,
+        deps,
+        outputs,
+    }
+}
+
+/// Ensure the stage's job/map spans and start instants exist; returns the
+/// map-phase start used for queue-time accounting.
+fn ensure_stage_started(rt: &mut StageRt, stage: &Stage, now: Instant) -> Instant {
+    if rt.started.is_none() {
+        rt.started = Some(now);
+        let mut job_span = span("mr.job", &stage.name);
+        job_span.record("reduce_tasks", stage.reduce_tasks);
+        rt.job_span = Some(job_span);
+        let mut map_span = span("mr.phase", "map");
+        map_span.record("job", stage.name.as_str());
+        map_span.record("tasks", rt.maps_total);
+        rt.map_span = Some(map_span);
+        rt.map_started = Some(now);
+    }
+    rt.map_started.expect("map phase started")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn plan_worker_loop(
+    plan: &Plan,
+    mode: PlanMode,
+    fault_plan: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+    consumers: &[Vec<usize>],
+    deps: &[Option<usize>],
+    state: &Mutex<RunState>,
+    wakeup: &Condvar,
+) {
+    let n_stages = plan.stages.len();
+    loop {
+        // ---- Claim an attempt and snapshot its input under the lock. ----
+        let (item, input, phase_start) = {
+            let guard = state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut guard = guard;
+            let item = match next_step(&mut guard, n_stages) {
+                Step::Run(item) => item,
+                Step::Exit => {
+                    drop(guard);
+                    wakeup.notify_all();
+                    return;
+                }
+                Step::Wait(timeout) => {
+                    match timeout {
+                        Some(t) => drop(wakeup.wait_timeout(guard, t)),
+                        None => drop(wakeup.wait(guard)),
+                    }
+                    continue;
+                }
+            };
+            let now = Instant::now();
+            let stage = &plan.stages[item.stage];
+            let (input, phase_start) = match item.phase {
+                Phase::Map => {
+                    let part: AnyPart = match &stage.input {
+                        InputSrc::External(parts) => Arc::clone(&parts[item.task]),
+                        InputSrc::Upstream(u) => {
+                            // Re-fetch the sealed upstream partition — an
+                            // Arc clone, alive until this map succeeds.
+                            Arc::clone(
+                                guard.stages[*u].outputs[item.task]
+                                    .as_ref()
+                                    .expect("sealed upstream partition is alive until consumed"),
+                            )
+                        }
+                    };
+                    let rt = &mut guard.stages[item.stage];
+                    let phase_start = ensure_stage_started(rt, stage, now);
+                    rt.map_launched[item.task] += 1;
+                    rt.exec.attempts += 1;
+                    (part, phase_start)
+                }
+                Phase::Reduce => {
+                    let rt = &mut guard.stages[item.stage];
+                    let spill =
+                        Arc::clone(rt.spill.as_ref().expect("spill exists once reduces queue"));
+                    let phase_start = rt.reduce_started.expect("reduce phase started");
+                    rt.red_launched[item.task] += 1;
+                    rt.exec.attempts += 1;
+                    (spill, phase_start)
+                }
+            };
+            (item, input, phase_start)
+        };
+
+        // ---- Run the attempt outside the lock (executor semantics). ----
+        let stage = &plan.stages[item.stage];
+        let decision =
+            fault_plan.and_then(|p| p.decide(&stage.name, item.phase, item.task, item.attempt));
+
+        enum Body {
+            Map(MapOut),
+            Reduce((AnyPart, TaskStat)),
+        }
+        let outcome: Result<Body, TaskError> = match decision {
+            Some(Fault::Error) => Err(TaskError::Injected(Fault::Error)),
+            Some(Fault::Panic) => {
+                // A real unwind, so the capture path is exercised for real.
+                let payload = InjectedPanic {
+                    job: stage.name.clone(),
+                    phase: item.phase,
+                    task: item.task,
+                    attempt: item.attempt,
+                };
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    std::panic::panic_any(payload);
+                }));
+                debug_assert!(caught.is_err());
+                Err(TaskError::Injected(Fault::Panic))
+            }
+            other => {
+                if matches!(other, Some(Fault::Straggle)) {
+                    if let Some(p) = fault_plan {
+                        std::thread::sleep(p.straggler_delay);
+                    }
+                }
+                let run = || match item.phase {
+                    Phase::Map => Body::Map((stage.run_map)(
+                        item.task,
+                        &input,
+                        item.attempt,
+                        phase_start,
+                    )),
+                    Phase::Reduce => Body::Reduce((stage.run_reduce)(
+                        item.task,
+                        &input,
+                        item.attempt,
+                        phase_start,
+                    )),
+                };
+                match catch_unwind(AssertUnwindSafe(run)) {
+                    Ok(out) => Ok(out),
+                    Err(payload) => {
+                        if payload.downcast_ref::<InjectedPanic>().is_some() {
+                            Err(TaskError::Injected(Fault::Panic))
+                        } else {
+                            Err(TaskError::Panicked(panic_message(&payload)))
+                        }
+                    }
+                }
+            }
+        };
+        drop(input);
+
+        // ---- Record the outcome under the lock. ----
+        let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(fault) = &decision {
+            let rt = &mut guard.stages[item.stage];
+            match fault {
+                Fault::Error => rt.exec.injected_errors += 1,
+                Fault::Panic => rt.exec.injected_panics += 1,
+                Fault::Straggle => rt.exec.injected_stragglers += 1,
+            }
+        }
+        match outcome {
+            Ok(Body::Map((sealed, stat, pre_r, pre_b))) => {
+                on_map_done(
+                    &mut guard, plan, mode, consumers, deps, item.stage, item.task, sealed, stat,
+                    pre_r, pre_b,
+                );
+            }
+            Ok(Body::Reduce((part, stat))) => {
+                on_reduce_done(
+                    &mut guard, plan, mode, consumers, deps, item.stage, item.task, part, stat,
+                );
+            }
+            Err(error) => {
+                let max_attempts = retry.max_attempts.max(1);
+                let rt = &mut guard.stages[item.stage];
+                let (failed, next_attempt) = match item.phase {
+                    Phase::Map => {
+                        rt.map_failed[item.task] += 1;
+                        (rt.map_failed[item.task], rt.map_launched[item.task])
+                    }
+                    Phase::Reduce => {
+                        rt.red_failed[item.task] += 1;
+                        (rt.red_failed[item.task], rt.red_launched[item.task])
+                    }
+                };
+                if failed >= max_attempts {
+                    guard.fatal.get_or_insert(TaskFailure {
+                        job: stage.name.clone(),
+                        phase: item.phase,
+                        index: item.task,
+                        attempts: failed,
+                        error,
+                    });
+                } else {
+                    let backoff = retry.backoff(failed - 1);
+                    rt.exec.retries += 1;
+                    guard.queue.push_back(Queued {
+                        stage: item.stage,
+                        phase: item.phase,
+                        task: item.task,
+                        attempt: next_attempt,
+                        not_before: Instant::now() + backoff,
+                    });
+                }
+            }
+        }
+        drop(guard);
+        wakeup.notify_all();
+    }
+}
+
+/// Record a successful map attempt; trigger the stage's shuffle when it was
+/// the last one.
+#[allow(clippy::too_many_arguments)]
+fn on_map_done(
+    state: &mut RunState,
+    plan: &Plan,
+    mode: PlanMode,
+    consumers: &[Vec<usize>],
+    deps: &[Option<usize>],
+    stage_idx: usize,
+    task: usize,
+    sealed: AnySealed,
+    stat: TaskStat,
+    pre_records: usize,
+    pre_bytes: usize,
+) {
+    {
+        let rt = &mut state.stages[stage_idx];
+        if rt.map_stats[task].is_some() {
+            return; // stale duplicate (cannot happen without speculation)
+        }
+        rt.pre_records += pre_records;
+        rt.pre_bytes += pre_bytes;
+        rt.shuffle_records += stat.output_records;
+        rt.shuffle_bytes += stat.output_bytes;
+        rt.sealed[task] = Some(sealed);
+        rt.map_stats[task] = Some(stat);
+        rt.map_done += 1;
+    }
+
+    // Pipelined mode: this map has durably consumed upstream partition
+    // `task` — drop it once every consumer is done with it.
+    if mode == PlanMode::Pipelined {
+        if let Some(u) = deps[stage_idx] {
+            release_partition(state, u, task);
+        }
+    }
+
+    let rt = &mut state.stages[stage_idx];
+    if rt.map_done < rt.maps_total {
+        return;
+    }
+
+    // ---- Last map done: close the map phase and shuffle inline. --------
+    rt.map_elapsed = rt.map_started.map(|s| s.elapsed()).unwrap_or_default();
+    rt.map_span = None;
+
+    let shuffle_start = Instant::now();
+    let mut shuffle_span = span("mr.phase", "shuffle");
+    shuffle_span.record("job", plan.stages[stage_idx].name.as_str());
+    let sealed: Vec<AnySealed> = rt
+        .sealed
+        .iter_mut()
+        .map(|s| s.take().expect("every map task sealed its output"))
+        .collect();
+    let spill = (plan.stages[stage_idx].transpose)(sealed);
+    shuffle_span.record("records", rt.shuffle_records);
+    shuffle_span.record("bytes", rt.shuffle_bytes);
+    drop(shuffle_span);
+    rt.shuffle_elapsed = shuffle_start.elapsed();
+    rt.spill = Some(spill);
+
+    let now = Instant::now();
+    rt.reduce_started = Some(now);
+    let mut reduce_span = span("mr.phase", "reduce");
+    reduce_span.record("job", plan.stages[stage_idx].name.as_str());
+    reduce_span.record("tasks", plan.stages[stage_idx].reduce_tasks);
+    rt.reduce_span = Some(reduce_span);
+
+    let _ = consumers;
+    for t in 0..plan.stages[stage_idx].reduce_tasks {
+        state.queue.push_back(Queued {
+            stage: stage_idx,
+            phase: Phase::Reduce,
+            task: t,
+            attempt: 0,
+            not_before: now,
+        });
+    }
+}
+
+/// Record a successful reduce attempt; release downstream map splits
+/// (pipelined) and finalize the stage when it was the last one.
+#[allow(clippy::too_many_arguments)]
+fn on_reduce_done(
+    state: &mut RunState,
+    plan: &Plan,
+    mode: PlanMode,
+    consumers: &[Vec<usize>],
+    deps: &[Option<usize>],
+    stage_idx: usize,
+    task: usize,
+    part: AnyPart,
+    stat: TaskStat,
+) {
+    let now = Instant::now();
+    {
+        let rt = &mut state.stages[stage_idx];
+        if rt.red_stats[task].is_some() {
+            return; // stale duplicate (cannot happen without speculation)
+        }
+        let bytes = stat.output_bytes;
+        rt.out_bytes[task] = bytes;
+        rt.outputs[task] = Some(part);
+        rt.red_stats[task] = Some(stat);
+        rt.reduce_done += 1;
+        if rt.consumers > 0 {
+            rt.part_consumers[task] = rt.consumers;
+            state.live_bytes += bytes;
+            state.peak_live_bytes = state.peak_live_bytes.max(state.live_bytes);
+        }
+    }
+
+    // Pipelined mode: partition `task` is sealed — release map split
+    // `task` of every consumer stage immediately.
+    if mode == PlanMode::Pipelined {
+        for &j in &consumers[stage_idx] {
+            state.queue.push_back(Queued {
+                stage: j,
+                phase: Phase::Map,
+                task,
+                attempt: 0,
+                not_before: now,
+            });
+        }
+    }
+
+    if state.stages[stage_idx].reduce_done < plan.stages[stage_idx].reduce_tasks {
+        return;
+    }
+
+    // ---- Last reduce done: finalize the stage. -------------------------
+    finalize_stage(state, plan, stage_idx);
+    state.completed_stages += 1;
+
+    if mode == PlanMode::Sequential {
+        // Stage barrier: only now do downstream maps become runnable, and
+        // only now is the upstream input released (the fair stand-in for
+        // the legacy chain, which kept the whole intermediate dataset
+        // alive across the job boundary).
+        for &j in &consumers[stage_idx] {
+            let maps = state.stages[j].maps_total;
+            for t in 0..maps {
+                state.queue.push_back(Queued {
+                    stage: j,
+                    phase: Phase::Map,
+                    task: t,
+                    attempt: 0,
+                    not_before: now,
+                });
+            }
+        }
+        if let Some(u) = deps[stage_idx] {
+            for t in 0..state.stages[u].outputs.len() {
+                release_partition(state, u, t);
+            }
+        }
+    }
+}
+
+/// One consumer is done with upstream partition `(u, t)`; drop the
+/// partition when it was the last.
+fn release_partition(state: &mut RunState, u: usize, t: usize) {
+    let rt = &mut state.stages[u];
+    debug_assert!(rt.part_consumers[t] > 0, "partition released too often");
+    rt.part_consumers[t] -= 1;
+    if rt.part_consumers[t] == 0 {
+        rt.outputs[t] = None;
+        state.live_bytes -= rt.out_bytes[t];
+    }
+}
+
+/// Assemble the stage's [`JobMetrics`], close its spans, and emit the
+/// per-job registry counters — the exact block `JobBuilder::run_full`
+/// emits, so observability output is independent of which execution layer
+/// ran the job.
+fn finalize_stage(state: &mut RunState, plan: &Plan, stage_idx: usize) {
+    let rt = &mut state.stages[stage_idx];
+    let stage = &plan.stages[stage_idx];
+    rt.reduce_elapsed = rt.reduce_started.map(|s| s.elapsed()).unwrap_or_default();
+    rt.reduce_span = None;
+    rt.spill = None;
+
+    let map_stats: Vec<TaskStat> = rt
+        .map_stats
+        .iter_mut()
+        .map(|s| s.take().expect("map task completed"))
+        .collect();
+    let reduce_stats: Vec<TaskStat> = rt
+        .red_stats
+        .iter_mut()
+        .map(|s| s.take().expect("reduce task completed"))
+        .collect();
+
+    let metrics = JobMetrics {
+        name: stage.name.clone(),
+        plan_stage: Some((plan.name.clone(), stage_idx)),
+        map_tasks: map_stats,
+        reduce_tasks: reduce_stats,
+        shuffle_records: rt.shuffle_records,
+        shuffle_bytes: rt.shuffle_bytes,
+        pre_combine_records: rt.pre_records,
+        pre_combine_bytes: rt.pre_bytes,
+        elapsed: rt.started.map(|s| s.elapsed()).unwrap_or_default(),
+        map_elapsed: rt.map_elapsed,
+        shuffle_elapsed: rt.shuffle_elapsed,
+        reduce_elapsed: rt.reduce_elapsed,
+        exec: rt.exec,
+    };
+
+    if let Some(job_span) = rt.job_span.as_mut() {
+        job_span.record("shuffle_records", metrics.shuffle_records);
+        job_span.record("shuffle_bytes", metrics.shuffle_bytes);
+        job_span.record("pre_combine_records", metrics.pre_combine_records);
+        if metrics.exec.retries > 0 {
+            job_span.record("retries", metrics.exec.retries);
+        }
+    }
+    rt.job_span = None;
+
+    if let Some(reg) = global_registry() {
+        let exec = &metrics.exec;
+        reg.counter_add("mr.jobs", 1);
+        reg.counter_add("mr.shuffle.records", metrics.shuffle_records as u64);
+        reg.counter_add("mr.shuffle.bytes", metrics.shuffle_bytes as u64);
+        reg.counter_add("mr.task.attempts", exec.attempts);
+        reg.counter_add("mr.task.retries", exec.retries);
+        reg.counter_add("mr.faults.injected.errors", exec.injected_errors);
+        reg.counter_add("mr.faults.injected.panics", exec.injected_panics);
+        reg.counter_add("mr.faults.injected.stragglers", exec.injected_stragglers);
+        reg.counter_add("mr.spec.launched", exec.speculative_launched);
+        reg.counter_add("mr.spec.wins", exec.speculative_wins);
+        reg.counter_add("mr.pre_combine.records", metrics.pre_combine_records as u64);
+        for t in &metrics.map_tasks {
+            reg.histogram_record("mr.map.output_records", t.output_records as u64);
+            reg.histogram_record("mr.task.queue_us", t.queue.as_micros() as u64);
+        }
+        for t in &metrics.reduce_tasks {
+            reg.histogram_record("mr.reduce.input_records", t.input_records as u64);
+            reg.histogram_record("mr.reduce.input_bytes", t.input_bytes as u64);
+            reg.histogram_record("mr.task.queue_us", t.queue.as_micros() as u64);
+        }
+    }
+
+    rt.metrics = Some(metrics);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobBuilder;
+    use crate::traits::{Reducer, SumCombiner};
+
+    /// Emits (token, 1) for each whitespace token.
+    struct Tokenize;
+    impl Mapper for Tokenize {
+        type InKey = u32;
+        type InValue = String;
+        type OutKey = String;
+        type OutValue = u64;
+        fn map(&mut self, _k: u32, line: String, out: &mut Emitter<String, u64>) {
+            for w in line.split_whitespace() {
+                out.emit(w.to_string(), 1);
+            }
+        }
+    }
+
+    /// Sums counts per token.
+    struct Sum;
+    impl Reducer for Sum {
+        type InKey = String;
+        type InValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        fn reduce(&mut self, k: &String, vs: Vec<u64>, out: &mut Emitter<String, u64>) {
+            out.emit(k.clone(), vs.into_iter().sum());
+        }
+    }
+
+    /// Re-keys each (word, count) by count bucket.
+    struct ByCount;
+    impl Mapper for ByCount {
+        type InKey = String;
+        type InValue = u64;
+        type OutKey = u64;
+        type OutValue = String;
+        fn map(&mut self, w: String, c: u64, out: &mut Emitter<u64, String>) {
+            out.emit(c, w);
+        }
+    }
+
+    /// Counts words per count bucket.
+    struct CountWords;
+    impl Reducer for CountWords {
+        type InKey = u64;
+        type InValue = String;
+        type OutKey = u64;
+        type OutValue = u64;
+        fn reduce(&mut self, k: &u64, vs: Vec<String>, out: &mut Emitter<u64, u64>) {
+            out.emit(*k, vs.len() as u64);
+        }
+    }
+
+    fn wc_input() -> Dataset<u32, String> {
+        Dataset::from_records(
+            vec![
+                (0, "the quick brown fox".to_string()),
+                (1, "the lazy dog".to_string()),
+                (2, "the fox the dog".to_string()),
+            ],
+            2,
+        )
+    }
+
+    fn sorted<K: Ord, V: Ord>(d: Dataset<K, V>) -> Vec<(K, V)>
+    where
+        (K, V): Ord,
+    {
+        let mut v: Vec<(K, V)> = d.into_records().collect();
+        v.sort();
+        v
+    }
+
+    /// The logical (timing-free) signature of one job's metrics.
+    fn logical(m: &JobMetrics) -> impl PartialEq + std::fmt::Debug {
+        (
+            m.name.clone(),
+            m.shuffle_records,
+            m.shuffle_bytes,
+            m.pre_combine_records,
+            m.pre_combine_bytes,
+            m.map_tasks
+                .iter()
+                .map(|t| {
+                    (
+                        t.index,
+                        t.input_records,
+                        t.input_bytes,
+                        t.output_records,
+                        t.output_bytes,
+                    )
+                })
+                .collect::<Vec<_>>(),
+            m.reduce_tasks
+                .iter()
+                .map(|t| {
+                    (
+                        t.index,
+                        t.input_records,
+                        t.input_bytes,
+                        t.output_records,
+                        t.output_bytes,
+                    )
+                })
+                .collect::<Vec<_>>(),
+            m.exec,
+        )
+    }
+
+    fn two_stage_plan(workers: usize) -> (Plan, StageHandle<u64, u64>) {
+        let mut plan = Plan::new("wc-plan").with_workers(workers);
+        let counts = plan.add_full::<Tokenize, Sum, _, _, _, _>(
+            "wc",
+            wc_input(),
+            3,
+            |_| Tokenize,
+            |_| Sum,
+            HashPartitioner,
+            Some(SumCombiner),
+        );
+        let buckets = plan.add::<ByCount, CountWords, _, _>(
+            "by-count",
+            counts,
+            2,
+            |_| ByCount,
+            |_| CountWords,
+        );
+        (plan, buckets)
+    }
+
+    #[test]
+    fn single_stage_matches_job_builder() {
+        let (jb_out, jb_m) = JobBuilder::new("wc").reduce_tasks(3).run_full(
+            &wc_input(),
+            |_| Tokenize,
+            |_| Sum,
+            &HashPartitioner,
+            Some(&SumCombiner),
+        );
+
+        let mut plan = Plan::new("solo");
+        let h = plan.add_full::<Tokenize, Sum, _, _, _, _>(
+            "wc",
+            wc_input(),
+            3,
+            |_| Tokenize,
+            |_| Sum,
+            HashPartitioner,
+            Some(SumCombiner),
+        );
+        let mut outcome = PlanRunner::pipelined().run(plan);
+        let plan_out = outcome.take_output(h);
+
+        // Identical partitions (not just identical multiset of records).
+        assert_eq!(jb_out.partitions(), plan_out.partitions());
+        let pm = &outcome.metrics.jobs[0];
+        assert_eq!(
+            format!("{:?}", logical(pm)),
+            format!("{:?}", logical(&jb_m))
+        );
+        assert_eq!(pm.plan_stage, Some(("solo".to_string(), 0)));
+        // A terminal stage's output is a result, not a live intermediate.
+        assert_eq!(outcome.peak_live_bytes, 0);
+    }
+
+    #[test]
+    fn pipelined_equals_sequential_across_workers() {
+        for workers in [1, 2, 7] {
+            let (plan_a, h_a) = two_stage_plan(workers);
+            let (plan_b, h_b) = two_stage_plan(workers);
+            let mut piped = PlanRunner::pipelined().run(plan_a);
+            let mut seq = PlanRunner::sequential().run(plan_b);
+            assert_eq!(
+                sorted(piped.take_output(h_a)),
+                sorted(seq.take_output(h_b)),
+                "results must not depend on sequencing (workers={workers})"
+            );
+            for (a, b) in piped.metrics.jobs.iter().zip(&seq.metrics.jobs) {
+                assert_eq!(
+                    format!("{:?}", logical(a)),
+                    format!("{:?}", logical(b)),
+                    "logical metrics must not depend on sequencing (workers={workers})"
+                );
+            }
+            // The upstream intermediate lives strictly shorter when
+            // pipelined (dropped per partition as downstream maps drain).
+            assert!(piped.peak_live_bytes <= seq.peak_live_bytes);
+        }
+    }
+
+    #[test]
+    fn pipelined_single_worker_drops_partitions_eagerly() {
+        // With one worker the downstream-first pick order consumes each
+        // upstream partition right after it is produced, so at most one
+        // partition is ever live; the sequential barrier keeps all three.
+        let (plan_a, _) = two_stage_plan(1);
+        let (plan_b, _) = two_stage_plan(1);
+        let piped = PlanRunner::pipelined().run(plan_a);
+        let seq = PlanRunner::sequential().run(plan_b);
+        assert!(piped.peak_live_bytes < seq.peak_live_bytes);
+        let upstream_total: usize = seq.metrics.jobs[0]
+            .reduce_tasks
+            .iter()
+            .map(|t| t.output_bytes)
+            .sum();
+        assert_eq!(seq.peak_live_bytes, upstream_total);
+    }
+
+    #[test]
+    fn consumed_intermediate_cannot_be_taken() {
+        let (plan, _) = two_stage_plan(2);
+        // Reconstruct the intermediate handle: stage 0 output.
+        let h0: StageHandle<String, u64> = StageHandle {
+            idx: 0,
+            _t: PhantomData,
+        };
+        let mut outcome = PlanRunner::pipelined().run(plan);
+        let r = catch_unwind(AssertUnwindSafe(|| outcome.take_output(h0)));
+        assert!(r.is_err(), "consumed intermediates are dropped eagerly");
+    }
+
+    #[test]
+    fn injected_downstream_map_fault_refetches_sealed_partition() {
+        // Fail the first attempt of every map task of the downstream stage:
+        // the retries must succeed by re-fetching the sealed upstream
+        // partitions, with zero extra upstream attempts.
+        let faults = FaultPlan::new(7).with_target("by-count", Phase::Map, Fault::Error, 1);
+        let (clean, h_clean) = two_stage_plan(2);
+        let (mut faulty, h_faulty) = {
+            let (p, h) = two_stage_plan(2);
+            (p.with_faults(faults), h)
+        };
+        faulty = faulty.with_retry(RetryPolicy::default());
+        let mut clean_out = PlanRunner::pipelined().run(clean);
+        let mut faulty_out = PlanRunner::pipelined().run(faulty);
+        assert_eq!(
+            sorted(clean_out.take_output(h_clean)),
+            sorted(faulty_out.take_output(h_faulty))
+        );
+        let up = &faulty_out.metrics.jobs[0];
+        let down = &faulty_out.metrics.jobs[1];
+        // Upstream ran exactly once per task — its reduces were NOT re-run.
+        assert_eq!(
+            up.exec.attempts,
+            (up.map_tasks.len() + up.reduce_tasks.len()) as u64
+        );
+        assert_eq!(up.exec.retries, 0);
+        // Downstream retried every map once.
+        assert_eq!(down.exec.retries, down.map_tasks.len() as u64);
+        assert_eq!(down.exec.injected_errors, down.map_tasks.len() as u64);
+    }
+
+    #[test]
+    fn exhausted_retries_panic_with_task_failure() {
+        let (plan, _) = two_stage_plan(2);
+        let plan = plan
+            .with_faults(FaultPlan::new(7).with_target("wc", Phase::Reduce, Fault::Error, u32::MAX))
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            });
+        let r = catch_unwind(AssertUnwindSafe(|| PlanRunner::pipelined().run(plan)));
+        let err = match r {
+            Ok(_) => panic!("retry budget must exhaust"),
+            Err(payload) => payload,
+        };
+        let msg = panic_message(&err);
+        assert!(
+            msg.contains("\"wc\"") && msg.contains("failed after 2 attempts"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn dfs_round_trip() {
+        let mut dfs = Dfs::new();
+        dfs.put("lines", wc_input());
+        let mut plan = Plan::new("dfs-plan");
+        let h = plan.add::<Tokenize, Sum, _, _>(
+            "wc",
+            StageInput::from_dfs(&mut dfs, "lines"),
+            2,
+            |_| Tokenize,
+            |_| Sum,
+        );
+        let mut outcome = PlanRunner::pipelined().run(plan);
+        outcome.store_output(h, &mut dfs, "counts");
+        let counts: &Dataset<String, u64> = dfs.get("counts");
+        assert_eq!(counts.total_records(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reduce task")]
+    fn zero_reduce_tasks_rejected() {
+        let mut plan = Plan::new("bad");
+        let _ = plan.add::<Tokenize, Sum, _, _>("wc", wc_input(), 0, |_| Tokenize, |_| Sum);
+    }
+}

@@ -686,6 +686,7 @@ mod tests {
         };
         JobMetrics {
             name: name.into(),
+            plan_stage: None,
             map_tasks: (0..maps)
                 .map(|i| stat(TaskKind::Map, i, map_secs))
                 .collect(),

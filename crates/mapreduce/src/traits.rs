@@ -166,6 +166,20 @@ pub trait Combiner<K: Key, V: Value>: Send + Sync {
     /// Fold one key group of a single map task's output into fewer values.
     fn combine(&self, key: &K, values: Vec<V>) -> Vec<V>;
 
+    /// Fold one key group *streamed* off the sorted bucket into `out`,
+    /// without requiring a `Vec` per distinct key. The default adapter
+    /// collects and delegates to [`Combiner::combine`]; fold-style
+    /// combiners (sums, counts) override it to consume the iterator
+    /// directly, which lets the engine's map-side spill path run with no
+    /// per-key allocation at all.
+    ///
+    /// Contract: must append exactly what `combine(key, values.collect())`
+    /// would return, and must leave `values` exhausted.
+    fn combine_into(&self, key: &K, values: &mut dyn Iterator<Item = V>, out: &mut Vec<V>) {
+        let collected: Vec<V> = values.collect();
+        out.extend(self.combine(key, collected));
+    }
+
     /// Whether `combine`'s output is a function of the input **multiset**
     /// only — the values' order never affects the combined output (count
     /// and content), bit-for-bit.
@@ -191,6 +205,14 @@ macro_rules! impl_sum_combiner {
         $(impl<K: Key> Combiner<K, $t> for SumCombiner {
             fn combine(&self, _key: &K, values: Vec<$t>) -> Vec<$t> {
                 vec![values.into_iter().sum()]
+            }
+            fn combine_into(
+                &self,
+                _key: &K,
+                values: &mut dyn Iterator<Item = $t>,
+                out: &mut Vec<$t>,
+            ) {
+                out.push(values.sum());
             }
             fn is_commutative(&self) -> bool {
                 $commutative
@@ -220,5 +242,40 @@ mod tests {
         let c = SumCombiner;
         let out: Vec<u64> = Combiner::<u32, u64>::combine(&c, &7, vec![]);
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn combine_into_matches_combine() {
+        let c = SumCombiner;
+        let mut streamed: Vec<u64> = Vec::new();
+        Combiner::<u32, u64>::combine_into(
+            &c,
+            &7,
+            &mut vec![1u64, 2, 3].into_iter(),
+            &mut streamed,
+        );
+        assert_eq!(
+            streamed,
+            Combiner::<u32, u64>::combine(&c, &7, vec![1, 2, 3])
+        );
+        // Empty groups fold to the additive identity on both paths.
+        streamed.clear();
+        Combiner::<u32, u64>::combine_into(&c, &7, &mut std::iter::empty(), &mut streamed);
+        assert_eq!(streamed, vec![0]);
+    }
+
+    /// A combiner that relies on the default `combine_into` adapter must
+    /// behave identically to its batch `combine`.
+    #[test]
+    fn default_combine_into_adapter_delegates() {
+        struct KeepMax;
+        impl Combiner<u32, u64> for KeepMax {
+            fn combine(&self, _key: &u32, values: Vec<u64>) -> Vec<u64> {
+                values.into_iter().max().into_iter().collect()
+            }
+        }
+        let mut out = Vec::new();
+        KeepMax.combine_into(&1, &mut vec![4u64, 9, 2].into_iter(), &mut out);
+        assert_eq!(out, vec![9]);
     }
 }

@@ -1,0 +1,333 @@
+//! Cross-crate plan-pipelining equivalence.
+//!
+//! The tentpole invariant of the execution-plan layer: partition-granular
+//! pipelining is a pure *scheduling* change. A pipelined [`PlanRunner`]
+//! must be observationally identical to the stage-barriered (sequential)
+//! run — identical result digests AND identical per-stage logical
+//! [`JobMetrics`] — on the real FS-Join pipeline across randomized
+//! collections and configurations, and on every baseline pipeline. Only
+//! wall-clock durations and peak live-intermediate bytes may differ.
+
+use fsjoin::FsJoinConfig;
+use proptest::prelude::*;
+use ssj_baselines::massjoin::{massjoin, MassJoinVariant};
+use ssj_baselines::ridpairs::ridpairs_ppjoin;
+use ssj_baselines::vsmart::vsmart_join;
+use ssj_baselines::BaselineConfig;
+use ssj_faults::{Fault, FaultPlan, Phase};
+use ssj_mapreduce::{
+    ChainMetrics, Dataset, Emitter, JobMetrics, Mapper, Plan, PlanMode, PlanRunner, Reducer,
+    StageHandle,
+};
+use ssj_similarity::{Measure, SimilarPair};
+use ssj_text::{encode, Collection, CorpusProfile, Record};
+
+/// FNV-1a over the canonically sorted pair list (ids + exact score bits) —
+/// the same digest the determinism CI gate prints.
+fn digest(pairs: &[SimilarPair]) -> u64 {
+    let mut sorted: Vec<(u32, u32, u64)> =
+        pairs.iter().map(|p| (p.a, p.b, p.sim.to_bits())).collect();
+    sorted.sort_unstable();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (a, b, s) in sorted {
+        mix(a as u64);
+        mix(b as u64);
+        mix(s);
+    }
+    h
+}
+
+/// The logical (timing-free) signature of one job's metrics: everything
+/// that must be bit-identical across plan modes.
+fn logical(m: &JobMetrics) -> String {
+    format!(
+        "{:?}",
+        (
+            &m.name,
+            &m.plan_stage,
+            m.shuffle_records,
+            m.shuffle_bytes,
+            m.pre_combine_records,
+            m.pre_combine_bytes,
+            m.map_tasks
+                .iter()
+                .map(|t| (
+                    t.index,
+                    t.input_records,
+                    t.input_bytes,
+                    t.output_records,
+                    t.output_bytes
+                ))
+                .collect::<Vec<_>>(),
+            m.reduce_tasks
+                .iter()
+                .map(|t| (
+                    t.index,
+                    t.input_records,
+                    t.input_bytes,
+                    t.output_records,
+                    t.output_bytes
+                ))
+                .collect::<Vec<_>>(),
+            m.exec,
+        )
+    )
+}
+
+fn assert_chains_logically_equal(a: &ChainMetrics, b: &ChainMetrics, label: &str) {
+    assert_eq!(a.jobs.len(), b.jobs.len(), "{label}: stage count");
+    for (x, y) in a.jobs.iter().zip(&b.jobs) {
+        assert_eq!(logical(x), logical(y), "{label}: stage {}", x.name);
+    }
+}
+
+/// Strategy: a small collection in rank space with planted near-duplicates
+/// so results exist at high thresholds (same construction as the core
+/// exactness suite).
+fn arb_collection() -> impl Strategy<Value = Collection> {
+    (
+        prop::collection::vec(prop::collection::vec(0u32..60, 1..20), 2..30),
+        prop::collection::vec(0usize..30, 0..8),
+    )
+        .prop_map(|(base_docs, dup_of)| {
+            let mut docs = base_docs;
+            let n = docs.len();
+            for (k, &src) in dup_of.iter().enumerate() {
+                let mut copy = docs[src % n].clone();
+                if copy.len() > 1 {
+                    copy.remove(k % copy.len());
+                }
+                copy.push(60 + k as u32);
+                docs.push(copy);
+            }
+            let records: Vec<Record> = docs
+                .into_iter()
+                .enumerate()
+                .map(|(i, toks)| Record::new(i as u32, toks))
+                .collect();
+            let mut freqs = vec![0u64; 70];
+            for r in &records {
+                for &t in &r.tokens {
+                    freqs[t as usize] += 1;
+                }
+            }
+            // Rank space must be frequency-ascending for Even-TF semantics.
+            let mut by_freq: Vec<u32> = (0..70).collect();
+            by_freq.sort_by_key(|&t| (freqs[t as usize], t));
+            let mut rank_of = vec![0u32; 70];
+            for (rank, &t) in by_freq.iter().enumerate() {
+                rank_of[t as usize] = rank as u32;
+            }
+            let records: Vec<Record> = records
+                .into_iter()
+                .map(|r| {
+                    Record::new(
+                        r.id,
+                        r.tokens.iter().map(|&t| rank_of[t as usize]).collect(),
+                    )
+                })
+                .collect();
+            let mut rank_freqs = vec![0u64; 70];
+            for r in &records {
+                for &t in &r.tokens {
+                    rank_freqs[t as usize] += 1;
+                }
+            }
+            Collection::new(records, rank_freqs, None)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// FS-Join end-to-end: pipelined and sequential plans produce the same
+    /// digest, candidate count, and per-stage logical metrics across
+    /// fragment counts, horizontal pivots, and worker counts.
+    #[test]
+    fn fsjoin_pipelined_matches_sequential(
+        c in arb_collection(),
+        fragments in prop::sample::select(vec![1usize, 3, 8]),
+        h_pivots in prop::sample::select(vec![0usize, 2, 5]),
+        workers in prop::sample::select(vec![1usize, 2, 7]),
+        theta in prop::sample::select(vec![0.6, 0.8]),
+    ) {
+        let base = FsJoinConfig::default()
+            .with_theta(theta)
+            .with_fragments(fragments)
+            .with_horizontal(h_pivots)
+            .with_tasks(3, 4)
+            .with_workers(workers);
+        let piped =
+            fsjoin::run_self_join(&c, &base.clone().with_plan_mode(PlanMode::Pipelined));
+        let seq = fsjoin::run_self_join(&c, &base.with_plan_mode(PlanMode::Sequential));
+        prop_assert_eq!(digest(&piped.pairs), digest(&seq.pairs));
+        prop_assert_eq!(piped.candidates, seq.candidates);
+        prop_assert_eq!(piped.chain.jobs.len(), seq.chain.jobs.len());
+        for (a, b) in piped.chain.jobs.iter().zip(&seq.chain.jobs) {
+            prop_assert_eq!(logical(a), logical(b));
+        }
+    }
+}
+
+/// Every baseline pipeline (2-, 2-, 2- and 3-stage plans) is mode-invariant
+/// in results and logical metrics.
+#[test]
+fn baseline_pipelines_are_mode_invariant() {
+    let c = encode(&CorpusProfile::WikiLike.config().with_records(80).generate());
+    let piped_cfg = BaselineConfig::default()
+        .with_tasks(4, 6)
+        .with_workers(2)
+        .with_plan_mode(PlanMode::Pipelined);
+    let seq_cfg = piped_cfg.with_plan_mode(PlanMode::Sequential);
+
+    let a = ridpairs_ppjoin(&c, Measure::Jaccard, 0.8, &piped_cfg);
+    let b = ridpairs_ppjoin(&c, Measure::Jaccard, 0.8, &seq_cfg);
+    assert_eq!(digest(&a.pairs), digest(&b.pairs), "ridpairs digest");
+    assert_chains_logically_equal(&a.chain, &b.chain, "ridpairs");
+
+    let a = vsmart_join(&c, Measure::Jaccard, 0.8, &piped_cfg).unwrap();
+    let b = vsmart_join(&c, Measure::Jaccard, 0.8, &seq_cfg).unwrap();
+    assert_eq!(digest(&a.pairs), digest(&b.pairs), "vsmart digest");
+    assert_chains_logically_equal(&a.chain, &b.chain, "vsmart");
+
+    for variant in [MassJoinVariant::Merge, MassJoinVariant::MergeLight] {
+        let a = massjoin(&c, Measure::Jaccard, 0.8, variant, &piped_cfg).unwrap();
+        let b = massjoin(&c, Measure::Jaccard, 0.8, variant, &seq_cfg).unwrap();
+        assert_eq!(digest(&a.pairs), digest(&b.pairs), "{variant:?} digest");
+        assert_chains_logically_equal(&a.chain, &b.chain, variant.name());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: sealed partitions survive downstream map retries.
+// ---------------------------------------------------------------------------
+
+/// Emits each pair as-is (kernel stand-in producing duplicated pairs).
+struct PairMapper;
+
+impl Mapper for PairMapper {
+    type InKey = u32;
+    type InValue = u32;
+    type OutKey = (u32, u32);
+    type OutValue = u64;
+
+    fn map(&mut self, k: u32, v: u32, out: &mut Emitter<(u32, u32), u64>) {
+        // Emit every pair twice, under two shapes, so the dedup-like
+        // downstream stage has real work.
+        out.emit((k % 7, v % 5), 1);
+        out.emit((k % 7, v % 5), 1);
+    }
+}
+
+/// Sums per pair.
+struct PairSum;
+
+impl Reducer for PairSum {
+    type InKey = (u32, u32);
+    type InValue = u64;
+    type OutKey = (u32, u32);
+    type OutValue = u64;
+
+    fn reduce(&mut self, k: &(u32, u32), vs: Vec<u64>, out: &mut Emitter<(u32, u32), u64>) {
+        out.emit(*k, vs.into_iter().sum());
+    }
+}
+
+/// Re-keys by count.
+struct ByCount;
+
+impl Mapper for ByCount {
+    type InKey = (u32, u32);
+    type InValue = u64;
+    type OutKey = u64;
+    type OutValue = u64;
+
+    fn map(&mut self, _k: (u32, u32), c: u64, out: &mut Emitter<u64, u64>) {
+        out.emit(c, 1);
+    }
+}
+
+/// Counts pairs per count bucket.
+struct CountPairs;
+
+impl Reducer for CountPairs {
+    type InKey = u64;
+    type InValue = u64;
+    type OutKey = u64;
+    type OutValue = u64;
+
+    fn reduce(&mut self, k: &u64, vs: Vec<u64>, out: &mut Emitter<u64, u64>) {
+        out.emit(*k, vs.into_iter().sum());
+    }
+}
+
+fn fault_fixture_plan(workers: usize) -> (Plan, StageHandle<u64, u64>) {
+    let input: Dataset<u32, u32> = Dataset::from_records(
+        (0..64u32)
+            .map(|i| (i, i.wrapping_mul(2654435761)))
+            .collect(),
+        4,
+    );
+    let mut plan = Plan::new("fault-chain").with_workers(workers);
+    let sums = plan.add("pair-sum", input, 5, |_| PairMapper, |_| PairSum);
+    let buckets = plan.add("by-count", sums, 3, |_| ByCount, |_| CountPairs);
+    (plan, buckets)
+}
+
+/// A failed *downstream map* attempt must be satisfied by re-fetching the
+/// sealed upstream reduce partition — the upstream reduce is never re-run.
+#[test]
+fn downstream_map_retry_refetches_sealed_partition() {
+    let (clean_plan, clean_h) = fault_fixture_plan(7);
+    let mut clean = PlanRunner::pipelined().run(clean_plan);
+
+    let (faulty_plan, faulty_h) = fault_fixture_plan(7);
+    let faulty_plan = faulty_plan.with_faults(FaultPlan::new(11).with_target(
+        "by-count",
+        Phase::Map,
+        Fault::Error,
+        1,
+    ));
+    let mut faulty = PlanRunner::pipelined().run(faulty_plan);
+
+    let sort = |d: Dataset<u64, u64>| {
+        let mut v: Vec<(u64, u64)> = d.into_records().collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        sort(clean.take_output(clean_h)),
+        sort(faulty.take_output(faulty_h)),
+        "retried run must produce identical results"
+    );
+
+    let up = &faulty.metrics.jobs[0];
+    let down = &faulty.metrics.jobs[1];
+    // Upstream: exactly one attempt per task — its reduces were NOT re-run
+    // to satisfy the downstream retries.
+    assert_eq!(
+        up.exec.attempts,
+        (up.map_tasks.len() + up.reduce_tasks.len()) as u64,
+        "upstream must not re-run"
+    );
+    assert_eq!(up.exec.retries, 0);
+    // Downstream: every map failed once and retried successfully.
+    assert_eq!(down.exec.retries, down.map_tasks.len() as u64);
+    assert_eq!(down.exec.injected_errors, down.map_tasks.len() as u64);
+    // Logical metrics of the clean and faulty runs agree (retries are
+    // invisible to the logical counters).
+    for (a, b) in clean.metrics.jobs.iter().zip(&faulty.metrics.jobs) {
+        let scrub = |m: &JobMetrics| {
+            let mut m = m.clone();
+            m.exec = Default::default();
+            logical(&m)
+        };
+        assert_eq!(scrub(a), scrub(b), "stage {}", a.name);
+    }
+}

@@ -12,7 +12,9 @@
 
 use crate::corpus::RawCorpus;
 use ssj_common::FxHashMap;
-use ssj_mapreduce::{Dataset, Emitter, JobBuilder, JobMetrics, Mapper, Reducer, SumCombiner};
+use ssj_mapreduce::{
+    Dataset, Emitter, HashPartitioner, JobMetrics, Mapper, Plan, PlanRunner, Reducer, SumCombiner,
+};
 
 /// How to totally order the token domain (Definition 3). The paper fixes
 /// ascending frequency (rare first) — the choice that makes prefixes
@@ -194,15 +196,19 @@ pub fn compute_ordering_mr(
             .collect(),
         map_tasks.max(1),
     );
-    let (freq_data, metrics) = JobBuilder::new("ordering")
-        .reduce_tasks(reduce_tasks.max(1))
-        .run_full(
-            &input,
-            |_| FreqMapper,
-            |_| FreqReducer,
-            &ssj_mapreduce::HashPartitioner,
-            Some(&SumCombiner),
-        );
+    let mut plan = Plan::new("ordering");
+    let freqs = plan.add_full(
+        "ordering",
+        input,
+        reduce_tasks.max(1),
+        |_| FreqMapper,
+        |_| FreqReducer,
+        HashPartitioner,
+        Some(SumCombiner),
+    );
+    let mut outcome = PlanRunner::pipelined().run(plan);
+    let freq_data = outcome.take_output(freqs);
+    let metrics = outcome.metrics.jobs.remove(0);
     let ordering = GlobalOrdering::from_freqs(freq_data.into_records().collect());
     (ordering, metrics)
 }

@@ -157,6 +157,14 @@ impl TokenPool {
         (0..self.len()).map(move |i| self.tokens_of(i as RecordId))
     }
 
+    /// Record lengths in id order, read straight off the CSR offsets
+    /// table — no span resolution, no token access, no allocation. This is
+    /// what length-histogram consumers (horizontal pivot selection) should
+    /// use instead of resolving every record's slice just to take `len()`.
+    pub fn lengths(&self) -> impl Iterator<Item = usize> + '_ {
+        self.offsets.windows(2).map(|w| (w[1] - w[0]) as usize)
+    }
+
     /// Concatenate two pools: `a`'s records keep their ids/offsets, `b`'s
     /// records follow with ids shifted by `a.len()` and token offsets
     /// shifted by `a.total_tokens()`. This is how an R×S join builds one
@@ -259,6 +267,19 @@ mod tests {
         assert_eq!(c.tokens_of(3), &[] as &[u32]);
         let spans: Vec<TokenSpan> = (0..4).map(|i| c.span_of(i)).collect();
         assert_eq!(spans[2], TokenSpan { start: 3, len: 3 });
+    }
+
+    #[test]
+    fn lengths_come_from_offsets() {
+        let mut pool = TokenPool::new();
+        pool.push(&[1, 2, 3]);
+        pool.push(&[]);
+        pool.push(&[9]);
+        assert_eq!(pool.lengths().collect::<Vec<_>>(), vec![3, 0, 1]);
+        assert_eq!(TokenPool::new().lengths().count(), 0);
+        // Matches the resolved-slice lengths, record for record.
+        let via_iter: Vec<usize> = pool.iter().map(<[u32]>::len).collect();
+        assert_eq!(pool.lengths().collect::<Vec<_>>(), via_iter);
     }
 
     #[test]

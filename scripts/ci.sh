@@ -64,6 +64,27 @@ if [[ "$det_a" != "$det_b" ]]; then
 fi
 echo "$det_a" | sed 's/^/  /'
 
+echo "== smoke: plan equivalence gate (pipelined vs sequential, workers 2 and 7) =="
+# Partition-granular pipelining changes when tasks run, never what they
+# compute: at every worker count the pipelined plan must produce the
+# exact report (result digest, candidates, filter counters, per-job
+# logical metrics) of the barriered sequential plan. det_a above is the
+# pipelined workers=2 report; reuse it.
+plan_seq2="$(cargo run --release -p ssj-bench --bin determinism -- 2 sequential 2>/dev/null)"
+if [[ "$det_a" != "$plan_seq2" ]]; then
+    echo "plan equivalence gate FAILED: mode changed the report at workers=2" >&2
+    diff <(printf '%s\n' "$det_a") <(printf '%s\n' "$plan_seq2") >&2 || true
+    exit 1
+fi
+plan_pipe7="$(cargo run --release -p ssj-bench --bin determinism -- 7 pipelined 2>/dev/null)"
+plan_seq7="$(cargo run --release -p ssj-bench --bin determinism -- 7 sequential 2>/dev/null)"
+if [[ "$plan_pipe7" != "$plan_seq7" ]]; then
+    echo "plan equivalence gate FAILED: mode changed the report at workers=7" >&2
+    diff <(printf '%s\n' "$plan_pipe7") <(printf '%s\n' "$plan_seq7") >&2 || true
+    exit 1
+fi
+echo "  plan modes agree at workers 2 and 7"
+
 echo "== smoke: expt table1 --trace-out =="
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
