@@ -15,9 +15,11 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod regress;
 pub mod report;
 pub mod runners;
 pub mod simtrace;
 
 pub use datasets::{bench_corpus, corpus, tuned_fsjoin, Scale};
+pub use regress::{calibrate_unit_secs, BenchReport};
 pub use runners::{run_algorithm, Algorithm, RunOutcome, RunStatus};

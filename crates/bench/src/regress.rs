@@ -1,0 +1,204 @@
+//! Perf-regression reports: `BENCH_<name>.json` emit / load / compare.
+//!
+//! A [`BenchReport`] captures one probe workload as (a) a machine-portable
+//! wall-clock measure — seconds divided by a calibration unit measured on
+//! the same machine right before the workload, so a faster box produces
+//! the same `wall_units` as a slower one — and (b) exact logical counters
+//! (shuffled bytes, candidates, kernel work) that must not drift at all
+//! under a fixed seed. `scripts/ci.sh` runs the `bench_probe` binary in
+//! `--check` mode against baselines committed under `results/bench/`:
+//! wall regressions beyond a noise tolerance fail the gate, and any
+//! logical-counter change fails it outright (an intended change means
+//! regenerating the baseline with `--out`).
+
+use ssj_observe::json::{escape, fmt_f64, Value};
+
+/// Default wall-clock noise tolerance: the gate fails when the measured
+/// `wall_units` exceeds the baseline by more than this fraction. Generous
+/// because CI boxes are noisy; an injected 2× slowdown still trips it
+/// with 2× headroom.
+pub const DEFAULT_WALL_TOLERANCE: f64 = 0.5;
+
+/// One probe workload's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Workload name (also names the file: `BENCH_<name>.json`).
+    pub name: String,
+    /// Wall seconds of the workload divided by the calibration unit.
+    pub wall_units: f64,
+    /// Exact logical counters, sorted by key.
+    pub counters: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// File name this report is stored under.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Serialize (stable key order; counters pre-sorted).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
+        out.push_str(&format!(
+            "  \"wall_units\": {},\n",
+            fmt_f64(self.wall_units)
+        ));
+        out.push_str("  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", escape(k), fmt_f64(*v)));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parse a report written by [`Self::to_json`].
+    pub fn parse(doc: &str) -> Result<BenchReport, String> {
+        let v = Value::parse(doc)?;
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("report missing \"name\"")?
+            .to_string();
+        let wall_units = v
+            .get("wall_units")
+            .and_then(Value::as_f64)
+            .ok_or("report missing \"wall_units\"")?;
+        let mut counters: Vec<(String, f64)> = v
+            .get("counters")
+            .and_then(Value::as_obj)
+            .ok_or("report missing \"counters\"")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_f64()
+                    .map(|x| (k.clone(), x))
+                    .ok_or_else(|| format!("counter {k:?} is not a number"))
+            })
+            .collect::<Result<_, _>>()?;
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(BenchReport {
+            name,
+            wall_units,
+            counters,
+        })
+    }
+
+    /// Compare `self` (the fresh run) against `base` (the committed
+    /// baseline). Returns human-readable failures; empty = pass.
+    ///
+    /// * `wall_units` may exceed the baseline by at most `wall_tolerance`
+    ///   (fractional). Improvements always pass.
+    /// * Every baseline counter must be present and **exactly** equal —
+    ///   probe workloads are seeded, so logical quantities are
+    ///   deterministic and any drift is a behavior change, not noise.
+    pub fn compare_against(&self, base: &BenchReport, wall_tolerance: f64) -> Vec<String> {
+        let mut failures = Vec::new();
+        let limit = base.wall_units * (1.0 + wall_tolerance);
+        if self.wall_units > limit || self.wall_units.is_nan() {
+            failures.push(format!(
+                "{}: wall regression {:.3} units vs baseline {:.3} (limit {:.3}, +{:.0}%)",
+                self.name,
+                self.wall_units,
+                base.wall_units,
+                limit,
+                wall_tolerance * 100.0
+            ));
+        }
+        for (key, want) in &base.counters {
+            match self.counters.iter().find(|(k, _)| k == key) {
+                None => failures.push(format!("{}: counter {key:?} disappeared", self.name)),
+                Some((_, got)) if got != want => failures.push(format!(
+                    "{}: counter {key:?} changed: {got} vs baseline {want}",
+                    self.name
+                )),
+                Some(_) => {}
+            }
+        }
+        failures
+    }
+}
+
+/// Measure the calibration unit: wall seconds of a fixed, deterministic,
+/// CPU-bound workload (min of three runs — the min is the least noisy
+/// location estimate for a quiet machine). Dividing a workload's wall
+/// time by this unit cancels the machine's single-core speed, making
+/// committed baselines portable across hosts.
+pub fn calibrate_unit_secs() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        std::hint::black_box(xorshift_sum(20_000_000));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn xorshift_sum(iters: u64) -> u64 {
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc = acc.wrapping_add(x);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(wall: f64) -> BenchReport {
+        BenchReport {
+            name: "probe".into(),
+            wall_units: wall,
+            counters: vec![
+                ("fsjoin.candidates".into(), 123.0),
+                ("mr.shuffle.bytes".into(), 4096.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report(2.5);
+        assert_eq!(BenchReport::parse(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn wall_tolerance_gates_regressions() {
+        let base = report(1.0);
+        // Within tolerance and improvements pass.
+        assert!(report(1.4).compare_against(&base, 0.5).is_empty());
+        assert!(report(0.2).compare_against(&base, 0.5).is_empty());
+        // A 2x slowdown fails.
+        let failures = report(2.0).compare_against(&base, 0.5);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("wall regression"));
+    }
+
+    #[test]
+    fn logical_counters_must_match_exactly() {
+        let base = report(1.0);
+        let mut cur = report(1.0);
+        cur.counters[0].1 = 124.0;
+        let failures = cur.compare_against(&base, 0.5);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("fsjoin.candidates"));
+        // A missing counter also fails.
+        let mut gone = report(1.0);
+        gone.counters.remove(0);
+        assert_eq!(gone.compare_against(&base, 0.5).len(), 1);
+    }
+
+    #[test]
+    fn calibration_is_positive_and_finite() {
+        let unit = calibrate_unit_secs();
+        assert!(unit.is_finite() && unit > 0.0);
+    }
+}

@@ -119,10 +119,40 @@ impl RunOutcome {
         chain: ChainMetrics,
         cluster: &ClusterModel,
     ) -> Self {
+        Self::from_chain_with_deps(algorithm, pairs, real_secs, chain, cluster, None)
+    }
+
+    /// Like [`Self::from_chain`], but when the run came from a declared
+    /// `Plan` its dependency vector rides along: the recorded simulated
+    /// timeline is then the *pipelined* [`ClusterModel::simulate_plan`]
+    /// schedule, stamped with the same `(plan, run, stage, partition)` args
+    /// the real `PlanRunner` puts on its spans — so `ssj-prof` analyses it
+    /// identically. `sim_secs` stays the sequential chain makespan either
+    /// way (the cross-algorithm comparable quantity).
+    fn from_chain_with_deps(
+        algorithm: &'static str,
+        pairs: usize,
+        real_secs: f64,
+        chain: ChainMetrics,
+        cluster: &ClusterModel,
+        deps: Option<(&str, &[Option<usize>])>,
+    ) -> Self {
         let sim_secs = cluster.simulate_chain(&chain).total_secs();
         // When tracing is on, also render the simulated cluster occupancy
         // for this run next to the real host spans.
-        crate::simtrace::record_chain(algorithm, cluster, &chain);
+        match deps {
+            Some((plan_name, deps)) => {
+                if let Some(collector) = ssj_observe::collector() {
+                    let schedules = cluster.simulate_plan(&chain, deps);
+                    crate::simtrace::record_plan_schedule(
+                        &collector, plan_name, cluster, &schedules, deps,
+                    );
+                }
+            }
+            None => {
+                crate::simtrace::record_chain(algorithm, cluster, &chain);
+            }
+        }
         let first = chain.jobs.first().expect("non-empty chain");
         RunOutcome {
             algorithm,
@@ -184,12 +214,13 @@ pub fn run_algorithm_cfg(
                 cfg = cfg.with_horizontal(0);
             }
             let res = fsjoin::run_self_join(collection, &cfg);
-            RunOutcome::from_chain(
+            RunOutcome::from_chain_with_deps(
                 algo.name(),
                 res.pairs.len(),
                 start.elapsed().as_secs_f64(),
                 res.chain,
                 &cluster,
+                Some(("fsjoin", &res.deps)),
             )
         }
         Algorithm::RidPairs => {

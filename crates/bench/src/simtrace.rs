@@ -37,6 +37,40 @@ pub fn record_sim_schedule(
     cluster: &ClusterModel,
     schedules: &[SimSchedule],
 ) -> u32 {
+    record_schedule_impl(collector, label, cluster, schedules, None)
+}
+
+/// Render a simulated *plan* timeline (e.g. from
+/// [`ClusterModel::simulate_plan`]) with the same `(plan, run, stage,
+/// partition, attempt)` args the real `PlanRunner` stamps on its spans, so
+/// the profiler analyses the simulated timeline identically to the real
+/// trace. `deps[j]` is stage `j`'s upstream (`None` = external input).
+/// Returns the `(pid, run)` pair identifying the timeline.
+pub fn record_plan_schedule(
+    collector: &Collector,
+    plan_name: &str,
+    cluster: &ClusterModel,
+    schedules: &[SimSchedule],
+    deps: &[Option<usize>],
+) -> (u32, u64) {
+    let run = ssj_mapreduce::next_plan_run_id();
+    let pid = record_schedule_impl(
+        collector,
+        plan_name,
+        cluster,
+        schedules,
+        Some((plan_name, run, deps)),
+    );
+    (pid, run)
+}
+
+fn record_schedule_impl(
+    collector: &Collector,
+    label: &str,
+    cluster: &ClusterModel,
+    schedules: &[SimSchedule],
+    plan_ctx: Option<(&str, u64, &[Option<usize>])>,
+) -> u32 {
     let pid = NEXT_SIM_PID.fetch_add(1, Ordering::Relaxed);
     let slots = cluster.total_slots() as u32;
     collector.set_process_name(
@@ -60,7 +94,23 @@ pub fn record_sim_schedule(
     collector.set_thread_name(pid, slots, "shuffle");
     collector.set_thread_name(pid, slots + 1, "jobs");
 
-    for sched in schedules {
+    for (stage_idx, sched) in schedules.iter().enumerate() {
+        let mut job_args: Vec<(&'static str, ssj_observe::FieldValue)> =
+            vec![("shuffle_bytes", (sched.shuffle_bytes as u64).into())];
+        if let Some((plan, run, deps)) = plan_ctx {
+            job_args.push(("plan", plan.into()));
+            job_args.push(("run", run.into()));
+            job_args.push(("stage", (stage_idx as u64).into()));
+            job_args.push((
+                "upstream",
+                deps.get(stage_idx)
+                    .copied()
+                    .flatten()
+                    .map(|u| u as i64)
+                    .unwrap_or(-1)
+                    .into(),
+            ));
+        }
         collector.push(TraceEvent {
             name: sched.job_name.clone(),
             cat: "sim.job",
@@ -68,7 +118,7 @@ pub fn record_sim_schedule(
             tid: slots + 1,
             ts_us: us(sched.start_secs),
             dur_us: dur_us(sched.start_secs, sched.end_secs),
-            args: vec![("shuffle_bytes", (sched.shuffle_bytes as u64).into())],
+            args: job_args,
         });
         if sched.shuffle_end_secs > sched.shuffle_start_secs {
             collector.push(TraceEvent {
@@ -86,6 +136,18 @@ pub fn record_sim_schedule(
                 ssj_mapreduce::TaskKind::Map => "map",
                 ssj_mapreduce::TaskKind::Reduce => "reduce",
             };
+            let mut task_args: Vec<(&'static str, ssj_observe::FieldValue)> = vec![
+                ("node", (task.node as u64).into()),
+                ("job", sched.job_name.as_str().into()),
+            ];
+            if let Some((plan, run, _)) = plan_ctx {
+                task_args.push(("plan", plan.into()));
+                task_args.push(("run", run.into()));
+                task_args.push(("stage", (stage_idx as u64).into()));
+                task_args.push(("partition", (task.index as u64).into()));
+                task_args.push(("attempt", 0u64.into()));
+                task_args.push(("kind", kind.into()));
+            }
             collector.push(TraceEvent {
                 name: format!("{kind}[{}]", task.index),
                 cat: "sim.task",
@@ -93,10 +155,7 @@ pub fn record_sim_schedule(
                 tid: task.slot as u32,
                 ts_us: us(task.start_secs),
                 dur_us: dur_us(task.start_secs, task.end_secs),
-                args: vec![
-                    ("node", (task.node as u64).into()),
-                    ("job", sched.job_name.as_str().into()),
-                ],
+                args: task_args,
             });
         }
     }

@@ -45,6 +45,11 @@ pub struct FsJoinResult {
     /// High-water mark of live intermediate bytes held between stages
     /// (see [`ssj_mapreduce::PlanOutcome::peak_live_bytes`]).
     pub peak_live_bytes: usize,
+    /// Upstream dependency of each executed plan stage (`None` = external
+    /// input), in [`ChainMetrics`] job order — the plan shape
+    /// [`ssj_mapreduce::ClusterModel::simulate_plan`] consumes alongside
+    /// [`Self::chain`].
+    pub deps: Vec<Option<usize>>,
 }
 
 impl FsJoinResult {
@@ -184,11 +189,11 @@ impl StreamingReducer for FragmentReducer {
         // Per-cell load distributions (skew diagnosis for the fragment
         // join, independent of reduce-task packing).
         self.registry.histogram_record(
-            "fsjoin.fragment.pairs",
+            crate::keys::FRAGMENT_PAIRS,
             self.local_stats.pairs_considered - before_pairs,
         );
         self.registry.histogram_record(
-            "fsjoin.fragment.candidates",
+            crate::keys::FRAGMENT_CANDIDATES,
             self.local_stats.emitted - before_emitted,
         );
         for rec in records {
@@ -434,6 +439,7 @@ fn run_join(
     let mut outcome = PlanRunner::new(cfg.plan_mode).run(plan);
     let verified = outcome.take_output(verified_h);
     let peak_live_bytes = outcome.peak_live_bytes;
+    let deps = outcome.deps().to_vec();
     let chain = outcome.metrics;
     // The candidate count is the filter stage's reduce output — the same
     // quantity `total_records()` reported on the materialized dataset
@@ -449,8 +455,8 @@ fn run_join(
     drop(verify_span.field("pairs", pairs.len()));
 
     let filter_stats = FilterStats::from_registry(&run_registry);
-    run_registry.gauge_set("fsjoin.candidates", candidates as f64);
-    run_registry.gauge_set("fsjoin.pairs", pairs.len() as f64);
+    run_registry.gauge_set(crate::keys::CANDIDATES, candidates as f64);
+    run_registry.gauge_set(crate::keys::PAIRS, pairs.len() as f64);
     if let Some(global) = ssj_observe::global_registry() {
         global.merge_from(&run_registry);
     }
@@ -463,6 +469,7 @@ fn run_join(
         pivots: Arc::try_unwrap(pivots).unwrap_or_else(|a| (*a).clone()),
         h_pivots: Arc::try_unwrap(h_pivots).unwrap_or_else(|a| (*a).clone()),
         peak_live_bytes,
+        deps,
     }
 }
 
@@ -497,6 +504,11 @@ mod tests {
         compare_results(&res.pairs, &want, 1e-9).unwrap();
         assert!(res.candidates > 0);
         assert_eq!(res.chain.jobs.len(), 2);
+        // The declared plan shape rides along: filter ← input, verify ← filter.
+        assert_eq!(res.deps, vec![None, Some(0)]);
+        // Kernel counters flow out with the filter stats.
+        assert!(res.filter_stats.intersections > 0);
+        assert!(res.filter_stats.intersect_tokens >= res.filter_stats.intersections);
     }
 
     #[test]

@@ -103,21 +103,28 @@ pub struct FilterStats {
     pub policy_dropped: u64,
     /// Candidate records emitted (pair-fragment contributions).
     pub emitted: u64,
+    /// Exact intersections executed by the join kernel (the Index kernel
+    /// accumulates counts while probing, so it reports 0 here).
+    pub intersections: u64,
+    /// Tokens fed to those intersections (sum of both inputs per call).
+    pub intersect_tokens: u64,
 }
 
 impl FilterStats {
-    /// `(counter name, value)` view of every field. The names are the
-    /// canonical `fsjoin.filter.*` metric keys used in registries and
-    /// metric dumps.
-    fn fields(&self) -> [(&'static str, u64); 7] {
+    /// `(counter name, value)` view of every field, under the canonical
+    /// [`crate::keys`] names used in registries and metric dumps.
+    pub fn fields(&self) -> [(&'static str, u64); 9] {
+        use crate::keys;
         [
-            ("fsjoin.filter.pairs_considered", self.pairs_considered),
-            ("fsjoin.filter.strl_pruned", self.strl_pruned),
-            ("fsjoin.filter.segl_pruned", self.segl_pruned),
-            ("fsjoin.filter.segi_pruned", self.segi_pruned),
-            ("fsjoin.filter.segd_pruned", self.segd_pruned),
-            ("fsjoin.filter.policy_dropped", self.policy_dropped),
-            ("fsjoin.filter.emitted", self.emitted),
+            (keys::FILTER_PAIRS_CONSIDERED, self.pairs_considered),
+            (keys::FILTER_STRL_PRUNED, self.strl_pruned),
+            (keys::FILTER_SEGL_PRUNED, self.segl_pruned),
+            (keys::FILTER_SEGI_PRUNED, self.segi_pruned),
+            (keys::FILTER_SEGD_PRUNED, self.segd_pruned),
+            (keys::FILTER_POLICY_DROPPED, self.policy_dropped),
+            (keys::FILTER_EMITTED, self.emitted),
+            (keys::KERNEL_INTERSECTIONS, self.intersections),
+            (keys::KERNEL_INTERSECT_TOKENS, self.intersect_tokens),
         ]
     }
 
@@ -130,6 +137,15 @@ impl FilterStats {
         self.segd_pruned += other.segd_pruned;
         self.policy_dropped += other.policy_dropped;
         self.emitted += other.emitted;
+        self.intersections += other.intersections;
+        self.intersect_tokens += other.intersect_tokens;
+    }
+
+    /// Count one exact intersection over inputs of the given lengths.
+    #[inline]
+    pub fn count_intersection(&mut self, len_a: usize, len_b: usize) {
+        self.intersections += 1;
+        self.intersect_tokens += (len_a + len_b) as u64;
     }
 
     /// Add these counters into `registry` under the `fsjoin.filter.*`
@@ -144,14 +160,17 @@ impl FilterStats {
     /// Reconstruct aggregated counters from a registry populated via
     /// [`Self::record_to`]. Missing counters read as 0.
     pub fn from_registry(registry: &ssj_observe::MetricsRegistry) -> FilterStats {
+        use crate::keys;
         FilterStats {
-            pairs_considered: registry.counter_get("fsjoin.filter.pairs_considered"),
-            strl_pruned: registry.counter_get("fsjoin.filter.strl_pruned"),
-            segl_pruned: registry.counter_get("fsjoin.filter.segl_pruned"),
-            segi_pruned: registry.counter_get("fsjoin.filter.segi_pruned"),
-            segd_pruned: registry.counter_get("fsjoin.filter.segd_pruned"),
-            policy_dropped: registry.counter_get("fsjoin.filter.policy_dropped"),
-            emitted: registry.counter_get("fsjoin.filter.emitted"),
+            pairs_considered: registry.counter_get(keys::FILTER_PAIRS_CONSIDERED),
+            strl_pruned: registry.counter_get(keys::FILTER_STRL_PRUNED),
+            segl_pruned: registry.counter_get(keys::FILTER_SEGL_PRUNED),
+            segi_pruned: registry.counter_get(keys::FILTER_SEGI_PRUNED),
+            segd_pruned: registry.counter_get(keys::FILTER_SEGD_PRUNED),
+            policy_dropped: registry.counter_get(keys::FILTER_POLICY_DROPPED),
+            emitted: registry.counter_get(keys::FILTER_EMITTED),
+            intersections: registry.counter_get(keys::KERNEL_INTERSECTIONS),
+            intersect_tokens: registry.counter_get(keys::KERNEL_INTERSECT_TOKENS),
         }
     }
 }
@@ -407,10 +426,14 @@ mod tests {
             segd_pruned: 4,
             policy_dropped: 0,
             emitted: 5,
+            intersections: 6,
+            intersect_tokens: 60,
         };
         a.merge(&a.clone());
         assert_eq!(a.pairs_considered, 20);
         assert_eq!(a.emitted, 10);
+        assert_eq!(a.intersections, 12);
+        assert_eq!(a.intersect_tokens, 120);
     }
 
     #[test]
@@ -423,6 +446,8 @@ mod tests {
             segd_pruned: 17,
             policy_dropped: 19,
             emitted: 23,
+            intersections: 29,
+            intersect_tokens: 31,
         };
         let reg = ssj_observe::MetricsRegistry::new();
         stats.record_to(&reg);

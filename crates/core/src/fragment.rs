@@ -240,6 +240,7 @@ fn loop_join(
                 stats.segd_pruned += 1;
                 continue;
             }
+            stats.count_intersection(a.seg_len(), b.seg_len());
             let c = intersect_count_adaptive(a.tokens(pool), b.tokens(pool));
             if let Some(rec) = finish_pair(a, b, c, measure, theta, filters, policy, stats) {
                 out.push(rec);
@@ -366,6 +367,7 @@ fn prefix_join(
                 stats.segd_pruned += 1;
                 continue;
             }
+            stats.count_intersection(a.seg_len(), b.seg_len());
             let c = intersect_count_adaptive(a_tokens, b.tokens(pool));
             if let Some(rec) = finish_pair(a, b, c, measure, theta, filters, policy, stats) {
                 out.push(rec);
@@ -422,6 +424,7 @@ fn bipartite_join(
                         stats.segd_pruned += 1;
                         continue;
                     }
+                    stats.count_intersection(a.seg_len(), b.seg_len());
                     let c = intersect_count_adaptive(a.tokens(pool), b.tokens(pool));
                     if let Some(rec) = finish_pair(a, b, c, measure, theta, filters, policy, stats)
                     {
@@ -518,6 +521,7 @@ fn bipartite_join(
                         stats.segd_pruned += 1;
                         continue;
                     }
+                    stats.count_intersection(a.seg_len(), b.seg_len());
                     let c = intersect_count_adaptive(a.tokens(pool), b_tokens);
                     if let Some(rec) = finish_pair(a, b, c, measure, theta, filters, policy, stats)
                     {

@@ -1,0 +1,44 @@
+//! Canonical `fsjoin.*` metric-key names.
+//!
+//! Every counter, gauge or histogram the join drivers record in a
+//! [`MetricsRegistry`](ssj_observe::MetricsRegistry) uses one of these
+//! constants — never an inline string — so the key namespace documented in
+//! DESIGN.md §8 ("Profiling") is enforced by the compiler and `ssj-prof`
+//! can rely on the names. The engine-side `mr.*` namespace lives in
+//! `ssj_mapreduce::telemetry`.
+
+/// Segment pairs considered by the fragment join (counter; post kernel
+/// candidate generation, pre filters).
+pub const FILTER_PAIRS_CONSIDERED: &str = "fsjoin.filter.pairs_considered";
+/// Pairs pruned by the string-length filter, Lemma 1 (counter).
+pub const FILTER_STRL_PRUNED: &str = "fsjoin.filter.strl_pruned";
+/// Pairs pruned by the segment-length filter, Lemma 2 (counter).
+pub const FILTER_SEGL_PRUNED: &str = "fsjoin.filter.segl_pruned";
+/// Pairs pruned by the segment-intersection filter, Lemma 3 (counter).
+pub const FILTER_SEGI_PRUNED: &str = "fsjoin.filter.segi_pruned";
+/// Pairs pruned by the segment-difference filter, Lemma 4 (counter).
+pub const FILTER_SEGD_PRUNED: &str = "fsjoin.filter.segd_pruned";
+/// Surviving pair-fragments dropped by
+/// [`EmitPolicy::PositiveBoundOnly`](crate::EmitPolicy) (counter).
+pub const FILTER_POLICY_DROPPED: &str = "fsjoin.filter.policy_dropped";
+/// Candidate records emitted by the filter stage (counter).
+pub const FILTER_EMITTED: &str = "fsjoin.filter.emitted";
+
+/// Exact merge/gallop intersections executed by a join kernel (counter).
+/// The Index kernel accumulates overlaps while probing and never runs an
+/// exact intersection, so it legitimately reports 0.
+pub const KERNEL_INTERSECTIONS: &str = "fsjoin.kernel.intersections";
+/// Tokens fed to those exact intersections — the sum of both input slice
+/// lengths per call (counter; the kernels' work measure).
+pub const KERNEL_INTERSECT_TOKENS: &str = "fsjoin.kernel.intersect_tokens";
+
+/// Per-cell pair-comparison load of the fragment join (histogram).
+pub const FRAGMENT_PAIRS: &str = "fsjoin.fragment.pairs";
+/// Per-cell candidate emission of the fragment join (histogram).
+pub const FRAGMENT_CANDIDATES: &str = "fsjoin.fragment.candidates";
+
+/// Candidate records produced by the filter/discovery job (gauge; the
+/// paper's Table IV quantity).
+pub const CANDIDATES: &str = "fsjoin.candidates";
+/// Final similar pairs (gauge).
+pub const PAIRS: &str = "fsjoin.pairs";

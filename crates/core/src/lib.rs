@@ -47,6 +47,7 @@ pub mod driver;
 pub mod filters;
 pub mod fragment;
 pub mod horizontal;
+pub mod keys;
 pub mod pf;
 pub mod pivots;
 pub mod segment;

@@ -45,7 +45,7 @@ use ssj_mapreduce::{
     Dataset, Dfs, DirectPartitioner, Emitter, GroupValues, Mapper, Plan, PlanRunner,
     StreamingReducer,
 };
-use ssj_observe::span;
+use ssj_observe::{span, MetricsRegistry};
 use ssj_similarity::intersect::intersect_count_adaptive;
 use ssj_similarity::{Measure, SimilarPair};
 use ssj_text::{Collection, PooledRecord, TokenPool};
@@ -63,6 +63,9 @@ fn global_prefix_in_segment(measure: Measure, theta: f64, seg: &Segment) -> usiz
 /// Discovery reducer: index global-prefix tokens, emit candidate pairs.
 /// Streams each cell's segments into a scratch buffer reused across cells
 /// (segments are `Copy` spans; the engine allocates nothing per key).
+/// Pruning counters accumulate locally and flow into the run's
+/// [`MetricsRegistry`] under the canonical [`crate::keys`] names at task
+/// cleanup, exactly like the main driver's fragment reducer.
 struct PrefixDiscoveryReducer {
     pool: Arc<TokenPool>,
     measure: Measure,
@@ -71,11 +74,13 @@ struct PrefixDiscoveryReducer {
     h_pivots: Arc<Vec<u32>>,
     scope: PairScope,
     scratch: Vec<Segment>,
+    local_stats: FilterStats,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl PrefixDiscoveryReducer {
     fn discover(
-        &self,
+        &mut self,
         probe: &Segment,
         index: &FxHashMap<u32, Vec<u32>>,
         pool: &[&Segment],
@@ -99,10 +104,13 @@ impl PrefixDiscoveryReducer {
             if !ok {
                 continue;
             }
+            self.local_stats.pairs_considered += 1;
             // Cheap length filter before shipping the candidate.
             if !crate::filters::strl_pass(self.measure, self.theta, probe.len, other.len) {
+                self.local_stats.strl_pruned += 1;
                 continue;
             }
+            self.local_stats.emitted += 1;
             let (a, b) = if probe.rid < other.rid {
                 (probe, other)
             } else {
@@ -134,6 +142,8 @@ impl StreamingReducer for PrefixDiscoveryReducer {
         segments.extend(values.copied());
         let h = *cell as usize / self.num_fragments;
         let rule = JoinRule::for_partition(h, &self.h_pivots);
+        let before_pairs = self.local_stats.pairs_considered;
+        let before_emitted = self.local_stats.emitted;
         match rule {
             JoinRule::All => {
                 // Scan order: index each segment's global-prefix tokens
@@ -166,7 +176,21 @@ impl StreamingReducer for PrefixDiscoveryReducer {
                 }
             }
         }
+        // Per-cell discovery load, same histograms the exact driver keeps.
+        self.registry.histogram_record(
+            crate::keys::FRAGMENT_PAIRS,
+            self.local_stats.pairs_considered - before_pairs,
+        );
+        self.registry.histogram_record(
+            crate::keys::FRAGMENT_CANDIDATES,
+            self.local_stats.emitted - before_emitted,
+        );
         self.scratch = segments;
+    }
+
+    fn cleanup(&mut self, _out: &mut Emitter<(u32, u32), (u32, u32)>) {
+        self.local_stats.record_to(&self.registry);
+        self.local_stats = FilterStats::default();
     }
 }
 
@@ -211,11 +235,16 @@ impl StreamingReducer for KeepFirst {
 
 /// Cached verification: exact similarity straight from the shared token
 /// pool (the arena *is* the replicated record cache — no second copy of
-/// the corpus is materialized for this job).
+/// the corpus is materialized for this job). Intersection-kernel work is
+/// counted locally and flushed to the run registry at task cleanup under
+/// the canonical [`crate::keys`] kernel names.
 struct CachedVerify {
     pool: Arc<TokenPool>,
     measure: Measure,
     theta: f64,
+    intersections: u64,
+    intersect_tokens: u64,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl Mapper for CachedVerify {
@@ -227,10 +256,21 @@ impl Mapper for CachedVerify {
     fn map(&mut self, (a, b): (u32, u32), _lens: (u32, u32), out: &mut Emitter<(u32, u32), f64>) {
         let s = self.pool.tokens_of(a);
         let t = self.pool.tokens_of(b);
+        self.intersections += 1;
+        self.intersect_tokens += (s.len() + t.len()) as u64;
         let c = intersect_count_adaptive(s, t);
         if self.measure.passes(c, s.len(), t.len(), self.theta) {
             out.emit((a, b), self.measure.score(c, s.len(), t.len()));
         }
+    }
+
+    fn cleanup(&mut self, _out: &mut Emitter<(u32, u32), f64>) {
+        self.registry
+            .counter_add(crate::keys::KERNEL_INTERSECTIONS, self.intersections);
+        self.registry
+            .counter_add(crate::keys::KERNEL_INTERSECT_TOKENS, self.intersect_tokens);
+        self.intersections = 0;
+        self.intersect_tokens = 0;
     }
 }
 
@@ -342,6 +382,11 @@ fn run_pf(
     // into dedup, and each deduped partition into cached verification, as
     // soon as it is sealed — the three jobs' phases overlap and the
     // candidate intermediates are dropped partition by partition.
+    // Per-run registry, same contract as the main driver: discovery and
+    // verification tasks record canonical `fsjoin.*` counters here; the
+    // aggregate is read back below and merged into the process-global
+    // registry when one is installed.
+    let run_registry = Arc::new(MetricsRegistry::new());
     let discover_span = span("fsjoin.stage", "discover-job").field("cells", num_cells);
     let dedup_span = span("fsjoin.stage", "dedup-job");
     let verify_span = span("fsjoin.stage", "verify-job");
@@ -369,6 +414,7 @@ fn run_pf(
         {
             let pool = Arc::clone(&pool_side);
             let h_pivots = Arc::clone(&h_pivots);
+            let registry = Arc::clone(&run_registry);
             let (measure, theta) = (cfg.measure, cfg.theta);
             move |_| PrefixDiscoveryReducer {
                 pool: Arc::clone(&pool),
@@ -378,6 +424,8 @@ fn run_pf(
                 h_pivots: Arc::clone(&h_pivots),
                 scope,
                 scratch: Vec::new(),
+                local_stats: FilterStats::default(),
+                registry: Arc::clone(&registry),
             }
         },
         DirectPartitioner::new(|cell: &u32| *cell as usize),
@@ -395,11 +443,15 @@ fn run_pf(
         cfg.reduce_tasks,
         {
             let pool = Arc::clone(&pool_side);
+            let registry = Arc::clone(&run_registry);
             let (measure, theta) = (cfg.measure, cfg.theta);
             move |_| CachedVerify {
                 pool: Arc::clone(&pool),
                 measure,
                 theta,
+                intersections: 0,
+                intersect_tokens: 0,
+                registry: Arc::clone(&registry),
             }
         },
         |_| PassThrough,
@@ -408,6 +460,7 @@ fn run_pf(
     let mut outcome = PlanRunner::new(cfg.plan_mode).run(plan);
     let verified = outcome.take_output(verified_h);
     let peak_live_bytes = outcome.peak_live_bytes;
+    let deps = outcome.deps().to_vec();
     let chain = outcome.metrics;
     let raw_candidates = chain.jobs[0].reduce_output_records();
     drop(discover_span.field("candidates", raw_candidates));
@@ -419,15 +472,23 @@ fn run_pf(
         .collect();
     pairs.sort_unstable_by_key(|x| x.ids());
     drop(verify_span.field("pairs", pairs.len()));
+
+    let filter_stats = FilterStats::from_registry(&run_registry);
+    run_registry.gauge_set(crate::keys::CANDIDATES, raw_candidates as f64);
+    run_registry.gauge_set(crate::keys::PAIRS, pairs.len() as f64);
+    if let Some(global) = ssj_observe::global_registry() {
+        global.merge_from(&run_registry);
+    }
     drop(run_span.field("pairs", pairs.len()));
     FsJoinResult {
         pairs,
         chain,
-        filter_stats: FilterStats::default(),
+        filter_stats,
         candidates: raw_candidates,
         pivots: Arc::try_unwrap(pivots).unwrap_or_else(|a| (*a).clone()),
         h_pivots: Arc::try_unwrap(h_pivots).unwrap_or_else(|a| (*a).clone()),
         peak_live_bytes,
+        deps,
     }
 }
 
@@ -504,6 +565,22 @@ mod tests {
             exact.candidates
         );
         assert!(pf.chain.total_shuffle_bytes() < exact.chain.total_shuffle_bytes());
+    }
+
+    #[test]
+    fn pf_reports_real_filter_stats_and_plan_shape() {
+        let c = wiki(120);
+        let res = run_self_join_pf(&c, &FsJoinConfig::default().with_theta(0.8));
+        // Declared three-stage chain: discover ← input, dedup ← discover,
+        // verify ← dedup.
+        assert_eq!(res.deps, vec![None, Some(0), Some(1)]);
+        // Discovery pruning counters and verification kernel counters both
+        // flow out through the canonical registry names.
+        assert!(res.filter_stats.pairs_considered > 0);
+        assert!(res.filter_stats.emitted > 0);
+        assert!(res.filter_stats.emitted <= res.filter_stats.pairs_considered);
+        assert!(res.filter_stats.intersections > 0);
+        assert!(res.filter_stats.intersect_tokens > res.filter_stats.intersections);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Tracing-overhead budget: instrumentation must be cheap enough to leave
+//! on permanently.
+//!
+//! Comparing two wall-clock runs (traced vs untraced) is hopelessly noisy
+//! at test scale, so the budget is checked compositionally instead:
+//! measure the *per-span* cost with a collector installed, count the
+//! spans a small FS-Join run actually produces, and require
+//!
+//! ```text
+//! spans_produced x per_span_cost  <  2% x run_wall_clock
+//! ```
+//!
+//! i.e. the total time attributable to span bookkeeping is under the 2%
+//! budget. The untraced fast path is additionally required to be at
+//! least as cheap per call as the traced one (it does strictly less: one
+//! relaxed atomic load, no allocation).
+
+use fsjoin::FsJoinConfig;
+use ssj_text::{encode, CorpusProfile};
+use std::time::Instant;
+
+/// One representative task-style span with typical args.
+fn one_span() {
+    let _s = ssj_observe::span("mr.task", "map")
+        .field("job", "overhead-probe")
+        .field("index", 3u64)
+        .field("attempt", 0u64);
+}
+
+/// Median-of-odd-runs seconds for `f`.
+fn timed(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[test]
+fn tracing_overhead_is_under_two_percent() {
+    let collection = encode(
+        &CorpusProfile::WikiLike
+            .config()
+            .with_records(150)
+            .generate(),
+    );
+    let cfg = FsJoinConfig::default().with_theta(0.8);
+
+    // Wall clock and span census of the traced run.
+    let collector = ssj_observe::install_collector();
+    let wall_secs = timed(3, || {
+        collector.events(); // keep the collector demonstrably live
+        let res = fsjoin::run_self_join(&collection, &cfg);
+        std::hint::black_box(res.pairs.len());
+    });
+    ssj_observe::uninstall_collector();
+    let spans_per_run = collector.events().len() / 3;
+    assert!(spans_per_run > 0, "run produced no spans");
+
+    // Per-span cost, amortized over a large batch (collector installed so
+    // the full record-and-store path runs).
+    let batch = 20_000u64;
+    let _c = ssj_observe::install_collector();
+    let traced_batch_secs = timed(5, || {
+        for _ in 0..batch {
+            one_span();
+        }
+    });
+    ssj_observe::uninstall_collector();
+    let per_span_secs = traced_batch_secs / batch as f64;
+
+    let overhead_secs = spans_per_run as f64 * per_span_secs;
+    let budget_secs = 0.02 * wall_secs;
+    assert!(
+        overhead_secs < budget_secs,
+        "tracing over budget: {spans_per_run} spans x {:.1}ns = {:.3}ms, \
+         budget 2% of {:.1}ms = {:.3}ms",
+        per_span_secs * 1e9,
+        overhead_secs * 1e3,
+        wall_secs * 1e3,
+        budget_secs * 1e3
+    );
+
+    // The disabled fast path must not regress past the enabled one (it
+    // allocates nothing and takes one atomic load; allow 2x headroom for
+    // timer noise at nanosecond scale).
+    let untraced_batch_secs = timed(5, || {
+        for _ in 0..batch {
+            one_span();
+        }
+    });
+    assert!(
+        untraced_batch_secs < traced_batch_secs * 2.0,
+        "untraced span path slower than traced: {:.1}ns vs {:.1}ns per span",
+        untraced_batch_secs / batch as f64 * 1e9,
+        traced_batch_secs / batch as f64 * 1e9
+    );
+}

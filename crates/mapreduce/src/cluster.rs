@@ -465,6 +465,23 @@ impl SimSchedule {
     }
 }
 
+/// Wall-clock of a whole simulated plan or chain: earliest task start to
+/// latest task end across every schedule (0.0 when empty). The quantity a
+/// critical path extracted from the exported timeline must account for.
+pub fn schedules_makespan_secs(schedules: &[SimSchedule]) -> f64 {
+    let tasks = schedules.iter().flat_map(|s| s.tasks.iter());
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for t in tasks {
+        lo = lo.min(t.start_secs);
+        hi = hi.max(t.end_secs);
+    }
+    if lo.is_finite() && hi.is_finite() {
+        hi - lo
+    } else {
+        0.0
+    }
+}
+
 fn task_secs(tasks: &[TaskStat]) -> impl Iterator<Item = f64> + '_ {
     tasks.iter().map(|t| t.duration.as_secs_f64())
 }
@@ -588,6 +605,7 @@ mod tests {
             queue: Duration::ZERO,
             input_records: 1,
             input_bytes: bytes,
+            input_keys: 0,
             output_records: 1,
             output_bytes: bytes,
         }

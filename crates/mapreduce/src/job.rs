@@ -277,6 +277,7 @@ impl JobBuilder {
                     queue,
                     input_records: split.len(),
                     input_bytes,
+                    input_keys: 0,
                     output_records: post_records,
                     output_bytes: post_bytes,
                 };
@@ -369,7 +370,9 @@ impl JobBuilder {
                 }
                 let slices: Vec<&[(M::OutKey, M::OutValue)]> =
                     runs.iter().map(|run| run.as_slice()).collect();
+                let mut input_keys = 0usize;
                 GroupedRuns::new(slices).for_each_group(|key, values| {
+                    input_keys += 1;
                     r.reduce_group(key, values, &mut out);
                 });
                 r.cleanup(&mut out);
@@ -378,6 +381,7 @@ impl JobBuilder {
                 let output_bytes = out.bytes();
                 let (pairs, _) = out.into_parts();
                 task_span.record("input_records", input_records);
+                task_span.record("input_keys", input_keys);
                 task_span.record("output_records", output_records);
                 let stat = TaskStat {
                     kind: TaskKind::Reduce,
@@ -386,6 +390,7 @@ impl JobBuilder {
                     queue,
                     input_records,
                     input_bytes,
+                    input_keys,
                     output_records,
                     output_bytes,
                 };
@@ -432,26 +437,7 @@ impl JobBuilder {
             job_span.record("speculative", exec.speculative_launched);
         }
         if let Some(reg) = global_registry() {
-            reg.counter_add("mr.jobs", 1);
-            reg.counter_add("mr.shuffle.records", shuffle_records as u64);
-            reg.counter_add("mr.shuffle.bytes", shuffle_bytes as u64);
-            reg.counter_add("mr.task.attempts", exec.attempts);
-            reg.counter_add("mr.task.retries", exec.retries);
-            reg.counter_add("mr.faults.injected.errors", exec.injected_errors);
-            reg.counter_add("mr.faults.injected.panics", exec.injected_panics);
-            reg.counter_add("mr.faults.injected.stragglers", exec.injected_stragglers);
-            reg.counter_add("mr.spec.launched", exec.speculative_launched);
-            reg.counter_add("mr.spec.wins", exec.speculative_wins);
-            reg.counter_add("mr.pre_combine.records", metrics.pre_combine_records as u64);
-            for t in &metrics.map_tasks {
-                reg.histogram_record("mr.map.output_records", t.output_records as u64);
-                reg.histogram_record("mr.task.queue_us", t.queue.as_micros() as u64);
-            }
-            for t in &metrics.reduce_tasks {
-                reg.histogram_record("mr.reduce.input_records", t.input_records as u64);
-                reg.histogram_record("mr.reduce.input_bytes", t.input_bytes as u64);
-                reg.histogram_record("mr.task.queue_us", t.queue.as_micros() as u64);
-            }
+            crate::telemetry::record_job_telemetry(&reg, &metrics);
         }
         (Dataset::from_partitions(output_partitions), metrics)
     }

@@ -70,9 +70,10 @@ pub mod partitioner;
 pub mod plan;
 pub mod sim_faults;
 pub mod spill;
+pub mod telemetry;
 pub mod traits;
 
-pub use cluster::{ClusterModel, PhaseTimes, SimSchedule, SimTask};
+pub use cluster::{schedules_makespan_secs, ClusterModel, PhaseTimes, SimSchedule, SimTask};
 pub use dataset::Dataset;
 pub use dfs::Dfs;
 pub use emitter::Emitter;
@@ -81,7 +82,9 @@ pub use job::{IdentityCombiner, JobBuilder};
 pub use merge::{GroupValues, GroupedRuns, KWayMerge};
 pub use metrics::{ChainMetrics, ExecSummary, JobMetrics, TaskKind, TaskStat};
 pub use partitioner::{DirectPartitioner, HashPartitioner, Partitioner};
-pub use plan::{Plan, PlanMode, PlanOutcome, PlanRunner, Stage, StageHandle, StageInput};
+pub use plan::{
+    next_plan_run_id, Plan, PlanMode, PlanOutcome, PlanRunner, Stage, StageHandle, StageInput,
+};
 pub use sim_faults::{SimFaultError, SimFaultOutcome, SimFaultPolicy};
 pub use spill::{SharedRun, SpillStore};
 pub use traits::{Combiner, Key, Mapper, Reducer, StreamingReducer, SumCombiner, Value};

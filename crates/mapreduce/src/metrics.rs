@@ -33,6 +33,11 @@ pub struct TaskStat {
     pub input_records: usize,
     /// Logical encoded input size.
     pub input_bytes: usize,
+    /// Distinct keys consumed (reduce tasks only; 0 for maps). Per-
+    /// partition key cardinality is the third axis of shuffle skew next to
+    /// records and bytes: a partition with few keys but many records is a
+    /// hot-key straggler, not a hash imbalance.
+    pub input_keys: usize,
     /// Records emitted.
     pub output_records: usize,
     /// Logical encoded output size.
@@ -245,6 +250,7 @@ mod tests {
             queue: Duration::ZERO,
             input_records,
             input_bytes: input_records * 8,
+            input_keys: if kind == TaskKind::Reduce { 2 } else { 0 },
             output_records,
             output_bytes: output_records * 8,
         }

@@ -72,9 +72,27 @@ type AnySpill = Arc<dyn Any + Send + Sync>;
 /// and bytes.
 type MapOut = (AnySealed, TaskStat, usize, usize);
 
-type MapFn = Box<dyn Fn(usize, &AnyPart, u32, Instant) -> MapOut + Send + Sync>;
+/// Plan-identity attributes stamped on every task span so a trace can be
+/// profiled: which plan execution (`plan`, `run`) and which stage of its
+/// DAG the task belongs to. The task index doubles as the partition.
+pub(crate) struct TaskTags<'a> {
+    pub plan: &'a str,
+    pub run: u64,
+    pub stage: usize,
+}
+
+type MapFn = Box<dyn Fn(usize, &AnyPart, u32, Instant, &TaskTags<'_>) -> MapOut + Send + Sync>;
 type TransposeFn = Box<dyn Fn(Vec<AnySealed>) -> AnySpill + Send + Sync>;
-type ReduceFn = Box<dyn Fn(usize, &AnySpill, u32, Instant) -> (AnyPart, TaskStat) + Send + Sync>;
+type ReduceFn =
+    Box<dyn Fn(usize, &AnySpill, u32, Instant, &TaskTags<'_>) -> (AnyPart, TaskStat) + Send + Sync>;
+
+/// Process-unique id for one plan execution (also used for simulated
+/// timelines). Distinguishes repeated runs of the same plan within one
+/// trace — e.g. an experiment running `fsjoin` once per algorithm variant.
+pub fn next_plan_run_id() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
 
 /// Where a stage's map input comes from.
 enum InputSrc {
@@ -381,7 +399,7 @@ impl Plan {
         let unstable_bucket_sort = combiner.as_ref().is_some_and(|c| c.is_commutative());
 
         let map_name = name.clone();
-        let run_map: MapFn = Box::new(move |task_idx, part, attempt, phase_start| {
+        let run_map: MapFn = Box::new(move |task_idx, part, attempt, phase_start, tags| {
             let split: &Vec<(M::InKey, M::InValue)> = part
                 .downcast_ref()
                 .expect("plan stage map input has the stage's declared type");
@@ -390,6 +408,10 @@ impl Plan {
             task_span.record("job", map_name.as_str());
             task_span.record("index", task_idx);
             task_span.record("attempt", attempt);
+            task_span.record("plan", tags.plan);
+            task_span.record("run", tags.run);
+            task_span.record("stage", tags.stage);
+            task_span.record("partition", task_idx);
             let start = Instant::now();
             let mut m = mapper(task_idx);
             let mut out: Emitter<M::OutKey, M::OutValue> = Emitter::new();
@@ -439,6 +461,7 @@ impl Plan {
                 queue,
                 input_records: split.len(),
                 input_bytes,
+                input_keys: 0,
                 output_records: post_records,
                 output_bytes: post_bytes,
             };
@@ -467,7 +490,7 @@ impl Plan {
         });
 
         let reduce_name = name.clone();
-        let run_reduce: ReduceFn = Box::new(move |task_idx, spill, attempt, phase_start| {
+        let run_reduce: ReduceFn = Box::new(move |task_idx, spill, attempt, phase_start, tags| {
             let spill: &SpillStore<M::OutKey, M::OutValue> = spill
                 .downcast_ref()
                 .expect("spill store has the stage's declared type");
@@ -476,6 +499,10 @@ impl Plan {
             task_span.record("job", reduce_name.as_str());
             task_span.record("index", task_idx);
             task_span.record("attempt", attempt);
+            task_span.record("plan", tags.plan);
+            task_span.record("run", tags.run);
+            task_span.record("stage", tags.stage);
+            task_span.record("partition", task_idx);
             // Every attempt re-fetches shared views of the checkpointed
             // runs — a retry never re-runs the map phase.
             let runs = spill.fetch(task_idx);
@@ -495,7 +522,9 @@ impl Plan {
             }
             let slices: Vec<&[(M::OutKey, M::OutValue)]> =
                 runs.iter().map(|run| run.as_slice()).collect();
+            let mut input_keys = 0usize;
             GroupedRuns::new(slices).for_each_group(|key, values| {
+                input_keys += 1;
                 r.reduce_group(key, values, &mut out);
             });
             r.cleanup(&mut out);
@@ -504,6 +533,7 @@ impl Plan {
             let output_bytes = out.bytes();
             let (pairs, _) = out.into_parts();
             task_span.record("input_records", input_records);
+            task_span.record("input_keys", input_keys);
             task_span.record("output_records", output_records);
             let stat = TaskStat {
                 kind: TaskKind::Reduce,
@@ -512,6 +542,7 @@ impl Plan {
                 queue,
                 input_records,
                 input_bytes,
+                input_keys,
                 output_records,
                 output_bytes,
             };
@@ -768,7 +799,10 @@ fn next_step(state: &mut RunState, n_stages: usize) -> Step {
 fn run_plan(plan: Plan, mode: PlanMode) -> PlanOutcome {
     let n_stages = plan.stages.len();
     let deps = plan.deps();
+    let run = next_plan_run_id();
     let mut plan_span = span("mr.plan", &plan.name);
+    plan_span.record("plan", plan.name.as_str());
+    plan_span.record("run", run);
     plan_span.record("stages", n_stages);
     plan_span.record(
         "mode",
@@ -832,6 +866,7 @@ fn run_plan(plan: Plan, mode: PlanMode) -> PlanOutcome {
                 plan_worker_loop(
                     plan_ref,
                     mode,
+                    run,
                     fault_plan,
                     &retry,
                     consumers_ref,
@@ -866,11 +901,24 @@ fn run_plan(plan: Plan, mode: PlanMode) -> PlanOutcome {
 
 /// Ensure the stage's job/map spans and start instants exist; returns the
 /// map-phase start used for queue-time accounting.
-fn ensure_stage_started(rt: &mut StageRt, stage: &Stage, now: Instant) -> Instant {
+fn ensure_stage_started(
+    rt: &mut StageRt,
+    stage: &Stage,
+    plan_name: &str,
+    run: u64,
+    stage_idx: usize,
+    now: Instant,
+) -> Instant {
     if rt.started.is_none() {
         rt.started = Some(now);
         let mut job_span = span("mr.job", &stage.name);
         job_span.record("reduce_tasks", stage.reduce_tasks);
+        // DAG-identity args: a profiler reconstructs the plan shape from
+        // the job spans alone (upstream −1 = external input).
+        job_span.record("plan", plan_name);
+        job_span.record("run", run);
+        job_span.record("stage", stage_idx);
+        job_span.record("upstream", stage.upstream().map(|u| u as i64).unwrap_or(-1));
         rt.job_span = Some(job_span);
         let mut map_span = span("mr.phase", "map");
         map_span.record("job", stage.name.as_str());
@@ -885,6 +933,7 @@ fn ensure_stage_started(rt: &mut StageRt, stage: &Stage, now: Instant) -> Instan
 fn plan_worker_loop(
     plan: &Plan,
     mode: PlanMode,
+    run: u64,
     fault_plan: Option<&FaultPlan>,
     retry: &RetryPolicy,
     consumers: &[Vec<usize>],
@@ -930,7 +979,8 @@ fn plan_worker_loop(
                         }
                     };
                     let rt = &mut guard.stages[item.stage];
-                    let phase_start = ensure_stage_started(rt, stage, now);
+                    let phase_start =
+                        ensure_stage_started(rt, stage, &plan.name, run, item.stage, now);
                     rt.map_launched[item.task] += 1;
                     rt.exec.attempts += 1;
                     (part, phase_start)
@@ -979,21 +1029,28 @@ fn plan_worker_loop(
                         std::thread::sleep(p.straggler_delay);
                     }
                 }
-                let run = || match item.phase {
+                let tags = TaskTags {
+                    plan: &plan.name,
+                    run,
+                    stage: item.stage,
+                };
+                let run_body = || match item.phase {
                     Phase::Map => Body::Map((stage.run_map)(
                         item.task,
                         &input,
                         item.attempt,
                         phase_start,
+                        &tags,
                     )),
                     Phase::Reduce => Body::Reduce((stage.run_reduce)(
                         item.task,
                         &input,
                         item.attempt,
                         phase_start,
+                        &tags,
                     )),
                 };
-                match catch_unwind(AssertUnwindSafe(run)) {
+                match catch_unwind(AssertUnwindSafe(run_body)) {
                     Ok(out) => Ok(out),
                     Err(payload) => {
                         if payload.downcast_ref::<InjectedPanic>().is_some() {
@@ -1289,27 +1346,7 @@ fn finalize_stage(state: &mut RunState, plan: &Plan, stage_idx: usize) {
     rt.job_span = None;
 
     if let Some(reg) = global_registry() {
-        let exec = &metrics.exec;
-        reg.counter_add("mr.jobs", 1);
-        reg.counter_add("mr.shuffle.records", metrics.shuffle_records as u64);
-        reg.counter_add("mr.shuffle.bytes", metrics.shuffle_bytes as u64);
-        reg.counter_add("mr.task.attempts", exec.attempts);
-        reg.counter_add("mr.task.retries", exec.retries);
-        reg.counter_add("mr.faults.injected.errors", exec.injected_errors);
-        reg.counter_add("mr.faults.injected.panics", exec.injected_panics);
-        reg.counter_add("mr.faults.injected.stragglers", exec.injected_stragglers);
-        reg.counter_add("mr.spec.launched", exec.speculative_launched);
-        reg.counter_add("mr.spec.wins", exec.speculative_wins);
-        reg.counter_add("mr.pre_combine.records", metrics.pre_combine_records as u64);
-        for t in &metrics.map_tasks {
-            reg.histogram_record("mr.map.output_records", t.output_records as u64);
-            reg.histogram_record("mr.task.queue_us", t.queue.as_micros() as u64);
-        }
-        for t in &metrics.reduce_tasks {
-            reg.histogram_record("mr.reduce.input_records", t.input_records as u64);
-            reg.histogram_record("mr.reduce.input_bytes", t.input_bytes as u64);
-            reg.histogram_record("mr.task.queue_us", t.queue.as_micros() as u64);
-        }
+        crate::telemetry::record_job_telemetry(&reg, &metrics);
     }
 
     rt.metrics = Some(metrics);

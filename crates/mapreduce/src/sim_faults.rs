@@ -681,6 +681,7 @@ mod tests {
             queue: Duration::ZERO,
             input_records: 1,
             input_bytes: 100,
+            input_keys: 0,
             output_records: 1,
             output_bytes: 100,
         };

@@ -67,13 +67,28 @@ impl ChromeTrace {
     /// Serialize to the trace-event JSON object format.
     pub fn to_json(&self) -> String {
         let mut events = self.events.clone();
+        // Sort per lane by start time, enclosing spans first at equal ts.
+        // The cat/name tail makes the order total: concurrent `push`es can
+        // interleave events with identical (pid, tid, ts, dur) in any
+        // order, and without a full key the export would depend on that
+        // interleaving.
         events.sort_by(|a, b| {
-            (a.pid, a.tid, a.ts_us, std::cmp::Reverse(a.dur_us)).cmp(&(
-                b.pid,
-                b.tid,
-                b.ts_us,
-                std::cmp::Reverse(b.dur_us),
-            ))
+            (
+                a.pid,
+                a.tid,
+                a.ts_us,
+                std::cmp::Reverse(a.dur_us),
+                a.cat,
+                &a.name,
+            )
+                .cmp(&(
+                    b.pid,
+                    b.tid,
+                    b.ts_us,
+                    std::cmp::Reverse(b.dur_us),
+                    b.cat,
+                    &b.name,
+                ))
         });
 
         let mut out = String::from("{\"traceEvents\":[");

@@ -26,11 +26,16 @@ pub mod chrome;
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use chrome::ChromeTrace;
 pub use log::Level;
 pub use metrics::{LogHistogram, MetricValue, MetricsRegistry};
+pub use profile::{
+    spans_from_chrome_json, spans_from_events, PlanProfile, ProfSpan, StageSummary, TaskKind,
+    TaskRec,
+};
 pub use trace::{
     collector, install_collector, span, tracing_enabled, uninstall_collector, Collector,
     FieldValue, Span, TraceEvent,

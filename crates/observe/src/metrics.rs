@@ -80,6 +80,67 @@ impl LogHistogram {
         }
     }
 
+    /// Quantile estimate by linear interpolation inside the covering
+    /// power-of-two bucket, clamped to the observed `[min, max]` range (so
+    /// degenerate single-value distributions report exactly that value).
+    /// `q` is clamped to `[0, 1]`; an empty histogram reports 0.
+    ///
+    /// The straggler detector (`task > k × median`) and the shuffle
+    /// imbalance factor (p99/p50) are both computed through this, which
+    /// bounds their error to one bucket's width (< 2× the true value).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0);
+        let mut cum = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cum as f64;
+            cum += c;
+            if cum as f64 >= rank {
+                // Bucket k covers [2^(k-1), 2^k); bucket 0 holds zeros.
+                let lower = if k == 0 {
+                    0.0
+                } else {
+                    (1u128 << (k - 1)) as f64
+                };
+                let upper = if k == 0 { 1.0 } else { (1u128 << k) as f64 };
+                let frac = (rank - before) / c as f64;
+                let v = lower + frac * (upper - lower);
+                return v.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Rebuild a histogram from its exported form (the JSONL fields:
+    /// `count`/`sum`/`min`/`max` plus `(upper_bound, count)` bucket pairs as
+    /// produced by [`Self::nonzero_buckets`]). Inverse of the export up to
+    /// the information the export keeps.
+    pub fn from_export(count: u64, sum: u64, min: u64, max: u64, buckets: &[(u64, u64)]) -> Self {
+        let mut h = LogHistogram {
+            buckets: [0; 65],
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        };
+        for &(upper, c) in buckets {
+            // upper = 1 << k (bucket 0 exports upper bound 1, which also
+            // maps to k = 0 via trailing_zeros); u64::MAX marks bucket 64.
+            let k = if upper == u64::MAX {
+                64
+            } else {
+                upper.trailing_zeros() as usize
+            };
+            h.buckets[k] += c;
+        }
+        h
+    }
+
     /// Fold another histogram into this one.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (b, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -299,6 +360,62 @@ mod tests {
             h.nonzero_buckets(),
             vec![(1, 1), (2, 2), (4, 2), (8, 1), (128, 1)]
         );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = LogHistogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // The log buckets bound any quantile by one power-of-two bucket:
+        // the estimate must be within 2× of the true order statistic.
+        for (q, exact) in [(0.5, 50.0), (0.9, 90.0), (0.99, 99.0)] {
+            let est = h.quantile(q);
+            assert!(
+                est >= exact / 2.0 && est <= exact * 2.0,
+                "q={q}: estimate {est} vs exact {exact}"
+            );
+        }
+        // Monotone in q, and clamped to the observed range.
+        assert!(h.quantile(0.0) >= 1.0);
+        assert!(h.quantile(1.0) <= 100.0);
+        assert!(h.quantile(0.5) <= h.quantile(0.9));
+        assert!(h.quantile(0.9) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn quantile_degenerate_and_empty() {
+        let empty = LogHistogram::default();
+        assert_eq!(empty.quantile(0.5), 0.0);
+
+        // Single repeated value: clamping to [min, max] makes every
+        // quantile exact.
+        let mut h = LogHistogram::default();
+        for _ in 0..10 {
+            h.record(5);
+        }
+        assert_eq!(h.quantile(0.0), 5.0);
+        assert_eq!(h.quantile(0.5), 5.0);
+        assert_eq!(h.quantile(0.99), 5.0);
+
+        // All zeros land in bucket 0.
+        let mut z = LogHistogram::default();
+        z.record(0);
+        z.record(0);
+        assert_eq!(z.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn export_round_trips_through_from_export() {
+        let mut h = LogHistogram::default();
+        for v in [0u64, 1, 3, 9, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let rebuilt =
+            LogHistogram::from_export(h.count(), h.sum(), h.min(), h.max(), &h.nonzero_buckets());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.quantile(0.5), h.quantile(0.5));
     }
 
     #[test]

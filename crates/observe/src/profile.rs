@@ -1,0 +1,682 @@
+//! Plan-aware profile analysis: DAG reconstruction, critical path, slack
+//! and concurrency from a task-level trace.
+//!
+//! Input is a flat span list — either live [`TraceEvent`]s from a
+//! [`Collector`] or a re-parsed `trace.json` — in which the plan layers
+//! tag every task span with `(plan, run, stage, partition, attempt)` and
+//! every stage/job span with `(plan, run, stage, upstream)`. Real
+//! `PlanRunner` traces (cat `mr.*`, pid `HOST_PID`) and simulated
+//! `ClusterModel::simulate_plan` timelines (cat `sim.*`, synthetic pids)
+//! use the same arg names, so one analysis works on both.
+//!
+//! **Critical path.** Walk backward from the task with the latest end.
+//! A task's predecessors are its *logical* dependencies (a reduce depends
+//! on every map of its stage; a map on partition `p` of a stage with
+//! upstream `u` depends on reduce `p` of stage `u`) plus its *resource*
+//! predecessor (the latest-ending earlier task on the same `(pid, tid)`
+//! execution lane). Taking the latest-ending predecessor at every step
+//! yields the chain that bounds wall-clock: whenever a task was not
+//! waiting on data it was waiting on its lane, so the chain extends back
+//! to the first task and `end(last) − start(first)` equals the makespan
+//! up to scheduler gaps.
+
+use std::collections::BTreeMap;
+
+use crate::json::Value;
+use crate::trace::{FieldValue, TraceEvent};
+
+/// Trace-source-independent span (owned strings so parsed JSON traces and
+/// live collector events normalize to the same type).
+#[derive(Debug, Clone)]
+pub struct ProfSpan {
+    pub name: String,
+    pub cat: String,
+    pub pid: u32,
+    pub tid: u32,
+    pub ts_us: u64,
+    pub dur_us: u64,
+    pub args: Vec<(String, FieldValue)>,
+}
+
+impl ProfSpan {
+    fn arg(&self, key: &str) -> Option<&FieldValue> {
+        self.args.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn arg_u64(&self, key: &str) -> Option<u64> {
+        match self.arg(key)? {
+            FieldValue::UInt(v) => Some(*v),
+            FieldValue::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    fn arg_i64(&self, key: &str) -> Option<i64> {
+        match self.arg(key)? {
+            FieldValue::Int(v) => Some(*v),
+            FieldValue::UInt(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    fn arg_str(&self, key: &str) -> Option<&str> {
+        match self.arg(key)? {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<&TraceEvent> for ProfSpan {
+    fn from(e: &TraceEvent) -> Self {
+        ProfSpan {
+            name: e.name.clone(),
+            cat: e.cat.to_string(),
+            pid: e.pid,
+            tid: e.tid,
+            ts_us: e.ts_us,
+            dur_us: e.dur_us,
+            args: e
+                .args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Normalize a collector's events.
+pub fn spans_from_events(events: &[TraceEvent]) -> Vec<ProfSpan> {
+    events.iter().map(ProfSpan::from).collect()
+}
+
+/// Parse an exported Chrome `trace.json` document back into spans (only
+/// `"X"` complete events; metadata rows are dropped).
+pub fn spans_from_chrome_json(doc: &str) -> Result<Vec<ProfSpan>, String> {
+    let v = Value::parse(doc)?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("no traceEvents array")?;
+    let mut out = Vec::new();
+    for e in events {
+        if e.get("ph").and_then(Value::as_str) != Some("X") {
+            continue;
+        }
+        let field = |k: &str| -> Result<u64, String> {
+            e.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("event missing {k}"))
+        };
+        let mut args = Vec::new();
+        if let Some(obj) = e.get("args").and_then(Value::as_obj) {
+            for (k, v) in obj {
+                let fv = match v {
+                    Value::Num(n) if n.fract() == 0.0 && *n < 0.0 => FieldValue::Int(*n as i64),
+                    Value::Num(n) if n.fract() == 0.0 => FieldValue::UInt(*n as u64),
+                    Value::Num(n) => FieldValue::Float(*n),
+                    Value::Str(s) => FieldValue::Str(s.clone()),
+                    Value::Bool(b) => FieldValue::Bool(*b),
+                    _ => continue,
+                };
+                args.push((k.clone(), fv));
+            }
+        }
+        out.push(ProfSpan {
+            name: e
+                .get("name")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            cat: e
+                .get("cat")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            pid: field("pid")? as u32,
+            tid: field("tid")? as u32,
+            ts_us: field("ts")?,
+            dur_us: field("dur")?,
+            args,
+        });
+    }
+    Ok(out)
+}
+
+/// Task flavor within a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    Map,
+    Reduce,
+}
+
+/// One plan-tagged task occurrence.
+#[derive(Debug, Clone)]
+pub struct TaskRec {
+    pub stage: usize,
+    pub kind: TaskKind,
+    pub partition: usize,
+    pub attempt: u32,
+    pub pid: u32,
+    pub tid: u32,
+    pub start_us: u64,
+    pub end_us: u64,
+}
+
+impl TaskRec {
+    pub fn dur_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// Declared shape of one stage, reconstructed from its job span.
+#[derive(Debug, Clone)]
+pub struct StageInfo {
+    pub index: usize,
+    pub name: String,
+    /// Upstream stage index whose reduce output this stage maps over.
+    pub upstream: Option<usize>,
+}
+
+/// All tasks of one `(plan, run, pid)` instance plus its stage DAG.
+#[derive(Debug, Clone)]
+pub struct PlanProfile {
+    pub plan: String,
+    pub run: u64,
+    pub pid: u32,
+    pub stages: Vec<StageInfo>,
+    pub tasks: Vec<TaskRec>,
+}
+
+impl PlanProfile {
+    /// Group plan-tagged task/job spans by `(plan, run, pid)`. A real
+    /// trace and its simulated timeline in the same file come back as
+    /// separate profiles (different pids).
+    pub fn from_spans(spans: &[ProfSpan]) -> Vec<PlanProfile> {
+        type Key = (String, u64, u32);
+        let mut stages: BTreeMap<Key, BTreeMap<usize, StageInfo>> = BTreeMap::new();
+        let mut tasks: BTreeMap<Key, Vec<TaskRec>> = BTreeMap::new();
+
+        for s in spans {
+            let Some(plan) = s.arg_str("plan") else {
+                continue;
+            };
+            let run = s.arg_u64("run").unwrap_or(0);
+            let key = (plan.to_string(), run, s.pid);
+            let is_job = s.cat.ends_with(".job");
+            let is_task = s.cat.ends_with(".task");
+            if is_job {
+                let Some(stage) = s.arg_u64("stage") else {
+                    continue;
+                };
+                let upstream = match s.arg_i64("upstream") {
+                    Some(u) if u >= 0 => Some(u as usize),
+                    _ => None,
+                };
+                stages.entry(key).or_default().insert(
+                    stage as usize,
+                    StageInfo {
+                        index: stage as usize,
+                        name: s.name.clone(),
+                        upstream,
+                    },
+                );
+            } else if is_task {
+                let (Some(stage), Some(partition)) = (s.arg_u64("stage"), s.arg_u64("partition"))
+                else {
+                    continue;
+                };
+                let kind = match s.arg_str("kind").or(Some(s.name.as_str())) {
+                    Some("map") => TaskKind::Map,
+                    Some("reduce") => TaskKind::Reduce,
+                    _ => continue,
+                };
+                tasks.entry(key).or_default().push(TaskRec {
+                    stage: stage as usize,
+                    kind,
+                    partition: partition as usize,
+                    attempt: s.arg_u64("attempt").unwrap_or(0) as u32,
+                    pid: s.pid,
+                    tid: s.tid,
+                    start_us: s.ts_us,
+                    end_us: s.ts_us + s.dur_us,
+                });
+            }
+        }
+
+        let mut out = Vec::new();
+        for ((plan, run, pid), mut ts) in tasks {
+            ts.sort_by_key(|t| (t.start_us, t.end_us, t.stage, t.partition, t.attempt));
+            let st = stages
+                .remove(&(plan.clone(), run, pid))
+                .unwrap_or_default()
+                .into_values()
+                .collect();
+            out.push(PlanProfile {
+                plan,
+                run,
+                pid,
+                stages: st,
+                tasks: ts,
+            });
+        }
+        out
+    }
+
+    /// `(stage index, upstream)` pairs — the reconstructed DAG shape, for
+    /// comparison against a declared `Plan`.
+    pub fn dag(&self) -> Vec<(usize, Option<usize>)> {
+        self.stages.iter().map(|s| (s.index, s.upstream)).collect()
+    }
+
+    /// Earliest task start.
+    pub fn start_us(&self) -> u64 {
+        self.tasks.iter().map(|t| t.start_us).min().unwrap_or(0)
+    }
+
+    /// Latest task end.
+    pub fn end_us(&self) -> u64 {
+        self.tasks.iter().map(|t| t.end_us).max().unwrap_or(0)
+    }
+
+    /// Wall-clock between first task start and last task end.
+    pub fn makespan_us(&self) -> u64 {
+        self.end_us().saturating_sub(self.start_us())
+    }
+
+    fn upstream_of(&self, stage: usize) -> Option<usize> {
+        self.stages
+            .iter()
+            .find(|s| s.index == stage)
+            .and_then(|s| s.upstream)
+    }
+
+    /// Logical predecessors of task `i` (indices into `self.tasks`): all
+    /// maps of the same stage for a reduce; the same-partition reduce of
+    /// the upstream stage for a map.
+    fn logical_preds(&self, i: usize) -> Vec<usize> {
+        let t = &self.tasks[i];
+        match t.kind {
+            TaskKind::Reduce => self
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.stage == t.stage && p.kind == TaskKind::Map)
+                .map(|(j, _)| j)
+                .collect(),
+            TaskKind::Map => match self.upstream_of(t.stage) {
+                Some(u) => self
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| {
+                        p.stage == u && p.kind == TaskKind::Reduce && p.partition == t.partition
+                    })
+                    .map(|(j, _)| j)
+                    .collect(),
+                None => Vec::new(),
+            },
+        }
+    }
+
+    /// Logical successors of task `i` (inverse of [`logical_preds`]).
+    fn logical_succs(&self, i: usize) -> Vec<usize> {
+        let t = &self.tasks[i];
+        match t.kind {
+            TaskKind::Map => self
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.stage == t.stage && s.kind == TaskKind::Reduce)
+                .map(|(j, _)| j)
+                .collect(),
+            TaskKind::Reduce => self
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.kind == TaskKind::Map
+                        && s.partition == t.partition
+                        && self.upstream_of(s.stage) == Some(t.stage)
+                })
+                .map(|(j, _)| j)
+                .collect(),
+        }
+    }
+
+    /// The latest-ending task on the same `(pid, tid)` lane that ended at
+    /// or before task `i` started.
+    fn resource_pred(&self, i: usize) -> Option<usize> {
+        let t = &self.tasks[i];
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(j, p)| *j != i && p.pid == t.pid && p.tid == t.tid && p.end_us <= t.start_us)
+            .max_by_key(|(_, p)| (p.end_us, p.start_us))
+            .map(|(j, _)| j)
+    }
+
+    /// Critical path as task indices in chronological order. Empty when
+    /// the profile has no tasks.
+    pub fn critical_path(&self) -> Vec<usize> {
+        let Some(mut cur) = self
+            .tasks
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, t)| (t.end_us, t.start_us))
+            .map(|(i, _)| i)
+        else {
+            return Vec::new();
+        };
+        let mut path = vec![cur];
+        loop {
+            let start = self.tasks[cur].start_us;
+            let mut preds: Vec<usize> = self
+                .logical_preds(cur)
+                .into_iter()
+                .filter(|&j| self.tasks[j].end_us <= start)
+                .collect();
+            if let Some(r) = self.resource_pred(cur) {
+                preds.push(r);
+            }
+            let Some(next) = preds
+                .into_iter()
+                .max_by_key(|&j| (self.tasks[j].end_us, self.tasks[j].start_us))
+            else {
+                break;
+            };
+            cur = next;
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// `end(last) − start(first)` of the critical path — the wall-clock
+    /// interval the chain covers, comparable to [`makespan_us`].
+    pub fn critical_path_span_us(&self) -> u64 {
+        let path = self.critical_path();
+        match (path.first(), path.last()) {
+            (Some(&f), Some(&l)) => self.tasks[l].end_us.saturating_sub(self.tasks[f].start_us),
+            _ => 0,
+        }
+    }
+
+    /// Sum of task durations along the critical path (busy time of the
+    /// bounding chain; the remainder of the span is wait/gap).
+    pub fn critical_path_busy_us(&self) -> u64 {
+        self.critical_path()
+            .iter()
+            .map(|&i| self.tasks[i].dur_us())
+            .sum()
+    }
+
+    /// Classic CPM slack over the *logical* DAG: how much later each task
+    /// could have finished without moving the makespan, ignoring resource
+    /// (lane) limits. Critical-path tasks have zero-ish slack.
+    pub fn slack_us(&self) -> Vec<u64> {
+        let n = self.tasks.len();
+        // latest_finish computed in reverse topological order; task starts
+        // are a valid topological order because a successor can only start
+        // after its predecessor ended (tasks are pre-sorted by start).
+        let mut latest_finish = vec![self.end_us(); n];
+        for i in (0..n).rev() {
+            let succs = self.logical_succs(i);
+            for s in succs {
+                let ls = latest_finish[s].saturating_sub(self.tasks[s].dur_us());
+                latest_finish[i] = latest_finish[i].min(ls);
+            }
+        }
+        (0..n)
+            .map(|i| latest_finish[i].saturating_sub(self.tasks[i].end_us))
+            .collect()
+    }
+
+    /// Per-stage `(stage index, first start, last end, busy µs, peak
+    /// concurrency)` in stage order — the data behind a waterfall view.
+    pub fn stage_waterfall(&self) -> Vec<StageSummary> {
+        let mut by_stage: BTreeMap<usize, Vec<&TaskRec>> = BTreeMap::new();
+        for t in &self.tasks {
+            by_stage.entry(t.stage).or_default().push(t);
+        }
+        by_stage
+            .into_iter()
+            .map(|(stage, ts)| {
+                let name = self
+                    .stages
+                    .iter()
+                    .find(|s| s.index == stage)
+                    .map(|s| s.name.clone())
+                    .unwrap_or_else(|| format!("stage-{stage}"));
+                StageSummary {
+                    stage,
+                    name,
+                    tasks: ts.len(),
+                    start_us: ts.iter().map(|t| t.start_us).min().unwrap_or(0),
+                    end_us: ts.iter().map(|t| t.end_us).max().unwrap_or(0),
+                    busy_us: ts.iter().map(|t| t.dur_us()).sum(),
+                    peak_concurrency: peak_concurrency(&ts),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Aggregate of one stage's tasks.
+#[derive(Debug, Clone)]
+pub struct StageSummary {
+    pub stage: usize,
+    pub name: String,
+    pub tasks: usize,
+    pub start_us: u64,
+    pub end_us: u64,
+    pub busy_us: u64,
+    pub peak_concurrency: usize,
+}
+
+fn peak_concurrency(tasks: &[&TaskRec]) -> usize {
+    let mut deltas: Vec<(u64, i32)> = Vec::with_capacity(tasks.len() * 2);
+    for t in tasks {
+        deltas.push((t.start_us, 1));
+        deltas.push((t.end_us, -1));
+    }
+    // Ends sort before starts at equal timestamps so back-to-back tasks
+    // don't double-count.
+    deltas.sort_by_key(|&(ts, d)| (ts, d));
+    let mut cur = 0i32;
+    let mut peak = 0i32;
+    for (_, d) in deltas {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak.max(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn task_span(
+        plan: &str,
+        run: u64,
+        stage: u64,
+        kind: &str,
+        partition: u64,
+        tid: u32,
+        ts: u64,
+        dur: u64,
+    ) -> ProfSpan {
+        ProfSpan {
+            name: kind.to_string(),
+            cat: "mr.task".to_string(),
+            pid: 1,
+            tid,
+            ts_us: ts,
+            dur_us: dur,
+            args: vec![
+                ("plan".into(), FieldValue::Str(plan.into())),
+                ("run".into(), FieldValue::UInt(run)),
+                ("stage".into(), FieldValue::UInt(stage)),
+                ("partition".into(), FieldValue::UInt(partition)),
+                ("attempt".into(), FieldValue::UInt(0)),
+            ],
+        }
+    }
+
+    fn job_span(plan: &str, run: u64, stage: u64, upstream: i64, name: &str) -> ProfSpan {
+        ProfSpan {
+            name: name.to_string(),
+            cat: "mr.job".to_string(),
+            pid: 1,
+            tid: 0,
+            ts_us: 0,
+            dur_us: 1000,
+            args: vec![
+                ("plan".into(), FieldValue::Str(plan.into())),
+                ("run".into(), FieldValue::UInt(run)),
+                ("stage".into(), FieldValue::UInt(stage)),
+                ("upstream".into(), FieldValue::Int(upstream)),
+            ],
+        }
+    }
+
+    /// Two-stage chain, 2 lanes: stage 0 = 2 maps + 2 reduces, stage 1
+    /// (upstream 0) = 2 maps + 2 reduces. Lane-packed with no idle gaps.
+    fn two_stage_spans() -> Vec<ProfSpan> {
+        let mut spans = vec![
+            job_span("p", 7, 0, -1, "filter"),
+            job_span("p", 7, 1, 0, "verify"),
+        ];
+        // stage 0: maps [0,10) on both lanes, reduces [10,30) lane 0 /
+        // [10,20) lane 1.
+        spans.push(task_span("p", 7, 0, "map", 0, 0, 0, 10));
+        spans.push(task_span("p", 7, 0, "map", 1, 1, 0, 10));
+        spans.push(task_span("p", 7, 0, "reduce", 0, 0, 10, 20));
+        spans.push(task_span("p", 7, 0, "reduce", 1, 1, 10, 10));
+        // stage 1: map of partition 1 can start at 20 (its upstream reduce
+        // ended at 20); map 0 at 30.
+        spans.push(task_span("p", 7, 1, "map", 1, 1, 20, 10));
+        spans.push(task_span("p", 7, 1, "map", 0, 0, 30, 10));
+        spans.push(task_span("p", 7, 1, "reduce", 0, 0, 40, 15));
+        spans.push(task_span("p", 7, 1, "reduce", 1, 1, 40, 5));
+        spans
+    }
+
+    #[test]
+    fn groups_by_plan_run_pid_and_rebuilds_dag() {
+        let mut spans = two_stage_spans();
+        // A second run of the same plan must come back as its own profile.
+        spans.push(job_span("p", 8, 0, -1, "filter"));
+        spans.push(task_span("p", 8, 0, "map", 0, 0, 500, 10));
+        let profiles = PlanProfile::from_spans(&spans);
+        assert_eq!(profiles.len(), 2);
+        let p7 = profiles.iter().find(|p| p.run == 7).unwrap();
+        assert_eq!(p7.tasks.len(), 8);
+        assert_eq!(p7.dag(), vec![(0, None), (1, Some(0))]);
+        assert_eq!(p7.stages[0].name, "filter");
+        let p8 = profiles.iter().find(|p| p.run == 8).unwrap();
+        assert_eq!(p8.tasks.len(), 1);
+    }
+
+    #[test]
+    fn critical_path_covers_makespan_on_packed_timeline() {
+        let profiles = PlanProfile::from_spans(&two_stage_spans());
+        let p = &profiles[0];
+        assert_eq!(p.makespan_us(), 55);
+        // Packed lanes: the backward walk must reach ts=0.
+        assert_eq!(p.critical_path_span_us(), p.makespan_us());
+        let path = p.critical_path();
+        // Chronological and chained: each hop ends no later than the next
+        // begins... (resource preds share a lane; logical preds precede).
+        for w in path.windows(2) {
+            assert!(p.tasks[w[0]].end_us <= p.tasks[w[1]].start_us + p.tasks[w[1]].dur_us());
+            assert!(p.tasks[w[0]].start_us <= p.tasks[w[1]].start_us);
+        }
+        // The terminal task is the latest-ending one (stage 1 reduce 0).
+        let last = &p.tasks[*path.last().unwrap()];
+        assert_eq!((last.stage, last.kind), (1, TaskKind::Reduce));
+        assert_eq!(last.end_us, 55);
+    }
+
+    #[test]
+    fn slack_zero_on_critical_chain_positive_off_it() {
+        let profiles = PlanProfile::from_spans(&two_stage_spans());
+        let p = &profiles[0];
+        let slack = p.slack_us();
+        // Stage-1 reduce partition 1 ends at 45 while the makespan is 55:
+        // it has 10µs of slack.
+        let loose = p
+            .tasks
+            .iter()
+            .position(|t| t.stage == 1 && t.kind == TaskKind::Reduce && t.partition == 1)
+            .unwrap();
+        assert_eq!(slack[loose], 10);
+        // The terminal critical task has zero slack.
+        let tight = p
+            .tasks
+            .iter()
+            .position(|t| t.stage == 1 && t.kind == TaskKind::Reduce && t.partition == 0)
+            .unwrap();
+        assert_eq!(slack[tight], 0);
+    }
+
+    #[test]
+    fn stage_waterfall_and_concurrency() {
+        let profiles = PlanProfile::from_spans(&two_stage_spans());
+        let p = &profiles[0];
+        let wf = p.stage_waterfall();
+        assert_eq!(wf.len(), 2);
+        assert_eq!((wf[0].start_us, wf[0].end_us), (0, 30));
+        assert_eq!(wf[0].peak_concurrency, 2);
+        assert_eq!(wf[0].busy_us, 10 + 10 + 20 + 10);
+        assert_eq!(wf[1].name, "verify");
+    }
+
+    #[test]
+    fn chrome_json_round_trip_matches_collector_events() {
+        // Build a synthetic trace, export via ChromeTrace, re-parse, and
+        // profile both representations identically.
+        let spans = two_stage_spans();
+        let mut chrome = crate::ChromeTrace::new();
+        for s in &spans {
+            chrome.push_event(TraceEvent {
+                name: s.name.clone(),
+                cat: if s.cat == "mr.task" {
+                    "mr.task"
+                } else {
+                    "mr.job"
+                },
+                pid: s.pid,
+                tid: s.tid,
+                ts_us: s.ts_us,
+                dur_us: s.dur_us,
+                args: s
+                    .args
+                    .iter()
+                    .map(|(k, v)| {
+                        let key: &'static str = match k.as_str() {
+                            "plan" => "plan",
+                            "run" => "run",
+                            "stage" => "stage",
+                            "partition" => "partition",
+                            "attempt" => "attempt",
+                            _ => "upstream",
+                        };
+                        (key, v.clone())
+                    })
+                    .collect(),
+            });
+        }
+        let parsed = spans_from_chrome_json(&chrome.to_json()).unwrap();
+        let from_json = PlanProfile::from_spans(&parsed);
+        let direct = PlanProfile::from_spans(&spans);
+        assert_eq!(from_json.len(), direct.len());
+        assert_eq!(
+            from_json[0].critical_path_span_us(),
+            direct[0].critical_path_span_us()
+        );
+        assert_eq!(from_json[0].dag(), direct[0].dag());
+        assert_eq!(from_json[0].makespan_us(), direct[0].makespan_us());
+    }
+}

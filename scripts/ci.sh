@@ -125,3 +125,37 @@ EOF
 else
     echo "smoke OK (python3 unavailable; structural validation skipped)"
 fi
+
+echo "== smoke: ssj-prof critical-path + determinism gate =="
+# The profiler must (a) reconstruct every plan-tagged run in the trace
+# with a critical path spanning >= 95% of its makespan (--check), and
+# (b) be byte-deterministic on a fixed input: two invocations on the
+# same trace directory must print identical reports.
+prof_a="$(cargo run --release -p ssj-bench --bin ssj-prof -- "$trace_dir" --check 2>/dev/null)"
+prof_b="$(cargo run --release -p ssj-bench --bin ssj-prof -- "$trace_dir" --check 2>/dev/null)"
+if [[ "$prof_a" != "$prof_b" ]]; then
+    echo "ssj-prof gate FAILED: output not deterministic" >&2
+    diff <(printf '%s\n' "$prof_a") <(printf '%s\n' "$prof_b") >&2 || true
+    exit 1
+fi
+grep '^CHECK ' <<<"$prof_a" | sed 's/^/  /'
+if ! grep -q '^CHECK .* OK$' <<<"$prof_a"; then
+    echo "ssj-prof gate FAILED: no profiles passed the coverage check" >&2
+    exit 1
+fi
+# Every reduce stage must publish its skew telemetry into metrics.jsonl.
+if ! grep -q '^reduce-stage skew' <<<"$prof_a"; then
+    echo "ssj-prof gate FAILED: no skew section (metrics.jsonl unwired?)" >&2
+    exit 1
+fi
+
+echo "== perf: bench_probe regression gate =="
+# Fresh probe runs must stay within tolerance of the committed baselines
+# (wall units are calibration-normalized, so this is machine-portable),
+# and the gate itself is self-tested: an injected 2x slowdown must fail.
+cargo run --release -p ssj-bench --bin bench_probe -- --check results/bench | sed 's/^/  /'
+if cargo run --release -p ssj-bench --bin bench_probe -- --check results/bench --handicap 2.0 >/dev/null 2>&1; then
+    echo "bench_probe gate FAILED: injected 2x slowdown was not detected" >&2
+    exit 1
+fi
+echo "  self-test OK: 2x handicap trips the gate"
