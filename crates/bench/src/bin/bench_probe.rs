@@ -64,19 +64,19 @@ fn main() -> ExitCode {
     let unit = calibrate_unit_secs();
     println!("calibration unit: {unit:.4}s");
 
-    let reports: Vec<BenchReport> = PROBES
+    let mut reports: Vec<BenchReport> = PROBES
         .iter()
-        .map(|(name, run)| {
-            let r = measure(name, run, &corpus, unit, handicap);
-            println!(
-                "{}: {:.3} wall units, {} counters",
-                r.name,
-                r.wall_units,
-                r.counters.len()
-            );
-            r
-        })
+        .map(|(name, run)| measure(name, run, &corpus, unit, handicap))
         .collect();
+    reports.push(measure_serve(&corpus, unit, handicap));
+    for r in &reports {
+        println!(
+            "{}: {:.3} wall units, {} counters",
+            r.name,
+            r.wall_units,
+            r.counters.len()
+        );
+    }
 
     if let Some(dir) = out_dir {
         if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -187,6 +187,46 @@ fn measure(
     counters.sort_by(|a, b| a.0.cmp(&b.0));
     BenchReport {
         name: name.to_string(),
+        wall_units: best / unit_secs * handicap,
+        counters,
+    }
+}
+
+/// The serving-plane probe: build a [`ssj_serve::ServeIndex`] over the
+/// same corpus (untimed — the build path is already covered by the batch
+/// probes it reuses), then time a full sequential replay of every record
+/// at θ = 0.8. Counters are the probe cascade's exact tallies plus the
+/// index shape, so a filter regression trips the gate even when wall time
+/// hides it.
+fn measure_serve(corpus: &Collection, unit_secs: f64, handicap: f64) -> BenchReport {
+    use ssj_serve::{build_index, ProbeStats, ServeConfig};
+    let index = build_index(corpus, &ServeConfig::default().with_theta_min(0.7));
+    let mut best = f64::INFINITY;
+    let mut last = ProbeStats::default();
+    let mut hits = 0u64;
+    for _ in 0..5 {
+        let mut stats = ProbeStats::default();
+        hits = 0;
+        let start = Instant::now();
+        for rec in 0..index.len() as u32 {
+            hits += index
+                .probe_with(index.tokens_of(rec), 0.8, Some(rec), &mut stats)
+                .len() as u64;
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+        last = stats;
+    }
+    let mut counters: Vec<(String, f64)> = last
+        .fields()
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v as f64))
+        .collect();
+    counters.push(("serve.replay.hits".into(), hits as f64));
+    counters.push(("serve.index.postings".into(), index.main_postings() as f64));
+    counters.push(("serve.index.records".into(), index.len() as f64));
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    BenchReport {
+        name: "serve_wiki".to_string(),
         wall_units: best / unit_secs * handicap,
         counters,
     }

@@ -18,8 +18,10 @@ pub mod experiments;
 pub mod regress;
 pub mod report;
 pub mod runners;
+pub mod serve_load;
 pub mod simtrace;
 
 pub use datasets::{bench_corpus, corpus, tuned_fsjoin, Scale};
 pub use regress::{calibrate_unit_secs, BenchReport};
 pub use runners::{run_algorithm, Algorithm, RunOutcome, RunStatus};
+pub use serve_load::{closed_loop, replay_queries, ServeLoadReport};

@@ -1,11 +1,13 @@
-//! Canonical `fsjoin.*` metric-key names.
+//! Canonical `fsjoin.*` and `serve.*` metric-key names.
 //!
 //! Every counter, gauge or histogram the join drivers record in a
 //! [`MetricsRegistry`](ssj_observe::MetricsRegistry) uses one of these
 //! constants — never an inline string — so the key namespace documented in
 //! DESIGN.md §8 ("Profiling") is enforced by the compiler and `ssj-prof`
 //! can rely on the names. The engine-side `mr.*` namespace lives in
-//! `ssj_mapreduce::telemetry`.
+//! `ssj_mapreduce::telemetry`; the serving plane (`ssj-serve`) records
+//! under `serve.*`, declared here alongside the batch keys so the whole
+//! application-level namespace sits in one file.
 
 /// Segment pairs considered by the fragment join (counter; post kernel
 /// candidate generation, pre filters).
@@ -42,3 +44,46 @@ pub const FRAGMENT_CANDIDATES: &str = "fsjoin.fragment.candidates";
 pub const CANDIDATES: &str = "fsjoin.candidates";
 /// Final similar pairs (gauge).
 pub const PAIRS: &str = "fsjoin.pairs";
+
+// ---------------------------------------------------------------------------
+// Serving plane (`serve.*`) — recorded by the `ssj-serve` crate.
+// ---------------------------------------------------------------------------
+
+/// Point/top-k probes answered (counter).
+pub const SERVE_PROBE_QUERIES: &str = "serve.probe.queries";
+/// Distinct candidate records that entered a probe's accumulator — i.e.
+/// shared at least one probe-prefix token and survived the length window
+/// (counter).
+pub const SERVE_PROBE_CANDIDATES: &str = "serve.probe.candidates";
+/// Postings rejected by the length-window filter before accumulation
+/// (counter).
+pub const SERVE_PROBE_LENGTH_PRUNED: &str = "serve.probe.length_pruned";
+/// Records inside the query's length window that shared **no** probe-prefix
+/// token — the prefix filter's pruning power (counter).
+pub const SERVE_PROBE_PREFIX_PRUNED: &str = "serve.probe.prefix_pruned";
+/// Candidates killed by the positional upper bound before verification
+/// (counter).
+pub const SERVE_PROBE_POSITION_PRUNED: &str = "serve.probe.position_pruned";
+/// Candidates that reached exact verification (counter).
+pub const SERVE_PROBE_VERIFIED: &str = "serve.probe.verified";
+/// Verified candidates at or above the probe threshold (counter).
+pub const SERVE_PROBE_HITS: &str = "serve.probe.hits";
+/// End-to-end probe latency in microseconds (histogram) — p50/p99 come
+/// from [`LogHistogram::quantile`](ssj_observe::LogHistogram::quantile).
+pub const SERVE_PROBE_LATENCY_US: &str = "serve.probe.latency_us";
+
+/// Records accepted into the delta pool (counter).
+pub const SERVE_INSERTS: &str = "serve.insert.records";
+/// Tokens ingested through delta inserts (counter).
+pub const SERVE_INSERT_TOKENS: &str = "serve.insert.tokens";
+/// Delta→main compactions executed (counter).
+pub const SERVE_COMPACTIONS: &str = "serve.compact.runs";
+/// Postings streamed through the loser-tree merge during compactions
+/// (counter).
+pub const SERVE_COMPACT_POSTINGS: &str = "serve.compact.postings";
+/// Records currently servable: main arena + delta pool (gauge).
+pub const SERVE_RECORDS: &str = "serve.records";
+/// Records currently in the (uncompacted) delta pool (gauge).
+pub const SERVE_DELTA_RECORDS: &str = "serve.delta.records";
+/// Postings resident in the sealed main index (gauge).
+pub const SERVE_MAIN_POSTINGS: &str = "serve.main.postings";

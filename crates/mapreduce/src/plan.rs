@@ -647,6 +647,34 @@ impl PlanOutcome {
         Dataset::from_partitions(partitions)
     }
 
+    /// Take a stage's output as its **sealed** partitions — the `Arc`s the
+    /// reduce tasks published, in reduce-task order — without materializing
+    /// a [`Dataset`].
+    ///
+    /// [`Self::take_output`] unwraps each partition `Arc` and falls back to
+    /// a deep clone when the partition is still shared; long-lived
+    /// consumers that keep the partitions as-is (the serving plane's
+    /// `ServeIndex::from_plan` builds its posting directory *over* the
+    /// sealed partitions) use this accessor instead: handing out the `Arc`s
+    /// is O(partitions) pointer clones and never copies a single record,
+    /// which the serve crate's counting-allocator test pins down.
+    ///
+    /// # Panics
+    /// Panics if the output was consumed by a downstream stage (consumed
+    /// intermediates are dropped eagerly) or already taken.
+    pub fn take_sealed<K: Key, V: Value>(&mut self, h: StageHandle<K, V>) -> Vec<Arc<Vec<(K, V)>>> {
+        self.outputs[h.idx]
+            .iter_mut()
+            .map(|slot| {
+                let part = slot
+                    .take()
+                    .expect("stage output was consumed by a downstream stage or already taken");
+                part.downcast::<Vec<(K, V)>>()
+                    .expect("stage output has the handle's declared type")
+            })
+            .collect()
+    }
+
     /// Take a stage's output and store it into the [`Dfs`] under `name`.
     pub fn store_output<K: Key + std::fmt::Debug, V: Value + std::fmt::Debug>(
         &mut self,
@@ -1651,5 +1679,36 @@ mod tests {
     fn zero_reduce_tasks_rejected() {
         let mut plan = Plan::new("bad");
         let _ = plan.add::<Tokenize, Sum, _, _>("wc", wc_input(), 0, |_| Tokenize, |_| Sum);
+    }
+
+    #[test]
+    fn take_sealed_matches_take_output_without_unsealing() {
+        // Same plan twice: one outcome drained via take_output (the
+        // materializing path), one via take_sealed. Records must agree and
+        // the sealed partitions must be exclusively owned (terminal stage
+        // outputs have no other holders), proving take_sealed hands out
+        // the reduce tasks' own Arcs rather than copies.
+        let (plan_a, h_a) = two_stage_plan(2);
+        let (plan_b, h_b) = two_stage_plan(2);
+        let want = sorted(PlanRunner::pipelined().run(plan_a).take_output(h_a));
+
+        let mut outcome = PlanRunner::pipelined().run(plan_b);
+        let sealed = outcome.take_sealed(h_b);
+        assert_eq!(sealed.len(), 2, "one Arc per reduce partition");
+        for part in &sealed {
+            assert_eq!(Arc::strong_count(part), 1);
+        }
+        let mut got: Vec<(u64, u64)> = sealed.iter().flat_map(|p| p.iter().copied()).collect();
+        got.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn take_sealed_panics_on_double_take() {
+        let (plan, h) = two_stage_plan(2);
+        let mut outcome = PlanRunner::pipelined().run(plan);
+        let _first = outcome.take_sealed(h);
+        let _second = outcome.take_sealed(h);
     }
 }

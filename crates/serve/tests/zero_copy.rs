@@ -1,0 +1,80 @@
+//! The batch/serve seam's zero-copy guarantee, asserted with a counting
+//! allocator: adopting a build plan's sealed output into a [`ServeIndex`]
+//! ([`ServeIndexBuild::adopt`] → `PlanOutcome::take_sealed`) must perform
+//! a small **constant** number of container allocations — independent of
+//! how many postings the plan produced — because the posting partitions
+//! move by `Arc`, never by deep copy.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ssj_mapreduce::PlanRunner;
+use ssj_serve::{ServeConfig, ServeIndexBuild};
+use ssj_text::{encode, CorpusProfile};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_during<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALLOC_CALLS.load(Ordering::Relaxed) - before)
+}
+
+/// Allocation budget for adopting a plan outcome: the partition vector,
+/// the directory, the length vector, the registry and its handful of
+/// gauge entries — and nothing proportional to postings.
+const ADOPT_ALLOC_BUDGET: usize = 64;
+
+#[test]
+fn from_plan_adopts_sealed_partitions_without_posting_copies() {
+    let collection = encode(
+        &CorpusProfile::WikiLike
+            .config()
+            .with_records(800)
+            .generate(),
+    );
+    let cfg = ServeConfig::default().with_theta_min(0.7).with_workers(2);
+    let mut build = ServeIndexBuild::new(&collection, cfg);
+    let plan = build.take_plan();
+    let mut outcome = PlanRunner::pipelined().run(plan);
+
+    let (index, allocs) = allocs_during(|| build.adopt(&mut outcome));
+
+    assert!(
+        index.main_postings() > 10_000,
+        "corpus too small to make the bound meaningful: {} postings",
+        index.main_postings()
+    );
+    assert!(
+        allocs <= ADOPT_ALLOC_BUDGET,
+        "adopting the plan outcome allocated {allocs} times (budget \
+         {ADOPT_ALLOC_BUDGET}) — a posting-list deep copy has crept into \
+         the batch/serve seam"
+    );
+
+    // The adopted index must actually work.
+    let query = collection.tokens(0).to_vec();
+    let hits = index.probe(&query, 0.8);
+    assert!(hits.iter().any(|&(rec, sim)| rec == 0 && sim == 1.0));
+}

@@ -21,7 +21,7 @@
 //!   `TokenSpan` deliberately does **not** implement `ByteSize` — its
 //!   serialized size depends on what it points at).
 
-use crate::record::{RecordId, TokenId};
+use crate::record::{check_ascending, MalformedRecord, RecordId, TokenId};
 use ssj_common::ByteSize;
 
 /// A contiguous run of tokens inside a [`TokenPool`].
@@ -109,6 +109,28 @@ impl TokenPool {
             start,
             len: tokens.len() as u32,
         }
+    }
+
+    /// Append one record's tokens with validation: the checked ingestion
+    /// entry point for data whose strictly-ascending invariant is claimed
+    /// rather than established in-process (mirrors
+    /// [`Record::try_from_sorted`](crate::Record::try_from_sorted), which
+    /// guards the owned-record path). On success the record's id is the
+    /// pool's previous length — dense, like [`TokenPool::push`] — and its
+    /// span is returned. On failure the pool is unchanged: the CSR arena
+    /// never holds a half-ingested record.
+    ///
+    /// This is the delta-pool helper the serving plane's incremental
+    /// inserts ride on (new records tokenized against a frozen ordering
+    /// arrive from outside the batch pipeline and must fail loudly here),
+    /// but any ingestion path that cannot trust its producer should prefer
+    /// it over `push`.
+    pub fn append(&mut self, tokens: &[TokenId]) -> Result<(RecordId, TokenSpan), MalformedRecord> {
+        let id = self.len() as RecordId;
+        if let Some(position) = check_ascending(tokens) {
+            return Err(MalformedRecord { id, position });
+        }
+        Ok((id, self.push(tokens)))
     }
 
     /// Number of records.
@@ -248,6 +270,58 @@ mod tests {
         let mut pool = TokenPool::new();
         let s = pool.push(&[1]);
         let _ = s.slice(1, 1);
+    }
+
+    #[test]
+    fn append_validates_and_assigns_dense_ids() {
+        let mut pool = TokenPool::new();
+        let (id0, s0) = pool.append(&[1, 5, 9]).unwrap();
+        assert_eq!(id0, 0);
+        assert_eq!(pool.resolve(s0), &[1, 5, 9]);
+        // Empty records are valid (vacuously ascending).
+        let (id1, s1) = pool.append(&[]).unwrap();
+        assert_eq!(id1, 1);
+        assert!(s1.is_empty());
+        let (id2, _) = pool.append(&[7]).unwrap();
+        assert_eq!(id2, 2);
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn append_rejects_unsorted_and_duplicate_tokens() {
+        let mut pool = TokenPool::new();
+        pool.append(&[1, 2]).unwrap();
+        // Out of order: first violation is index 2 (the 4 after 9).
+        let err = pool.append(&[3, 9, 4]).unwrap_err();
+        assert_eq!(err.id, 1);
+        assert_eq!(err.position, 2);
+        // Duplicates violate *strict* ascent too.
+        let err = pool.append(&[5, 5]).unwrap_err();
+        assert_eq!(err.position, 1);
+        // Failed appends leave the pool untouched: same length, same
+        // tokens, and the next successful append gets the same id.
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.total_tokens(), 2);
+        let (id, _) = pool.append(&[8, 9]).unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(pool.tokens_of(1), &[8, 9]);
+    }
+
+    #[test]
+    fn append_matches_record_try_from_sorted_verdicts() {
+        // The pool-level validator and the owned-record validator must
+        // agree on every input, position included.
+        let cases: &[&[u32]] = &[&[], &[3], &[1, 2, 3], &[2, 1], &[4, 4], &[1, 3, 3, 5]];
+        for tokens in cases {
+            let mut pool = TokenPool::new();
+            let via_pool = pool.append(tokens);
+            let via_record = Record::try_from_sorted(0, tokens.to_vec());
+            match (via_pool, via_record) {
+                (Ok(_), Ok(_)) => {}
+                (Err(a), Err(b)) => assert_eq!(a.position, b.position, "{tokens:?}"),
+                (a, b) => panic!("{tokens:?}: pool={a:?} record={b:?}"),
+            }
+        }
     }
 
     #[test]

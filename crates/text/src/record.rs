@@ -108,7 +108,7 @@ impl Record {
 }
 
 /// First index violating strict ascent, if any.
-fn check_ascending(tokens: &[TokenId]) -> Option<usize> {
+pub(crate) fn check_ascending(tokens: &[TokenId]) -> Option<usize> {
     tokens.windows(2).position(|w| w[0] >= w[1]).map(|i| i + 1)
 }
 

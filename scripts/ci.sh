@@ -149,6 +149,22 @@ if ! grep -q '^reduce-stage skew' <<<"$prof_a"; then
     exit 1
 fi
 
+echo "== smoke: serve replay determinism gate (build workers 2 vs 7) =="
+# The serving plane builds its index with a batch plan, so the build
+# worker count parallelizes construction — but index content and probe
+# answers must not depend on it. Replay every record (including an
+# insert/compaction interleave) under both worker counts and require
+# byte-identical reports: result digest, probe-cascade counters, index
+# shape, and the post-compaction digest.
+serve_a="$(cargo run --release -p ssj-bench --bin ssj-serve -- --digest --workers 2 2>/dev/null)"
+serve_b="$(cargo run --release -p ssj-bench --bin ssj-serve -- --digest --workers 7 2>/dev/null)"
+if [[ "$serve_a" != "$serve_b" ]]; then
+    echo "serve gate FAILED: build worker count changed the replay report" >&2
+    diff <(printf '%s\n' "$serve_a") <(printf '%s\n' "$serve_b") >&2 || true
+    exit 1
+fi
+echo "$serve_a" | sed 's/^/  /'
+
 echo "== perf: bench_probe regression gate =="
 # Fresh probe runs must stay within tolerance of the committed baselines
 # (wall units are calibration-normalized, so this is machine-portable),
