@@ -58,8 +58,10 @@ fn run_massjoin(coll: &Collection, mode: PlanMode) -> JoinRunResult {
 }
 
 /// Linear chain: stage `i` consumes stage `i − 1`.
-fn linear_deps(n: usize) -> Vec<Option<usize>> {
-    (0..n).map(|i| i.checked_sub(1)).collect()
+fn linear_deps(n: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|i| i.checked_sub(1).into_iter().collect())
+        .collect()
 }
 
 /// Median wall-clock of `runs` timed invocations (after one warm-up).

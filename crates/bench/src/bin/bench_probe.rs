@@ -69,6 +69,7 @@ fn main() -> ExitCode {
         .map(|(name, run)| measure(name, run, &corpus, unit, handicap))
         .collect();
     reports.push(measure_serve(&corpus, unit, handicap));
+    reports.push(measure_rsjoin(unit, handicap));
     for r in &reports {
         println!(
             "{}: {:.3} wall units, {} counters",
@@ -187,6 +188,101 @@ fn measure(
     counters.sort_by(|a, b| a.0.cmp(&b.0));
     BenchReport {
         name: name.to_string(),
+        wall_units: best / unit_secs * handicap,
+        counters,
+    }
+}
+
+/// The two-input R×S probe on the asymmetric |R| ≪ |S| WikiLike pair
+/// (see [`ssj_bench::datasets::rs_corpus`]): time
+/// [`fsjoin::run_rs_join_two_input`] and record its logical footprint
+/// *next to* the RIDPairsPPJoin-over-concat way of answering the same
+/// query — shuffle records/bytes and candidate counts for both, plus the
+/// result-pair count they must agree on. A plan-layer regression that
+/// inflates the fan-in join's shuffle (or silently changes either side's
+/// candidate generation) trips the zero-tolerance counter gate.
+fn measure_rsjoin(unit_secs: f64, handicap: f64) -> BenchReport {
+    use ssj_baselines::ridpairs::ridpairs_ppjoin;
+    use ssj_similarity::Measure;
+    use ssj_text::Record;
+
+    let (r, s) = ssj_bench::datasets::rs_corpus(CorpusProfile::WikiLike, Scale::Bench);
+    let cfg = FsJoinConfig::default().with_theta(0.8);
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let res = fsjoin::run_rs_join_two_input(&r, &s, &cfg);
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(res);
+    }
+    let res = last.expect("five runs");
+
+    // The incumbent: self-join the concatenated collection with
+    // RIDPairsPPJoin, then keep only cross-side pairs (untimed — its wall
+    // time is gated by the comparison figures, not this probe).
+    let offset = r.len() as u32;
+    let records: Vec<Record> = r
+        .iter()
+        .map(|v| Record::from_sorted(v.id, v.tokens.to_vec()))
+        .chain(
+            s.iter()
+                .map(|v| Record::from_sorted(v.id + offset, v.tokens.to_vec())),
+        )
+        .collect();
+    let concat = Collection::new(records, r.token_freqs.clone(), None);
+    let rid = ridpairs_ppjoin(
+        &concat,
+        Measure::Jaccard,
+        0.8,
+        &ssj_baselines::BaselineConfig::default(),
+    );
+    let rid_cross = rid
+        .pairs
+        .iter()
+        .filter(|p| {
+            let (a, b) = p.ids();
+            a < offset && b >= offset
+        })
+        .count();
+
+    let mut counters: Vec<(String, f64)> = vec![
+        ("rsjoin.pairs".into(), res.pairs.len() as f64),
+        ("rsjoin.candidates".into(), res.candidates as f64),
+        (
+            "rsjoin.shuffle.records".into(),
+            res.chain
+                .jobs
+                .iter()
+                .map(|j| j.shuffle_records)
+                .sum::<usize>() as f64,
+        ),
+        (
+            "rsjoin.shuffle.bytes".into(),
+            res.chain.total_shuffle_bytes() as f64,
+        ),
+        ("ridpairs_concat.pairs_cross".into(), rid_cross as f64),
+        (
+            "ridpairs_concat.shuffle.records".into(),
+            rid.chain
+                .jobs
+                .iter()
+                .map(|j| j.shuffle_records)
+                .sum::<usize>() as f64,
+        ),
+        (
+            "ridpairs_concat.shuffle.bytes".into(),
+            rid.chain.total_shuffle_bytes() as f64,
+        ),
+    ];
+    assert_eq!(
+        res.pairs.len(),
+        rid_cross,
+        "two-input plan and ridpairs-over-concat disagree on the result"
+    );
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    BenchReport {
+        name: "rsjoin_wiki".to_string(),
         wall_units: best / unit_secs * handicap,
         counters,
     }

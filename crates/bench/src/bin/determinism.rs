@@ -4,19 +4,23 @@
 //! per-job shuffle record/byte accounting.
 //!
 //! ```text
-//! cargo run --release -p ssj-bench --bin determinism -- [workers] [mode]
+//! cargo run --release -p ssj-bench --bin determinism -- [workers] [mode] [target]
 //! ```
 //!
 //! Worker count parallelizes the map/shuffle/reduce phases but must never
 //! change output, metrics, or byte accounting (the engine's streaming
 //! shuffle merges spill runs in deterministic map-task order regardless of
 //! which thread transposed them). `mode` is `pipelined` (default) or
-//! `sequential` and selects how the plan runner sequences the two-stage
-//! chain — pipelining overlaps stages but must be equally invisible in
-//! this report. The CI gates run this binary across worker counts *and*
-//! across plan modes and diff the outputs byte-for-byte.
+//! `sequential` and selects how the plan runner sequences the chain —
+//! pipelining overlaps stages but must be equally invisible in this
+//! report. `target` is `selfjoin` (default, the fig6-style two-stage
+//! FS-Join) or `rsjoin` (the two-input fan-in R×S plan, exercising
+//! per-split multi-upstream scheduling and broadcast edges). The CI gates
+//! run this binary across worker counts *and* across plan modes and diff
+//! the outputs byte-for-byte.
 
-use ssj_bench::datasets::{bench_corpus, tuned_fsjoin};
+use ssj_bench::datasets::{bench_corpus, rs_corpus, tuned_fsjoin};
+use ssj_bench::Scale;
 use ssj_mapreduce::PlanMode;
 use ssj_similarity::{Measure, SimilarPair};
 use ssj_text::CorpusProfile;
@@ -52,14 +56,29 @@ fn main() {
         Some(other) => panic!("mode must be `pipelined` or `sequential`, got `{other}`"),
     };
 
-    let corpus = bench_corpus();
-    let cfg = tuned_fsjoin(CorpusProfile::WikiLike)
-        .with_theta(0.8)
-        .with_measure(Measure::Jaccard)
-        .with_tasks(8, 12)
-        .with_workers(workers)
-        .with_plan_mode(mode);
-    let res = fsjoin::run_self_join(&corpus, &cfg);
+    let res = match args.get(2).map(String::as_str) {
+        None | Some("selfjoin") => {
+            let corpus = bench_corpus();
+            let cfg = tuned_fsjoin(CorpusProfile::WikiLike)
+                .with_theta(0.8)
+                .with_measure(Measure::Jaccard)
+                .with_tasks(8, 12)
+                .with_workers(workers)
+                .with_plan_mode(mode);
+            fsjoin::run_self_join(&corpus, &cfg)
+        }
+        Some("rsjoin") => {
+            let (r, s) = rs_corpus(CorpusProfile::WikiLike, Scale::Bench);
+            let cfg = fsjoin::FsJoinConfig::default()
+                .with_theta(0.8)
+                .with_measure(Measure::Jaccard)
+                .with_tasks(8, 12)
+                .with_workers(workers)
+                .with_plan_mode(mode);
+            fsjoin::run_rs_join_two_input(&r, &s, &cfg)
+        }
+        Some(other) => panic!("target must be `selfjoin` or `rsjoin`, got `{other}`"),
+    };
 
     // Every line below must be byte-identical across worker counts.
     println!(

@@ -38,6 +38,24 @@ pub fn bench_corpus() -> Collection {
     corpus(CorpusProfile::WikiLike, Scale::Bench)
 }
 
+/// Deterministic **asymmetric** R×S pair for the two-input join probes:
+/// S is the profile at `scale`, R is an eighth of it (|R| ≪ |S|, the
+/// shape where broadcasting/replicating the small side is tempting and
+/// the two-input plan's per-side prefix stages pay off). Both sides are
+/// encoded together ([`ssj_text::encode::encode_two`]) so they share one
+/// token-rank space, as `fsjoin::run_rs_join_two_input` requires.
+pub fn rs_corpus(profile: CorpusProfile, scale: Scale) -> (Collection, Collection) {
+    let base = profile.config();
+    let s_records = (((base.num_records as f64) * scale.fraction()).round() as usize).max(40);
+    let r_records = (s_records / 8).max(5);
+    // Same seed, fewer records: R's documents recur in S (the generator
+    // draws records sequentially), so cross-side matches actually exist
+    // and the probes' digests pin real pairs, not an empty set.
+    let s_raw = base.clone().with_records(s_records).generate();
+    let r_raw = base.with_records(r_records).generate();
+    ssj_text::encode::encode_two(&r_raw, &s_raw)
+}
+
 /// The paper-matched FS-Join configuration for a profile: 30 vertical
 /// fragments everywhere (§VI-F), horizontal partitions per dataset —
 /// 10 for Email, 70 for PubMed, 50 for Wiki (Figure 13's setup), i.e.

@@ -135,7 +135,7 @@ impl RunOutcome {
         real_secs: f64,
         chain: ChainMetrics,
         cluster: &ClusterModel,
-        deps: Option<(&str, &[Option<usize>])>,
+        deps: Option<(&str, &[Vec<usize>])>,
     ) -> Self {
         let sim_secs = cluster.simulate_chain(&chain).total_secs();
         // When tracing is on, also render the simulated cluster occupancy

@@ -44,14 +44,14 @@ pub fn record_sim_schedule(
 /// [`ClusterModel::simulate_plan`]) with the same `(plan, run, stage,
 /// partition, attempt)` args the real `PlanRunner` stamps on its spans, so
 /// the profiler analyses the simulated timeline identically to the real
-/// trace. `deps[j]` is stage `j`'s upstream (`None` = external input).
-/// Returns the `(pid, run)` pair identifying the timeline.
+/// trace. `deps[j]` lists stage `j`'s shuffle upstreams (empty = external
+/// input). Returns the `(pid, run)` pair identifying the timeline.
 pub fn record_plan_schedule(
     collector: &Collector,
     plan_name: &str,
     cluster: &ClusterModel,
     schedules: &[SimSchedule],
-    deps: &[Option<usize>],
+    deps: &[Vec<usize>],
 ) -> (u32, u64) {
     let run = ssj_mapreduce::next_plan_run_id();
     let pid = record_schedule_impl(
@@ -69,7 +69,7 @@ fn record_schedule_impl(
     label: &str,
     cluster: &ClusterModel,
     schedules: &[SimSchedule],
-    plan_ctx: Option<(&str, u64, &[Option<usize>])>,
+    plan_ctx: Option<(&str, u64, &[Vec<usize>])>,
 ) -> u32 {
     let pid = NEXT_SIM_PID.fetch_add(1, Ordering::Relaxed);
     let slots = cluster.total_slots() as u32;
@@ -101,15 +101,8 @@ fn record_schedule_impl(
             job_args.push(("plan", plan.into()));
             job_args.push(("run", run.into()));
             job_args.push(("stage", (stage_idx as u64).into()));
-            job_args.push((
-                "upstream",
-                deps.get(stage_idx)
-                    .copied()
-                    .flatten()
-                    .map(|u| u as i64)
-                    .unwrap_or(-1)
-                    .into(),
-            ));
+            let ups = deps.get(stage_idx).map(Vec::as_slice).unwrap_or(&[]);
+            job_args.push(("upstream", ssj_observe::encode_upstreams(ups).into()));
         }
         collector.push(TraceEvent {
             name: sched.job_name.clone(),

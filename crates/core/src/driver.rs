@@ -13,18 +13,13 @@ use crate::pivots::select_pivots;
 use crate::segment::Segment;
 use crate::vertical::split_record;
 use ssj_mapreduce::{
-    ChainMetrics, Dataset, Dfs, DirectPartitioner, Emitter, GroupValues, HashPartitioner, Mapper,
-    Plan, PlanRunner, StreamingReducer,
+    ChainMetrics, Dataset, DirectPartitioner, Emitter, GroupValues, HashPartitioner,
+    IdentityCombiner, Mapper, Plan, PlanRunner, StreamingReducer,
 };
 use ssj_observe::{span, MetricsRegistry};
 use ssj_similarity::{Measure, SimilarPair};
 use ssj_text::{Collection, PooledRecord, TokenPool};
 use std::sync::Arc;
-
-/// Dfs name under which a join run publishes its token pool — the Hadoop
-/// distributed-cache analogue: one read-only arena shared by every map and
-/// reduce task instead of tokens travelling inside each record.
-pub(crate) const POOL_BLOB: &str = "fsjoin/token-pool";
 
 /// Everything an FS-Join run produces.
 #[derive(Debug, Clone)]
@@ -45,11 +40,11 @@ pub struct FsJoinResult {
     /// High-water mark of live intermediate bytes held between stages
     /// (see [`ssj_mapreduce::PlanOutcome::peak_live_bytes`]).
     pub peak_live_bytes: usize,
-    /// Upstream dependency of each executed plan stage (`None` = external
+    /// Shuffle upstreams of each executed plan stage (empty = external
     /// input), in [`ChainMetrics`] job order — the plan shape
     /// [`ssj_mapreduce::ClusterModel::simulate_plan`] consumes alongside
     /// [`Self::chain`].
-    pub deps: Vec<Option<usize>>,
+    pub deps: Vec<Vec<usize>>,
 }
 
 impl FsJoinResult {
@@ -98,8 +93,9 @@ pub fn run_rs_join(r: &Collection, s: &Collection, cfg: &FsJoinConfig) -> FsJoin
 /// Filtering-job mapper: vertical + horizontal partitioning of one record
 /// (paper Algorithm 1 lines 6–9). Shared with the prefix-discovery variant
 /// ([`crate::pf`]). Tokens are resolved against the run's shared pool
-/// (published as a [`Dfs`] blob); segments are `Copy` spans, so the map
-/// phase allocates no token storage.
+/// (shipped to every task over a [`Broadcast`](ssj_mapreduce::StageEdge)
+/// edge); segments are `Copy` spans, so the map phase allocates no token
+/// storage.
 pub(crate) struct PartitionMapper {
     pub(crate) pool: Arc<TokenPool>,
     pub(crate) pivots: Arc<Vec<u32>>,
@@ -316,13 +312,6 @@ fn run_join(
         .field("records", num_r + num_s)
         .field("theta", cfg.theta);
 
-    // Publish the token arena as job side data (the distributed-cache
-    // analogue): tasks fetch one shared Arc instead of each record
-    // carrying an owned token vector.
-    let mut dfs = Dfs::new();
-    dfs.put_blob(POOL_BLOB, Arc::clone(&pool));
-    let pool_side = dfs.get_blob::<Arc<TokenPool>>(POOL_BLOB).clone();
-
     // ---- Setup: pivot selection (Algorithm 1 lines 2–4) ------------------
     let ordering_span = span("fsjoin.stage", "ordering");
     let pivots = Arc::new(select_pivots(
@@ -387,17 +376,22 @@ fn run_join(
     let reduce_tasks = cfg.reduce_tasks.min(num_cells).max(1);
 
     let mut plan = Plan::new("fsjoin").with_workers(cfg.workers);
-    let candidates_h = plan.add_partitioned(
+    // Ship the token arena to every task over a broadcast edge (the
+    // distributed-cache analogue): tasks receive one shared Arc instead of
+    // each record carrying an owned token vector, and the runner drops the
+    // value the moment its last consumer stage finishes.
+    let pool_bcast = plan.broadcast(Arc::clone(&pool));
+    let candidates_h = plan.add_full_broadcast(
         "fsjoin-filter",
         input,
+        pool_bcast,
         reduce_tasks,
         {
-            let pool = Arc::clone(&pool_side);
             let pivots = Arc::clone(&pivots);
             let h_pivots = Arc::clone(&h_pivots);
             let (measure, theta) = (cfg.measure, cfg.theta);
-            move |_| PartitionMapper {
-                pool: Arc::clone(&pool),
+            move |_, pool: &Arc<TokenPool>| PartitionMapper {
+                pool: Arc::clone(pool),
                 pivots: Arc::clone(&pivots),
                 h_pivots: Arc::clone(&h_pivots),
                 num_fragments,
@@ -406,11 +400,10 @@ fn run_join(
             }
         },
         {
-            let pool = Arc::clone(&pool_side);
             let h_pivots = Arc::clone(&h_pivots);
             let registry = Arc::clone(&run_registry);
-            move |_| FragmentReducer {
-                pool: Arc::clone(&pool),
+            move |_, pool: &Arc<TokenPool>| FragmentReducer {
+                pool: Arc::clone(pool),
                 cfg: cfg_eff.clone(),
                 h_pivots: Arc::clone(&h_pivots),
                 scope,
@@ -420,6 +413,7 @@ fn run_join(
             }
         },
         DirectPartitioner::new(|cell: &u32| *cell as usize),
+        None::<IdentityCombiner>,
     );
     let verified_h = plan.add_full(
         "fsjoin-verify",
@@ -505,7 +499,7 @@ mod tests {
         assert!(res.candidates > 0);
         assert_eq!(res.chain.jobs.len(), 2);
         // The declared plan shape rides along: filter ← input, verify ← filter.
-        assert_eq!(res.deps, vec![None, Some(0)]);
+        assert_eq!(res.deps, vec![vec![], vec![0]]);
         // Kernel counters flow out with the filter stats.
         assert!(res.filter_stats.intersections > 0);
         assert!(res.filter_stats.intersect_tokens >= res.filter_stats.intersections);

@@ -50,6 +50,7 @@ pub mod horizontal;
 pub mod keys;
 pub mod pf;
 pub mod pivots;
+pub mod rsjoin;
 pub mod segment;
 pub mod vertical;
 
@@ -58,4 +59,5 @@ pub use driver::{run_rs_join, run_self_join, FsJoinResult};
 pub use filters::FilterStats;
 pub use pf::{run_rs_join_pf, run_self_join_pf};
 pub use pivots::PivotStrategy;
+pub use rsjoin::run_rs_join_two_input;
 pub use segment::Segment;

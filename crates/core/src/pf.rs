@@ -34,7 +34,7 @@
 //! driver.
 
 use crate::config::FsJoinConfig;
-use crate::driver::{FsJoinResult, PartitionMapper, POOL_BLOB};
+use crate::driver::{FsJoinResult, PartitionMapper};
 use crate::filters::FilterStats;
 use crate::fragment::PairScope;
 use crate::horizontal::{num_h_partitions, select_h_pivots, JoinRule};
@@ -42,8 +42,8 @@ use crate::pivots::select_pivots;
 use crate::segment::Segment;
 use ssj_common::FxHashMap;
 use ssj_mapreduce::{
-    Dataset, Dfs, DirectPartitioner, Emitter, GroupValues, Mapper, Plan, PlanRunner,
-    StreamingReducer,
+    Dataset, DirectPartitioner, Emitter, GroupValues, HashPartitioner, IdentityCombiner, Mapper,
+    Plan, PlanRunner, StreamingReducer,
 };
 use ssj_observe::{span, MetricsRegistry};
 use ssj_similarity::intersect::intersect_count_adaptive;
@@ -338,12 +338,6 @@ fn run_pf(
         .field("records", num_r + num_s)
         .field("theta", cfg.theta);
 
-    // Same side-data ceremony as the main driver: one shared arena, fetched
-    // by every task, doubling as the verification job's record cache.
-    let mut dfs = Dfs::new();
-    dfs.put_blob(POOL_BLOB, Arc::clone(&pool));
-    let pool_side = dfs.get_blob::<Arc<TokenPool>>(POOL_BLOB).clone();
-
     let ordering_span = span("fsjoin.stage", "ordering");
     let pivots = Arc::new(select_pivots(
         freqs,
@@ -393,17 +387,21 @@ fn run_pf(
     let reduce_tasks = cfg.reduce_tasks.min(num_cells).max(1);
 
     let mut plan = Plan::new("fsjoin-pf").with_workers(cfg.workers);
-    let candidates_h = plan.add_partitioned(
+    // One shared arena shipped over a broadcast edge, consumed by both the
+    // discover stage and the verification stage (where it doubles as the
+    // record cache); the runner keeps it alive until verify finishes.
+    let pool_bcast = plan.broadcast(Arc::clone(&pool));
+    let candidates_h = plan.add_full_broadcast(
         "fsjoin-pf-discover",
         input,
+        pool_bcast,
         reduce_tasks,
         {
-            let pool = Arc::clone(&pool_side);
             let pivots = Arc::clone(&pivots);
             let h_pivots = Arc::clone(&h_pivots);
             let (measure, theta) = (cfg.measure, cfg.theta);
-            move |_| PartitionMapper {
-                pool: Arc::clone(&pool),
+            move |_, pool: &Arc<TokenPool>| PartitionMapper {
+                pool: Arc::clone(pool),
                 pivots: Arc::clone(&pivots),
                 h_pivots: Arc::clone(&h_pivots),
                 num_fragments,
@@ -412,12 +410,11 @@ fn run_pf(
             }
         },
         {
-            let pool = Arc::clone(&pool_side);
             let h_pivots = Arc::clone(&h_pivots);
             let registry = Arc::clone(&run_registry);
             let (measure, theta) = (cfg.measure, cfg.theta);
-            move |_| PrefixDiscoveryReducer {
-                pool: Arc::clone(&pool),
+            move |_, pool: &Arc<TokenPool>| PrefixDiscoveryReducer {
+                pool: Arc::clone(pool),
                 measure,
                 theta,
                 num_fragments,
@@ -429,6 +426,7 @@ fn run_pf(
             }
         },
         DirectPartitioner::new(|cell: &u32| *cell as usize),
+        None::<IdentityCombiner>,
     );
     let unique_h = plan.add(
         "fsjoin-pf-dedup",
@@ -437,16 +435,16 @@ fn run_pf(
         |_| CandidateDedup,
         |_| KeepFirst,
     );
-    let verified_h = plan.add(
+    let verified_h = plan.add_full_broadcast(
         "fsjoin-pf-verify",
         unique_h,
+        pool_bcast,
         cfg.reduce_tasks,
         {
-            let pool = Arc::clone(&pool_side);
             let registry = Arc::clone(&run_registry);
             let (measure, theta) = (cfg.measure, cfg.theta);
-            move |_| CachedVerify {
-                pool: Arc::clone(&pool),
+            move |_, pool: &Arc<TokenPool>| CachedVerify {
+                pool: Arc::clone(pool),
                 measure,
                 theta,
                 intersections: 0,
@@ -454,7 +452,9 @@ fn run_pf(
                 registry: Arc::clone(&registry),
             }
         },
-        |_| PassThrough,
+        |_, _: &Arc<TokenPool>| PassThrough,
+        HashPartitioner,
+        None::<IdentityCombiner>,
     );
 
     let mut outcome = PlanRunner::new(cfg.plan_mode).run(plan);
@@ -573,7 +573,7 @@ mod tests {
         let res = run_self_join_pf(&c, &FsJoinConfig::default().with_theta(0.8));
         // Declared three-stage chain: discover ← input, dedup ← discover,
         // verify ← dedup.
-        assert_eq!(res.deps, vec![None, Some(0), Some(1)]);
+        assert_eq!(res.deps, vec![vec![], vec![0], vec![1]]);
         // Discovery pruning counters and verification kernel counters both
         // flow out through the canonical registry names.
         assert!(res.filter_stats.pairs_considered > 0);

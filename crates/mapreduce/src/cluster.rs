@@ -234,14 +234,20 @@ impl ClusterModel {
 
     /// Simulate a plan DAG with **partition-granular pipelining** (the
     /// model of [`PlanRunner`](crate::plan::PlanRunner)'s pipelined mode,
-    /// and of Hadoop slow-start): `deps[j]` names the upstream job feeding
-    /// job `j` (`None` = external input). Map split *i* of job `j` is
-    /// *released* the moment reduce task *i* of its upstream finishes —
-    /// not when the whole upstream job ends — so downstream map work
-    /// overlaps the upstream reduce tail whenever slots are free. (If the
-    /// map-split and upstream-reduce counts disagree, the job falls back
-    /// to a whole-stage barrier.) Reduce tasks of job `j` are released
-    /// when its last map finishes plus the job's shuffle transfer time.
+    /// and of Hadoop slow-start): `deps[j]` lists the upstream jobs
+    /// feeding job `j` via shuffle edges (empty = external input; the
+    /// list is a multiset — a job consuming the same upstream twice
+    /// appears twice). Map split *i* of job `j` is *released* the moment
+    /// reduce task *i* of its **last-finishing** upstream finishes — not
+    /// when the whole upstream job ends — so downstream map work overlaps
+    /// the upstream reduce tails whenever slots are free. (If any
+    /// upstream's reduce count disagrees with the job's map-split count,
+    /// the job falls back to a whole-stage barrier at the latest upstream
+    /// end; the fallback bumps the `sim.plan.barrier_fallbacks` counter
+    /// on the global metrics registry and logs a
+    /// [`warn!`](ssj_observe::warn).) Reduce tasks of job `j` are
+    /// released when its last map finishes plus the job's shuffle
+    /// transfer time.
     ///
     /// Released tasks are placed FIFO by release time onto the same
     /// `nodes × slots` pool as [`Self::makespan_secs`]. A single-job plan
@@ -254,21 +260,62 @@ impl ClusterModel {
     /// # Panics
     /// Panics if `deps.len() != chain.jobs.len()` or a dependency index is
     /// not an earlier job.
-    pub fn simulate_plan(&self, chain: &ChainMetrics, deps: &[Option<usize>]) -> Vec<SimSchedule> {
+    pub fn simulate_plan(&self, chain: &ChainMetrics, deps: &[Vec<usize>]) -> Vec<SimSchedule> {
         self.validate();
         assert_eq!(deps.len(), chain.jobs.len(), "one dependency entry per job");
         let n = chain.jobs.len();
         for (j, d) in deps.iter().enumerate() {
-            if let Some(u) = d {
+            for u in d {
                 assert!(*u < j, "job {j} must depend on an earlier job, got {u}");
             }
         }
+        // One downstream entry per *edge*: a job consuming upstream `u`
+        // through two edges must see two per-split decrements.
         let mut downstream: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (j, d) in deps.iter().enumerate() {
-            if let Some(u) = d {
+            for u in d {
                 downstream[*u].push(j);
             }
         }
+        // Shape check up front: partition-granular release needs every
+        // upstream's reduce-partition count to equal the job's map-split
+        // count. Any mismatch demotes the job to a whole-stage barrier.
+        let barrier: Vec<bool> = (0..n)
+            .map(|j| {
+                let mismatch = deps[j]
+                    .iter()
+                    .any(|&u| chain.jobs[u].reduce_tasks.len() != chain.jobs[j].map_tasks.len());
+                if mismatch {
+                    if let Some(reg) = ssj_observe::global_registry() {
+                        reg.counter_add("sim.plan.barrier_fallbacks", 1);
+                    }
+                    ssj_observe::warn!(
+                        "simulate_plan: job {} ({:?}) falls back to a whole-stage barrier: \
+                         upstream reduce counts {:?} != {} map splits",
+                        j,
+                        chain.jobs[j].name,
+                        deps[j]
+                            .iter()
+                            .map(|&u| chain.jobs[u].reduce_tasks.len())
+                            .collect::<Vec<_>>(),
+                        chain.jobs[j].map_tasks.len()
+                    );
+                }
+                mismatch
+            })
+            .collect();
+        // Pipelined jobs: per-split countdown of unfinished upstream
+        // reduce partitions plus the latest matching reduce end time.
+        // Barrier jobs: per-edge countdown of unfinished upstream jobs
+        // plus the latest upstream end time.
+        let mut pending: Vec<Vec<usize>> = (0..n)
+            .map(|j| vec![deps[j].len(); chain.jobs[j].map_tasks.len()])
+            .collect();
+        let mut split_rel: Vec<Vec<f64>> = (0..n)
+            .map(|j| vec![0.0; chain.jobs[j].map_tasks.len()])
+            .collect();
+        let mut ups_left: Vec<usize> = (0..n).map(|j| deps[j].len()).collect();
+        let mut barrier_rel: Vec<f64> = vec![0.0; n];
 
         /// Per-job progress while the event loop runs.
         struct JobState {
@@ -318,7 +365,7 @@ impl ClusterModel {
             ord += 1;
         };
         for (j, m) in chain.jobs.iter().enumerate() {
-            if deps[j].is_none() {
+            if deps[j].is_empty() {
                 for t in &m.map_tasks {
                     push(&mut ready, 0.0, j, 0, t.index, t.duration.as_secs_f64());
                 }
@@ -369,23 +416,43 @@ impl ClusterModel {
                 js[j].end = js[j].end.max(end);
                 js[j].reds_left -= 1;
                 for &k in &downstream[j] {
-                    let k_maps = &chain.jobs[k].map_tasks;
-                    if k_maps.len() == chain.jobs[j].reduce_tasks.len() {
+                    if !barrier[k] {
                         // Partition-granular release: split `idx` of job k
-                        // consumes exactly reduce partition `idx` of job j.
-                        let t = &k_maps[idx];
-                        push(&mut ready, end, k, 0, t.index, t.duration.as_secs_f64());
-                    } else if js[j].reds_left == 0 {
-                        // Shape mismatch: whole-stage barrier.
-                        for t in k_maps {
+                        // consumes exactly reduce partition `idx` of every
+                        // upstream; it runs once the last one lands.
+                        pending[k][idx] -= 1;
+                        split_rel[k][idx] = split_rel[k][idx].max(end);
+                        if pending[k][idx] == 0 {
+                            let t = &chain.jobs[k].map_tasks[idx];
                             push(
                                 &mut ready,
-                                js[j].end,
+                                split_rel[k][idx],
                                 k,
                                 0,
                                 t.index,
                                 t.duration.as_secs_f64(),
                             );
+                        }
+                    }
+                }
+                if js[j].reds_left == 0 {
+                    // Job j is complete: unblock barrier-mode consumers.
+                    for &k in &downstream[j] {
+                        if barrier[k] {
+                            ups_left[k] -= 1;
+                            barrier_rel[k] = barrier_rel[k].max(js[j].end);
+                            if ups_left[k] == 0 {
+                                for t in &chain.jobs[k].map_tasks {
+                                    push(
+                                        &mut ready,
+                                        barrier_rel[k],
+                                        k,
+                                        0,
+                                        t.index,
+                                        t.duration.as_secs_f64(),
+                                    );
+                                }
+                            }
                         }
                     }
                 }
@@ -879,7 +946,7 @@ mod tests {
         let mut chain = ChainMetrics::default();
         chain.push(m.clone());
         let c = ClusterModel::paper_default(2);
-        let plan = c.simulate_plan(&chain, &[None]);
+        let plan = c.simulate_plan(&chain, &[vec![]]);
         let solo = c.simulate_job_schedule(&m, 0.0);
         assert_eq!(plan.len(), 1);
         assert!((plan[0].end_secs - solo.end_secs).abs() < 1e-12);
@@ -918,7 +985,7 @@ mod tests {
         let mut chain = ChainMetrics::default();
         chain.push(plan_job("up", &[0], &[1000, 1000, 1000, 4000]));
         chain.push(plan_job("down", &[2000, 2000, 2000, 2000], &[1000]));
-        let deps = [None, Some(0)];
+        let deps = [vec![], vec![0]];
         let piped = plan_makespan(&c.simulate_plan(&chain, &deps));
         let serial = c.simulate_chain_schedule(&chain).last().unwrap().end_secs;
         assert!((serial - 10.0).abs() < 1e-9, "serialized {serial}");
@@ -931,7 +998,7 @@ mod tests {
         chain.push(many_task_metrics());
         chain.push(many_task_metrics());
         chain.push(many_task_metrics());
-        let deps = [None, Some(0), Some(1)];
+        let deps = [vec![], vec![0], vec![1]];
         for nodes in [1, 2, 5] {
             let c = ClusterModel::paper_default(nodes);
             let piped = plan_makespan(&c.simulate_plan(&chain, &deps));
@@ -949,9 +1016,55 @@ mod tests {
         chain.push(plan_job("up", &[500], &[1000, 2000]));
         chain.push(plan_job("down", &[700, 700, 700], &[900]));
         let c = ClusterModel::paper_default(1);
-        let piped = plan_makespan(&c.simulate_plan(&chain, &[None, Some(0)]));
+        let piped = plan_makespan(&c.simulate_plan(&chain, &[vec![], vec![0]]));
         let serial = c.simulate_chain_schedule(&chain).last().unwrap().end_secs;
         assert!((piped - serial).abs() < 1e-9, "{piped} vs {serial}");
+    }
+
+    #[test]
+    fn plan_fan_in_releases_on_last_upstream() {
+        // Two upstreams feed one join. Eight slots so nothing is ever
+        // slot-bound: every start time is a pure release time. Upstream
+        // reduces end at (1s, 3s) and (2s, 1s), so the release rule —
+        // split i waits for reduce i of BOTH upstreams — pins join map 0
+        // to 2s (s is later) and join map 1 to 3s (r is later).
+        let c = ClusterModel {
+            nodes: 4,
+            slots_per_node: 2,
+            net_bytes_per_sec: 125_000_000.0,
+            node_speed: 1.0,
+            per_record_secs: 0.0,
+        };
+        let mut chain = ChainMetrics::default();
+        chain.push(plan_job("r", &[0], &[1000, 3000]));
+        chain.push(plan_job("s", &[0], &[2000, 1000]));
+        chain.push(plan_job("join", &[500, 500], &[400]));
+        let scheds = c.simulate_plan(&chain, &[vec![], vec![], vec![0, 1]]);
+        let join = &scheds[2];
+        let map_start = |i: usize| {
+            join.tasks
+                .iter()
+                .find(|t| matches!(t.kind, TaskKind::Map) && t.index == i)
+                .unwrap()
+                .start_secs
+        };
+        assert!((map_start(0) - 2.0).abs() < 1e-9, "{}", map_start(0));
+        assert!((map_start(1) - 3.0).abs() < 1e-9, "{}", map_start(1));
+        // Join reduce follows its last map; plan makespan = 3.9s.
+        assert!((plan_makespan(&scheds) - 3.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_barrier_fallback_is_counted() {
+        let mut chain = ChainMetrics::default();
+        chain.push(plan_job("up", &[500], &[1000, 2000]));
+        chain.push(plan_job("down", &[700, 700, 700], &[900]));
+        let reg = ssj_observe::install_registry();
+        ClusterModel::paper_default(1).simulate_plan(&chain, &[vec![], vec![0]]);
+        ssj_observe::uninstall_registry();
+        // >= rather than == : other tests of this binary may trip the
+        // fallback concurrently while the registry is installed.
+        assert!(reg.counter_get("sim.plan.barrier_fallbacks") >= 1);
     }
 
     #[test]
@@ -960,8 +1073,8 @@ mod tests {
         chain.push(many_task_metrics());
         chain.push(many_task_metrics());
         let c = ClusterModel::paper_default(3);
-        let a = c.simulate_plan(&chain, &[None, Some(0)]);
-        let b = c.simulate_plan(&chain, &[None, Some(0)]);
+        let a = c.simulate_plan(&chain, &[vec![], vec![0]]);
+        let b = c.simulate_plan(&chain, &[vec![], vec![0]]);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
@@ -970,6 +1083,6 @@ mod tests {
     fn plan_deps_length_mismatch_is_rejected() {
         let mut chain = ChainMetrics::default();
         chain.push(many_task_metrics());
-        ClusterModel::paper_default(1).simulate_plan(&chain, &[None, Some(0)]);
+        ClusterModel::paper_default(1).simulate_plan(&chain, &[vec![], vec![0]]);
     }
 }

@@ -83,7 +83,8 @@ pub use merge::{GroupValues, GroupedRuns, KWayMerge};
 pub use metrics::{ChainMetrics, ExecSummary, JobMetrics, TaskKind, TaskStat};
 pub use partitioner::{DirectPartitioner, HashPartitioner, Partitioner};
 pub use plan::{
-    next_plan_run_id, Plan, PlanMode, PlanOutcome, PlanRunner, Stage, StageHandle, StageInput,
+    next_plan_run_id, BroadcastHandle, Plan, PlanMode, PlanOutcome, PlanRunner, Stage, StageEdge,
+    StageHandle, StageInput,
 };
 pub use sim_faults::{SimFaultError, SimFaultOutcome, SimFaultPolicy};
 pub use spill::{SharedRun, SpillStore};

@@ -61,6 +61,11 @@ use crate::executor::{TaskError, TaskFailure};
 /// makes a downstream retry free for the upstream stage.
 type AnyPart = Arc<dyn Any + Send + Sync>;
 
+/// Type-erased task factory: `(task_index, broadcast values)` → a mapper
+/// or reducer instance. The broadcast slice carries the stage's resolved
+/// [`StageEdge::Broadcast`] values in declaration order.
+type ErasedFactory<T> = Box<dyn Fn(usize, &[AnyPart]) -> T + Send + Sync>;
+
 /// One map task's sealed output: `Vec<SharedRun<K, V>>`, one sorted
 /// (combined) run per reduce partition of its own stage.
 type AnySealed = Box<dyn Any + Send>;
@@ -81,10 +86,21 @@ pub(crate) struct TaskTags<'a> {
     pub stage: usize,
 }
 
-type MapFn = Box<dyn Fn(usize, &AnyPart, u32, Instant, &TaskTags<'_>) -> MapOut + Send + Sync>;
+/// Map body: `(task, split parts, broadcast values, attempt, phase start,
+/// tags)`. The split slice holds partition `task` of every split edge in
+/// edge order (one entry for a single-input stage; one per shuffle
+/// upstream for a fan-in stage — the map iterates their concatenation).
+type MapFn =
+    Box<dyn Fn(usize, &[AnyPart], &[AnyPart], u32, Instant, &TaskTags<'_>) -> MapOut + Send + Sync>;
 type TransposeFn = Box<dyn Fn(Vec<AnySealed>) -> AnySpill + Send + Sync>;
-type ReduceFn =
-    Box<dyn Fn(usize, &AnySpill, u32, Instant, &TaskTags<'_>) -> (AnyPart, TaskStat) + Send + Sync>;
+/// Reduce body: `(task, spill, broadcast values, attempt, phase start,
+/// tags)` — reducers built by [`Plan::add_full_broadcast`] receive the
+/// stage's broadcast side inputs at attempt time.
+type ReduceFn = Box<
+    dyn Fn(usize, &AnySpill, &[AnyPart], u32, Instant, &TaskTags<'_>) -> (AnyPart, TaskStat)
+        + Send
+        + Sync,
+>;
 
 /// Process-unique id for one plan execution (also used for simulated
 /// timelines). Distinguishes repeated runs of the same plan within one
@@ -94,19 +110,42 @@ pub fn next_plan_run_id() -> u64 {
     NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
-/// Where a stage's map input comes from.
-enum InputSrc {
+/// One input edge of a stage (internal form; [`StageEdge`] is the public
+/// descriptor). A stage's input is a *list* of edges: either exactly one
+/// `External` edge or one-or-more co-partitioned `Shuffle` edges provide
+/// the map splits, and any number of `Broadcast` edges ship whole side
+/// values to every task.
+enum InputEdge {
     /// External partitions, sealed at plan-build time.
     External(Vec<AnyPart>),
-    /// Output partitions of an earlier stage (by index).
-    Upstream(usize),
+    /// Output partitions of an earlier stage (by index), consumed
+    /// co-partitioned: map split `i` reads reduce partition `i`.
+    Shuffle(usize),
+    /// Broadcast slot (see [`Plan::broadcast`]): the whole value is handed
+    /// to every map and reduce attempt of the stage as `Arc` side data.
+    Broadcast(usize),
 }
 
-/// One type-erased stage of a [`Plan`]. Built by [`Plan::add_full`]; the
+/// Public descriptor of one stage input edge — the shape
+/// [`Stage::edges`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageEdge {
+    /// External input sealed at build time, with this many map splits.
+    External { splits: usize },
+    /// Co-partitioned shuffle edge from stage `from`'s reduce output.
+    Shuffle { from: usize },
+    /// Broadcast side input from plan slot `slot`.
+    Broadcast { slot: usize },
+}
+
+/// One type-erased stage of a [`Plan`]. Built by the `add*` methods; the
 /// closures replicate [`JobBuilder::run_full`]'s task bodies exactly.
 pub struct Stage {
     name: String,
-    input: InputSrc,
+    edges: Vec<InputEdge>,
+    /// Number of map tasks (= splits): the external partition count, or
+    /// the shared reduce-task count of the shuffle upstreams.
+    n_splits: usize,
     reduce_tasks: usize,
     run_map: MapFn,
     transpose: TransposeFn,
@@ -124,19 +163,31 @@ impl Stage {
         self.reduce_tasks
     }
 
-    /// Index of the upstream stage feeding this one, if any.
-    pub fn upstream(&self) -> Option<usize> {
-        match self.input {
-            InputSrc::External(_) => None,
-            InputSrc::Upstream(u) => Some(u),
-        }
+    /// The stage's input edges, in declaration order.
+    pub fn edges(&self) -> Vec<StageEdge> {
+        self.edges
+            .iter()
+            .map(|e| match e {
+                InputEdge::External(parts) => StageEdge::External {
+                    splits: parts.len(),
+                },
+                InputEdge::Shuffle(u) => StageEdge::Shuffle { from: *u },
+                InputEdge::Broadcast(s) => StageEdge::Broadcast { slot: *s },
+            })
+            .collect()
     }
 
-    fn map_tasks(&self, stages: &[Stage]) -> usize {
-        match &self.input {
-            InputSrc::External(parts) => parts.len(),
-            InputSrc::Upstream(u) => stages[*u].reduce_tasks,
-        }
+    /// Shuffle-upstream stage indices in edge order (empty = external
+    /// input). A stage listing the same upstream twice reports it twice —
+    /// the list is the edge multiset, not a set.
+    pub fn upstreams(&self) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|e| match e {
+                InputEdge::Shuffle(u) => Some(*u),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -166,12 +217,19 @@ impl<K, V> StageHandle<K, V> {
     }
 }
 
-/// A stage's input: a materialized dataset or an earlier stage's output.
+/// A stage's input: a materialized dataset, an earlier stage's output, or
+/// several co-partitioned earlier stages' outputs (fan-in).
 pub enum StageInput<K, V> {
     /// External input partitions.
     Dataset(Dataset<K, V>),
     /// Output of an earlier stage in the same plan.
     Stage(StageHandle<K, V>),
+    /// Outputs of several earlier stages, consumed co-partitioned: every
+    /// listed stage must have the same `reduce_tasks`, and map split `i`
+    /// reads partition `i` of *each* upstream (concatenated in handle
+    /// order). Split `i` schedules only once every upstream has sealed
+    /// its partition `i`.
+    Stages(Vec<StageHandle<K, V>>),
 }
 
 impl<K, V> From<Dataset<K, V>> for StageInput<K, V> {
@@ -186,10 +244,44 @@ impl<K, V> From<StageHandle<K, V>> for StageInput<K, V> {
     }
 }
 
+impl<K, V> From<Vec<StageHandle<K, V>>> for StageInput<K, V> {
+    fn from(hs: Vec<StageHandle<K, V>>) -> Self {
+        StageInput::Stages(hs)
+    }
+}
+
+impl<K, V, const N: usize> From<[StageHandle<K, V>; N]> for StageInput<K, V> {
+    fn from(hs: [StageHandle<K, V>; N]) -> Self {
+        StageInput::Stages(hs.to_vec())
+    }
+}
+
 impl<K: Send + Sync + 'static, V: Send + Sync + 'static> StageInput<K, V> {
     /// Take a named dataset out of the [`Dfs`] as an external stage input.
     pub fn from_dfs(dfs: &mut Dfs, name: &str) -> Self {
         StageInput::Dataset(dfs.take(name))
+    }
+}
+
+/// Typed reference to a broadcast value registered with
+/// [`Plan::broadcast`]; pass to [`Plan::add_full_broadcast`] to give a
+/// stage the value as a tracked side-input edge.
+pub struct BroadcastHandle<T> {
+    slot: usize,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for BroadcastHandle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for BroadcastHandle<T> {}
+
+impl<T> BroadcastHandle<T> {
+    /// Broadcast slot index within its plan.
+    pub fn slot(&self) -> usize {
+        self.slot
     }
 }
 
@@ -221,6 +313,7 @@ pub struct Plan {
     retry: RetryPolicy,
     faults: Option<Arc<FaultPlan>>,
     stages: Vec<Stage>,
+    broadcasts: Vec<AnyPart>,
 }
 
 impl Plan {
@@ -232,6 +325,7 @@ impl Plan {
             retry: RetryPolicy::default(),
             faults: None,
             stages: Vec::new(),
+            broadcasts: Vec::new(),
         }
     }
 
@@ -271,11 +365,28 @@ impl Plan {
         &self.stages
     }
 
-    /// Upstream dependency of each stage (`None` = external input), in
-    /// stage order — the dependency vector [`ClusterModel::simulate_plan`]
-    /// (crate::ClusterModel::simulate_plan) consumes.
-    pub fn deps(&self) -> Vec<Option<usize>> {
-        self.stages.iter().map(Stage::upstream).collect()
+    /// Shuffle-upstream dependencies of each stage (empty = external
+    /// input), in stage order — the dependency vector
+    /// [`ClusterModel::simulate_plan`](crate::ClusterModel::simulate_plan)
+    /// consumes. Broadcast edges are excluded: their values exist before
+    /// the plan starts, so they never gate scheduling.
+    pub fn deps(&self) -> Vec<Vec<usize>> {
+        self.stages.iter().map(Stage::upstreams).collect()
+    }
+
+    /// Register a broadcast side value. The value ships to consumer
+    /// stages (see [`Plan::add_full_broadcast`]) as `Arc` side data: it is
+    /// materialized once, handed to every task attempt, and the runner
+    /// holds its reference until the last consumer stage finishes — the
+    /// tracked-edge replacement for stashing shared state in a
+    /// [`Dfs`] blob side channel.
+    pub fn broadcast<T: Send + Sync + 'static>(&mut self, value: Arc<T>) -> BroadcastHandle<T> {
+        let slot = self.broadcasts.len();
+        self.broadcasts.push(value as AnyPart);
+        BroadcastHandle {
+            slot,
+            _t: PhantomData,
+        }
     }
 
     /// Add a stage with the default [`HashPartitioner`] and no combiner.
@@ -288,8 +399,8 @@ impl Plan {
         reducer: FR,
     ) -> StageHandle<R::OutKey, R::OutValue>
     where
-        M: Mapper,
-        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue>,
+        M: Mapper + 'static,
+        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue> + 'static,
         FM: Fn(usize) -> M + Send + Sync + 'static,
         FR: Fn(usize) -> R + Send + Sync + 'static,
         M::InKey: Clone + Sync + ByteSize,
@@ -317,8 +428,8 @@ impl Plan {
         partitioner: P,
     ) -> StageHandle<R::OutKey, R::OutValue>
     where
-        M: Mapper,
-        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue>,
+        M: Mapper + 'static,
+        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue> + 'static,
         P: Partitioner<M::OutKey> + Send + Sync + 'static,
         FM: Fn(usize) -> M + Send + Sync + 'static,
         FR: Fn(usize) -> R + Send + Sync + 'static,
@@ -358,8 +469,8 @@ impl Plan {
         combiner: Option<C>,
     ) -> StageHandle<R::OutKey, R::OutValue>
     where
-        M: Mapper,
-        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue>,
+        M: Mapper + 'static,
+        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue> + 'static,
         P: Partitioner<M::OutKey> + Send + Sync + 'static,
         C: Combiner<M::OutKey, M::OutValue> + 'static,
         FM: Fn(usize) -> M + Send + Sync + 'static,
@@ -367,11 +478,100 @@ impl Plan {
         M::InKey: Clone + Sync + ByteSize,
         M::InValue: Clone + Sync + ByteSize,
     {
+        self.add_inner(
+            name.into(),
+            input.into(),
+            Vec::new(),
+            reduce_tasks,
+            Box::new(move |i, _b: &[AnyPart]| mapper(i)),
+            Box::new(move |i, _b: &[AnyPart]| reducer(i)),
+            partitioner,
+            combiner,
+        )
+    }
+
+    /// Like [`Plan::add_full`], but the stage additionally consumes a
+    /// [`Broadcast`](StageEdge::Broadcast) edge: the mapper/reducer
+    /// factories receive the broadcast value (an `Arc` clone of the value
+    /// registered with [`Plan::broadcast`]) at every task attempt. The
+    /// runner keeps the value alive until all consumer stages finish and
+    /// drops it then — factories must not capture it themselves, or the
+    /// eager release is defeated.
+    ///
+    /// # Panics
+    /// Panics if the broadcast handle does not belong to this plan, plus
+    /// everything [`Plan::add_full`] panics on.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_full_broadcast<B, M, R, P, C, FM, FR>(
+        &mut self,
+        name: impl Into<String>,
+        input: impl Into<StageInput<M::InKey, M::InValue>>,
+        broadcast: BroadcastHandle<B>,
+        reduce_tasks: usize,
+        mapper: FM,
+        reducer: FR,
+        partitioner: P,
+        combiner: Option<C>,
+    ) -> StageHandle<R::OutKey, R::OutValue>
+    where
+        B: Send + Sync + 'static,
+        M: Mapper + 'static,
+        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue> + 'static,
+        P: Partitioner<M::OutKey> + Send + Sync + 'static,
+        C: Combiner<M::OutKey, M::OutValue> + 'static,
+        FM: Fn(usize, &Arc<B>) -> M + Send + Sync + 'static,
+        FR: Fn(usize, &Arc<B>) -> R + Send + Sync + 'static,
+        M::InKey: Clone + Sync + ByteSize,
+        M::InValue: Clone + Sync + ByteSize,
+    {
+        assert!(
+            broadcast.slot < self.broadcasts.len(),
+            "broadcast handle does not belong to this plan"
+        );
+        fn value<B: Send + Sync + 'static>(b: &[AnyPart]) -> Arc<B> {
+            Arc::clone(&b[0])
+                .downcast::<B>()
+                .unwrap_or_else(|_| panic!("broadcast value has the handle's declared type"))
+        }
+        self.add_inner(
+            name.into(),
+            input.into(),
+            vec![broadcast.slot],
+            reduce_tasks,
+            Box::new(move |i, b: &[AnyPart]| mapper(i, &value::<B>(b))),
+            Box::new(move |i, b: &[AnyPart]| reducer(i, &value::<B>(b))),
+            partitioner,
+            combiner,
+        )
+    }
+
+    /// Shared type-erased stage builder: resolves the input edges, then
+    /// builds the map/transpose/reduce closures (byte-for-byte the
+    /// [`JobBuilder::run_full`] task bodies).
+    #[allow(clippy::too_many_arguments)]
+    fn add_inner<M, R, P, C>(
+        &mut self,
+        name: String,
+        input: StageInput<M::InKey, M::InValue>,
+        bcast_slots: Vec<usize>,
+        reduce_tasks: usize,
+        mapper: ErasedFactory<M>,
+        reducer: ErasedFactory<R>,
+        partitioner: P,
+        combiner: Option<C>,
+    ) -> StageHandle<R::OutKey, R::OutValue>
+    where
+        M: Mapper + 'static,
+        R: StreamingReducer<InKey = M::OutKey, InValue = M::OutValue> + 'static,
+        P: Partitioner<M::OutKey> + Send + Sync + 'static,
+        C: Combiner<M::OutKey, M::OutValue> + 'static,
+        M::InKey: Clone + Sync + ByteSize,
+        M::InValue: Clone + Sync + ByteSize,
+    {
         assert!(reduce_tasks > 0, "a stage needs at least one reduce task");
-        let name = name.into();
         let num_reduce = reduce_tasks;
 
-        let input = match input.into() {
+        let (mut edges, n_splits) = match input {
             StageInput::Dataset(d) => {
                 let mut parts: Vec<AnyPart> = d
                     .into_partitions()
@@ -383,26 +583,51 @@ impl Plan {
                     // shuffle would never trigger.
                     parts.push(Arc::new(Vec::<(M::InKey, M::InValue)>::new()));
                 }
-                InputSrc::External(parts)
+                let n = parts.len();
+                (vec![InputEdge::External(parts)], n)
             }
             StageInput::Stage(h) => {
                 assert!(
                     h.idx < self.stages.len(),
                     "input handle does not refer to an earlier stage of this plan"
                 );
-                InputSrc::Upstream(h.idx)
+                let n = self.stages[h.idx].reduce_tasks;
+                (vec![InputEdge::Shuffle(h.idx)], n)
+            }
+            StageInput::Stages(hs) => {
+                assert!(
+                    !hs.is_empty(),
+                    "a multi-input stage needs at least one upstream"
+                );
+                for h in &hs {
+                    assert!(
+                        h.idx < self.stages.len(),
+                        "input handle does not refer to an earlier stage of this plan"
+                    );
+                    assert_eq!(
+                        self.stages[h.idx].reduce_tasks, self.stages[hs[0].idx].reduce_tasks,
+                        "multi-input stages need co-partitioned upstreams \
+                         (equal reduce_tasks)"
+                    );
+                }
+                let n = self.stages[hs[0].idx].reduce_tasks;
+                (hs.iter().map(|h| InputEdge::Shuffle(h.idx)).collect(), n)
             }
         };
+        for slot in bcast_slots {
+            assert!(
+                slot < self.broadcasts.len(),
+                "broadcast handle does not belong to this plan"
+            );
+            edges.push(InputEdge::Broadcast(slot));
+        }
 
         // A commutative combiner licenses the unstable map-side bucket
         // sort — the same rule JobBuilder::run_full applies.
         let unstable_bucket_sort = combiner.as_ref().is_some_and(|c| c.is_commutative());
 
         let map_name = name.clone();
-        let run_map: MapFn = Box::new(move |task_idx, part, attempt, phase_start, tags| {
-            let split: &Vec<(M::InKey, M::InValue)> = part
-                .downcast_ref()
-                .expect("plan stage map input has the stage's declared type");
+        let run_map: MapFn = Box::new(move |task_idx, parts, bvals, attempt, phase_start, tags| {
             let queue = phase_start.elapsed();
             let mut task_span = span("mr.task", "map");
             task_span.record("job", map_name.as_str());
@@ -413,13 +638,22 @@ impl Plan {
             task_span.record("stage", tags.stage);
             task_span.record("partition", task_idx);
             let start = Instant::now();
-            let mut m = mapper(task_idx);
+            let mut m = mapper(task_idx, bvals);
             let mut out: Emitter<M::OutKey, M::OutValue> = Emitter::new();
             m.setup();
+            let mut input_records = 0usize;
             let mut input_bytes = 0usize;
-            for (k, v) in split.iter() {
-                input_bytes += k.byte_size() + v.byte_size();
-                m.map(k.clone(), v.clone(), &mut out);
+            // A fan-in split maps the concatenation of partition
+            // `task_idx` of every shuffle upstream, in edge order.
+            for part in parts {
+                let split: &Vec<(M::InKey, M::InValue)> = part
+                    .downcast_ref()
+                    .expect("plan stage map input has the stage's declared type");
+                input_records += split.len();
+                for (k, v) in split.iter() {
+                    input_bytes += k.byte_size() + v.byte_size();
+                    m.map(k.clone(), v.clone(), &mut out);
+                }
             }
             m.cleanup(&mut out);
 
@@ -452,14 +686,14 @@ impl Plan {
                     .sum::<usize>();
             }
 
-            task_span.record("input_records", split.len());
+            task_span.record("input_records", input_records);
             task_span.record("output_records", post_records);
             let stat = TaskStat {
                 kind: TaskKind::Map,
                 index: task_idx,
                 duration: start.elapsed(),
                 queue,
-                input_records: split.len(),
+                input_records,
                 input_bytes,
                 input_keys: 0,
                 output_records: post_records,
@@ -490,69 +724,71 @@ impl Plan {
         });
 
         let reduce_name = name.clone();
-        let run_reduce: ReduceFn = Box::new(move |task_idx, spill, attempt, phase_start, tags| {
-            let spill: &SpillStore<M::OutKey, M::OutValue> = spill
-                .downcast_ref()
-                .expect("spill store has the stage's declared type");
-            let queue = phase_start.elapsed();
-            let mut task_span = span("mr.task", "reduce");
-            task_span.record("job", reduce_name.as_str());
-            task_span.record("index", task_idx);
-            task_span.record("attempt", attempt);
-            task_span.record("plan", tags.plan);
-            task_span.record("run", tags.run);
-            task_span.record("stage", tags.stage);
-            task_span.record("partition", task_idx);
-            // Every attempt re-fetches shared views of the checkpointed
-            // runs — a retry never re-runs the map phase.
-            let runs = spill.fetch(task_idx);
-            let start = Instant::now();
-            let mut r = reducer(task_idx);
-            let mut out: Emitter<R::OutKey, R::OutValue> = Emitter::new();
-            r.setup();
+        let run_reduce: ReduceFn =
+            Box::new(move |task_idx, spill, bvals, attempt, phase_start, tags| {
+                let spill: &SpillStore<M::OutKey, M::OutValue> = spill
+                    .downcast_ref()
+                    .expect("spill store has the stage's declared type");
+                let queue = phase_start.elapsed();
+                let mut task_span = span("mr.task", "reduce");
+                task_span.record("job", reduce_name.as_str());
+                task_span.record("index", task_idx);
+                task_span.record("attempt", attempt);
+                task_span.record("plan", tags.plan);
+                task_span.record("run", tags.run);
+                task_span.record("stage", tags.stage);
+                task_span.record("partition", task_idx);
+                // Every attempt re-fetches shared views of the checkpointed
+                // runs — a retry never re-runs the map phase.
+                let runs = spill.fetch(task_idx);
+                let start = Instant::now();
+                let mut r = reducer(task_idx, bvals);
+                let mut out: Emitter<R::OutKey, R::OutValue> = Emitter::new();
+                r.setup();
 
-            let mut input_records = 0usize;
-            let mut input_bytes = 0usize;
-            for run in &runs {
-                input_records += run.len();
-                input_bytes += run
-                    .iter()
-                    .map(|(k, v)| k.byte_size() + v.byte_size())
-                    .sum::<usize>();
-            }
-            let slices: Vec<&[(M::OutKey, M::OutValue)]> =
-                runs.iter().map(|run| run.as_slice()).collect();
-            let mut input_keys = 0usize;
-            GroupedRuns::new(slices).for_each_group(|key, values| {
-                input_keys += 1;
-                r.reduce_group(key, values, &mut out);
+                let mut input_records = 0usize;
+                let mut input_bytes = 0usize;
+                for run in &runs {
+                    input_records += run.len();
+                    input_bytes += run
+                        .iter()
+                        .map(|(k, v)| k.byte_size() + v.byte_size())
+                        .sum::<usize>();
+                }
+                let slices: Vec<&[(M::OutKey, M::OutValue)]> =
+                    runs.iter().map(|run| run.as_slice()).collect();
+                let mut input_keys = 0usize;
+                GroupedRuns::new(slices).for_each_group(|key, values| {
+                    input_keys += 1;
+                    r.reduce_group(key, values, &mut out);
+                });
+                r.cleanup(&mut out);
+
+                let output_records = out.len();
+                let output_bytes = out.bytes();
+                let (pairs, _) = out.into_parts();
+                task_span.record("input_records", input_records);
+                task_span.record("input_keys", input_keys);
+                task_span.record("output_records", output_records);
+                let stat = TaskStat {
+                    kind: TaskKind::Reduce,
+                    index: task_idx,
+                    duration: start.elapsed(),
+                    queue,
+                    input_records,
+                    input_bytes,
+                    input_keys,
+                    output_records,
+                    output_bytes,
+                };
+                (Arc::new(pairs) as AnyPart, stat)
             });
-            r.cleanup(&mut out);
-
-            let output_records = out.len();
-            let output_bytes = out.bytes();
-            let (pairs, _) = out.into_parts();
-            task_span.record("input_records", input_records);
-            task_span.record("input_keys", input_keys);
-            task_span.record("output_records", output_records);
-            let stat = TaskStat {
-                kind: TaskKind::Reduce,
-                index: task_idx,
-                duration: start.elapsed(),
-                queue,
-                input_records,
-                input_bytes,
-                input_keys,
-                output_records,
-                output_bytes,
-            };
-            (Arc::new(pairs) as AnyPart, stat)
-        });
 
         let idx = self.stages.len();
         self.stages.push(Stage {
             name,
-            input,
+            edges,
+            n_splits,
             reduce_tasks,
             run_map,
             transpose,
@@ -612,15 +848,16 @@ pub struct PlanOutcome {
     /// dropped (only stages with downstream consumers count — terminal
     /// outputs are results, not intermediates).
     pub peak_live_bytes: usize,
-    deps: Vec<Option<usize>>,
+    deps: Vec<Vec<usize>>,
     outputs: Vec<Vec<Option<AnyPart>>>,
 }
 
 impl PlanOutcome {
-    /// Upstream dependency of each stage (`None` = external input) — the
-    /// shape [`ClusterModel::simulate_plan`](crate::ClusterModel::simulate_plan)
+    /// Shuffle-upstream dependencies of each stage (empty = external
+    /// input) — the shape
+    /// [`ClusterModel::simulate_plan`](crate::ClusterModel::simulate_plan)
     /// takes alongside [`Self::metrics`].
-    pub fn deps(&self) -> &[Option<usize>] {
+    pub fn deps(&self) -> &[Vec<usize>] {
         &self.deps
     }
 
@@ -700,6 +937,13 @@ struct Queued {
 struct StageRt {
     maps_total: usize,
     consumers: usize,
+    /// Pipelined release: per map split, how many shuffle-upstream
+    /// partitions are still unsealed. Split `i` queues when this reaches 0
+    /// (external stages start at 0 and queue up front).
+    pending_split: Vec<usize>,
+    /// Sequential barrier: how many shuffle edges' upstream stages are
+    /// still incomplete. All maps queue when this reaches 0.
+    pending_up: usize,
     map_done: usize,
     reduce_done: usize,
     map_launched: Vec<u32>,
@@ -731,10 +975,12 @@ struct StageRt {
 }
 
 impl StageRt {
-    fn new(maps_total: usize, reduce_tasks: usize, consumers: usize) -> Self {
+    fn new(maps_total: usize, reduce_tasks: usize, consumers: usize, fan_in: usize) -> Self {
         StageRt {
             maps_total,
             consumers,
+            pending_split: vec![fan_in; maps_total],
+            pending_up: fan_in,
             map_done: 0,
             reduce_done: 0,
             map_launched: vec![0; maps_total],
@@ -775,6 +1021,12 @@ struct RunState {
     fatal: Option<TaskFailure>,
     live_bytes: usize,
     peak_live_bytes: usize,
+    /// Broadcast values by slot; a slot is dropped (freeing the value,
+    /// barring caller-held `Arc`s) when its refcount hits zero.
+    bcasts: Vec<Option<AnyPart>>,
+    /// Remaining consumer *edges* per broadcast slot, decremented as each
+    /// consumer stage finalizes.
+    bcast_refs: Vec<usize>,
 }
 
 enum Step {
@@ -824,9 +1076,12 @@ fn next_step(state: &mut RunState, n_stages: usize) -> Step {
     }))
 }
 
-fn run_plan(plan: Plan, mode: PlanMode) -> PlanOutcome {
+fn run_plan(mut plan: Plan, mode: PlanMode) -> PlanOutcome {
     let n_stages = plan.stages.len();
     let deps = plan.deps();
+    // The runner owns the broadcast values for the duration of the run so
+    // it can drop each one the moment its last consumer stage finishes.
+    let bcast_init: Vec<AnyPart> = std::mem::take(&mut plan.broadcasts);
     let run = next_plan_run_id();
     let mut plan_span = span("mr.plan", &plan.name);
     plan_span.record("plan", plan.name.as_str());
@@ -840,13 +1095,31 @@ fn run_plan(plan: Plan, mode: PlanMode) -> PlanOutcome {
         },
     );
 
-    // Consumer lists: which stages read stage u's output.
+    // Consumer lists: which stages read stage u's output, one entry per
+    // shuffle edge (a stage consuming u twice appears twice — refcounts
+    // and release decrements then stay consistent).
     let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n_stages];
-    for (j, dep) in deps.iter().enumerate() {
-        if let Some(u) = dep {
-            consumers[*u].push(j);
+    for (j, ups) in deps.iter().enumerate() {
+        for &u in ups {
+            consumers[u].push(j);
         }
     }
+
+    // Broadcast refcounts: one per consumer edge; unreferenced values are
+    // dropped before the run even starts.
+    let mut bcast_refs = vec![0usize; bcast_init.len()];
+    for stage in &plan.stages {
+        for edge in &stage.edges {
+            if let InputEdge::Broadcast(s) = edge {
+                bcast_refs[*s] += 1;
+            }
+        }
+    }
+    let bcasts: Vec<Option<AnyPart>> = bcast_init
+        .into_iter()
+        .zip(&bcast_refs)
+        .map(|(v, &refs)| (refs > 0).then_some(v))
+        .collect();
 
     let effective_faults = plan.faults.clone().or_else(ssj_faults::active_plan);
     let fault_plan = effective_faults.as_deref().filter(|p| p.is_active());
@@ -856,13 +1129,17 @@ fn run_plan(plan: Plan, mode: PlanMode) -> PlanOutcome {
     let mut stage_rts = Vec::with_capacity(n_stages);
     let mut initial = VecDeque::new();
     for (j, stage) in plan.stages.iter().enumerate() {
-        let maps_total = stage.map_tasks(&plan.stages);
+        let maps_total = stage.n_splits;
+        let fan_in = deps[j].len();
         stage_rts.push(StageRt::new(
             maps_total,
             stage.reduce_tasks,
             consumers[j].len(),
+            fan_in,
         ));
-        if matches!(stage.input, InputSrc::External(_)) {
+        if fan_in == 0 {
+            // External-input stages (broadcast edges don't gate
+            // scheduling) queue all their maps up front.
             for t in 0..maps_total {
                 initial.push_back(Queued {
                     stage: j,
@@ -882,6 +1159,8 @@ fn run_plan(plan: Plan, mode: PlanMode) -> PlanOutcome {
         fatal: None,
         live_bytes: 0,
         peak_live_bytes: 0,
+        bcasts,
+        bcast_refs,
     });
     let wakeup = Condvar::new();
     let plan_ref = &plan;
@@ -942,11 +1221,13 @@ fn ensure_stage_started(
         let mut job_span = span("mr.job", &stage.name);
         job_span.record("reduce_tasks", stage.reduce_tasks);
         // DAG-identity args: a profiler reconstructs the plan shape from
-        // the job spans alone (upstream −1 = external input).
+        // the job spans alone. `upstream` is the encoded shuffle-upstream
+        // list ("-" = external input, else e.g. "0" or "0,1").
         job_span.record("plan", plan_name);
         job_span.record("run", run);
         job_span.record("stage", stage_idx);
-        job_span.record("upstream", stage.upstream().map(|u| u as i64).unwrap_or(-1));
+        let upstreams = ssj_observe::encode_upstreams(&stage.upstreams());
+        job_span.record("upstream", upstreams.as_str());
         rt.job_span = Some(job_span);
         let mut map_span = span("mr.phase", "map");
         map_span.record("job", stage.name.as_str());
@@ -958,6 +1239,36 @@ fn ensure_stage_started(
 }
 
 #[allow(clippy::too_many_arguments)]
+/// One claimed attempt's input snapshot (all `Arc` clones taken under the
+/// scheduler lock).
+enum Claimed {
+    Map {
+        parts: Vec<AnyPart>,
+        bvals: Vec<AnyPart>,
+    },
+    Reduce {
+        spill: AnySpill,
+        bvals: Vec<AnyPart>,
+    },
+}
+
+/// Clone the broadcast values a stage's edges reference, in edge order.
+fn claim_broadcasts(guard: &RunState, stage: &Stage) -> Vec<AnyPart> {
+    stage
+        .edges
+        .iter()
+        .filter_map(|edge| match edge {
+            InputEdge::Broadcast(s) => {
+                Some(Arc::clone(guard.bcasts[*s].as_ref().expect(
+                    "broadcast value is alive until all consumer stages finish",
+                )))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
 fn plan_worker_loop(
     plan: &Plan,
     mode: PlanMode,
@@ -965,7 +1276,7 @@ fn plan_worker_loop(
     fault_plan: Option<&FaultPlan>,
     retry: &RetryPolicy,
     consumers: &[Vec<usize>],
-    deps: &[Option<usize>],
+    deps: &[Vec<usize>],
     state: &Mutex<RunState>,
     wakeup: &Condvar,
 ) {
@@ -994,33 +1305,40 @@ fn plan_worker_loop(
             let stage = &plan.stages[item.stage];
             let (input, phase_start) = match item.phase {
                 Phase::Map => {
-                    let part: AnyPart = match &stage.input {
-                        InputSrc::External(parts) => Arc::clone(&parts[item.task]),
-                        InputSrc::Upstream(u) => {
-                            // Re-fetch the sealed upstream partition — an
-                            // Arc clone, alive until this map succeeds.
-                            Arc::clone(
+                    // Snapshot partition `task` of every split edge plus
+                    // the broadcast values, in edge order. Re-fetching a
+                    // sealed upstream partition is an Arc clone, alive
+                    // until this map succeeds — so a retry is free for
+                    // every upstream.
+                    let mut parts = Vec::new();
+                    for edge in &stage.edges {
+                        match edge {
+                            InputEdge::External(ps) => parts.push(Arc::clone(&ps[item.task])),
+                            InputEdge::Shuffle(u) => parts.push(Arc::clone(
                                 guard.stages[*u].outputs[item.task]
                                     .as_ref()
                                     .expect("sealed upstream partition is alive until consumed"),
-                            )
+                            )),
+                            InputEdge::Broadcast(_) => {}
                         }
-                    };
+                    }
+                    let bvals = claim_broadcasts(&guard, stage);
                     let rt = &mut guard.stages[item.stage];
                     let phase_start =
                         ensure_stage_started(rt, stage, &plan.name, run, item.stage, now);
                     rt.map_launched[item.task] += 1;
                     rt.exec.attempts += 1;
-                    (part, phase_start)
+                    (Claimed::Map { parts, bvals }, phase_start)
                 }
                 Phase::Reduce => {
+                    let bvals = claim_broadcasts(&guard, stage);
                     let rt = &mut guard.stages[item.stage];
                     let spill =
                         Arc::clone(rt.spill.as_ref().expect("spill exists once reduces queue"));
                     let phase_start = rt.reduce_started.expect("reduce phase started");
                     rt.red_launched[item.task] += 1;
                     rt.exec.attempts += 1;
-                    (spill, phase_start)
+                    (Claimed::Reduce { spill, bvals }, phase_start)
                 }
             };
             (item, input, phase_start)
@@ -1062,17 +1380,19 @@ fn plan_worker_loop(
                     run,
                     stage: item.stage,
                 };
-                let run_body = || match item.phase {
-                    Phase::Map => Body::Map((stage.run_map)(
+                let run_body = || match &input {
+                    Claimed::Map { parts, bvals } => Body::Map((stage.run_map)(
                         item.task,
-                        &input,
+                        parts,
+                        bvals,
                         item.attempt,
                         phase_start,
                         &tags,
                     )),
-                    Phase::Reduce => Body::Reduce((stage.run_reduce)(
+                    Claimed::Reduce { spill, bvals } => Body::Reduce((stage.run_reduce)(
                         item.task,
-                        &input,
+                        spill,
+                        bvals,
                         item.attempt,
                         phase_start,
                         &tags,
@@ -1161,7 +1481,7 @@ fn on_map_done(
     plan: &Plan,
     mode: PlanMode,
     consumers: &[Vec<usize>],
-    deps: &[Option<usize>],
+    deps: &[Vec<usize>],
     stage_idx: usize,
     task: usize,
     sealed: AnySealed,
@@ -1183,10 +1503,10 @@ fn on_map_done(
         rt.map_done += 1;
     }
 
-    // Pipelined mode: this map has durably consumed upstream partition
-    // `task` — drop it once every consumer is done with it.
+    // Pipelined mode: this map has durably consumed partition `task` of
+    // every shuffle upstream — release each edge's hold on it.
     if mode == PlanMode::Pipelined {
-        if let Some(u) = deps[stage_idx] {
+        for &u in &deps[stage_idx] {
             release_partition(state, u, task);
         }
     }
@@ -1242,7 +1562,7 @@ fn on_reduce_done(
     plan: &Plan,
     mode: PlanMode,
     consumers: &[Vec<usize>],
-    deps: &[Option<usize>],
+    deps: &[Vec<usize>],
     stage_idx: usize,
     task: usize,
     part: AnyPart,
@@ -1266,17 +1586,25 @@ fn on_reduce_done(
         }
     }
 
-    // Pipelined mode: partition `task` is sealed — release map split
-    // `task` of every consumer stage immediately.
+    // Pipelined mode: partition `task` is sealed — decrement each
+    // consumer edge's pending count for split `task`; the split queues
+    // only when EVERY shuffle upstream has sealed its partition `task`
+    // (the multi-input release rule; single-input stages decrement
+    // straight from 1 to 0).
     if mode == PlanMode::Pipelined {
         for &j in &consumers[stage_idx] {
-            state.queue.push_back(Queued {
-                stage: j,
-                phase: Phase::Map,
-                task,
-                attempt: 0,
-                not_before: now,
-            });
+            let rt = &mut state.stages[j];
+            debug_assert!(rt.pending_split[task] > 0, "split released too often");
+            rt.pending_split[task] -= 1;
+            if rt.pending_split[task] == 0 {
+                state.queue.push_back(Queued {
+                    stage: j,
+                    phase: Phase::Map,
+                    task,
+                    attempt: 0,
+                    not_before: now,
+                });
+            }
         }
     }
 
@@ -1289,23 +1617,29 @@ fn on_reduce_done(
     state.completed_stages += 1;
 
     if mode == PlanMode::Sequential {
-        // Stage barrier: only now do downstream maps become runnable, and
-        // only now is the upstream input released (the fair stand-in for
-        // the legacy chain, which kept the whole intermediate dataset
-        // alive across the job boundary).
+        // Stage barrier: a downstream stage's maps become runnable only
+        // when ALL of its upstream stages have completed, and an upstream
+        // stage's output partitions are released only when the consuming
+        // stage completes (the fair stand-in for the legacy chain, which
+        // kept whole intermediate datasets alive across job boundaries).
         for &j in &consumers[stage_idx] {
-            let maps = state.stages[j].maps_total;
-            for t in 0..maps {
-                state.queue.push_back(Queued {
-                    stage: j,
-                    phase: Phase::Map,
-                    task: t,
-                    attempt: 0,
-                    not_before: now,
-                });
+            let rt = &mut state.stages[j];
+            debug_assert!(rt.pending_up > 0, "upstream edge completed too often");
+            rt.pending_up -= 1;
+            if rt.pending_up == 0 {
+                let maps = rt.maps_total;
+                for t in 0..maps {
+                    state.queue.push_back(Queued {
+                        stage: j,
+                        phase: Phase::Map,
+                        task: t,
+                        attempt: 0,
+                        not_before: now,
+                    });
+                }
             }
         }
-        if let Some(u) = deps[stage_idx] {
+        for &u in &deps[stage_idx] {
             for t in 0..state.stages[u].outputs.len() {
                 release_partition(state, u, t);
             }
@@ -1330,8 +1664,19 @@ fn release_partition(state: &mut RunState, u: usize, t: usize) {
 /// emits, so observability output is independent of which execution layer
 /// ran the job.
 fn finalize_stage(state: &mut RunState, plan: &Plan, stage_idx: usize) {
-    let rt = &mut state.stages[stage_idx];
     let stage = &plan.stages[stage_idx];
+    // This stage is done with its broadcast side inputs: drop each value
+    // whose last consumer edge just finished.
+    for edge in &stage.edges {
+        if let InputEdge::Broadcast(s) = edge {
+            debug_assert!(state.bcast_refs[*s] > 0, "broadcast released too often");
+            state.bcast_refs[*s] -= 1;
+            if state.bcast_refs[*s] == 0 {
+                state.bcasts[*s] = None;
+            }
+        }
+    }
+    let rt = &mut state.stages[stage_idx];
     rt.reduce_elapsed = rt.reduce_started.map(|s| s.elapsed()).unwrap_or_default();
     rt.reduce_span = None;
     rt.spill = None;
@@ -1375,6 +1720,7 @@ fn finalize_stage(state: &mut RunState, plan: &Plan, stage_idx: usize) {
 
     if let Some(reg) = global_registry() {
         crate::telemetry::record_job_telemetry(&reg, &metrics);
+        crate::telemetry::record_stage_fan_in(&reg, &metrics.name, stage.upstreams().len());
     }
 
     rt.metrics = Some(metrics);

@@ -51,6 +51,13 @@ pub fn p99_over_p50(values: &[u64]) -> f64 {
     h.quantile(0.99) / p50
 }
 
+/// Record a plan stage's shuffle fan-in (number of upstream edges; 0 =
+/// external input) as `mr.stage.<job>.fan_in`, so the skew namespace
+/// tells a two-input join-reduce stage apart from a plain chain stage.
+pub fn record_stage_fan_in(reg: &MetricsRegistry, stage: &str, fan_in: usize) {
+    reg.gauge_set(&format!("mr.stage.{stage}.fan_in"), fan_in as f64);
+}
+
 /// Emit the full per-job registry block: global `mr.*` accumulators plus
 /// the `mr.stage.<job>.*` skew/straggler namespace.
 pub fn record_job_telemetry(reg: &MetricsRegistry, m: &JobMetrics) {
@@ -169,6 +176,14 @@ mod tests {
             reduce_elapsed: Duration::from_millis(30),
             exec: ExecSummary::default(),
         }
+    }
+
+    #[test]
+    fn fan_in_gauge_lands_in_stage_namespace() {
+        let reg = MetricsRegistry::new();
+        record_stage_fan_in(&reg, "join", 2);
+        let jsonl = reg.to_jsonl();
+        assert!(jsonl.contains("mr.stage.join.fan_in"), "{jsonl}");
     }
 
     #[test]

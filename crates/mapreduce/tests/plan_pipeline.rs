@@ -143,6 +143,26 @@ fn arb_collection() -> impl Strategy<Value = Collection> {
         })
 }
 
+/// Two collections over one shared rank space (the R×S contract): split an
+/// [`arb_collection`]-style doc set, re-id each side densely, share the
+/// frequency table.
+fn arb_rs_collections() -> impl Strategy<Value = (Collection, Collection)> {
+    (arb_collection(), 1usize..10).prop_map(|(c, cut)| {
+        let records: Vec<Record> = c.iter().map(|v| v.to_record()).collect();
+        let k = (cut % records.len()).max(1);
+        let reid = |side: &[Record]| {
+            side.iter()
+                .enumerate()
+                .map(|(i, r)| Record::from_sorted(i as u32, r.tokens.clone()))
+                .collect::<Vec<Record>>()
+        };
+        (
+            Collection::new(reid(&records[..k]), c.token_freqs.clone(), None),
+            Collection::new(reid(&records[k..]), c.token_freqs.clone(), None),
+        )
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
@@ -166,6 +186,33 @@ proptest! {
         let piped =
             fsjoin::run_self_join(&c, &base.clone().with_plan_mode(PlanMode::Pipelined));
         let seq = fsjoin::run_self_join(&c, &base.with_plan_mode(PlanMode::Sequential));
+        prop_assert_eq!(digest(&piped.pairs), digest(&seq.pairs));
+        prop_assert_eq!(piped.candidates, seq.candidates);
+        prop_assert_eq!(piped.chain.jobs.len(), seq.chain.jobs.len());
+        for (a, b) in piped.chain.jobs.iter().zip(&seq.chain.jobs) {
+            prop_assert_eq!(logical(a), logical(b));
+        }
+    }
+
+    /// The two-input R×S plan (fan-in join stage reading two co-partitioned
+    /// upstreams plus a broadcast pool) is equally mode-invariant: identical
+    /// digests and per-stage logical metrics at every worker count.
+    #[test]
+    fn two_input_rsjoin_pipelined_matches_sequential(
+        (r, s) in arb_rs_collections(),
+        workers in prop::sample::select(vec![1usize, 2, 7]),
+        theta in prop::sample::select(vec![0.6, 0.8]),
+    ) {
+        let base = FsJoinConfig::default()
+            .with_theta(theta)
+            .with_tasks(3, 4)
+            .with_workers(workers);
+        let piped = fsjoin::run_rs_join_two_input(
+            &r, &s, &base.clone().with_plan_mode(PlanMode::Pipelined));
+        let seq = fsjoin::run_rs_join_two_input(
+            &r, &s, &base.with_plan_mode(PlanMode::Sequential));
+        prop_assert_eq!(&piped.deps, &vec![vec![], vec![], vec![0, 1], vec![2]]);
+        prop_assert_eq!(&piped.deps, &seq.deps);
         prop_assert_eq!(digest(&piped.pairs), digest(&seq.pairs));
         prop_assert_eq!(piped.candidates, seq.candidates);
         prop_assert_eq!(piped.chain.jobs.len(), seq.chain.jobs.len());
@@ -322,6 +369,144 @@ fn downstream_map_retry_refetches_sealed_partition() {
     assert_eq!(down.exec.injected_errors, down.map_tasks.len() as u64);
     // Logical metrics of the clean and faulty runs agree (retries are
     // invisible to the logical counters).
+    for (a, b) in clean.metrics.jobs.iter().zip(&faulty.metrics.jobs) {
+        let scrub = |m: &JobMetrics| {
+            let mut m = m.clone();
+            m.exec = Default::default();
+            logical(&m)
+        };
+        assert_eq!(scrub(a), scrub(b), "stage {}", a.name);
+    }
+}
+
+/// Tags values so the join stage can tell sides apart.
+struct TagMapper(u64);
+
+impl Mapper for TagMapper {
+    type InKey = u32;
+    type InValue = u32;
+    type OutKey = u32;
+    type OutValue = u64;
+
+    fn map(&mut self, k: u32, v: u32, out: &mut Emitter<u32, u64>) {
+        out.emit(k % 11, v as u64 | self.0);
+    }
+}
+
+/// Sums per key.
+struct SumReducer;
+
+impl Reducer for SumReducer {
+    type InKey = u32;
+    type InValue = u64;
+    type OutKey = u32;
+    type OutValue = u64;
+
+    fn reduce(&mut self, k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>) {
+        out.emit(*k, vs.into_iter().sum());
+    }
+}
+
+/// Identity re-key for the join stage's map phase.
+struct Rekey;
+
+impl Mapper for Rekey {
+    type InKey = u32;
+    type InValue = u64;
+    type OutKey = u32;
+    type OutValue = u64;
+
+    fn map(&mut self, k: u32, v: u64, out: &mut Emitter<u32, u64>) {
+        out.emit(k, v);
+    }
+}
+
+/// Combines both sides of a key group (side = the tag bit planted by
+/// [`TagMapper`]) into one value, so the output provably read both
+/// upstreams.
+struct SideCombine;
+
+impl Reducer for SideCombine {
+    type InKey = u32;
+    type InValue = u64;
+    type OutKey = u32;
+    type OutValue = u64;
+
+    fn reduce(&mut self, k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>) {
+        const TAG: u64 = 1 << 40;
+        let left: u64 = vs.iter().filter(|&&v| v & TAG == 0).sum();
+        let right: u64 = vs.iter().filter(|&&v| v & TAG != 0).map(|v| v & !TAG).sum();
+        out.emit(*k, left.wrapping_mul(3).wrapping_add(right));
+    }
+}
+
+fn fan_in_fixture_plan(workers: usize) -> (Plan, StageHandle<u32, u64>) {
+    let source = |seed: u32| -> Dataset<u32, u32> {
+        Dataset::from_records(
+            (0..48u32)
+                .map(|i| (i ^ seed, i.wrapping_mul(2654435761).wrapping_add(seed)))
+                .collect(),
+            4,
+        )
+    };
+    let mut plan = Plan::new("fan-in-chain").with_workers(workers);
+    // Co-partitioned upstreams: same reduce_tasks, default HashPartitioner.
+    let left = plan.add("left-src", source(0), 5, |_| TagMapper(0), |_| SumReducer);
+    let right = plan.add(
+        "right-src",
+        source(97),
+        5,
+        |_| TagMapper(1 << 40),
+        |_| SumReducer,
+    );
+    let joined = plan.add("fan-in-join", [left, right], 3, |_| Rekey, |_| SideCombine);
+    (plan, joined)
+}
+
+/// A failed map attempt of a **two-input** join stage must be satisfied by
+/// re-fetching BOTH sealed upstream reduce partitions — neither upstream
+/// stage re-runs a single task.
+#[test]
+fn fan_in_map_retry_refetches_both_sealed_partitions() {
+    let (clean_plan, clean_h) = fan_in_fixture_plan(7);
+    let mut clean = PlanRunner::pipelined().run(clean_plan);
+
+    let (faulty_plan, faulty_h) = fan_in_fixture_plan(7);
+    let faulty_plan = faulty_plan.with_faults(FaultPlan::new(23).with_target(
+        "fan-in-join",
+        Phase::Map,
+        Fault::Error,
+        1,
+    ));
+    let mut faulty = PlanRunner::pipelined().run(faulty_plan);
+
+    let sort = |d: Dataset<u32, u64>| {
+        let mut v: Vec<(u32, u64)> = d.into_records().collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        sort(clean.take_output(clean_h)),
+        sort(faulty.take_output(faulty_h)),
+        "retried fan-in run must produce identical results"
+    );
+    assert_eq!(faulty.deps(), &[vec![], vec![], vec![0, 1]]);
+
+    // Both upstreams: exactly one attempt per task, zero retries — the
+    // join-map retries were fed from the sealed partitions, not re-runs.
+    for up in &faulty.metrics.jobs[..2] {
+        assert_eq!(
+            up.exec.attempts,
+            (up.map_tasks.len() + up.reduce_tasks.len()) as u64,
+            "upstream {} must not re-run",
+            up.name
+        );
+        assert_eq!(up.exec.retries, 0, "upstream {} retried", up.name);
+    }
+    // The join stage: every map failed once and retried successfully.
+    let down = &faulty.metrics.jobs[2];
+    assert_eq!(down.exec.retries, down.map_tasks.len() as u64);
+    assert_eq!(down.exec.injected_errors, down.map_tasks.len() as u64);
     for (a, b) in clean.metrics.jobs.iter().zip(&faulty.metrics.jobs) {
         let scrub = |m: &JobMetrics| {
             let mut m = m.clone();

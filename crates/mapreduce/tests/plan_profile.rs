@@ -46,8 +46,8 @@ impl Reducer for Sum {
 
 const MAP_PARTITIONS: usize = 4;
 
-/// Declared `(stage, upstream)` DAG shape.
-type DagShape = Vec<(usize, Option<usize>)>;
+/// Declared `(stage, upstreams)` DAG shape.
+type DagShape = Vec<(usize, Vec<usize>)>;
 
 /// A linear `stages`-deep chain; returns the plan, its terminal handle,
 /// and the declared `(stage, upstream)` DAG shape.
@@ -65,7 +65,7 @@ fn chain_plan(
     );
     let mut plan = Plan::new("profiled-chain").with_workers(workers);
     let mut handle = plan.add("stage-0", input, reduce_tasks, |_| Spread, |_| Sum);
-    let mut declared = vec![(0, None)];
+    let mut declared = vec![(0, vec![])];
     for s in 1..stages {
         handle = plan.add(
             format!("stage-{s}"),
@@ -74,7 +74,7 @@ fn chain_plan(
             |_| Spread,
             |_| Sum,
         );
-        declared.push((s, Some(s - 1)));
+        declared.push((s, vec![s - 1]));
     }
     (plan, handle, declared)
 }
@@ -161,9 +161,10 @@ proptest! {
                 .iter()
                 .filter(|t| t.stage == stage && t.kind == TaskKind::Reduce)
                 .count();
-            let expected_maps = match upstream {
-                None => MAP_PARTITIONS,
-                Some(_) => reduce_tasks,
+            let expected_maps = if upstream.is_empty() {
+                MAP_PARTITIONS
+            } else {
+                reduce_tasks
             };
             prop_assert_eq!(maps, expected_maps);
             prop_assert_eq!(reduces, reduce_tasks);
@@ -185,7 +186,7 @@ proptest! {
                     prop_assert!(t.start_us >= latest_map);
                 }
                 TaskKind::Map => {
-                    if let Some((_, Some(u))) = p.dag().iter().find(|(s, _)| *s == t.stage) {
+                    for u in p.upstreams_of(t.stage) {
                         let feeder = p
                             .tasks
                             .iter()

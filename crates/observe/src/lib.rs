@@ -12,10 +12,11 @@
 //!   log-scale histograms with merge semantics and JSONL export. The
 //!   FS-Join filter statistics and the MapReduce engine's per-job
 //!   distributions flow through it.
-//! * **[`log`]** — a leveled stderr logger ([`info!`]/[`debug!`]) gated by
-//!   the `SSJ_LOG` environment variable (`quiet` | `info` | `debug`,
-//!   default `info`). Messages print verbatim, so converting an
-//!   `eprintln!` call site to [`info!`] is byte-identical by default.
+//! * **[`log`]** — a leveled stderr logger ([`warn!`]/[`info!`]/
+//!   [`debug!`]) gated by the `SSJ_LOG` environment variable
+//!   (`quiet` | `warn` | `info` | `debug`, default `info`). Messages print
+//!   verbatim, so converting an `eprintln!` call site to [`info!`] is
+//!   byte-identical by default.
 //!
 //! [`chrome`] turns a collector's spans (plus any synthetic events, e.g.
 //! simulated cluster schedules) into a Perfetto-loadable
@@ -33,8 +34,8 @@ pub use chrome::ChromeTrace;
 pub use log::Level;
 pub use metrics::{LogHistogram, MetricValue, MetricsRegistry};
 pub use profile::{
-    spans_from_chrome_json, spans_from_events, PlanProfile, ProfSpan, StageSummary, TaskKind,
-    TaskRec,
+    decode_upstreams, encode_upstreams, spans_from_chrome_json, spans_from_events, PlanProfile,
+    ProfSpan, StageSummary, TaskKind, TaskRec,
 };
 pub use trace::{
     collector, install_collector, span, tracing_enabled, uninstall_collector, Collector,

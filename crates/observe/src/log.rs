@@ -1,9 +1,10 @@
 //! Leveled stderr logging gated by the `SSJ_LOG` environment variable.
 //!
-//! Levels: `quiet` < `info` < `debug`; default `info`. Messages print
-//! verbatim via `eprintln!`, so a call site converted from `eprintln!` to
-//! [`info!`](crate::info) produces byte-identical output at the default
-//! level. The level is read once per process (first log call) and cached.
+//! Levels: `quiet` < `warn` < `info` < `debug`; default `info`. Messages
+//! print verbatim via `eprintln!`, so a call site converted from
+//! `eprintln!` to [`info!`](crate::info) produces byte-identical output at
+//! the default level. The level is read once per process (first log call)
+//! and cached.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -12,10 +13,13 @@ use std::sync::atomic::{AtomicU8, Ordering};
 pub enum Level {
     /// Suppress everything.
     Quiet = 0,
+    /// Something degraded silently-dangerous behavior (e.g. a simulation
+    /// falling back to a coarser model). Printed by default.
+    Warn = 1,
     /// Operator-facing narration (default).
-    Info = 1,
+    Info = 2,
     /// Extra detail for debugging runs.
-    Debug = 2,
+    Debug = 3,
 }
 
 const UNSET: u8 = u8::MAX;
@@ -24,6 +28,7 @@ static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
 fn level_from_env() -> Level {
     match std::env::var("SSJ_LOG").as_deref() {
         Ok("quiet") | Ok("off") | Ok("none") => Level::Quiet,
+        Ok("warn") => Level::Warn,
         Ok("debug") => Level::Debug,
         // Unknown values fall back to the default rather than erroring:
         // logging must never take a run down.
@@ -40,7 +45,8 @@ pub fn level() -> Level {
             l
         }
         0 => Level::Quiet,
-        1 => Level::Info,
+        1 => Level::Warn,
+        2 => Level::Info,
         _ => Level::Debug,
     }
 }
@@ -60,6 +66,16 @@ pub fn log(l: Level, args: std::fmt::Arguments<'_>) {
     if enabled(l) {
         eprintln!("{args}");
     }
+}
+
+/// Log at [`Level::Warn`] (formatting is skipped when suppressed).
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::log($crate::log::Level::Warn, format_args!($($arg)*));
+        }
+    };
 }
 
 /// Log at [`Level::Info`] (formatting is skipped when suppressed).
@@ -88,12 +104,18 @@ mod tests {
 
     #[test]
     fn ordering_and_gating() {
-        assert!(Level::Quiet < Level::Info);
+        assert!(Level::Quiet < Level::Warn);
+        assert!(Level::Warn < Level::Info);
         assert!(Level::Info < Level::Debug);
         set_level(Level::Info);
+        assert!(enabled(Level::Warn));
         assert!(enabled(Level::Info));
         assert!(!enabled(Level::Debug));
+        set_level(Level::Warn);
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
         set_level(Level::Quiet);
+        assert!(!enabled(Level::Warn));
         assert!(!enabled(Level::Info));
         set_level(Level::Debug);
         assert!(enabled(Level::Debug));
@@ -104,6 +126,7 @@ mod tests {
     #[test]
     fn macros_compile_and_run() {
         set_level(Level::Quiet);
+        warn!("suppressed {}", 0);
         info!("suppressed {}", 1);
         debug!("suppressed {}", 2);
         set_level(Level::Info);

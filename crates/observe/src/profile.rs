@@ -143,6 +143,32 @@ pub fn spans_from_chrome_json(doc: &str) -> Result<Vec<ProfSpan>, String> {
     Ok(out)
 }
 
+/// Encode a stage's shuffle-upstream list for the job-span `upstream` arg:
+/// `"-"` for an external-input stage, else comma-joined indices (`"0"`,
+/// `"0,1"`). A string survives the Chrome JSON round trip losslessly,
+/// which a variable-length integer list would not.
+pub fn encode_upstreams(ups: &[usize]) -> String {
+    if ups.is_empty() {
+        return "-".to_string();
+    }
+    let mut s = String::new();
+    for (i, u) in ups.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&u.to_string());
+    }
+    s
+}
+
+/// Inverse of [`encode_upstreams`]; unparseable tokens are skipped.
+pub fn decode_upstreams(s: &str) -> Vec<usize> {
+    if s == "-" || s.is_empty() {
+        return Vec::new();
+    }
+    s.split(',').filter_map(|t| t.trim().parse().ok()).collect()
+}
+
 /// Task flavor within a stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskKind {
@@ -174,8 +200,10 @@ impl TaskRec {
 pub struct StageInfo {
     pub index: usize,
     pub name: String,
-    /// Upstream stage index whose reduce output this stage maps over.
-    pub upstream: Option<usize>,
+    /// Shuffle-upstream stage indices whose reduce outputs this stage maps
+    /// over (empty = external input). Multi-input stages list every
+    /// upstream in edge order.
+    pub upstreams: Vec<usize>,
 }
 
 /// All tasks of one `(plan, run, pid)` instance plus its stage DAG.
@@ -209,16 +237,22 @@ impl PlanProfile {
                 let Some(stage) = s.arg_u64("stage") else {
                     continue;
                 };
-                let upstream = match s.arg_i64("upstream") {
-                    Some(u) if u >= 0 => Some(u as usize),
-                    _ => None,
+                // New traces encode the upstream list as a string
+                // ("-", "0", "0,1"); pre-fan-in traces recorded a single
+                // i64 with −1 for external input.
+                let upstreams = match s.arg_str("upstream") {
+                    Some(list) => decode_upstreams(list),
+                    None => match s.arg_i64("upstream") {
+                        Some(u) if u >= 0 => vec![u as usize],
+                        _ => Vec::new(),
+                    },
                 };
                 stages.entry(key).or_default().insert(
                     stage as usize,
                     StageInfo {
                         index: stage as usize,
                         name: s.name.clone(),
-                        upstream,
+                        upstreams,
                     },
                 );
             } else if is_task {
@@ -263,10 +297,14 @@ impl PlanProfile {
         out
     }
 
-    /// `(stage index, upstream)` pairs — the reconstructed DAG shape, for
-    /// comparison against a declared `Plan`.
-    pub fn dag(&self) -> Vec<(usize, Option<usize>)> {
-        self.stages.iter().map(|s| (s.index, s.upstream)).collect()
+    /// `(stage index, upstream list)` pairs — the reconstructed DAG shape,
+    /// for comparison against a declared `Plan` (empty list = external
+    /// input; fan-in stages list every shuffle upstream).
+    pub fn dag(&self) -> Vec<(usize, Vec<usize>)> {
+        self.stages
+            .iter()
+            .map(|s| (s.index, s.upstreams.clone()))
+            .collect()
     }
 
     /// Earliest task start.
@@ -284,16 +322,20 @@ impl PlanProfile {
         self.end_us().saturating_sub(self.start_us())
     }
 
-    fn upstream_of(&self, stage: usize) -> Option<usize> {
+    /// Shuffle upstream stage indices of `stage` (empty when the stage
+    /// reads external input or is unknown).
+    pub fn upstreams_of(&self, stage: usize) -> &[usize] {
         self.stages
             .iter()
             .find(|s| s.index == stage)
-            .and_then(|s| s.upstream)
+            .map(|s| s.upstreams.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Logical predecessors of task `i` (indices into `self.tasks`): all
     /// maps of the same stage for a reduce; the same-partition reduce of
-    /// the upstream stage for a map.
+    /// *every* upstream stage for a map (a fan-in map split waits on all
+    /// of its co-partitioned inputs).
     fn logical_preds(&self, i: usize) -> Vec<usize> {
         let t = &self.tasks[i];
         match t.kind {
@@ -304,18 +346,22 @@ impl PlanProfile {
                 .filter(|(_, p)| p.stage == t.stage && p.kind == TaskKind::Map)
                 .map(|(j, _)| j)
                 .collect(),
-            TaskKind::Map => match self.upstream_of(t.stage) {
-                Some(u) => self
-                    .tasks
+            TaskKind::Map => {
+                let ups = self.upstreams_of(t.stage);
+                if ups.is_empty() {
+                    return Vec::new();
+                }
+                self.tasks
                     .iter()
                     .enumerate()
                     .filter(|(_, p)| {
-                        p.stage == u && p.kind == TaskKind::Reduce && p.partition == t.partition
+                        ups.contains(&p.stage)
+                            && p.kind == TaskKind::Reduce
+                            && p.partition == t.partition
                     })
                     .map(|(j, _)| j)
-                    .collect(),
-                None => Vec::new(),
-            },
+                    .collect()
+            }
         }
     }
 
@@ -337,7 +383,7 @@ impl PlanProfile {
                 .filter(|(_, s)| {
                     s.kind == TaskKind::Map
                         && s.partition == t.partition
-                        && self.upstream_of(s.stage) == Some(t.stage)
+                        && self.upstreams_of(s.stage).contains(&t.stage)
                 })
                 .map(|(j, _)| j)
                 .collect(),
@@ -524,7 +570,7 @@ mod tests {
         }
     }
 
-    fn job_span(plan: &str, run: u64, stage: u64, upstream: i64, name: &str) -> ProfSpan {
+    fn job_span(plan: &str, run: u64, stage: u64, upstream: &str, name: &str) -> ProfSpan {
         ProfSpan {
             name: name.to_string(),
             cat: "mr.job".to_string(),
@@ -536,7 +582,7 @@ mod tests {
                 ("plan".into(), FieldValue::Str(plan.into())),
                 ("run".into(), FieldValue::UInt(run)),
                 ("stage".into(), FieldValue::UInt(stage)),
-                ("upstream".into(), FieldValue::Int(upstream)),
+                ("upstream".into(), FieldValue::Str(upstream.into())),
             ],
         }
     }
@@ -545,8 +591,8 @@ mod tests {
     /// (upstream 0) = 2 maps + 2 reduces. Lane-packed with no idle gaps.
     fn two_stage_spans() -> Vec<ProfSpan> {
         let mut spans = vec![
-            job_span("p", 7, 0, -1, "filter"),
-            job_span("p", 7, 1, 0, "verify"),
+            job_span("p", 7, 0, "-", "filter"),
+            job_span("p", 7, 1, "0", "verify"),
         ];
         // stage 0: maps [0,10) on both lanes, reduces [10,30) lane 0 /
         // [10,20) lane 1.
@@ -567,16 +613,116 @@ mod tests {
     fn groups_by_plan_run_pid_and_rebuilds_dag() {
         let mut spans = two_stage_spans();
         // A second run of the same plan must come back as its own profile.
-        spans.push(job_span("p", 8, 0, -1, "filter"));
+        spans.push(job_span("p", 8, 0, "-", "filter"));
         spans.push(task_span("p", 8, 0, "map", 0, 0, 500, 10));
         let profiles = PlanProfile::from_spans(&spans);
         assert_eq!(profiles.len(), 2);
         let p7 = profiles.iter().find(|p| p.run == 7).unwrap();
         assert_eq!(p7.tasks.len(), 8);
-        assert_eq!(p7.dag(), vec![(0, None), (1, Some(0))]);
+        assert_eq!(p7.dag(), vec![(0, vec![]), (1, vec![0])]);
         assert_eq!(p7.stages[0].name, "filter");
         let p8 = profiles.iter().find(|p| p.run == 8).unwrap();
         assert_eq!(p8.tasks.len(), 1);
+    }
+
+    #[test]
+    fn upstream_list_round_trips() {
+        assert_eq!(encode_upstreams(&[]), "-");
+        assert_eq!(encode_upstreams(&[3]), "3");
+        assert_eq!(encode_upstreams(&[0, 1]), "0,1");
+        assert_eq!(decode_upstreams("-"), Vec::<usize>::new());
+        assert_eq!(decode_upstreams(""), Vec::<usize>::new());
+        assert_eq!(decode_upstreams("0,1"), vec![0, 1]);
+        for ups in [vec![], vec![2], vec![0, 1], vec![5, 3, 5]] {
+            assert_eq!(decode_upstreams(&encode_upstreams(&ups)), ups);
+        }
+    }
+
+    #[test]
+    fn legacy_integer_upstream_tag_still_parses() {
+        // Pre-fan-in traces recorded `upstream` as a single i64 (−1 =
+        // external); the profiler must keep reading them.
+        let mut spans = vec![
+            job_span("p", 9, 0, "-", "filter"),
+            task_span("p", 9, 0, "map", 0, 0, 0, 10),
+        ];
+        spans[0].args.retain(|(k, _)| k != "upstream");
+        spans[0].args.push(("upstream".into(), FieldValue::Int(-1)));
+        let mut legacy_up = job_span("p", 9, 1, "-", "verify");
+        legacy_up.args.retain(|(k, _)| k != "upstream");
+        legacy_up.args.push(("upstream".into(), FieldValue::Int(0)));
+        spans.push(legacy_up);
+        spans.push(task_span("p", 9, 1, "map", 0, 0, 10, 10));
+        let profiles = PlanProfile::from_spans(&spans);
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].dag(), vec![(0, vec![]), (1, vec![0])]);
+    }
+
+    /// Fan-in: stages 0 and 1 are external, stage 2 joins both. One lane
+    /// per stage so logical deps, not lanes, bound the schedule.
+    fn fan_in_spans() -> Vec<ProfSpan> {
+        let mut spans = vec![
+            job_span("j", 4, 0, "-", "r-prefix"),
+            job_span("j", 4, 1, "-", "s-prefix"),
+            job_span("j", 4, 2, "0,1", "join"),
+        ];
+        for stage in 0..2u64 {
+            spans.push(task_span("j", 4, stage, "map", 0, stage as u32, 0, 10));
+            spans.push(task_span(
+                "j",
+                4,
+                stage,
+                "reduce",
+                0,
+                stage as u32,
+                10,
+                10 + 10 * stage,
+            ));
+        }
+        // The join map can only start once BOTH upstream reduces sealed
+        // partition 0 — i.e. at 30 (stage 1's reduce ends at 30).
+        spans.push(task_span("j", 4, 2, "map", 0, 2, 30, 10));
+        spans.push(task_span("j", 4, 2, "reduce", 0, 2, 40, 10));
+        spans
+    }
+
+    #[test]
+    fn fan_in_dag_and_critical_path() {
+        let profiles = PlanProfile::from_spans(&fan_in_spans());
+        let p = &profiles[0];
+        assert_eq!(p.dag(), vec![(0, vec![]), (1, vec![]), (2, vec![0, 1])]);
+        // The join map's logical preds are the sealed reduces of BOTH
+        // upstream stages.
+        let join_map = p
+            .tasks
+            .iter()
+            .position(|t| t.stage == 2 && t.kind == TaskKind::Map)
+            .unwrap();
+        let preds = p.logical_preds(join_map);
+        let pred_stages: Vec<usize> = preds.iter().map(|&j| p.tasks[j].stage).collect();
+        assert_eq!(preds.len(), 2);
+        assert!(pred_stages.contains(&0) && pred_stages.contains(&1));
+        // The critical path must route through the slower upstream
+        // (stage 1, reduce ends at 30), spanning the whole makespan.
+        assert_eq!(p.makespan_us(), 50);
+        assert_eq!(p.critical_path_span_us(), 50);
+        let path = p.critical_path();
+        assert!(path.iter().any(|&i| p.tasks[i].stage == 1));
+        // Both upstream reduces are logical successors' predecessors: the
+        // faster one (ends at 20) has slack, the slower none.
+        let slack = p.slack_us();
+        let fast = p
+            .tasks
+            .iter()
+            .position(|t| t.stage == 0 && t.kind == TaskKind::Reduce)
+            .unwrap();
+        let slow = p
+            .tasks
+            .iter()
+            .position(|t| t.stage == 1 && t.kind == TaskKind::Reduce)
+            .unwrap();
+        assert_eq!(slack[fast], 10);
+        assert_eq!(slack[slow], 0);
     }
 
     #[test]

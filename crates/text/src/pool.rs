@@ -13,9 +13,10 @@
 //!   allocations — a segment is 21 bytes of metadata plus a span;
 //! * kernel inner loops run over contiguous `&[TokenId]` slices resolved
 //!   once per task;
-//! * the pool is shared across tasks as an `Arc` blob through the engine's
-//!   [`Dfs`](../../ssj_mapreduce/struct.Dfs.html) side-data channel, the
-//!   way Hadoop ships read-only data via the distributed cache;
+//! * the pool is shared across tasks as an `Arc` blob over a plan
+//!   **broadcast edge** (`Plan::broadcast` + `add_full_broadcast` in
+//!   `ssj_mapreduce`), the way Hadoop ships read-only data via the
+//!   distributed cache;
 //! * byte accounting stays *logical*: a span's shuffle cost is the size of
 //!   the tokens it denotes, not the 8 bytes of the view (which is why
 //!   `TokenSpan` deliberately does **not** implement `ByteSize` — its
@@ -191,7 +192,28 @@ impl TokenPool {
     /// records follow with ids shifted by `a.len()` and token offsets
     /// shifted by `a.total_tokens()`. This is how an R×S join builds one
     /// shared arena from two collections encoded in the same rank space.
+    ///
+    /// # Panics
+    /// Panics when the combined token count overflows the `u32` offset
+    /// space (see [`TokenPool::try_concat`] for the recoverable variant).
     pub fn concat(a: &TokenPool, b: &TokenPool) -> TokenPool {
+        Self::try_concat(a, b).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`TokenPool::concat`]: returns [`PoolOverflow`] instead of
+    /// panicking when the combined pool would exceed `u32::MAX` tokens —
+    /// the CSR offsets table is `u32`, so spans past 4 Gi tokens cannot be
+    /// represented.
+    pub fn try_concat(a: &TokenPool, b: &TokenPool) -> Result<TokenPool, PoolOverflow> {
+        let (&a_total, &b_total) = (
+            a.offsets.last().expect("offsets table is never empty"),
+            b.offsets.last().expect("offsets table is never empty"),
+        );
+        if a_total.checked_add(b_total).is_none() {
+            return Err(PoolOverflow {
+                combined_tokens: a_total as u64 + b_total as u64,
+            });
+        }
         let mut tokens = Vec::with_capacity(a.tokens.len() + b.tokens.len());
         tokens.extend_from_slice(&a.tokens);
         tokens.extend_from_slice(&b.tokens);
@@ -199,9 +221,30 @@ impl TokenPool {
         let mut offsets = Vec::with_capacity(a.offsets.len() + b.offsets.len() - 1);
         offsets.extend_from_slice(&a.offsets);
         offsets.extend(b.offsets[1..].iter().map(|&o| o + shift));
-        TokenPool { tokens, offsets }
+        Ok(TokenPool { tokens, offsets })
     }
 }
+
+/// A [`TokenPool::try_concat`] would exceed the `u32` offset space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolOverflow {
+    /// Token count the concatenated pool would need to address.
+    pub combined_tokens: u64,
+}
+
+impl std::fmt::Display for PoolOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "concatenated token pool needs {} tokens, beyond the u32 offset \
+             space ({} max); shard the join instead",
+            self.combined_tokens,
+            u32::MAX
+        )
+    }
+}
+
+impl std::error::Error for PoolOverflow {}
 
 /// A record reference into a [`TokenPool`]: its id plus the span of its
 /// tokens. This is what FS-Join's map input carries instead of an owned
@@ -341,6 +384,53 @@ mod tests {
         assert_eq!(c.tokens_of(3), &[] as &[u32]);
         let spans: Vec<TokenSpan> = (0..4).map(|i| c.span_of(i)).collect();
         assert_eq!(spans[2], TokenSpan { start: 3, len: 3 });
+    }
+
+    #[test]
+    fn concat_with_empty_left_preserves_right_spans() {
+        let mut b = TokenPool::new();
+        let s0 = b.push(&[7, 8]);
+        let s1 = b.push(&[9]);
+        let c = TokenPool::concat(&TokenPool::new(), &b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_tokens(), 3);
+        // No left tokens → right spans survive unshifted.
+        assert_eq!(c.span_of(0), s0);
+        assert_eq!(c.span_of(1), s1);
+        assert_eq!(c.resolve(c.span_of(0)), &[7, 8]);
+        assert_eq!(c.resolve(c.span_of(1)), &[9]);
+    }
+
+    #[test]
+    fn concat_with_empty_right_is_identity() {
+        let mut a = TokenPool::new();
+        let s0 = a.push(&[1, 2, 3]);
+        let c = TokenPool::concat(&a, &TokenPool::new());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.span_of(0), s0);
+        assert_eq!(c.resolve(s0), a.resolve(s0));
+    }
+
+    #[test]
+    fn try_concat_rejects_offset_overflow() {
+        // A pool *claiming* u32::MAX tokens via its offsets table — the
+        // guard reads offsets, so no 16 GiB allocation is needed to
+        // exercise it. (Same-module test: private-field construction.)
+        let huge = TokenPool {
+            tokens: Vec::new(),
+            offsets: vec![0, u32::MAX],
+        };
+        let mut b = TokenPool::new();
+        b.push(&[1]);
+        let err = TokenPool::try_concat(&huge, &b).unwrap_err();
+        assert_eq!(err.combined_tokens, u32::MAX as u64 + 1);
+        assert!(err.to_string().contains("u32 offset space"), "{err}");
+        // Exactly at the boundary is still fine.
+        let max_minus_one = TokenPool {
+            tokens: Vec::new(),
+            offsets: vec![0, u32::MAX - 1],
+        };
+        assert!(TokenPool::try_concat(&max_minus_one, &b).is_ok());
     }
 
     #[test]

@@ -85,6 +85,23 @@ if [[ "$plan_pipe7" != "$plan_seq7" ]]; then
 fi
 echo "  plan modes agree at workers 2 and 7"
 
+echo "== smoke: rsjoin plan equivalence gate (two-input fan-in, workers 2 vs 7, both modes) =="
+# The two-input R×S plan adds multi-upstream fan-in scheduling and
+# broadcast edges to the surface under test: its report (digest,
+# candidates, per-stage shuffle records/bytes) must also be invariant
+# across worker counts and plan modes.
+rs_pipe2="$(cargo run --release -p ssj-bench --bin determinism -- 2 pipelined rsjoin 2>/dev/null)"
+rs_seq2="$(cargo run --release -p ssj-bench --bin determinism -- 2 sequential rsjoin 2>/dev/null)"
+rs_pipe7="$(cargo run --release -p ssj-bench --bin determinism -- 7 pipelined rsjoin 2>/dev/null)"
+for variant in rs_seq2 rs_pipe7; do
+    if [[ "$rs_pipe2" != "${!variant}" ]]; then
+        echo "rsjoin plan equivalence gate FAILED: $variant diverged" >&2
+        diff <(printf '%s\n' "$rs_pipe2") <(printf '%s\n' "${!variant}") >&2 || true
+        exit 1
+    fi
+done
+echo "$rs_pipe2" | sed 's/^/  /'
+
 echo "== smoke: expt table1 --trace-out =="
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
