@@ -2,10 +2,13 @@
 //! partitioning, measure bounds, and the in-memory joins.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ssj_similarity::bitmap::overlap_upper_bound;
 use ssj_similarity::intersect::{
-    intersect_count_adaptive, intersect_count_gallop, intersect_count_hash, intersect_count_merge,
+    intersect_count_adaptive, intersect_count_at_least, intersect_count_chunked,
+    intersect_count_gallop, intersect_count_hash, intersect_count_merge,
 };
 use ssj_similarity::Measure;
+use ssj_text::TokenPool;
 use std::hint::black_box;
 
 fn sorted_set(seed: u64, len: usize, universe: u32) -> Vec<u32> {
@@ -47,6 +50,47 @@ fn bench_intersection(c: &mut Criterion) {
     g.bench_function("adaptive_8x4000", |bench| {
         bench.iter(|| intersect_count_adaptive(black_box(&small), black_box(&large)))
     });
+    g.bench_function("chunked_100x100", |bench| {
+        bench.iter(|| intersect_count_chunked(black_box(&a), black_box(&b)))
+    });
+    let la = sorted_set(5, 4_000, 200_000);
+    let lb = sorted_set(6, 4_000, 200_000);
+    g.bench_function("merge_4000x4000", |bench| {
+        bench.iter(|| intersect_count_merge(black_box(&la), black_box(&lb)))
+    });
+    g.bench_function("chunked_4000x4000", |bench| {
+        bench.iter(|| intersect_count_chunked(black_box(&la), black_box(&lb)))
+    });
+    g.bench_function("adaptive_4000x4000", |bench| {
+        bench.iter(|| intersect_count_adaptive(black_box(&la), black_box(&lb)))
+    });
+    g.finish();
+}
+
+/// Bitmap bound vs exact early-exit verification, across bitmap widths and
+/// thresholds. Each width gets its own pool (the bitmap plane is built at
+/// pool construction); θ sets the `min_overlap` target that both the bound
+/// check and `intersect_count_at_least` race toward.
+fn bench_bitmap_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_bound");
+    g.sample_size(30);
+    let a = sorted_set(11, 120, 30_000);
+    let b = sorted_set(12, 120, 30_000);
+    for bits in [128usize, 256, 512] {
+        let mut pool = TokenPool::with_bitmap_bits(bits).unwrap();
+        pool.push(&a);
+        pool.push(&b);
+        let (wa, wb) = (pool.bitmap_of(0).to_vec(), pool.bitmap_of(1).to_vec());
+        g.bench_function(format!("upper_bound_{bits}b_120x120"), |bench| {
+            bench.iter(|| overlap_upper_bound(black_box(&wa), black_box(&wb), a.len(), b.len()))
+        });
+    }
+    for theta in [0.75, 0.85, 0.95] {
+        let alpha = Measure::Jaccard.min_overlap(theta, a.len(), b.len());
+        g.bench_function(format!("at_least_exact_120x120/{theta}"), |bench| {
+            bench.iter(|| intersect_count_at_least(black_box(&a), black_box(&b), alpha))
+        });
+    }
     g.finish();
 }
 
@@ -113,6 +157,7 @@ fn bench_inmemory_joins(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_intersection,
+    bench_bitmap_bound,
     bench_vertical_partition,
     bench_prefix_lengths,
     bench_inmemory_joins

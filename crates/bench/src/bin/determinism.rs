@@ -4,7 +4,7 @@
 //! per-job shuffle record/byte accounting.
 //!
 //! ```text
-//! cargo run --release -p ssj-bench --bin determinism -- [workers] [mode] [target]
+//! cargo run --release -p ssj-bench --bin determinism -- [workers] [mode] [target] [prune]
 //! ```
 //!
 //! Worker count parallelizes the map/shuffle/reduce phases but must never
@@ -15,9 +15,13 @@
 //! pipelining overlaps stages but must be equally invisible in this
 //! report. `target` is `selfjoin` (default, the fig6-style two-stage
 //! FS-Join) or `rsjoin` (the two-input fan-in R×S plan, exercising
-//! per-split multi-upstream scheduling and broadcast edges). The CI gates
-//! run this binary across worker counts *and* across plan modes and diff
-//! the outputs byte-for-byte.
+//! per-split multi-upstream scheduling and broadcast edges). `prune` is
+//! `prune` (default) or `noprune` and toggles the bitmap prune in front of
+//! exact verification — the prune is lossless, so this report too must be
+//! byte-identical with it on or off (the report deliberately carries no
+//! kernel counters). The CI gates run this binary across worker counts,
+//! across plan modes, *and* across the prune toggle, and diff the outputs
+//! byte-for-byte.
 
 use ssj_bench::datasets::{bench_corpus, rs_corpus, tuned_fsjoin};
 use ssj_bench::Scale;
@@ -56,6 +60,12 @@ fn main() {
         Some(other) => panic!("mode must be `pipelined` or `sequential`, got `{other}`"),
     };
 
+    let prune = match args.get(3).map(String::as_str) {
+        None | Some("prune") => true,
+        Some("noprune") => false,
+        Some(other) => panic!("prune must be `prune` or `noprune`, got `{other}`"),
+    };
+
     let res = match args.get(2).map(String::as_str) {
         None | Some("selfjoin") => {
             let corpus = bench_corpus();
@@ -64,7 +74,8 @@ fn main() {
                 .with_measure(Measure::Jaccard)
                 .with_tasks(8, 12)
                 .with_workers(workers)
-                .with_plan_mode(mode);
+                .with_plan_mode(mode)
+                .with_bitmap_prune(prune);
             fsjoin::run_self_join(&corpus, &cfg)
         }
         Some("rsjoin") => {
@@ -74,7 +85,8 @@ fn main() {
                 .with_measure(Measure::Jaccard)
                 .with_tasks(8, 12)
                 .with_workers(workers)
-                .with_plan_mode(mode);
+                .with_plan_mode(mode)
+                .with_bitmap_prune(prune);
             fsjoin::run_rs_join_two_input(&r, &s, &cfg)
         }
         Some(other) => panic!("target must be `selfjoin` or `rsjoin`, got `{other}`"),

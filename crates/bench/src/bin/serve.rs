@@ -308,6 +308,8 @@ fn run_report(workers: usize, out_path: &str) -> ExitCode {
          Per-query filter cascade at c=1 ({queries} queries): \
          {candidates} candidates, {length} length-pruned postings, \
          {prefix} prefix-pruned records, {position} position-pruned, \
+         {bitmap_checks} bitmap-checked, {bitmap_pruned} bitmap-pruned \
+         (lossless XOR-Hamming bound, DESIGN.md §12), \
          {verified} verified, {hits} hits.\n\n\
          ## Freshness path\n\n\
          Inserting the last {inserted} records ({ins_rate:.0} inserts/s), \
@@ -327,6 +329,8 @@ fn run_report(workers: usize, out_path: &str) -> ExitCode {
         length = stats.length_pruned,
         prefix = stats.prefix_pruned,
         position = stats.position_pruned,
+        bitmap_checks = stats.bitmap_checks,
+        bitmap_pruned = stats.bitmap_pruned,
         verified = stats.verified,
         hits = stats.hits,
         inserted = inserted,

@@ -53,6 +53,12 @@ pub struct FsJoinConfig {
     /// [`PlanMode::Pipelined`]). Affects wall-clock and peak intermediate
     /// memory only — results and logical metrics are mode-invariant.
     pub plan_mode: PlanMode,
+    /// Consult the pool's hashed record bitmaps before every exact
+    /// intersection (default true; DESIGN.md §12). Lossless: pruning on a
+    /// sound upper bound never changes results, candidates, or filter
+    /// verdicts — only `fsjoin.kernel.intersections` and wall time. The
+    /// `determinism` binary's prune-on/off CI gate pins this invariance.
+    pub bitmap_prune: bool,
     /// Seed for the Random pivot strategy.
     pub seed: u64,
 }
@@ -72,6 +78,7 @@ impl Default for FsJoinConfig {
             reduce_tasks: 12,
             workers: ssj_mapreduce::executor::default_workers(),
             plan_mode: PlanMode::default(),
+            bitmap_prune: true,
             seed: 42,
         }
     }
@@ -142,6 +149,14 @@ impl FsJoinConfig {
     /// Set the plan sequencing mode (pipelined vs stage-barriered).
     pub fn with_plan_mode(mut self, mode: PlanMode) -> Self {
         self.plan_mode = mode;
+        self
+    }
+
+    /// Enable or disable the bitmap prune in front of exact verification.
+    /// Off is only useful for equivalence gates and A/B measurements —
+    /// results are identical either way.
+    pub fn with_bitmap_prune(mut self, on: bool) -> Self {
+        self.bitmap_prune = on;
         self
     }
 

@@ -104,16 +104,22 @@ pub struct FilterStats {
     /// Candidate records emitted (pair-fragment contributions).
     pub emitted: u64,
     /// Exact intersections executed by the join kernel (the Index kernel
-    /// accumulates counts while probing, so it reports 0 here).
+    /// accumulates counts while probing, so it reports 0 here). Counts
+    /// only pairs that survived the bitmap check.
     pub intersections: u64,
     /// Tokens fed to those intersections (sum of both inputs per call).
     pub intersect_tokens: u64,
+    /// Pairs whose record bitmaps were consulted before intersecting.
+    pub bitmap_checks: u64,
+    /// Pairs the bitmap upper bound settled without an exact intersection
+    /// (≤ `bitmap_checks`; lossless, see DESIGN.md §12).
+    pub bitmap_pruned: u64,
 }
 
 impl FilterStats {
     /// `(counter name, value)` view of every field, under the canonical
     /// [`crate::keys`] names used in registries and metric dumps.
-    pub fn fields(&self) -> [(&'static str, u64); 9] {
+    pub fn fields(&self) -> [(&'static str, u64); 11] {
         use crate::keys;
         [
             (keys::FILTER_PAIRS_CONSIDERED, self.pairs_considered),
@@ -125,6 +131,8 @@ impl FilterStats {
             (keys::FILTER_EMITTED, self.emitted),
             (keys::KERNEL_INTERSECTIONS, self.intersections),
             (keys::KERNEL_INTERSECT_TOKENS, self.intersect_tokens),
+            (keys::KERNEL_BITMAP_CHECKS, self.bitmap_checks),
+            (keys::KERNEL_BITMAP_PRUNED, self.bitmap_pruned),
         ]
     }
 
@@ -139,6 +147,8 @@ impl FilterStats {
         self.emitted += other.emitted;
         self.intersections += other.intersections;
         self.intersect_tokens += other.intersect_tokens;
+        self.bitmap_checks += other.bitmap_checks;
+        self.bitmap_pruned += other.bitmap_pruned;
     }
 
     /// Count one exact intersection over inputs of the given lengths.
@@ -171,6 +181,8 @@ impl FilterStats {
             emitted: registry.counter_get(keys::FILTER_EMITTED),
             intersections: registry.counter_get(keys::KERNEL_INTERSECTIONS),
             intersect_tokens: registry.counter_get(keys::KERNEL_INTERSECT_TOKENS),
+            bitmap_checks: registry.counter_get(keys::KERNEL_BITMAP_CHECKS),
+            bitmap_pruned: registry.counter_get(keys::KERNEL_BITMAP_PRUNED),
         }
     }
 }
@@ -428,12 +440,16 @@ mod tests {
             emitted: 5,
             intersections: 6,
             intersect_tokens: 60,
+            bitmap_checks: 8,
+            bitmap_pruned: 2,
         };
         a.merge(&a.clone());
         assert_eq!(a.pairs_considered, 20);
         assert_eq!(a.emitted, 10);
         assert_eq!(a.intersections, 12);
         assert_eq!(a.intersect_tokens, 120);
+        assert_eq!(a.bitmap_checks, 16);
+        assert_eq!(a.bitmap_pruned, 4);
     }
 
     #[test]
@@ -448,6 +464,8 @@ mod tests {
             emitted: 23,
             intersections: 29,
             intersect_tokens: 31,
+            bitmap_checks: 37,
+            bitmap_pruned: 41,
         };
         let reg = ssj_observe::MetricsRegistry::new();
         stats.record_to(&reg);

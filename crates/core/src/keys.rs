@@ -26,13 +26,24 @@ pub const FILTER_POLICY_DROPPED: &str = "fsjoin.filter.policy_dropped";
 /// Candidate records emitted by the filter stage (counter).
 pub const FILTER_EMITTED: &str = "fsjoin.filter.emitted";
 
-/// Exact merge/gallop intersections executed by a join kernel (counter).
-/// The Index kernel accumulates overlaps while probing and never runs an
-/// exact intersection, so it legitimately reports 0.
+/// Exact merge/gallop/chunked intersections executed by a join kernel
+/// (counter). Since the bitmap prune layer (DESIGN.md §12) this counts
+/// only the pairs that *survive* the `bitmap_checks` stage — a pair whose
+/// bitmap upper bound settles the filter verdict never reaches an exact
+/// intersection and is tallied under `bitmap_pruned` instead. The Index
+/// kernel accumulates overlaps while probing and never runs an exact
+/// intersection, so it legitimately reports 0.
 pub const KERNEL_INTERSECTIONS: &str = "fsjoin.kernel.intersections";
 /// Tokens fed to those exact intersections — the sum of both input slice
-/// lengths per call (counter; the kernels' work measure).
+/// lengths per call (counter; the kernels' work measure, and the quantity
+/// the bitmap prune exists to shrink).
 pub const KERNEL_INTERSECT_TOKENS: &str = "fsjoin.kernel.intersect_tokens";
+/// Pairs whose record bitmaps were consulted before exact intersection
+/// (counter; the bitmap prune stage's denominator).
+pub const KERNEL_BITMAP_CHECKS: &str = "fsjoin.kernel.bitmap_checks";
+/// Pairs settled by the bitmap upper bound alone — no exact intersection
+/// ran (counter; always ≤ `bitmap_checks`, lossless by construction).
+pub const KERNEL_BITMAP_PRUNED: &str = "fsjoin.kernel.bitmap_pruned";
 
 /// Per-cell pair-comparison load of the fragment join (histogram).
 pub const FRAGMENT_PAIRS: &str = "fsjoin.fragment.pairs";
@@ -64,6 +75,11 @@ pub const SERVE_PROBE_PREFIX_PRUNED: &str = "serve.probe.prefix_pruned";
 /// Candidates killed by the positional upper bound before verification
 /// (counter).
 pub const SERVE_PROBE_POSITION_PRUNED: &str = "serve.probe.position_pruned";
+/// Survivors whose bitmaps were consulted before verification (counter).
+pub const SERVE_PROBE_BITMAP_CHECKS: &str = "serve.probe.bitmap_checks";
+/// Survivors the bitmap upper bound rejected without an exact
+/// intersection (counter; lossless — the bound is ≥ the true overlap).
+pub const SERVE_PROBE_BITMAP_PRUNED: &str = "serve.probe.bitmap_pruned";
 /// Candidates that reached exact verification (counter).
 pub const SERVE_PROBE_VERIFIED: &str = "serve.probe.verified";
 /// Verified candidates at or above the probe threshold (counter).

@@ -235,15 +235,21 @@ impl StreamingReducer for KeepFirst {
 
 /// Cached verification: exact similarity straight from the shared token
 /// pool (the arena *is* the replicated record cache — no second copy of
-/// the corpus is materialized for this job). Intersection-kernel work is
-/// counted locally and flushed to the run registry at task cleanup under
-/// the canonical [`crate::keys`] kernel names.
+/// the corpus is materialized for this job). With `bitmap` on, the pool's
+/// record bitmaps are consulted first: a pair whose overlap upper bound
+/// cannot reach the required α provably fails `measure.passes` and skips
+/// the exact intersection — lossless, identical emissions either way.
+/// Intersection-kernel work is counted locally and flushed to the run
+/// registry at task cleanup under the canonical [`crate::keys`] names.
 struct CachedVerify {
     pool: Arc<TokenPool>,
     measure: Measure,
     theta: f64,
+    bitmap: bool,
     intersections: u64,
     intersect_tokens: u64,
+    bitmap_checks: u64,
+    bitmap_pruned: u64,
     registry: Arc<MetricsRegistry>,
 }
 
@@ -256,6 +262,27 @@ impl Mapper for CachedVerify {
     fn map(&mut self, (a, b): (u32, u32), _lens: (u32, u32), out: &mut Emitter<(u32, u32), f64>) {
         let s = self.pool.tokens_of(a);
         let t = self.pool.tokens_of(b);
+        if self.bitmap {
+            let alpha = self.measure.min_overlap(self.theta, s.len(), t.len());
+            // Saturation guard: the bound can never fall below
+            // `(|s| + |t| - width) / 2`; skip the bitmap reads when even
+            // that floor reaches α (long records saturate the bitmap).
+            let floor_ub = (s.len() + t.len()).saturating_sub(self.pool.bitmap_bits()) / 2;
+            if floor_ub < alpha {
+                self.bitmap_checks += 1;
+                let ub = ssj_similarity::bitmap::overlap_upper_bound(
+                    self.pool.bitmap_of(a),
+                    self.pool.bitmap_of(b),
+                    s.len(),
+                    t.len(),
+                );
+                if ub < alpha {
+                    // measure.passes(c, …) with c ≤ ub < α must be false.
+                    self.bitmap_pruned += 1;
+                    return;
+                }
+            }
+        }
         self.intersections += 1;
         self.intersect_tokens += (s.len() + t.len()) as u64;
         let c = intersect_count_adaptive(s, t);
@@ -269,8 +296,14 @@ impl Mapper for CachedVerify {
             .counter_add(crate::keys::KERNEL_INTERSECTIONS, self.intersections);
         self.registry
             .counter_add(crate::keys::KERNEL_INTERSECT_TOKENS, self.intersect_tokens);
+        self.registry
+            .counter_add(crate::keys::KERNEL_BITMAP_CHECKS, self.bitmap_checks);
+        self.registry
+            .counter_add(crate::keys::KERNEL_BITMAP_PRUNED, self.bitmap_pruned);
         self.intersections = 0;
         self.intersect_tokens = 0;
+        self.bitmap_checks = 0;
+        self.bitmap_pruned = 0;
     }
 }
 
@@ -443,12 +476,16 @@ fn run_pf(
         {
             let registry = Arc::clone(&run_registry);
             let (measure, theta) = (cfg.measure, cfg.theta);
+            let bitmap = cfg.bitmap_prune;
             move |_, pool: &Arc<TokenPool>| CachedVerify {
                 pool: Arc::clone(pool),
                 measure,
                 theta,
+                bitmap,
                 intersections: 0,
                 intersect_tokens: 0,
+                bitmap_checks: 0,
+                bitmap_pruned: 0,
                 registry: Arc::clone(&registry),
             }
         },

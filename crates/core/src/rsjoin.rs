@@ -119,6 +119,7 @@ struct CrossVerify {
     measure: Measure,
     theta: f64,
     num_r: u32,
+    bitmap: bool,
     r_buf: Vec<PooledRecord>,
     s_buf: Vec<PooledRecord>,
     local_stats: FilterStats,
@@ -152,6 +153,32 @@ impl StreamingReducer for CrossVerify {
                 if !crate::filters::strl_pass(self.measure, self.theta, r.span.len, s.span.len) {
                     self.local_stats.strl_pruned += 1;
                     continue;
+                }
+                if self.bitmap {
+                    // Record ids index the concat pool (id contract above),
+                    // so each side's bitmap is a direct lookup. A bound
+                    // below α cannot pass verification — lossless skip.
+                    // The saturation guard skips the bitmap reads when the
+                    // bound's floor `(|r| + |s| - width) / 2` already
+                    // reaches α (long records saturate the bitmap).
+                    let alpha = self
+                        .measure
+                        .min_overlap(self.theta, r.span.len(), s.span.len());
+                    let floor_ub =
+                        (r.span.len() + s.span.len()).saturating_sub(self.pool.bitmap_bits()) / 2;
+                    if floor_ub < alpha {
+                        self.local_stats.bitmap_checks += 1;
+                        let ub = ssj_similarity::bitmap::overlap_upper_bound(
+                            self.pool.bitmap_of(r.id),
+                            self.pool.bitmap_of(s.id),
+                            r.span.len(),
+                            s.span.len(),
+                        );
+                        if ub < alpha {
+                            self.local_stats.bitmap_pruned += 1;
+                            continue;
+                        }
+                    }
                 }
                 let (ra, sb) = (self.pool.resolve(r.span), self.pool.resolve(s.span));
                 let overlap = intersect_count_adaptive(ra, sb);
@@ -296,11 +323,13 @@ pub fn run_rs_join_two_input(r: &Collection, s: &Collection, cfg: &FsJoinConfig)
         |_, _: &Arc<TokenPool>| JoinIdentity,
         {
             let registry = Arc::clone(&run_registry);
+            let bitmap = cfg.bitmap_prune;
             move |_, pool: &Arc<TokenPool>| CrossVerify {
                 pool: Arc::clone(pool),
                 measure,
                 theta,
                 num_r: num_r as u32,
+                bitmap,
                 r_buf: Vec::new(),
                 s_buf: Vec::new(),
                 local_stats: FilterStats::default(),

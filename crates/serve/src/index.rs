@@ -26,7 +26,11 @@
 //! 3. **position** — the accumulated overlap plus the positional upper
 //!    bound (`remaining` tokens past this match on either side) must reach
 //!    `min_overlap(θ, |x|, |y|)`, else the candidate is tombstoned.
-//! 4. **verify** — survivors get an exact early-exit merge intersection
+//! 4. **bitmap** — survivors' pooled token bitmaps bound the overlap from
+//!    above ([`overlap_upper_bound`]); candidates whose bound falls short
+//!    of `min_overlap` skip exact verification (lossless — see DESIGN.md
+//!    §12, toggled by [`ServeConfig::bitmap_prune`](crate::config::ServeConfig)).
+//! 5. **verify** — survivors get an exact early-exit merge intersection
 //!    ([`intersect_count_at_least`]) and the measure's `passes` predicate.
 //!
 //! The index prefix is sized for `theta_min` while the probe prefix is
@@ -52,6 +56,7 @@ use fsjoin::keys;
 use ssj_common::FxHashMap;
 use ssj_mapreduce::{GroupedRuns, PlanOutcome, StageHandle};
 use ssj_observe::{span, MetricsRegistry};
+use ssj_similarity::bitmap::overlap_upper_bound;
 use ssj_similarity::intersect::intersect_count_at_least;
 use ssj_similarity::Measure;
 use ssj_text::{MalformedRecord, RecordId, TokenId, TokenPool};
@@ -238,6 +243,18 @@ impl ServeIndex {
         }
     }
 
+    /// Bitmap of any visible record (main arena or delta pool). Both
+    /// pools use the default width, so lanes line up.
+    #[inline]
+    fn bitmap_of(&self, rec: RecordId) -> &[u64] {
+        let base = self.pool.len() as RecordId;
+        if rec < base {
+            self.pool.bitmap_of(rec)
+        } else {
+            self.delta.pool().bitmap_of(rec - base)
+        }
+    }
+
     /// Answer a θ-threshold probe: all visible records `y` with
     /// `sim(x, y) ≥ θ`, as `(record, score)` ascending by record id.
     ///
@@ -341,10 +358,28 @@ impl ServeIndex {
             .map(|(rec, _)| rec)
             .collect();
         survivors.sort_unstable();
+        let mut qbits = Vec::new();
+        if self.cfg.bitmap_prune {
+            self.pool.fill_bitmap(tokens, &mut qbits);
+        }
         let mut out = Vec::new();
         for rec in survivors {
             let ytokens = self.tokens_of(rec);
             let alpha = m.min_overlap(theta, qlen, ytokens.len());
+            if self.cfg.bitmap_prune {
+                // Saturation guard: skip the bitmap reads when the bound's
+                // floor `(|x| + |y| - width) / 2` already reaches α (long
+                // records saturate the bitmap, so it cannot prune).
+                let floor_ub = (qlen + ytokens.len()).saturating_sub(self.pool.bitmap_bits()) / 2;
+                if floor_ub < alpha {
+                    stats.bitmap_checks += 1;
+                    let ub = overlap_upper_bound(&qbits, self.bitmap_of(rec), qlen, ytokens.len());
+                    if ub < alpha {
+                        stats.bitmap_pruned += 1;
+                        continue;
+                    }
+                }
+            }
             stats.verified += 1;
             if let Some(overlap) = intersect_count_at_least(tokens, ytokens, alpha) {
                 if m.passes(overlap, qlen, ytokens.len(), theta) {

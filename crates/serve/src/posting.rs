@@ -180,7 +180,7 @@ mod tests {
             pos: 0,
             len: 2,
         });
-        let entries = vec![(10u32, a), (11u32, b)];
+        let entries = [(10u32, a), (11u32, b)];
         let rows: Vec<(u32, u32)> = expand(entries.iter()).map(|(t, p)| (t, p.rec)).collect();
         assert_eq!(rows, vec![(10, 1), (10, 4), (11, 2)]);
     }

@@ -18,6 +18,11 @@ pub struct ProbeStats {
     pub prefix_pruned: u64,
     /// Candidates killed by the positional upper bound.
     pub position_pruned: u64,
+    /// Position-filter survivors whose bitmaps were consulted.
+    pub bitmap_checks: u64,
+    /// Survivors the bitmap upper bound rejected before verification
+    /// (lossless — the bound is ≥ the true overlap).
+    pub bitmap_pruned: u64,
     /// Candidates that reached exact verification.
     pub verified: u64,
     /// Verified candidates at or above the threshold.
@@ -31,18 +36,22 @@ impl ProbeStats {
         self.length_pruned += other.length_pruned;
         self.prefix_pruned += other.prefix_pruned;
         self.position_pruned += other.position_pruned;
+        self.bitmap_checks += other.bitmap_checks;
+        self.bitmap_pruned += other.bitmap_pruned;
         self.verified += other.verified;
         self.hits += other.hits;
     }
 
     /// Canonical `serve.probe.*` key/value pairs (key order is the report
     /// order used by `bench_probe` and `results/serve.md`).
-    pub fn fields(&self) -> [(&'static str, u64); 6] {
+    pub fn fields(&self) -> [(&'static str, u64); 8] {
         [
             (keys::SERVE_PROBE_CANDIDATES, self.candidates),
             (keys::SERVE_PROBE_LENGTH_PRUNED, self.length_pruned),
             (keys::SERVE_PROBE_PREFIX_PRUNED, self.prefix_pruned),
             (keys::SERVE_PROBE_POSITION_PRUNED, self.position_pruned),
+            (keys::SERVE_PROBE_BITMAP_CHECKS, self.bitmap_checks),
+            (keys::SERVE_PROBE_BITMAP_PRUNED, self.bitmap_pruned),
             (keys::SERVE_PROBE_VERIFIED, self.verified),
             (keys::SERVE_PROBE_HITS, self.hits),
         ]
@@ -67,6 +76,8 @@ mod tests {
             length_pruned: 2,
             prefix_pruned: 3,
             position_pruned: 4,
+            bitmap_checks: 7,
+            bitmap_pruned: 8,
             verified: 5,
             hits: 6,
         };

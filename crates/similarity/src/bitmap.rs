@@ -1,0 +1,133 @@
+//! Bitmap prune bounds over the `TokenPool`'s hashed-bitmap plane.
+//!
+//! Every verify hot path in the workspace bottoms out in an exact sorted
+//! intersection; these kernels compute a *sound upper bound* on that
+//! intersection from two fixed-width hashed token bitmaps first, so the
+//! caller can skip the exact merge whenever the bound already falls below
+//! the required overlap (PPJoin's α). Pruning on an upper bound is
+//! lossless by construction: every surviving pair still runs the exact
+//! kernel, so results, digests, and goldens are bit-identical with the
+//! prune on or off.
+//!
+//! ## Why XOR, not AND
+//!
+//! The obvious bound — `popcount(a & b)` — is **not** an upper bound on
+//! `|A ∩ B|`: hashing is lossy, so several shared tokens can collide into
+//! one bit and the AND-popcount undercounts (two identical 50-token sets
+//! in 128 bits share ~41 bits, not 50). The sound form, per the Bitmap
+//! Filter paper (arXiv 1711.07295), goes through the symmetric
+//! difference: a bit set in `a ^ b` is set in exactly one of the two
+//! maps, so at least one token hashes there from exactly one of the two
+//! sets — a token of `A Δ B` — and distinct bits witness distinct tokens
+//! (each token sets exactly one bit). Hence
+//!
+//! ```text
+//! popcount(a ^ b) ≤ |A Δ B|
+//! |A ∩ B| = (|A| + |B| − |A Δ B|) / 2 ≤ (|A| + |B| − popcount(a ^ b)) / 2
+//! ```
+//!
+//! The loops below are plain `u64` lane walks (no `unsafe`, fixed small
+//! trip counts known at the call site) that the autovectorizer turns into
+//! wide XOR + popcount sequences.
+
+/// Sound upper bound on `|A ∩ B|` from the two records' hashed bitmaps
+/// and exact lengths. Both slices must come from pools (or
+/// `fill_bitmap`) of the same width; unequal widths panic in debug via
+/// the `zip` length mismatch being silently truncating — callers uphold
+/// equal widths (the pool fixes width at construction).
+///
+/// Guarantee: `overlap_upper_bound(..) >= intersect_count(A, B)` for any
+/// token→bit hash, any width. `0` means the records provably share no
+/// token.
+#[inline]
+pub fn overlap_upper_bound(a: &[u64], b: &[u64], len_a: usize, len_b: usize) -> usize {
+    let hamming = symmetric_difference_lower_bound(a, b);
+    // len_a + len_b ≥ |AΔB| ≥ hamming, so the subtraction cannot wrap.
+    (len_a + len_b - hamming) / 2
+}
+
+/// Sound lower bound on `|A Δ B|`: the Hamming distance of the two
+/// bitmaps (see module docs for why each differing bit witnesses a
+/// distinct symmetric-difference token).
+#[inline]
+pub fn symmetric_difference_lower_bound(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len(), "bitmap widths must match");
+    let mut ones = 0u32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        ones += (x ^ y).count_ones();
+    }
+    ones as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersect::intersect_count_merge;
+    use proptest::prelude::*;
+    use ssj_text::TokenPool;
+
+    fn sorted_set(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+        proptest::collection::vec(0u32..10_000, 0..max_len).prop_map(|mut v| {
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+    }
+
+    #[test]
+    fn identical_sets_bound_is_exact_length() {
+        // The collision regime that breaks AND-popcount: 50 tokens in 128
+        // bits. XOR of identical bitmaps is zero, so the bound is the
+        // exact overlap — never below it.
+        let tokens: Vec<u32> = (0..50).map(|i| i * 37).collect();
+        let mut pool = TokenPool::with_bitmap_bits(128).unwrap();
+        pool.push(&tokens);
+        let ub = overlap_upper_bound(pool.bitmap_of(0), pool.bitmap_of(0), 50, 50);
+        assert_eq!(ub, 50);
+        assert_eq!(
+            symmetric_difference_lower_bound(pool.bitmap_of(0), pool.bitmap_of(0)),
+            0
+        );
+    }
+
+    #[test]
+    fn disjoint_small_sets_prune_to_zero_at_wide_width() {
+        // Two disjoint 3-token sets in 512 bits almost surely hash to 6
+        // distinct bits; the bound then equals the true overlap, 0.
+        let mut pool = TokenPool::with_bitmap_bits(512).unwrap();
+        pool.push(&[1, 2, 3]);
+        pool.push(&[1000, 2000, 3000]);
+        let ub = overlap_upper_bound(pool.bitmap_of(0), pool.bitmap_of(1), 3, 3);
+        assert_eq!(ub, 0, "6 distinct bits → (3 + 3 − 6) / 2 = 0");
+    }
+
+    proptest! {
+        /// The hard invariant the whole prune layer rests on: the bitmap
+        /// bound never falls below the exact overlap, at any width, on
+        /// the production pool hash.
+        #[test]
+        fn upper_bound_dominates_exact_overlap(
+            a in sorted_set(200),
+            b in sorted_set(200),
+            width_words in 1usize..8,
+        ) {
+            let mut pool = TokenPool::with_bitmap_bits(width_words * 64).unwrap();
+            pool.push(&a);
+            pool.push(&b);
+            let exact = intersect_count_merge(&a, &b);
+            let ub = overlap_upper_bound(
+                pool.bitmap_of(0), pool.bitmap_of(1), a.len(), b.len(),
+            );
+            prop_assert!(
+                ub >= exact,
+                "bound {ub} < exact {exact} (|a|={}, |b|={}, width={})",
+                a.len(), b.len(), width_words * 64,
+            );
+            // And the Hamming form never overestimates the symmetric
+            // difference.
+            let sym = a.len() + b.len() - 2 * exact;
+            let lb = symmetric_difference_lower_bound(pool.bitmap_of(0), pool.bitmap_of(1));
+            prop_assert!(lb <= sym, "hamming {lb} > |AΔB| {sym}");
+        }
+    }
+}

@@ -7,7 +7,10 @@
 //!   minimum-overlap bounds (pairwise and partner-free), length windows,
 //!   and probe/index prefix lengths;
 //! * [`intersect`] — sorted-set intersection kernels (merge, galloping,
-//!   hash) and symmetric-difference counting;
+//!   hash, chunked branch-free) and symmetric-difference counting;
+//! * [`bitmap`] — sound overlap upper bounds over the `TokenPool`'s
+//!   hashed-bitmap plane, the lossless prune in front of every exact
+//!   intersection (DESIGN.md §12);
 //! * [`index`] — a positional inverted index over record prefixes;
 //! * [`naive`] — the brute-force oracle every other algorithm is tested
 //!   against;
@@ -16,6 +19,7 @@
 //!   reducers (paper §II-C).
 
 pub mod allpairs;
+pub mod bitmap;
 pub mod index;
 pub mod intersect;
 pub mod measure;

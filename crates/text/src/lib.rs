@@ -33,7 +33,9 @@ pub use corpus::RawCorpus;
 pub use encode::{encode, encode_mr, encode_with_kind};
 pub use gen::{CorpusProfile, GeneratorConfig};
 pub use ordering::{GlobalOrdering, OrderingKind};
-pub use pool::{PoolOverflow, PooledRecord, TokenPool, TokenSpan};
+pub use pool::{
+    BitmapWidthError, PoolOverflow, PooledRecord, TokenPool, TokenSpan, DEFAULT_BITMAP_BITS,
+};
 pub use record::{
     Collection, CorpusStats, MalformedRecord, Record, RecordId, RecordView, TokenId, TokenSet,
 };

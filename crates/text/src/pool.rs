@@ -66,13 +66,33 @@ impl TokenSpan {
     }
 }
 
+/// Default width of the per-record hashed token bitmaps, in bits. Two
+/// cache-line-friendly `u64` words per record: wide enough that the
+/// XOR-popcount bound prunes most non-candidates at θ ≥ 0.75 on
+/// wiki-like record lengths, narrow enough to stay a rounding error
+/// next to the token arena itself.
+pub const DEFAULT_BITMAP_BITS: usize = 128;
+
 /// Arena-backed columnar token storage (CSR layout): record `i`'s tokens
 /// are `tokens[offsets[i]..offsets[i + 1]]`.
+///
+/// Alongside the CSR planes the pool maintains a third columnar plane: a
+/// fixed-width hashed token bitmap per record (`bitmap_words` × `u64`
+/// words each, flat in `bitmaps`), built incrementally as records are
+/// pushed and carried through [`TokenPool::concat`] /
+/// [`TokenPool::append`] — an `Arc`-shipped pool brings its bitmaps to
+/// every task for free. The bitmaps feed the lossless prune bound in
+/// `ssj_similarity::bitmap` (see DESIGN.md §12).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TokenPool {
     tokens: Vec<TokenId>,
     /// `offsets.len() == record count + 1`; `offsets[0] == 0`.
     offsets: Vec<u32>,
+    /// Flat bitmap plane: record `i`'s bitmap is
+    /// `bitmaps[i * bitmap_words..(i + 1) * bitmap_words]`.
+    bitmaps: Vec<u64>,
+    /// `u64` words per record bitmap (width in bits / 64, always ≥ 1).
+    bitmap_words: u32,
 }
 
 impl Default for TokenPool {
@@ -81,22 +101,58 @@ impl Default for TokenPool {
     }
 }
 
+/// Map a token to its bit index within a `bits`-wide bitmap. SplitMix-style
+/// finalizer: deterministic, stateless, and identical everywhere a bitmap
+/// is built (pool push, delta append, serve query side) — the prune bound
+/// is only sound when both sides hash the same way.
+#[inline]
+fn token_bit(token: TokenId, bits: u32) -> u32 {
+    let h = (token as u64 ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    ((h >> 32) as u32) % bits
+}
+
+/// Set the hashed bit of every token into `words` (not cleared first).
+#[inline]
+fn set_bits(tokens: &[TokenId], words: &mut [u64]) {
+    let bits = (words.len() * 64) as u32;
+    for &t in tokens {
+        let bit = token_bit(t, bits);
+        words[(bit / 64) as usize] |= 1u64 << (bit % 64);
+    }
+}
+
 impl TokenPool {
-    /// An empty pool.
+    /// An empty pool at the default bitmap width.
     pub fn new() -> Self {
-        TokenPool {
+        Self::with_bitmap_bits(DEFAULT_BITMAP_BITS).expect("default width is valid")
+    }
+
+    /// An empty pool whose per-record bitmaps are `bits` wide. The width
+    /// must be a positive multiple of 64 (whole `u64` lanes — the popcount
+    /// kernels have no tail-masking path); anything else is rejected with
+    /// a typed [`BitmapWidthError`].
+    pub fn with_bitmap_bits(bits: usize) -> Result<Self, BitmapWidthError> {
+        if bits == 0 || !bits.is_multiple_of(64) {
+            return Err(BitmapWidthError { bits });
+        }
+        Ok(TokenPool {
             tokens: Vec::new(),
             offsets: vec![0],
-        }
+            bitmaps: Vec::new(),
+            bitmap_words: (bits / 64) as u32,
+        })
     }
 
     /// An empty pool with room for `records` records / `tokens` tokens.
     pub fn with_capacity(records: usize, tokens: usize) -> Self {
         let mut offsets = Vec::with_capacity(records + 1);
         offsets.push(0);
+        let bitmap_words = (DEFAULT_BITMAP_BITS / 64) as u32;
         TokenPool {
             tokens: Vec::with_capacity(tokens),
             offsets,
+            bitmaps: Vec::with_capacity(records * bitmap_words as usize),
+            bitmap_words,
         }
     }
 
@@ -106,6 +162,10 @@ impl TokenPool {
         let start = self.tokens.len() as u32;
         self.tokens.extend_from_slice(tokens);
         self.offsets.push(self.tokens.len() as u32);
+        let words = self.bitmap_words as usize;
+        let bm_start = self.bitmaps.len();
+        self.bitmaps.resize(bm_start + words, 0);
+        set_bits(tokens, &mut self.bitmaps[bm_start..]);
         TokenSpan {
             start,
             len: tokens.len() as u32,
@@ -175,6 +235,32 @@ impl TokenPool {
         &self.tokens[span.start as usize..(span.start + span.len) as usize]
     }
 
+    /// Width of the per-record bitmaps, in bits.
+    #[inline]
+    pub fn bitmap_bits(&self) -> usize {
+        self.bitmap_words as usize * 64
+    }
+
+    /// Hashed token bitmap of record `rid` (`bitmap_bits() / 64` words).
+    #[inline]
+    pub fn bitmap_of(&self, rid: RecordId) -> &[u64] {
+        let words = self.bitmap_words as usize;
+        let i = rid as usize * words;
+        &self.bitmaps[i..i + words]
+    }
+
+    /// Build the bitmap of an arbitrary token set at this pool's width —
+    /// the query-side counterpart of [`TokenPool::bitmap_of`], using the
+    /// identical token→bit hash (the prune bound is sound only when both
+    /// sides agree on the mapping). `out` is cleared and resized; reusing
+    /// one buffer across probes keeps the query path allocation-free
+    /// after the first call.
+    pub fn fill_bitmap(&self, tokens: &[TokenId], out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.bitmap_words as usize, 0);
+        set_bits(tokens, out);
+    }
+
     /// Iterate over all records' token slices in id order.
     pub fn iter(&self) -> impl Iterator<Item = &[TokenId]> {
         (0..self.len()).map(move |i| self.tokens_of(i as RecordId))
@@ -195,7 +281,8 @@ impl TokenPool {
     ///
     /// # Panics
     /// Panics when the combined token count overflows the `u32` offset
-    /// space (see [`TokenPool::try_concat`] for the recoverable variant).
+    /// space (see [`TokenPool::try_concat`] for the recoverable variant),
+    /// or when the two pools disagree on bitmap width.
     pub fn concat(a: &TokenPool, b: &TokenPool) -> TokenPool {
         Self::try_concat(a, b).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -204,7 +291,17 @@ impl TokenPool {
     /// panicking when the combined pool would exceed `u32::MAX` tokens —
     /// the CSR offsets table is `u32`, so spans past 4 Gi tokens cannot be
     /// represented.
+    ///
+    /// # Panics
+    /// Panics when the pools' bitmap widths differ: their planes cannot be
+    /// concatenated and record bitmaps would no longer be comparable.
+    /// Width is fixed at construction ([`TokenPool::with_bitmap_bits`]),
+    /// so a mismatch is a construction bug, not a data condition.
     pub fn try_concat(a: &TokenPool, b: &TokenPool) -> Result<TokenPool, PoolOverflow> {
+        assert_eq!(
+            a.bitmap_words, b.bitmap_words,
+            "cannot concat token pools with different bitmap widths"
+        );
         let (&a_total, &b_total) = (
             a.offsets.last().expect("offsets table is never empty"),
             b.offsets.last().expect("offsets table is never empty"),
@@ -221,9 +318,38 @@ impl TokenPool {
         let mut offsets = Vec::with_capacity(a.offsets.len() + b.offsets.len() - 1);
         offsets.extend_from_slice(&a.offsets);
         offsets.extend(b.offsets[1..].iter().map(|&o| o + shift));
-        Ok(TokenPool { tokens, offsets })
+        let mut bitmaps = Vec::with_capacity(a.bitmaps.len() + b.bitmaps.len());
+        bitmaps.extend_from_slice(&a.bitmaps);
+        bitmaps.extend_from_slice(&b.bitmaps);
+        Ok(TokenPool {
+            tokens,
+            offsets,
+            bitmaps,
+            bitmap_words: a.bitmap_words,
+        })
     }
 }
+
+/// A [`TokenPool::with_bitmap_bits`] width that the popcount kernels
+/// cannot run on: the bitmap plane is whole `u64` lanes, so the width
+/// must be a positive multiple of 64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitmapWidthError {
+    /// The rejected width, in bits.
+    pub bits: usize,
+}
+
+impl std::fmt::Display for BitmapWidthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bitmap width {} is not a positive multiple of 64 bits",
+            self.bits
+        )
+    }
+}
+
+impl std::error::Error for BitmapWidthError {}
 
 /// A [`TokenPool::try_concat`] would exceed the `u32` offset space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -419,6 +545,8 @@ mod tests {
         let huge = TokenPool {
             tokens: Vec::new(),
             offsets: vec![0, u32::MAX],
+            bitmaps: vec![0; DEFAULT_BITMAP_BITS / 64],
+            bitmap_words: (DEFAULT_BITMAP_BITS / 64) as u32,
         };
         let mut b = TokenPool::new();
         b.push(&[1]);
@@ -429,8 +557,71 @@ mod tests {
         let max_minus_one = TokenPool {
             tokens: Vec::new(),
             offsets: vec![0, u32::MAX - 1],
+            bitmaps: vec![0; DEFAULT_BITMAP_BITS / 64],
+            bitmap_words: (DEFAULT_BITMAP_BITS / 64) as u32,
         };
         assert!(TokenPool::try_concat(&max_minus_one, &b).is_ok());
+    }
+
+    #[test]
+    fn bitmap_width_validated_at_construction() {
+        for bad in [0usize, 1, 63, 65, 100, 127] {
+            let err = TokenPool::with_bitmap_bits(bad).unwrap_err();
+            assert_eq!(err.bits, bad);
+            assert!(err.to_string().contains("multiple of 64"), "{err}");
+        }
+        for good in [64usize, 128, 256, 512] {
+            assert_eq!(
+                TokenPool::with_bitmap_bits(good).unwrap().bitmap_bits(),
+                good
+            );
+        }
+        assert_eq!(TokenPool::new().bitmap_bits(), DEFAULT_BITMAP_BITS);
+    }
+
+    #[test]
+    fn bitmaps_track_pushes_and_concat() {
+        let mut a = TokenPool::with_bitmap_bits(64).unwrap();
+        a.push(&[1, 2, 3]);
+        a.push(&[]);
+        let mut b = TokenPool::with_bitmap_bits(64).unwrap();
+        b.push(&[1, 2, 3]);
+        // Same tokens → same bitmap; empty record → all-zero bitmap.
+        assert_eq!(a.bitmap_of(0), b.bitmap_of(0));
+        assert_eq!(a.bitmap_of(1), &[0u64]);
+        assert_eq!(
+            a.bitmap_of(0).iter().map(|w| w.count_ones()).sum::<u32>(),
+            3,
+            "3 tokens in 64 bits should land on distinct bits for this input"
+        );
+        // Concat carries both planes; ids shift, bitmaps follow.
+        let c = TokenPool::concat(&a, &b);
+        assert_eq!(c.bitmap_of(0), a.bitmap_of(0));
+        assert_eq!(c.bitmap_of(1), a.bitmap_of(1));
+        assert_eq!(c.bitmap_of(2), b.bitmap_of(0));
+        // append (the validated path) builds bitmaps too.
+        let mut d = TokenPool::with_bitmap_bits(64).unwrap();
+        d.append(&[1, 2, 3]).unwrap();
+        assert_eq!(d.bitmap_of(0), a.bitmap_of(0));
+    }
+
+    #[test]
+    fn fill_bitmap_matches_pool_plane() {
+        let mut pool = TokenPool::new();
+        pool.push(&[4, 17, 230, 9000]);
+        let mut buf = vec![u64::MAX; 1]; // stale garbage must be cleared
+        pool.fill_bitmap(pool.tokens_of(0), &mut buf);
+        assert_eq!(buf.as_slice(), pool.bitmap_of(0));
+        pool.fill_bitmap(&[], &mut buf);
+        assert_eq!(buf, vec![0u64; pool.bitmap_bits() / 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bitmap widths")]
+    fn concat_rejects_width_mismatch() {
+        let a = TokenPool::with_bitmap_bits(64).unwrap();
+        let b = TokenPool::with_bitmap_bits(128).unwrap();
+        let _ = TokenPool::concat(&a, &b);
     }
 
     #[test]

@@ -102,6 +102,28 @@ for variant in rs_seq2 rs_pipe7; do
 done
 echo "$rs_pipe2" | sed 's/^/  /'
 
+echo "== smoke: kernel equivalence gate (bitmap prune on vs off) =="
+# The bitmap prune layer consults hashed token bitmaps before exact
+# verification; the XOR-Hamming bound is a true upper bound on overlap,
+# so the prune is lossless by construction. Enforce it end to end: the
+# determinism report (digest, candidates, filter counters, per-job
+# shuffle accounting) must be byte-identical with the prune disabled,
+# on both the self-join and the two-input R×S plan. det_a / rs_pipe2
+# above are the prune-on reports; reuse them.
+noprune_self="$(cargo run --release -p ssj-bench --bin determinism -- 2 pipelined selfjoin noprune 2>/dev/null)"
+if [[ "$det_a" != "$noprune_self" ]]; then
+    echo "kernel equivalence gate FAILED: bitmap prune changed the selfjoin report" >&2
+    diff <(printf '%s\n' "$det_a") <(printf '%s\n' "$noprune_self") >&2 || true
+    exit 1
+fi
+noprune_rs="$(cargo run --release -p ssj-bench --bin determinism -- 2 pipelined rsjoin noprune 2>/dev/null)"
+if [[ "$rs_pipe2" != "$noprune_rs" ]]; then
+    echo "kernel equivalence gate FAILED: bitmap prune changed the rsjoin report" >&2
+    diff <(printf '%s\n' "$rs_pipe2") <(printf '%s\n' "$noprune_rs") >&2 || true
+    exit 1
+fi
+echo "  prune on/off reports byte-identical (selfjoin + rsjoin)"
+
 echo "== smoke: expt table1 --trace-out =="
 trace_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir"' EXIT
