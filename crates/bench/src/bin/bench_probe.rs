@@ -195,12 +195,14 @@ fn measure(
 
 /// The two-input R×S probe on the asymmetric |R| ≪ |S| WikiLike pair
 /// (see [`ssj_bench::datasets::rs_corpus`]): time
-/// [`fsjoin::run_rs_join_two_input`] and record its logical footprint
-/// *next to* the RIDPairsPPJoin-over-concat way of answering the same
-/// query — shuffle records/bytes and candidate counts for both, plus the
-/// result-pair count they must agree on. A plan-layer regression that
-/// inflates the fan-in join's shuffle (or silently changes either side's
-/// candidate generation) trips the zero-tolerance counter gate.
+/// [`fsjoin::run_rs_join_two_input`] on its default co-group join path
+/// (DESIGN.md §13) and record its logical footprint *next to* both the
+/// legacy rekey fan-in path and the RIDPairsPPJoin-over-concat way of
+/// answering the same query — shuffle records/bytes and candidate counts
+/// for all three, plus the result-pair counts they must agree on and the
+/// join stage's bytes-saved counter. A plan-layer regression that brings
+/// the second shuffle back (or silently changes either side's candidate
+/// generation) trips the zero-tolerance counter gate.
 fn measure_rsjoin(unit_secs: f64, handicap: f64) -> BenchReport {
     use ssj_baselines::ridpairs::ridpairs_ppjoin;
     use ssj_similarity::Measure;
@@ -217,6 +219,16 @@ fn measure_rsjoin(unit_secs: f64, handicap: f64) -> BenchReport {
         last = Some(res);
     }
     let res = last.expect("five runs");
+
+    // The path the co-group stage replaced: identity-rekey fan-in with a
+    // second shuffle (untimed — kept for the A/B shuffle accounting and
+    // the exactness cross-check).
+    let rekey = fsjoin::run_rs_join_two_input(&r, &s, &cfg.clone().with_rs_cogroup(false));
+    assert_eq!(
+        res.pairs.len(),
+        rekey.pairs.len(),
+        "co-group and rekey join paths disagree on the result"
+    );
 
     // The incumbent: self-join the concatenated collection with
     // RIDPairsPPJoin, then keep only cross-side pairs (untimed — its wall
@@ -260,6 +272,23 @@ fn measure_rsjoin(unit_secs: f64, handicap: f64) -> BenchReport {
         (
             "rsjoin.shuffle.bytes".into(),
             res.chain.total_shuffle_bytes() as f64,
+        ),
+        (
+            "rsjoin.join.shuffle_bytes_saved".into(),
+            res.chain.jobs[2].cogroup_shuffle_bytes_saved() as f64,
+        ),
+        (
+            "rsjoin_rekey.shuffle.records".into(),
+            rekey
+                .chain
+                .jobs
+                .iter()
+                .map(|j| j.shuffle_records)
+                .sum::<usize>() as f64,
+        ),
+        (
+            "rsjoin_rekey.shuffle.bytes".into(),
+            rekey.chain.total_shuffle_bytes() as f64,
         ),
         ("ridpairs_concat.pairs_cross".into(), rid_cross as f64),
         (

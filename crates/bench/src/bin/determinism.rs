@@ -4,7 +4,7 @@
 //! per-job shuffle record/byte accounting.
 //!
 //! ```text
-//! cargo run --release -p ssj-bench --bin determinism -- [workers] [mode] [target] [prune]
+//! cargo run --release -p ssj-bench --bin determinism -- [workers] [mode] [target] [prune] [joinpath]
 //! ```
 //!
 //! Worker count parallelizes the map/shuffle/reduce phases but must never
@@ -14,14 +14,19 @@
 //! `sequential` and selects how the plan runner sequences the chain —
 //! pipelining overlaps stages but must be equally invisible in this
 //! report. `target` is `selfjoin` (default, the fig6-style two-stage
-//! FS-Join) or `rsjoin` (the two-input fan-in R×S plan, exercising
-//! per-split multi-upstream scheduling and broadcast edges). `prune` is
-//! `prune` (default) or `noprune` and toggles the bitmap prune in front of
-//! exact verification — the prune is lossless, so this report too must be
+//! FS-Join) or `rsjoin` (the two-input R×S plan, exercising per-split
+//! multi-upstream scheduling and broadcast edges). `prune` is `prune`
+//! (default) or `noprune` and toggles the bitmap prune in front of exact
+//! verification — the prune is lossless, so this report too must be
 //! byte-identical with it on or off (the report deliberately carries no
-//! kernel counters). The CI gates run this binary across worker counts,
-//! across plan modes, *and* across the prune toggle, and diff the outputs
-//! byte-for-byte.
+//! kernel counters). `joinpath` is `cogroup` (default) or `rekey` and
+//! selects the rsjoin join-stage execution path (DESIGN.md §13); the two
+//! paths produce identical `result:`/`filters:` lines but legitimately
+//! different per-job shuffle accounting — the rekey path pays a second
+//! shuffle the co-group path eliminates — so the cross-path CI gate diffs
+//! only the result lines. The CI gates run this binary across worker
+//! counts, across plan modes, across the prune toggle, *and* across the
+//! join path, and diff the outputs byte-for-byte.
 
 use ssj_bench::datasets::{bench_corpus, rs_corpus, tuned_fsjoin};
 use ssj_bench::Scale;
@@ -66,6 +71,12 @@ fn main() {
         Some(other) => panic!("prune must be `prune` or `noprune`, got `{other}`"),
     };
 
+    let cogroup = match args.get(4).map(String::as_str) {
+        None | Some("cogroup") => true,
+        Some("rekey") => false,
+        Some(other) => panic!("joinpath must be `cogroup` or `rekey`, got `{other}`"),
+    };
+
     let res = match args.get(2).map(String::as_str) {
         None | Some("selfjoin") => {
             let corpus = bench_corpus();
@@ -86,7 +97,8 @@ fn main() {
                 .with_tasks(8, 12)
                 .with_workers(workers)
                 .with_plan_mode(mode)
-                .with_bitmap_prune(prune);
+                .with_bitmap_prune(prune)
+                .with_rs_cogroup(cogroup);
             fsjoin::run_rs_join_two_input(&r, &s, &cfg)
         }
         Some(other) => panic!("target must be `selfjoin` or `rsjoin`, got `{other}`"),

@@ -134,6 +134,7 @@ fn kind_str(k: TaskKind) -> &'static str {
     match k {
         TaskKind::Map => "map",
         TaskKind::Reduce => "reduce",
+        TaskKind::CoGroup => "cogrp",
     }
 }
 
@@ -362,5 +363,25 @@ fn print_stage_skew(doc: &str) {
                 .map(|c| format!("{c:.0}"))
                 .unwrap_or_else(|| "-".to_string())
         );
+    }
+
+    // Co-group stages consume their upstreams' sealed reduce partitions
+    // in place; the counter is the shuffle volume an identity-rekey
+    // fan-in over the same inputs would have re-transferred.
+    let cogroups: Vec<&String> = stages
+        .iter()
+        .filter(|s| gauge(&fsjoin::keys::mr_stage_cogroup_key(s)) == Some(1.0))
+        .collect();
+    if !cogroups.is_empty() {
+        println!("co-group stages (no fan-in shuffle):");
+        for stage in cogroups {
+            println!(
+                "  {:<20} shuffle bytes saved {:>12}",
+                stage,
+                counter(&fsjoin::keys::mr_stage_cogroup_bytes_saved_key(stage))
+                    .map(|c| format!("{c:.0}"))
+                    .unwrap_or_else(|| "-".to_string())
+            );
+        }
     }
 }

@@ -128,6 +128,7 @@ fn record_schedule_impl(
             let kind = match task.kind {
                 ssj_mapreduce::TaskKind::Map => "map",
                 ssj_mapreduce::TaskKind::Reduce => "reduce",
+                ssj_mapreduce::TaskKind::CoGroup => "cogroup",
             };
             let mut task_args: Vec<(&'static str, ssj_observe::FieldValue)> = vec![
                 ("node", (task.node as u64).into()),

@@ -59,6 +59,13 @@ pub struct FsJoinConfig {
     /// verdicts — only `fsjoin.kernel.intersections` and wall time. The
     /// `determinism` binary's prune-on/off CI gate pins this invariance.
     pub bitmap_prune: bool,
+    /// Run [`crate::run_rs_join_two_input`]'s join stage as a co-group
+    /// stage over the sealed co-partitioned prefix partitions (default
+    /// true; DESIGN.md §13) instead of the identity-rekey fan-in stage
+    /// that re-shuffles every prefix record. Results and pair digests are
+    /// identical on both paths — the flag exists for the CI equivalence
+    /// gate and A/B shuffle-volume measurements.
+    pub rs_cogroup: bool,
     /// Seed for the Random pivot strategy.
     pub seed: u64,
 }
@@ -79,6 +86,7 @@ impl Default for FsJoinConfig {
             workers: ssj_mapreduce::executor::default_workers(),
             plan_mode: PlanMode::default(),
             bitmap_prune: true,
+            rs_cogroup: true,
             seed: 42,
         }
     }
@@ -157,6 +165,15 @@ impl FsJoinConfig {
     /// results are identical either way.
     pub fn with_bitmap_prune(mut self, on: bool) -> Self {
         self.bitmap_prune = on;
+        self
+    }
+
+    /// Choose the two-input R×S join-stage execution path: co-group over
+    /// sealed prefix partitions (true, default) or identity-rekey fan-in
+    /// with a second shuffle (false). Pair digests are identical either
+    /// way; only shuffle volume and wall time differ.
+    pub fn with_rs_cogroup(mut self, on: bool) -> Self {
+        self.rs_cogroup = on;
         self
     }
 

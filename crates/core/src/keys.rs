@@ -57,6 +57,36 @@ pub const CANDIDATES: &str = "fsjoin.candidates";
 pub const PAIRS: &str = "fsjoin.pairs";
 
 // ---------------------------------------------------------------------------
+// Engine per-stage co-group keys (`mr.stage.<job>.*`).
+//
+// Emitted by `ssj_mapreduce::telemetry::record_job_telemetry` for every
+// co-group stage (that crate sits below this one, so it cannot import
+// these constants; the suffixes are pinned here — with the builders
+// `ssj-prof` uses — so the full application-level namespace stays
+// documented in one file and drift breaks a test, not a dashboard).
+// ---------------------------------------------------------------------------
+
+/// Suffix of the per-stage co-group marker gauge: `mr.stage.<job>.cogroup`
+/// is set to 1 for a stage that consumed its upstreams' sealed reduce
+/// partitions in place (no map phase, no fan-in shuffle).
+pub const MR_STAGE_COGROUP_SUFFIX: &str = "cogroup";
+/// Suffix of the per-stage bytes-saved counter:
+/// `mr.stage.<job>.cogroup.shuffle_bytes_saved` accumulates the shuffle
+/// volume an identity-rekey fan-in over the same inputs would have
+/// re-transferred (= the co-group tasks' input bytes).
+pub const MR_STAGE_COGROUP_BYTES_SAVED_SUFFIX: &str = "cogroup.shuffle_bytes_saved";
+
+/// Full name of a stage's co-group marker gauge.
+pub fn mr_stage_cogroup_key(stage: &str) -> String {
+    format!("mr.stage.{stage}.{MR_STAGE_COGROUP_SUFFIX}")
+}
+
+/// Full name of a stage's co-group bytes-saved counter.
+pub fn mr_stage_cogroup_bytes_saved_key(stage: &str) -> String {
+    format!("mr.stage.{stage}.{MR_STAGE_COGROUP_BYTES_SAVED_SUFFIX}")
+}
+
+// ---------------------------------------------------------------------------
 // Serving plane (`serve.*`) — recorded by the `ssj-serve` crate.
 // ---------------------------------------------------------------------------
 
@@ -103,3 +133,23 @@ pub const SERVE_RECORDS: &str = "serve.records";
 pub const SERVE_DELTA_RECORDS: &str = "serve.delta.records";
 /// Postings resident in the sealed main index (gauge).
 pub const SERVE_MAIN_POSTINGS: &str = "serve.main.postings";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The builders must spell the keys exactly as
+    /// `ssj_mapreduce::telemetry::record_job_telemetry` emits them (its
+    /// own test pins the literal strings from the emitting side).
+    #[test]
+    fn cogroup_key_builders_match_telemetry_namespace() {
+        assert_eq!(
+            mr_stage_cogroup_key("rsjoin-join"),
+            "mr.stage.rsjoin-join.cogroup"
+        );
+        assert_eq!(
+            mr_stage_cogroup_bytes_saved_key("rsjoin-join"),
+            "mr.stage.rsjoin-join.cogroup.shuffle_bytes_saved"
+        );
+    }
+}

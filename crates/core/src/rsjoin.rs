@@ -11,13 +11,20 @@
 //!   partitioner and reduce-task count — the two stages are
 //!   *co-partitioned*, so prefix token `t` lands in the same partition
 //!   index on both sides;
-//! * stage `rsjoin-join` consumes **both** prefix stages through
-//!   [`StageInput::Stages`]: map split `i` reads partition `i` of R and
-//!   partition `i` of S (the runner schedules it only once both are
-//!   sealed), groups by token, and verifies every cross-side pair in the
-//!   group exactly;
+//! * stage `rsjoin-join` consumes **both** prefix stages. By default
+//!   ([`FsJoinConfig::rs_cogroup`]) it is a **co-group stage**
+//!   ([`Plan::add_cogroup`]): task `i` merges the sealed partitions `i`
+//!   of R and S in place (side 0 = R, side 1 = S) and verifies every
+//!   cross-side pair per token group — the re-shuffle the old
+//!   identity-rekey fan-in paid to reunite records its upstreams had
+//!   already co-partitioned is gone. With the flag off, the stage runs
+//!   as that rekey fan-in through [`StageInput::Stages`] instead; both
+//!   paths share one verification core, so pair digests and filter
+//!   verdicts are bit-identical;
 //! * stage `rsjoin-dedup` collapses pairs discovered under several shared
-//!   prefix tokens.
+//!   prefix tokens (a shuffle stage, except in the single-partition case
+//!   where the join output is provably pair-partitioned and the dedup
+//!   co-groups the sealed partition in place).
 //!
 //! Record ids live in the concatenated-pool id space of
 //! [`TokenPool::concat`]: R keeps its ids, S ids are shifted by `|R|`, so
@@ -36,8 +43,8 @@ use crate::config::FsJoinConfig;
 use crate::driver::FsJoinResult;
 use crate::filters::FilterStats;
 use ssj_mapreduce::{
-    Dataset, Emitter, GroupValues, HashPartitioner, IdentityCombiner, Mapper, Plan, PlanRunner,
-    StreamingReducer,
+    CoGroupReducer, Dataset, Emitter, GroupValues, HashPartitioner, IdentityCombiner, Mapper, Plan,
+    PlanRunner, SideGroups, StreamingReducer,
 };
 use ssj_observe::{span, MetricsRegistry};
 use ssj_similarity::intersect::intersect_count_adaptive;
@@ -110,45 +117,31 @@ impl Mapper for JoinIdentity {
     }
 }
 
-/// Join-stage reducer: splits each token group by side (`id < |R|` is R —
-/// the concat-pool id contract) and verifies every cross pair exactly.
-/// Pruning counters flow into the run's registry at cleanup, like the main
-/// driver's fragment reducer.
-struct CrossVerify {
+/// The exact cross-pair verification pipeline shared by both join-stage
+/// execution paths ([`CrossVerify`] on the rekey fan-in, [`CrossVerifyCo`]
+/// on the co-group stage): string-length filter → optional bitmap prune →
+/// exact intersection, with every prune decision counted into the same
+/// [`FilterStats`]. One code path means the two stages' filter verdicts
+/// and scores are bit-identical by construction.
+struct CrossVerifyCore {
     pool: Arc<TokenPool>,
     measure: Measure,
     theta: f64,
-    num_r: u32,
     bitmap: bool,
-    r_buf: Vec<PooledRecord>,
-    s_buf: Vec<PooledRecord>,
     local_stats: FilterStats,
     registry: Arc<MetricsRegistry>,
 }
 
-impl StreamingReducer for CrossVerify {
-    type InKey = u32;
-    type InValue = PooledRecord;
-    type OutKey = (u32, u32);
-    type OutValue = f64;
-
-    fn reduce_group(
+impl CrossVerifyCore {
+    /// Verify every (r, s) cross pair of one token group.
+    fn verify_group(
         &mut self,
-        _token: &u32,
-        records: &mut GroupValues<'_, '_, u32, PooledRecord>,
+        r_buf: &[PooledRecord],
+        s_buf: &[PooledRecord],
         out: &mut Emitter<(u32, u32), f64>,
     ) {
-        self.r_buf.clear();
-        self.s_buf.clear();
-        for rec in records {
-            if rec.id < self.num_r {
-                self.r_buf.push(*rec);
-            } else {
-                self.s_buf.push(*rec);
-            }
-        }
-        for r in &self.r_buf {
-            for s in &self.s_buf {
+        for r in r_buf {
+            for s in s_buf {
                 self.local_stats.pairs_considered += 1;
                 if !crate::filters::strl_pass(self.measure, self.theta, r.span.len, s.span.len) {
                     self.local_stats.strl_pruned += 1;
@@ -195,9 +188,91 @@ impl StreamingReducer for CrossVerify {
         }
     }
 
-    fn cleanup(&mut self, _out: &mut Emitter<(u32, u32), f64>) {
+    /// Flush the task's pruning counters into the run registry.
+    fn flush(&mut self) {
         self.local_stats.record_to(&self.registry);
         self.local_stats = FilterStats::default();
+    }
+}
+
+/// Join-stage reducer (rekey fan-in path): splits each token group by side
+/// (`id < |R|` is R — the concat-pool id contract) and verifies every
+/// cross pair exactly. Pruning counters flow into the run's registry at
+/// cleanup, like the main driver's fragment reducer.
+struct CrossVerify {
+    core: CrossVerifyCore,
+    num_r: u32,
+    r_buf: Vec<PooledRecord>,
+    s_buf: Vec<PooledRecord>,
+}
+
+impl StreamingReducer for CrossVerify {
+    type InKey = u32;
+    type InValue = PooledRecord;
+    type OutKey = (u32, u32);
+    type OutValue = f64;
+
+    fn reduce_group(
+        &mut self,
+        _token: &u32,
+        records: &mut GroupValues<'_, '_, u32, PooledRecord>,
+        out: &mut Emitter<(u32, u32), f64>,
+    ) {
+        self.r_buf.clear();
+        self.s_buf.clear();
+        for rec in records {
+            if rec.id < self.num_r {
+                self.r_buf.push(*rec);
+            } else {
+                self.s_buf.push(*rec);
+            }
+        }
+        self.core.verify_group(&self.r_buf, &self.s_buf, out);
+    }
+
+    fn cleanup(&mut self, _out: &mut Emitter<(u32, u32), f64>) {
+        self.core.flush();
+    }
+}
+
+/// Join-stage reducer (co-group path): consumes the sealed prefix
+/// partitions directly — side 0 is `rsjoin-r-prefix`, side 1 is
+/// `rsjoin-s-prefix` (edge order), so the side tag replaces the
+/// `id < |R|` split with no re-shuffle in front. The verification core is
+/// shared with [`CrossVerify`], so filter verdicts, pruning counters, and
+/// scores are bit-identical across the two paths.
+struct CrossVerifyCo {
+    core: CrossVerifyCore,
+    r_buf: Vec<PooledRecord>,
+    s_buf: Vec<PooledRecord>,
+}
+
+impl CoGroupReducer for CrossVerifyCo {
+    type InKey = u32;
+    type InValue = PooledRecord;
+    type OutKey = (u32, u32);
+    type OutValue = f64;
+
+    fn cogroup(
+        &mut self,
+        _token: &u32,
+        records: &mut SideGroups<'_, '_, u32, PooledRecord>,
+        out: &mut Emitter<(u32, u32), f64>,
+    ) {
+        self.r_buf.clear();
+        self.s_buf.clear();
+        for (side, rec) in records {
+            if side == 0 {
+                self.r_buf.push(*rec);
+            } else {
+                self.s_buf.push(*rec);
+            }
+        }
+        self.core.verify_group(&self.r_buf, &self.s_buf, out);
+    }
+
+    fn cleanup(&mut self, _out: &mut Emitter<(u32, u32), f64>) {
+        self.core.flush();
     }
 }
 
@@ -235,6 +310,28 @@ impl StreamingReducer for KeepFirstSim {
     }
 }
 
+/// Co-group counterpart of [`KeepFirstSim`], used when the join output is
+/// already pair-partitioned (single reduce partition): every duplicate of
+/// a pair is then provably co-located, so the dedup can group the sealed
+/// partition in place instead of re-shuffling it.
+struct KeepFirstSimCo;
+
+impl CoGroupReducer for KeepFirstSimCo {
+    type InKey = (u32, u32);
+    type InValue = f64;
+    type OutKey = (u32, u32);
+    type OutValue = f64;
+
+    fn cogroup(
+        &mut self,
+        pair: &(u32, u32),
+        sims: &mut SideGroups<'_, '_, (u32, u32), f64>,
+        out: &mut Emitter<(u32, u32), f64>,
+    ) {
+        out.emit(*pair, *sims.next().expect("group has at least one value").1);
+    }
+}
+
 /// R×S join declared as a two-input plan (module docs have the stage
 /// graph). Same conventions as [`crate::run_rs_join`]: both collections
 /// must be encoded in one token-rank space
@@ -245,7 +342,8 @@ impl StreamingReducer for KeepFirstSim {
 /// `h_pivots` empty — this plan partitions by prefix token, not by
 /// fragment), `candidates` counts verified-pair emissions before dedup,
 /// and `deps` records the fan-in shape
-/// `[[], [], [0, 1], [2]]`.
+/// `[[], [], [0, 1], [2]]` — identical on both join-stage paths, since a
+/// co-group edge and a rekey shuffle edge express the same dependency.
 pub fn run_rs_join_two_input(r: &Collection, s: &Collection, cfg: &FsJoinConfig) -> FsJoinResult {
     cfg.validate();
     assert_eq!(
@@ -315,37 +413,64 @@ pub fn run_rs_join_two_input(r: &Collection, s: &Collection, cfg: &FsJoinConfig)
         HashPartitioner,
         None::<IdentityCombiner>,
     );
-    let joined = plan.add_full_broadcast(
-        "rsjoin-join",
-        [h_r, h_s],
-        pool_bcast,
-        cfg.reduce_tasks,
-        |_, _: &Arc<TokenPool>| JoinIdentity,
-        {
-            let registry = Arc::clone(&run_registry);
-            let bitmap = cfg.bitmap_prune;
-            move |_, pool: &Arc<TokenPool>| CrossVerify {
-                pool: Arc::clone(pool),
-                measure,
-                theta,
-                num_r: num_r as u32,
-                bitmap,
+    let core_factory = {
+        let registry = Arc::clone(&run_registry);
+        let bitmap = cfg.bitmap_prune;
+        move |pool: &Arc<TokenPool>| CrossVerifyCore {
+            pool: Arc::clone(pool),
+            measure,
+            theta,
+            bitmap,
+            local_stats: FilterStats::default(),
+            registry: Arc::clone(&registry),
+        }
+    };
+    // Join stage: co-group over the sealed prefix partitions (default) or
+    // identity-rekey fan-in with a second shuffle of every prefix record.
+    // Same reducer core either way — pair digests are path-invariant.
+    let joined = if cfg.rs_cogroup {
+        plan.add_cogroup_broadcast(
+            "rsjoin-join",
+            vec![h_r, h_s],
+            pool_bcast,
+            move |_, pool: &Arc<TokenPool>| CrossVerifyCo {
+                core: core_factory(pool),
                 r_buf: Vec::new(),
                 s_buf: Vec::new(),
-                local_stats: FilterStats::default(),
-                registry: Arc::clone(&registry),
-            }
-        },
-        HashPartitioner,
-        None::<IdentityCombiner>,
-    );
-    let unique = plan.add(
-        "rsjoin-dedup",
-        joined,
-        cfg.reduce_tasks,
-        |_| DedupMapper,
-        |_| KeepFirstSim,
-    );
+            },
+        )
+    } else {
+        plan.add_full_broadcast(
+            "rsjoin-join",
+            [h_r, h_s],
+            pool_bcast,
+            cfg.reduce_tasks,
+            |_, _: &Arc<TokenPool>| JoinIdentity,
+            move |_, pool: &Arc<TokenPool>| CrossVerify {
+                core: core_factory(pool),
+                num_r: num_r as u32,
+                r_buf: Vec::new(),
+                s_buf: Vec::new(),
+            },
+            HashPartitioner,
+            None::<IdentityCombiner>,
+        )
+    };
+    // Dedup: a pair discovered under several shared prefix tokens surfaces
+    // in several join partitions, so collapsing duplicates needs a shuffle
+    // in general. Only a single join partition makes the input provably
+    // pair-partitioned — then the sealed partition co-groups in place.
+    let unique = if cfg.rs_cogroup && cfg.reduce_tasks == 1 {
+        plan.add_cogroup("rsjoin-dedup", vec![joined], |_| KeepFirstSimCo)
+    } else {
+        plan.add(
+            "rsjoin-dedup",
+            joined,
+            cfg.reduce_tasks,
+            |_| DedupMapper,
+            |_| KeepFirstSim,
+        )
+    };
 
     let mut outcome = PlanRunner::new(cfg.plan_mode).run(plan);
     let verified = outcome.take_output(unique);
@@ -465,6 +590,80 @@ mod tests {
         assert_eq!(res.chain.jobs[2].name, "rsjoin-join");
         assert_eq!(res.deps, vec![vec![], vec![], vec![0, 1], vec![2]]);
         assert!(res.pivots.is_empty() && res.h_pivots.is_empty());
+        // Default path: the join stage is a co-group — no map tasks, no
+        // shuffle traffic of its own, bytes-saved counter populated.
+        let join = &res.chain.jobs[2];
+        assert!(join.cogroup);
+        assert!(join.map_tasks.is_empty());
+        assert_eq!(join.shuffle_bytes, 0);
+        assert!(join.cogroup_shuffle_bytes_saved() > 0);
+    }
+
+    /// Both join-stage paths produce bit-identical pairs AND filter
+    /// statistics; the co-group path ships zero join-stage shuffle bytes
+    /// where the rekey path re-shuffles every prefix record.
+    #[test]
+    fn cogroup_and_rekey_paths_are_bit_identical() {
+        let (r, s) = rs_corpora(40, 120);
+        for &theta in &[0.75, 0.85, 0.95] {
+            let cogroup = run_rs_join_two_input(
+                &r,
+                &s,
+                &FsJoinConfig::default()
+                    .with_theta(theta)
+                    .with_rs_cogroup(true),
+            );
+            let rekey = run_rs_join_two_input(
+                &r,
+                &s,
+                &FsJoinConfig::default()
+                    .with_theta(theta)
+                    .with_rs_cogroup(false),
+            );
+            assert_eq!(
+                pair_digest(&cogroup.pairs),
+                pair_digest(&rekey.pairs),
+                "θ={theta} digest mismatch"
+            );
+            assert_eq!(cogroup.candidates, rekey.candidates, "θ={theta}");
+            assert_eq!(
+                format!("{:?}", cogroup.filter_stats),
+                format!("{:?}", rekey.filter_stats),
+                "θ={theta} filter stats diverge"
+            );
+            // The saved bytes are exactly the rekey join stage's shuffle.
+            let co_join = &cogroup.chain.jobs[2];
+            let rk_join = &rekey.chain.jobs[2];
+            assert!(co_join.cogroup && !rk_join.cogroup);
+            assert_eq!(co_join.shuffle_bytes, 0);
+            assert!(rk_join.shuffle_bytes > 0);
+            assert_eq!(co_join.cogroup_shuffle_bytes_saved(), rk_join.shuffle_bytes);
+            let total = |res: &FsJoinResult| -> usize {
+                res.chain.jobs.iter().map(|j| j.shuffle_bytes).sum()
+            };
+            assert!(
+                total(&cogroup) < total(&rekey),
+                "θ={theta}: co-group total shuffle {} must undercut rekey {}",
+                total(&cogroup),
+                total(&rekey)
+            );
+        }
+    }
+
+    /// With one reduce partition the join output is pair-partitioned, so
+    /// the dedup also runs as a co-group — results still match the rekey
+    /// plan exactly.
+    #[test]
+    fn single_partition_cogroup_dedup_matches() {
+        let (r, s) = rs_corpora(30, 90);
+        let base = FsJoinConfig::default().with_theta(0.7).with_tasks(4, 1);
+        let co = run_rs_join_two_input(&r, &s, &base.clone().with_rs_cogroup(true));
+        let rk = run_rs_join_two_input(&r, &s, &base.with_rs_cogroup(false));
+        assert_eq!(pair_digest(&co.pairs), pair_digest(&rk.pairs));
+        let dedup = &co.chain.jobs[3];
+        assert!(dedup.cogroup, "single-partition dedup must co-group");
+        assert_eq!(dedup.shuffle_bytes, 0);
+        assert!(!rk.chain.jobs[3].cogroup);
     }
 
     #[test]

@@ -277,14 +277,25 @@ impl ClusterModel {
                 downstream[*u].push(j);
             }
         }
+        // A co-group job has no map phase: its *tasks* consume upstream
+        // reduce partition `i` directly, so the release unit is the task
+        // itself and no shuffle transfer is modeled.
+        let splits = |j: usize| {
+            if chain.jobs[j].cogroup {
+                chain.jobs[j].reduce_tasks.len()
+            } else {
+                chain.jobs[j].map_tasks.len()
+            }
+        };
         // Shape check up front: partition-granular release needs every
         // upstream's reduce-partition count to equal the job's map-split
-        // count. Any mismatch demotes the job to a whole-stage barrier.
+        // count (co-group: its task count). Any mismatch demotes the job
+        // to a whole-stage barrier.
         let barrier: Vec<bool> = (0..n)
             .map(|j| {
                 let mismatch = deps[j]
                     .iter()
-                    .any(|&u| chain.jobs[u].reduce_tasks.len() != chain.jobs[j].map_tasks.len());
+                    .any(|&u| chain.jobs[u].reduce_tasks.len() != splits(j));
                 if mismatch {
                     if let Some(reg) = ssj_observe::global_registry() {
                         reg.counter_add("sim.plan.barrier_fallbacks", 1);
@@ -298,7 +309,7 @@ impl ClusterModel {
                             .iter()
                             .map(|&u| chain.jobs[u].reduce_tasks.len())
                             .collect::<Vec<_>>(),
-                        chain.jobs[j].map_tasks.len()
+                        splits(j)
                     );
                 }
                 mismatch
@@ -308,12 +319,8 @@ impl ClusterModel {
         // reduce partitions plus the latest matching reduce end time.
         // Barrier jobs: per-edge countdown of unfinished upstream jobs
         // plus the latest upstream end time.
-        let mut pending: Vec<Vec<usize>> = (0..n)
-            .map(|j| vec![deps[j].len(); chain.jobs[j].map_tasks.len()])
-            .collect();
-        let mut split_rel: Vec<Vec<f64>> = (0..n)
-            .map(|j| vec![0.0; chain.jobs[j].map_tasks.len()])
-            .collect();
+        let mut pending: Vec<Vec<usize>> = (0..n).map(|j| vec![deps[j].len(); splits(j)]).collect();
+        let mut split_rel: Vec<Vec<f64>> = (0..n).map(|j| vec![0.0; splits(j)]).collect();
         let mut ups_left: Vec<usize> = (0..n).map(|j| deps[j].len()).collect();
         let mut barrier_rel: Vec<f64> = vec![0.0; n];
 
@@ -344,7 +351,9 @@ impl ClusterModel {
             .collect();
 
         // Ready heap: FIFO by (release, arrival ordinal). Kind 0 = map,
-        // 1 = reduce. Durations ride along so pops are self-contained.
+        // 1 = reduce, 2 = co-group (a reduce-side task released directly
+        // by upstream reduce completions, with no shuffle in front).
+        // Durations ride along so pops are self-contained.
         type Item = Reverse<(OrderedF64, u64, usize, u8, usize, OrderedF64)>;
         let mut ready: BinaryHeap<Item> = BinaryHeap::new();
         let mut ord = 0u64;
@@ -383,10 +392,10 @@ impl ClusterModel {
             let start = release.max(free_at);
             let end = start + dur / self.node_speed;
             slots.push(Reverse((OrderedF64(end), slot)));
-            let kind_enum = if kind == 0 {
-                crate::metrics::TaskKind::Map
-            } else {
-                crate::metrics::TaskKind::Reduce
+            let kind_enum = match kind {
+                0 => crate::metrics::TaskKind::Map,
+                1 => crate::metrics::TaskKind::Reduce,
+                _ => crate::metrics::TaskKind::CoGroup,
             };
             js[j].tasks.push(SimTask {
                 kind: kind_enum,
@@ -419,16 +428,22 @@ impl ClusterModel {
                     if !barrier[k] {
                         // Partition-granular release: split `idx` of job k
                         // consumes exactly reduce partition `idx` of every
-                        // upstream; it runs once the last one lands.
+                        // upstream; it runs once the last one lands. For a
+                        // co-group job the released unit IS its task —
+                        // there is no map in front of it and no shuffle.
                         pending[k][idx] -= 1;
                         split_rel[k][idx] = split_rel[k][idx].max(end);
                         if pending[k][idx] == 0 {
-                            let t = &chain.jobs[k].map_tasks[idx];
+                            let (t, kind) = if chain.jobs[k].cogroup {
+                                (&chain.jobs[k].reduce_tasks[idx], 2)
+                            } else {
+                                (&chain.jobs[k].map_tasks[idx], 0)
+                            };
                             push(
                                 &mut ready,
                                 split_rel[k][idx],
                                 k,
-                                0,
+                                kind,
                                 t.index,
                                 t.duration.as_secs_f64(),
                             );
@@ -442,12 +457,18 @@ impl ClusterModel {
                             ups_left[k] -= 1;
                             barrier_rel[k] = barrier_rel[k].max(js[j].end);
                             if ups_left[k] == 0 {
-                                for t in &chain.jobs[k].map_tasks {
+                                let (tasks, kind): (&[crate::metrics::TaskStat], u8) =
+                                    if chain.jobs[k].cogroup {
+                                        (&chain.jobs[k].reduce_tasks, 2)
+                                    } else {
+                                        (&chain.jobs[k].map_tasks, 0)
+                                    };
+                                for t in tasks {
                                     push(
                                         &mut ready,
                                         barrier_rel[k],
                                         k,
-                                        0,
+                                        kind,
                                         t.index,
                                         t.duration.as_secs_f64(),
                                     );
@@ -462,8 +483,15 @@ impl ClusterModel {
         js.into_iter()
             .zip(&chain.jobs)
             .map(|(mut s, m)| {
-                s.tasks
-                    .sort_by_key(|t| (matches!(t.kind, crate::metrics::TaskKind::Reduce), t.index));
+                s.tasks.sort_by_key(|t| {
+                    (
+                        matches!(
+                            t.kind,
+                            crate::metrics::TaskKind::Reduce | crate::metrics::TaskKind::CoGroup
+                        ),
+                        t.index,
+                    )
+                });
                 SimSchedule {
                     job_name: m.name.clone(),
                     start_secs: if s.start.is_finite() { s.start } else { 0.0 },
@@ -683,6 +711,7 @@ mod tests {
         let m = JobMetrics {
             name: "t".into(),
             plan_stage: None,
+            cogroup: false,
             map_tasks: vec![one_task(TaskKind::Map, 0, 0)],
             reduce_tasks: vec![one_task(TaskKind::Reduce, 0, 0)],
             shuffle_records: 3_000_000,
@@ -707,6 +736,7 @@ mod tests {
         let m = JobMetrics {
             name: "t".into(),
             plan_stage: None,
+            cogroup: false,
             map_tasks: vec![one_task(TaskKind::Map, 100, 10)],
             reduce_tasks: vec![one_task(TaskKind::Reduce, 200, 10)],
             shuffle_records: 1,
@@ -732,6 +762,7 @@ mod tests {
         JobMetrics {
             name: "sched".into(),
             plan_stage: None,
+            cogroup: false,
             map_tasks: (0..8)
                 .map(|i| {
                     let mut t = one_task(TaskKind::Map, 100 + 30 * (i as u64 % 3), 10);
@@ -789,6 +820,8 @@ mod tests {
             match t.kind {
                 TaskKind::Map => assert!(t.end_secs <= s.shuffle_start_secs + 1e-12),
                 TaskKind::Reduce => assert!(t.start_secs >= s.shuffle_end_secs - 1e-12),
+                // Co-group jobs have no shuffle window to bound against.
+                TaskKind::CoGroup => {}
             }
         }
         // No two tasks overlap on the same slot.
@@ -914,6 +947,7 @@ mod tests {
         JobMetrics {
             name: name.into(),
             plan_stage: None,
+            cogroup: false,
             map_tasks: maps_ms
                 .iter()
                 .enumerate()
@@ -1052,6 +1086,76 @@ mod tests {
         assert!((map_start(1) - 3.0).abs() < 1e-9, "{}", map_start(1));
         // Join reduce follows its last map; plan makespan = 3.9s.
         assert!((plan_makespan(&scheds) - 3.9).abs() < 1e-9);
+    }
+
+    fn cogroup_job(name: &str, reds_ms: &[u64]) -> JobMetrics {
+        let mut m = plan_job(name, &[], reds_ms);
+        m.cogroup = true;
+        for t in &mut m.reduce_tasks {
+            t.kind = TaskKind::CoGroup;
+        }
+        m
+    }
+
+    #[test]
+    fn plan_cogroup_releases_per_partition_with_no_shuffle() {
+        // Two upstreams feed a co-group stage. Eight slots so every start
+        // time is a pure release time. Upstream reduces end at (1s, 3s)
+        // and (2s, 1s): co-group task i consumes reduce partition i of
+        // BOTH upstreams directly, so task 0 starts at 2s and task 1 at
+        // 3s — no map phase in front and no shuffle window in between.
+        let c = ClusterModel {
+            nodes: 4,
+            slots_per_node: 2,
+            net_bytes_per_sec: 125_000_000.0,
+            node_speed: 1.0,
+            per_record_secs: 0.0,
+        };
+        let mut chain = ChainMetrics::default();
+        chain.push(plan_job("r", &[0], &[1000, 3000]));
+        chain.push(plan_job("s", &[0], &[2000, 1000]));
+        chain.push(cogroup_job("join", &[500, 400]));
+        let scheds = c.simulate_plan(&chain, &[vec![], vec![], vec![0, 1]]);
+        let join = &scheds[2];
+        assert!(join
+            .tasks
+            .iter()
+            .all(|t| matches!(t.kind, TaskKind::CoGroup)));
+        let start = |i: usize| join.tasks.iter().find(|t| t.index == i).unwrap().start_secs;
+        assert!((start(0) - 2.0).abs() < 1e-9, "{}", start(0));
+        assert!((start(1) - 3.0).abs() < 1e-9, "{}", start(1));
+        // No shuffle is modeled for a co-group job.
+        assert_eq!(join.shuffle_start_secs, 0.0);
+        assert_eq!(join.shuffle_end_secs, 0.0);
+        // vs the rekey fan-in shape of `plan_fan_in_releases_on_last_
+        // upstream`: the same partitions finish at release + task time
+        // with no interposed map, so makespan = 3 + 0.4 = 3.4s.
+        assert!((plan_makespan(&scheds) - 3.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_cogroup_shape_mismatch_barriers() {
+        // Co-group task count != upstream reduce count: falls back to a
+        // whole-stage barrier, so the stage starts after the slowest
+        // upstream reduce (3s) and both tasks release together.
+        let c = ClusterModel {
+            nodes: 4,
+            slots_per_node: 2,
+            net_bytes_per_sec: 125_000_000.0,
+            node_speed: 1.0,
+            per_record_secs: 0.0,
+        };
+        let mut chain = ChainMetrics::default();
+        chain.push(plan_job("up", &[0], &[1000, 3000, 1000]));
+        chain.push(cogroup_job("co", &[500, 400]));
+        let scheds = c.simulate_plan(&chain, &[vec![], vec![0]]);
+        let co = &scheds[1];
+        for t in &co.tasks {
+            assert!(
+                (t.start_secs - 3.0).abs() < 1e-9,
+                "barrier release expected at 3s, got {t:?}"
+            );
+        }
     }
 
     #[test]

@@ -415,6 +415,7 @@ impl JobBuilder {
         let metrics = JobMetrics {
             name: self.name.clone(),
             plan_stage: None,
+            cogroup: false,
             map_tasks: map_stats,
             reduce_tasks: reduce_stats,
             shuffle_records,

@@ -79,7 +79,7 @@ pub use dfs::Dfs;
 pub use emitter::Emitter;
 pub use executor::{AttemptCtx, ExecPolicy, TaskError, TaskFailure};
 pub use job::{IdentityCombiner, JobBuilder};
-pub use merge::{GroupValues, GroupedRuns, KWayMerge};
+pub use merge::{CoGroupedRuns, GroupValues, GroupedRuns, KWayMerge, SideGroups};
 pub use metrics::{ChainMetrics, ExecSummary, JobMetrics, TaskKind, TaskStat};
 pub use partitioner::{DirectPartitioner, HashPartitioner, Partitioner};
 pub use plan::{
@@ -88,4 +88,6 @@ pub use plan::{
 };
 pub use sim_faults::{SimFaultError, SimFaultOutcome, SimFaultPolicy};
 pub use spill::{SharedRun, SpillStore};
-pub use traits::{Combiner, Key, Mapper, Reducer, StreamingReducer, SumCombiner, Value};
+pub use traits::{
+    CoGroupReducer, Combiner, Key, Mapper, Reducer, StreamingReducer, SumCombiner, Value,
+};

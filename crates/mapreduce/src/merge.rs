@@ -140,7 +140,7 @@ impl<'r, K: Ord, V> RefTree<'r, K, V> {
     }
 
     #[inline]
-    fn next(&mut self) -> Option<&'r (K, V)> {
+    fn next(&mut self) -> Option<(u32, &'r (K, V))> {
         // Winner key `None` ⇒ every run is exhausted (or there are none).
         self.tree[0].key?;
         let w = self.tree[0].run as usize;
@@ -163,7 +163,7 @@ impl<'r, K: Ord, V> RefTree<'r, K, V> {
                 self.replay();
             }
         }
-        Some(item)
+        Some((w as u32, item))
     }
 }
 
@@ -297,7 +297,7 @@ impl<'r, KC: Pack, V> PackedTree<'r, KC, V> {
     }
 
     #[inline]
-    fn next(&mut self) -> Option<&'r (KC, V)> {
+    fn next(&mut self) -> Option<(u32, &'r (KC, V))> {
         let top = self.tree[0];
         if top >= self.exhaust_min {
             return None;
@@ -316,7 +316,7 @@ impl<'r, KC: Pack, V> PackedTree<'r, KC, V> {
         if cur == top {
             // Winner stays: same key, same run — the tournament cannot
             // change, and `tree[0]` already holds this packed value.
-            return Some(item);
+            return Some((w, item));
         }
         let mut cur = cur;
         let mut node = (k + w as usize) / 2;
@@ -330,7 +330,7 @@ impl<'r, KC: Pack, V> PackedTree<'r, KC, V> {
             node /= 2;
         }
         self.tree[0] = cur;
-        Some(item)
+        Some((w, item))
     }
 }
 
@@ -415,18 +415,36 @@ impl<'r, K: Ord + 'static, V> KWayMerge<'r, K, V> {
     }
 }
 
+impl<'r, K: Ord, V> KWayMerge<'r, K, V> {
+    /// Like `Iterator::next`, but also reports **which run** (by
+    /// registration index) supplied the yielded pair — the hook the
+    /// multi-source co-group plane uses to recover a value's side tag
+    /// without widening the stored pairs.
+    #[inline]
+    pub fn next_with_run(&mut self) -> Option<(u32, &'r (K, V))> {
+        match &mut self.inner {
+            Inner::ByRef(tree) => tree.next(),
+            // SAFETY: these variants exist only when `K` is the matching
+            // concrete type (see `new`).
+            Inner::U32(tree) => tree.next().map(|(w, p)| (w, unsafe { cast_pair(p) })),
+            Inner::U64(tree) => tree.next().map(|(w, p)| (w, unsafe { cast_pair(p) })),
+            Inner::PairU32(tree) => tree.next().map(|(w, p)| (w, unsafe { cast_pair(p) })),
+        }
+    }
+}
+
 impl<'r, K: Ord, V> Iterator for KWayMerge<'r, K, V> {
     type Item = &'r (K, V);
 
     #[inline]
     fn next(&mut self) -> Option<&'r (K, V)> {
         match &mut self.inner {
-            Inner::ByRef(tree) => tree.next(),
+            Inner::ByRef(tree) => tree.next().map(|(_, p)| p),
             // SAFETY: these variants exist only when `K` is the matching
             // concrete type (see `new`).
-            Inner::U32(tree) => tree.next().map(|p| unsafe { cast_pair(p) }),
-            Inner::U64(tree) => tree.next().map(|p| unsafe { cast_pair(p) }),
-            Inner::PairU32(tree) => tree.next().map(|p| unsafe { cast_pair(p) }),
+            Inner::U32(tree) => tree.next().map(|(_, p)| unsafe { cast_pair(p) }),
+            Inner::U64(tree) => tree.next().map(|(_, p)| unsafe { cast_pair(p) }),
+            Inner::PairU32(tree) => tree.next().map(|(_, p)| unsafe { cast_pair(p) }),
         }
     }
 }
@@ -508,6 +526,119 @@ impl<'r, K: Ord + 'static, V> GroupedRuns<'r, K, V> {
             f(&pair.0, &mut values);
             // Drain whatever the consumer left unread, so `boundary` is
             // populated (or the merge is exhausted).
+            while values.next().is_some() {}
+            pending = values.boundary;
+        }
+    }
+}
+
+// ---- Multi-source co-grouping ----------------------------------------------
+
+/// The values of one key group merged from **several sides** (logical
+/// inputs), streamed by reference with the side tag of every value — the
+/// co-group analogue of [`GroupValues`].
+///
+/// Yields `(side, &value)` pairs. Within a group the side tags are
+/// non-decreasing and, inside one side, values arrive in run order
+/// (runs register side-major, so the merge's `(key, run)` tie-break *is*
+/// `(key, side, run-within-side)`): a consumer can split the group into
+/// per-side sub-groups with a single pass and zero allocations.
+pub struct SideGroups<'m, 'r, K, V> {
+    key: &'r K,
+    first: Option<(u32, &'r V)>,
+    merge: &'m mut KWayMerge<'r, K, V>,
+    /// Run registration index → side index.
+    side_of: &'m [u32],
+    /// First `(run, pair)` of the *next* group, discovered while
+    /// iterating this one.
+    boundary: Option<(u32, &'r (K, V))>,
+    done: bool,
+}
+
+impl<'m, 'r, K: Ord, V> SideGroups<'m, 'r, K, V> {
+    /// The group's key.
+    pub fn key(&self) -> &'r K {
+        self.key
+    }
+}
+
+impl<'m, 'r, K: Ord, V> Iterator for SideGroups<'m, 'r, K, V> {
+    type Item = (u32, &'r V);
+
+    fn next(&mut self) -> Option<(u32, &'r V)> {
+        if let Some(v) = self.first.take() {
+            return Some(v);
+        }
+        if self.done {
+            return None;
+        }
+        match self.merge.next_with_run() {
+            Some((run, pair)) if pair.0 == *self.key => Some((self.side_of[run as usize], &pair.1)),
+            other => {
+                self.boundary = other;
+                self.done = true;
+                None
+            }
+        }
+    }
+}
+
+/// Sort-based co-grouping over the sorted reduce outputs of N co-partitioned
+/// upstreams: one callback per distinct key across **all** sides, values
+/// streamed as `(side, &value)` in `(side, run)` order — the merge plane
+/// under co-group plan stages.
+///
+/// Each side contributes its runs in order; all runs must be sorted by key
+/// (sealed reduce partitions are — reducers see keys ascending and emit
+/// group-ordered output). Ties on `key` break first by side, then by the
+/// run's position within its side, mirroring what an identity-rekey fan-in
+/// map (side-major concat + stable sort) would have produced.
+pub struct CoGroupedRuns<'r, K, V> {
+    merge: KWayMerge<'r, K, V>,
+    side_of: Vec<u32>,
+}
+
+impl<'r, K: Ord + 'static, V> CoGroupedRuns<'r, K, V> {
+    /// Co-group the merge of `sides` (outer: side, inner: that side's
+    /// sorted runs in deterministic order).
+    pub fn new(sides: Vec<Vec<&'r [(K, V)]>>) -> Self {
+        let mut side_of = Vec::with_capacity(sides.iter().map(Vec::len).sum());
+        let mut runs = Vec::with_capacity(side_of.capacity());
+        for (side, side_runs) in sides.into_iter().enumerate() {
+            for run in side_runs {
+                side_of.push(side as u32);
+                runs.push(run);
+            }
+        }
+        CoGroupedRuns {
+            merge: KWayMerge::new(runs),
+            side_of,
+        }
+    }
+
+    /// Total number of elements across all sides and runs.
+    pub fn total_len(&self) -> usize {
+        self.merge.total_len()
+    }
+
+    /// Drive `f` once per distinct key (ascending across all sides).
+    /// Same internal-iteration shape as [`GroupedRuns::for_each_group`];
+    /// values left unread are drained, not redelivered.
+    pub fn for_each_group<F>(mut self, mut f: F)
+    where
+        F: FnMut(&'r K, &mut SideGroups<'_, 'r, K, V>),
+    {
+        let mut pending = self.merge.next_with_run();
+        while let Some((run, pair)) = pending {
+            let mut values = SideGroups {
+                key: &pair.0,
+                first: Some((self.side_of[run as usize], &pair.1)),
+                merge: &mut self.merge,
+                side_of: &self.side_of,
+                boundary: None,
+                done: false,
+            };
+            f(&pair.0, &mut values);
             while values.next().is_some() {}
             pending = values.boundary;
         }
@@ -645,5 +776,70 @@ mod tests {
             firsts.push((*k, *vs.next().unwrap()));
         });
         assert_eq!(firsts, vec![(1, 1), (2, 4)]);
+    }
+
+    #[test]
+    fn cogroup_ties_break_by_side_then_run() {
+        // Key 5 lives on both sides and in two runs of side 0: values
+        // must drain side 0 run 0, side 0 run 1, then side 1, each in
+        // within-run order.
+        let a0 = [(5u32, 1u32), (7, 9)];
+        let a1 = [(5, 2)];
+        let b0 = [(3, 0), (5, 3), (5, 4)];
+        let mut groups: Vec<(u32, Vec<(u32, u32)>)> = Vec::new();
+        CoGroupedRuns::new(vec![vec![&a0[..], &a1[..]], vec![&b0[..]]]).for_each_group(|k, vs| {
+            groups.push((*k, vs.map(|(s, &v)| (s, v)).collect()));
+        });
+        assert_eq!(
+            groups,
+            vec![
+                (3, vec![(1, 0)]),
+                (5, vec![(0, 1), (0, 2), (1, 3), (1, 4)]),
+                (7, vec![(0, 9)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn cogroup_partial_reads_and_empty_sides() {
+        let a0 = [(1u32, 10u32), (1, 11), (2, 20)];
+        let b0: [(u32, u32); 0] = [];
+        let c0 = [(1, 12)];
+        let mut firsts = Vec::new();
+        let cg = CoGroupedRuns::new(vec![vec![&a0[..]], vec![&b0[..]], vec![&c0[..]]]);
+        assert_eq!(cg.total_len(), 4);
+        cg.for_each_group(|k, vs| {
+            assert_eq!(vs.key(), k);
+            let (side, &v) = vs.next().unwrap();
+            firsts.push((*k, side, v));
+        });
+        assert_eq!(firsts, vec![(1, 0, 10), (2, 0, 20)]);
+    }
+
+    #[test]
+    fn cogroup_single_side_matches_grouped_runs() {
+        let r0 = [(1u32, 1u32), (2, 2), (2, 3)];
+        let r1 = [(2, 4), (3, 5)];
+        let mut plain: Vec<(u32, Vec<u32>)> = Vec::new();
+        GroupedRuns::new(vec![&r0[..], &r1[..]]).for_each_group(|k, vs| {
+            plain.push((*k, vs.copied().collect()));
+        });
+        let mut co: Vec<(u32, Vec<u32>)> = Vec::new();
+        CoGroupedRuns::new(vec![vec![&r0[..], &r1[..]]]).for_each_group(|k, vs| {
+            for (side, _) in vs.by_ref() {
+                assert_eq!(side, 0);
+            }
+            co.push((*k, Vec::new()));
+        });
+        // Key walk agrees; re-walk collecting values.
+        let mut co_vals: Vec<(u32, Vec<u32>)> = Vec::new();
+        CoGroupedRuns::new(vec![vec![&r0[..], &r1[..]]]).for_each_group(|k, vs| {
+            co_vals.push((*k, vs.map(|(_, &v)| v).collect()));
+        });
+        assert_eq!(plain, co_vals);
+        assert_eq!(
+            plain.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            co.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+        );
     }
 }

@@ -15,6 +15,10 @@ pub enum TaskKind {
     Map,
     /// A reduce task.
     Reduce,
+    /// A co-group task: the reduce side of a co-group stage, consuming
+    /// the sealed reduce partitions of its co-partitioned upstreams
+    /// directly (no map or shuffle phase of its own).
+    CoGroup,
 }
 
 /// Counters for one executed task.
@@ -95,6 +99,13 @@ pub struct JobMetrics {
     /// jobs; set by [`PlanRunner`](crate::plan::PlanRunner) so reports and
     /// traces can attribute a stage to its DAG.
     pub plan_stage: Option<(String, usize)>,
+    /// Whether this job ran as a **co-group stage**: no map or shuffle
+    /// phase; its tasks (kind [`TaskKind::CoGroup`], stored in
+    /// [`Self::reduce_tasks`]) merged the sealed, co-partitioned reduce
+    /// partitions of the upstream stages directly. `map_tasks` is empty
+    /// and the shuffle counters are 0 — the bytes an identity-rekey
+    /// fan-in would have re-shuffled are the co-group tasks' input bytes.
+    pub cogroup: bool,
     /// Per-map-task counters.
     pub map_tasks: Vec<TaskStat>,
     /// Per-reduce-task counters.
@@ -162,6 +173,17 @@ impl JobMetrics {
             return 0.0;
         }
         self.shuffle_bytes as f64 / input as f64
+    }
+
+    /// Shuffle bytes a co-group stage avoided: the bytes its tasks read
+    /// directly from sealed upstream partitions — exactly what an
+    /// identity-rekey fan-in stage over the same inputs would have
+    /// re-shuffled. 0 for regular MapReduce jobs.
+    pub fn cogroup_shuffle_bytes_saved(&self) -> usize {
+        if !self.cogroup {
+            return 0;
+        }
+        self.reduce_tasks.iter().map(|t| t.input_bytes).sum()
     }
 
     /// Distribution of per-reduce-task input bytes — the load-balance
@@ -260,6 +282,7 @@ mod tests {
         JobMetrics {
             name: "test".into(),
             plan_stage: None,
+            cogroup: false,
             map_tasks: vec![stat(TaskKind::Map, 10, 30), stat(TaskKind::Map, 10, 30)],
             reduce_tasks: vec![stat(TaskKind::Reduce, 30, 5), stat(TaskKind::Reduce, 30, 5)],
             shuffle_records: 60,
@@ -352,5 +375,17 @@ mod tests {
         m.map_tasks.clear();
         assert_eq!(m.record_expansion(), 0.0);
         assert_eq!(m.byte_expansion(), 0.0);
+    }
+
+    #[test]
+    fn cogroup_bytes_saved_counts_task_input() {
+        let mut m = metrics();
+        assert_eq!(m.cogroup_shuffle_bytes_saved(), 0);
+        m.cogroup = true;
+        m.map_tasks.clear();
+        m.shuffle_records = 0;
+        m.shuffle_bytes = 0;
+        // Two reduce-side tasks reading 30 records * 8 bytes each.
+        assert_eq!(m.cogroup_shuffle_bytes_saved(), 480);
     }
 }

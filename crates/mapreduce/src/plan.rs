@@ -34,15 +34,16 @@ use crate::dfs::Dfs;
 use crate::emitter::Emitter;
 use crate::executor::{default_workers, panic_message};
 use crate::job::{combine_runs, IdentityCombiner};
-use crate::merge::GroupedRuns;
+use crate::merge::{CoGroupedRuns, GroupedRuns};
 use crate::metrics::{ChainMetrics, ExecSummary, JobMetrics, TaskKind, TaskStat};
 use crate::partitioner::{HashPartitioner, Partitioner};
 use crate::spill::{SharedRun, SpillStore};
-use crate::traits::{Combiner, Key, Mapper, StreamingReducer, Value};
+use crate::traits::{CoGroupReducer, Combiner, Key, Mapper, StreamingReducer, Value};
 use ssj_common::ByteSize;
 use ssj_faults::{Fault, FaultPlan, InjectedPanic, Phase, RetryPolicy};
 use ssj_observe::{global_registry, span, Span};
 use std::any::Any;
+use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -101,6 +102,16 @@ type ReduceFn = Box<
         + Send
         + Sync,
 >;
+/// Co-group body: `(task, sealed upstream partitions, broadcast values,
+/// attempt, phase start, tags)`. The partition slice holds partition
+/// `task` of every shuffle upstream in edge order — a co-group task has
+/// no map/shuffle phase of its own; it merges the already co-partitioned
+/// sealed reduce outputs directly.
+type CoGroupFn = Box<
+    dyn Fn(usize, &[AnyPart], &[AnyPart], u32, Instant, &TaskTags<'_>) -> (AnyPart, TaskStat)
+        + Send
+        + Sync,
+>;
 
 /// Process-unique id for one plan execution (also used for simulated
 /// timelines). Distinguishes repeated runs of the same plan within one
@@ -138,18 +149,33 @@ pub enum StageEdge {
     Broadcast { slot: usize },
 }
 
+/// What kind of work a stage's tasks perform.
+enum StageKind {
+    /// A full MapReduce job: map splits → map-side sort/combine →
+    /// transpose (shuffle) → reduce.
+    MapReduce {
+        run_map: MapFn,
+        transpose: TransposeFn,
+        run_reduce: ReduceFn,
+    },
+    /// A co-group stage: **no map or shuffle phase**. Task `i` merges the
+    /// sealed reduce partition `i` of every co-partitioned shuffle
+    /// upstream directly (side-tagged, via the multi-source
+    /// [`CoGroupedRuns`] loser-tree plane) and reduces the merged groups.
+    CoGroup { run_cogroup: CoGroupFn },
+}
+
 /// One type-erased stage of a [`Plan`]. Built by the `add*` methods; the
 /// closures replicate [`JobBuilder::run_full`]'s task bodies exactly.
 pub struct Stage {
     name: String,
     edges: Vec<InputEdge>,
     /// Number of map tasks (= splits): the external partition count, or
-    /// the shared reduce-task count of the shuffle upstreams.
+    /// the shared reduce-task count of the shuffle upstreams. Always 0
+    /// for co-group stages (they have no map phase).
     n_splits: usize,
     reduce_tasks: usize,
-    run_map: MapFn,
-    transpose: TransposeFn,
-    run_reduce: ReduceFn,
+    kind: StageKind,
 }
 
 impl Stage {
@@ -161,6 +187,12 @@ impl Stage {
     /// Number of reduce tasks (= output partitions).
     pub fn reduce_tasks(&self) -> usize {
         self.reduce_tasks
+    }
+
+    /// Whether this is a co-group stage (no map/shuffle phase; tasks
+    /// consume the sealed upstream reduce partitions directly).
+    pub fn is_cogroup(&self) -> bool {
+        matches!(self.kind, StageKind::CoGroup { .. })
     }
 
     /// The stage's input edges, in declaration order.
@@ -790,9 +822,215 @@ impl Plan {
             edges,
             n_splits,
             reduce_tasks,
-            run_map,
-            transpose,
-            run_reduce,
+            kind: StageKind::MapReduce {
+                run_map,
+                transpose,
+                run_reduce,
+            },
+        });
+        StageHandle {
+            idx,
+            _t: PhantomData,
+        }
+    }
+
+    /// Add a **co-group stage**: no map or shuffle phase. The stage's
+    /// tasks consume the sealed, co-partitioned reduce partitions of the
+    /// listed upstream stages directly — task `i` merges partition `i` of
+    /// every upstream (side = upstream's position in `upstreams`) through
+    /// the multi-source loser-tree plane and hands the reducer one
+    /// side-tagged group per distinct key.
+    ///
+    /// This is the fan-in shape MapReduce-native joins want: where an
+    /// identity-rekey fan-in stage would re-shuffle exactly the records
+    /// its co-partitioned upstreams already routed, a co-group stage
+    /// ships zero shuffle bytes. Scheduling is partition-granular in
+    /// [`PlanMode::Pipelined`] (task `i` queues the moment partition `i`
+    /// of *every* upstream seals) and barriered in
+    /// [`PlanMode::Sequential`]; retries re-fetch the sealed upstream
+    /// partitions without re-running any upstream work.
+    ///
+    /// # Panics
+    /// Panics if `upstreams` is empty, a handle does not refer to an
+    /// earlier stage of this plan, or the upstreams are not
+    /// co-partitioned (unequal `reduce_tasks`).
+    pub fn add_cogroup<R, FR>(
+        &mut self,
+        name: impl Into<String>,
+        upstreams: Vec<StageHandle<R::InKey, R::InValue>>,
+        reducer: FR,
+    ) -> StageHandle<R::OutKey, R::OutValue>
+    where
+        R: CoGroupReducer + 'static,
+        FR: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        self.add_cogroup_inner(
+            name.into(),
+            upstreams,
+            Vec::new(),
+            Box::new(move |i, _b: &[AnyPart]| reducer(i)),
+        )
+    }
+
+    /// Like [`Plan::add_cogroup`], but the stage additionally consumes a
+    /// [`Broadcast`](StageEdge::Broadcast) edge (same contract as
+    /// [`Plan::add_full_broadcast`]: the factory receives the broadcast
+    /// value at every task attempt and must not capture it).
+    pub fn add_cogroup_broadcast<B, R, FR>(
+        &mut self,
+        name: impl Into<String>,
+        upstreams: Vec<StageHandle<R::InKey, R::InValue>>,
+        broadcast: BroadcastHandle<B>,
+        reducer: FR,
+    ) -> StageHandle<R::OutKey, R::OutValue>
+    where
+        B: Send + Sync + 'static,
+        R: CoGroupReducer + 'static,
+        FR: Fn(usize, &Arc<B>) -> R + Send + Sync + 'static,
+    {
+        assert!(
+            broadcast.slot < self.broadcasts.len(),
+            "broadcast handle does not belong to this plan"
+        );
+        fn value<B: Send + Sync + 'static>(b: &[AnyPart]) -> Arc<B> {
+            Arc::clone(&b[0])
+                .downcast::<B>()
+                .unwrap_or_else(|_| panic!("broadcast value has the handle's declared type"))
+        }
+        self.add_cogroup_inner(
+            name.into(),
+            upstreams,
+            vec![broadcast.slot],
+            Box::new(move |i, b: &[AnyPart]| reducer(i, &value::<B>(b))),
+        )
+    }
+
+    /// Shared type-erased co-group stage builder.
+    fn add_cogroup_inner<R>(
+        &mut self,
+        name: String,
+        upstreams: Vec<StageHandle<R::InKey, R::InValue>>,
+        bcast_slots: Vec<usize>,
+        reducer: ErasedFactory<R>,
+    ) -> StageHandle<R::OutKey, R::OutValue>
+    where
+        R: CoGroupReducer + 'static,
+    {
+        assert!(
+            !upstreams.is_empty(),
+            "a co-group stage needs at least one upstream"
+        );
+        for h in &upstreams {
+            assert!(
+                h.idx < self.stages.len(),
+                "input handle does not refer to an earlier stage of this plan"
+            );
+            assert_eq!(
+                self.stages[h.idx].reduce_tasks, self.stages[upstreams[0].idx].reduce_tasks,
+                "co-group stages need co-partitioned upstreams (equal reduce_tasks)"
+            );
+        }
+        let reduce_tasks = self.stages[upstreams[0].idx].reduce_tasks;
+        let mut edges: Vec<InputEdge> = upstreams
+            .iter()
+            .map(|h| InputEdge::Shuffle(h.idx))
+            .collect();
+        for slot in bcast_slots {
+            assert!(
+                slot < self.broadcasts.len(),
+                "broadcast handle does not belong to this plan"
+            );
+            edges.push(InputEdge::Broadcast(slot));
+        }
+
+        let cg_name = name.clone();
+        let run_cogroup: CoGroupFn =
+            Box::new(move |task_idx, parts, bvals, attempt, phase_start, tags| {
+                let queue = phase_start.elapsed();
+                let mut task_span = span("mr.task", "cogroup");
+                task_span.record("job", cg_name.as_str());
+                task_span.record("index", task_idx);
+                task_span.record("attempt", attempt);
+                task_span.record("plan", tags.plan);
+                task_span.record("run", tags.run);
+                task_span.record("stage", tags.stage);
+                task_span.record("partition", task_idx);
+                let start = Instant::now();
+                let mut r = reducer(task_idx, bvals);
+                let mut out: Emitter<R::OutKey, R::OutValue> = Emitter::new();
+                r.setup();
+
+                // One sealed partition per side (edge order). Sealed
+                // reduce outputs are group-ordered (reducers see keys
+                // ascending), so each is one sorted run; a reducer that
+                // emitted out of key order is tolerated by stable-sorting
+                // a copy — bit-for-bit what the identity-rekey fan-in
+                // map's stable bucket sort would have produced.
+                let side_parts: Vec<&Vec<(R::InKey, R::InValue)>> = parts
+                    .iter()
+                    .map(|part| {
+                        part.downcast_ref()
+                            .expect("co-group input has the stage's declared type")
+                    })
+                    .collect();
+                let runs: Vec<_> = side_parts
+                    .iter()
+                    .map(|side| {
+                        if side.windows(2).all(|w| w[0].0 <= w[1].0) {
+                            Cow::Borrowed(side.as_slice())
+                        } else {
+                            let mut copy = (*side).clone();
+                            copy.sort_by(|a, b| a.0.cmp(&b.0));
+                            Cow::Owned(copy)
+                        }
+                    })
+                    .collect();
+
+                let mut input_records = 0usize;
+                let mut input_bytes = 0usize;
+                for side in &side_parts {
+                    input_records += side.len();
+                    input_bytes += side
+                        .iter()
+                        .map(|(k, v)| k.byte_size() + v.byte_size())
+                        .sum::<usize>();
+                }
+                let mut input_keys = 0usize;
+                CoGroupedRuns::new(runs.iter().map(|run| vec![&run[..]]).collect()).for_each_group(
+                    |key, values| {
+                        input_keys += 1;
+                        r.cogroup(key, values, &mut out);
+                    },
+                );
+                r.cleanup(&mut out);
+
+                let output_records = out.len();
+                let output_bytes = out.bytes();
+                let (pairs, _) = out.into_parts();
+                task_span.record("input_records", input_records);
+                task_span.record("input_keys", input_keys);
+                task_span.record("output_records", output_records);
+                let stat = TaskStat {
+                    kind: TaskKind::CoGroup,
+                    index: task_idx,
+                    duration: start.elapsed(),
+                    queue,
+                    input_records,
+                    input_bytes,
+                    input_keys,
+                    output_records,
+                    output_bytes,
+                };
+                (Arc::new(pairs) as AnyPart, stat)
+            });
+
+        let idx = self.stages.len();
+        self.stages.push(Stage {
+            name,
+            edges,
+            n_splits: 0,
+            reduce_tasks,
+            kind: StageKind::CoGroup { run_cogroup },
         });
         StageHandle {
             idx,
@@ -941,8 +1179,13 @@ struct StageRt {
     /// partitions are still unsealed. Split `i` queues when this reaches 0
     /// (external stages start at 0 and queue up front).
     pending_split: Vec<usize>,
+    /// Pipelined release for co-group stages (which have no map splits):
+    /// per reduce partition, how many shuffle-upstream partitions are
+    /// still unsealed. Co-group task `i` queues when this reaches 0.
+    pending_part: Vec<usize>,
     /// Sequential barrier: how many shuffle edges' upstream stages are
-    /// still incomplete. All maps queue when this reaches 0.
+    /// still incomplete. All maps (co-group: all tasks) queue when this
+    /// reaches 0.
     pending_up: usize,
     map_done: usize,
     reduce_done: usize,
@@ -975,11 +1218,22 @@ struct StageRt {
 }
 
 impl StageRt {
-    fn new(maps_total: usize, reduce_tasks: usize, consumers: usize, fan_in: usize) -> Self {
+    fn new(
+        maps_total: usize,
+        reduce_tasks: usize,
+        consumers: usize,
+        fan_in: usize,
+        cogroup: bool,
+    ) -> Self {
         StageRt {
             maps_total,
             consumers,
             pending_split: vec![fan_in; maps_total],
+            pending_part: if cogroup {
+                vec![fan_in; reduce_tasks]
+            } else {
+                Vec::new()
+            },
             pending_up: fan_in,
             map_done: 0,
             reduce_done: 0,
@@ -1136,6 +1390,7 @@ fn run_plan(mut plan: Plan, mode: PlanMode) -> PlanOutcome {
             stage.reduce_tasks,
             consumers[j].len(),
             fan_in,
+            stage.is_cogroup(),
         ));
         if fan_in == 0 {
             // External-input stages (broadcast edges don't gate
@@ -1238,6 +1493,37 @@ fn ensure_stage_started(
     rt.map_started.expect("map phase started")
 }
 
+/// Co-group counterpart of [`ensure_stage_started`]: a co-group stage has
+/// no map or shuffle phase, so its first claimed task opens the job span
+/// (tagged `kind = "cogroup"`) and the reduce phase directly.
+fn ensure_cogroup_started(
+    rt: &mut StageRt,
+    stage: &Stage,
+    plan_name: &str,
+    run: u64,
+    stage_idx: usize,
+    now: Instant,
+) -> Instant {
+    if rt.started.is_none() {
+        rt.started = Some(now);
+        let mut job_span = span("mr.job", &stage.name);
+        job_span.record("reduce_tasks", stage.reduce_tasks);
+        job_span.record("plan", plan_name);
+        job_span.record("run", run);
+        job_span.record("stage", stage_idx);
+        job_span.record("kind", "cogroup");
+        let upstreams = ssj_observe::encode_upstreams(&stage.upstreams());
+        job_span.record("upstream", upstreams.as_str());
+        rt.job_span = Some(job_span);
+        rt.reduce_started = Some(now);
+        let mut reduce_span = span("mr.phase", "cogroup");
+        reduce_span.record("job", stage.name.as_str());
+        reduce_span.record("tasks", stage.reduce_tasks);
+        rt.reduce_span = Some(reduce_span);
+    }
+    rt.reduce_started.expect("co-group phase started")
+}
+
 #[allow(clippy::too_many_arguments)]
 /// One claimed attempt's input snapshot (all `Arc` clones taken under the
 /// scheduler lock).
@@ -1248,6 +1534,13 @@ enum Claimed {
     },
     Reduce {
         spill: AnySpill,
+        bvals: Vec<AnyPart>,
+    },
+    /// A co-group task's input: partition `task` of every shuffle
+    /// upstream, in edge order (re-fetching is an `Arc` clone, so a
+    /// retry never re-runs upstream work).
+    CoGroup {
+        parts: Vec<AnyPart>,
         bvals: Vec<AnyPart>,
     },
 }
@@ -1330,6 +1623,30 @@ fn plan_worker_loop(
                     rt.exec.attempts += 1;
                     (Claimed::Map { parts, bvals }, phase_start)
                 }
+                Phase::Reduce if stage.is_cogroup() => {
+                    // Snapshot partition `task` of every shuffle upstream
+                    // plus the broadcast values, in edge order — the same
+                    // sealed-partition re-fetch a fan-in map performs,
+                    // minus the map/shuffle it would have paid.
+                    let mut parts = Vec::new();
+                    for edge in &stage.edges {
+                        match edge {
+                            InputEdge::Shuffle(u) => parts.push(Arc::clone(
+                                guard.stages[*u].outputs[item.task]
+                                    .as_ref()
+                                    .expect("sealed upstream partition is alive until consumed"),
+                            )),
+                            InputEdge::External(_) | InputEdge::Broadcast(_) => {}
+                        }
+                    }
+                    let bvals = claim_broadcasts(&guard, stage);
+                    let rt = &mut guard.stages[item.stage];
+                    let phase_start =
+                        ensure_cogroup_started(rt, stage, &plan.name, run, item.stage, now);
+                    rt.red_launched[item.task] += 1;
+                    rt.exec.attempts += 1;
+                    (Claimed::CoGroup { parts, bvals }, phase_start)
+                }
                 Phase::Reduce => {
                     let bvals = claim_broadcasts(&guard, stage);
                     let rt = &mut guard.stages[item.stage];
@@ -1381,22 +1698,45 @@ fn plan_worker_loop(
                     stage: item.stage,
                 };
                 let run_body = || match &input {
-                    Claimed::Map { parts, bvals } => Body::Map((stage.run_map)(
-                        item.task,
-                        parts,
-                        bvals,
-                        item.attempt,
-                        phase_start,
-                        &tags,
-                    )),
-                    Claimed::Reduce { spill, bvals } => Body::Reduce((stage.run_reduce)(
-                        item.task,
-                        spill,
-                        bvals,
-                        item.attempt,
-                        phase_start,
-                        &tags,
-                    )),
+                    Claimed::Map { parts, bvals } => {
+                        let StageKind::MapReduce { run_map, .. } = &stage.kind else {
+                            unreachable!("map attempts only queue for MapReduce stages")
+                        };
+                        Body::Map(run_map(
+                            item.task,
+                            parts,
+                            bvals,
+                            item.attempt,
+                            phase_start,
+                            &tags,
+                        ))
+                    }
+                    Claimed::Reduce { spill, bvals } => {
+                        let StageKind::MapReduce { run_reduce, .. } = &stage.kind else {
+                            unreachable!("spill reduces only queue for MapReduce stages")
+                        };
+                        Body::Reduce(run_reduce(
+                            item.task,
+                            spill,
+                            bvals,
+                            item.attempt,
+                            phase_start,
+                            &tags,
+                        ))
+                    }
+                    Claimed::CoGroup { parts, bvals } => {
+                        let StageKind::CoGroup { run_cogroup } = &stage.kind else {
+                            unreachable!("co-group attempts only queue for CoGroup stages")
+                        };
+                        Body::Reduce(run_cogroup(
+                            item.task,
+                            parts,
+                            bvals,
+                            item.attempt,
+                            phase_start,
+                            &tags,
+                        ))
+                    }
                 };
                 match catch_unwind(AssertUnwindSafe(run_body)) {
                     Ok(out) => Ok(out),
@@ -1528,7 +1868,10 @@ fn on_map_done(
         .iter_mut()
         .map(|s| s.take().expect("every map task sealed its output"))
         .collect();
-    let spill = (plan.stages[stage_idx].transpose)(sealed);
+    let StageKind::MapReduce { transpose, .. } = &plan.stages[stage_idx].kind else {
+        unreachable!("maps only run for MapReduce stages")
+    };
+    let spill = transpose(sealed);
     shuffle_span.record("records", rt.shuffle_records);
     shuffle_span.record("bytes", rt.shuffle_bytes);
     drop(shuffle_span);
@@ -1586,20 +1929,41 @@ fn on_reduce_done(
         }
     }
 
+    // Pipelined mode: a successful co-group task has durably consumed
+    // partition `task` of every shuffle upstream (the analogue of a
+    // fan-in map's consumption) — release each edge's hold on it.
+    if mode == PlanMode::Pipelined && plan.stages[stage_idx].is_cogroup() {
+        for &u in &deps[stage_idx] {
+            release_partition(state, u, task);
+        }
+    }
+
     // Pipelined mode: partition `task` is sealed — decrement each
     // consumer edge's pending count for split `task`; the split queues
     // only when EVERY shuffle upstream has sealed its partition `task`
     // (the multi-input release rule; single-input stages decrement
-    // straight from 1 to 0).
+    // straight from 1 to 0). A co-group consumer has no map splits: its
+    // *task* `task` queues directly — as Phase::Reduce — the moment every
+    // upstream seals partition `task`.
     if mode == PlanMode::Pipelined {
         for &j in &consumers[stage_idx] {
+            let consumer_cogroup = plan.stages[j].is_cogroup();
             let rt = &mut state.stages[j];
-            debug_assert!(rt.pending_split[task] > 0, "split released too often");
-            rt.pending_split[task] -= 1;
-            if rt.pending_split[task] == 0 {
+            let pending = if consumer_cogroup {
+                &mut rt.pending_part
+            } else {
+                &mut rt.pending_split
+            };
+            debug_assert!(pending[task] > 0, "split released too often");
+            pending[task] -= 1;
+            if pending[task] == 0 {
                 state.queue.push_back(Queued {
                     stage: j,
-                    phase: Phase::Map,
+                    phase: if consumer_cogroup {
+                        Phase::Reduce
+                    } else {
+                        Phase::Map
+                    },
                     task,
                     attempt: 0,
                     not_before: now,
@@ -1623,15 +1987,22 @@ fn on_reduce_done(
         // stage completes (the fair stand-in for the legacy chain, which
         // kept whole intermediate datasets alive across job boundaries).
         for &j in &consumers[stage_idx] {
+            let consumer_cogroup = plan.stages[j].is_cogroup();
             let rt = &mut state.stages[j];
             debug_assert!(rt.pending_up > 0, "upstream edge completed too often");
             rt.pending_up -= 1;
             if rt.pending_up == 0 {
-                let maps = rt.maps_total;
-                for t in 0..maps {
+                // A MapReduce consumer's maps become runnable; a co-group
+                // consumer has no maps — its tasks queue directly.
+                let (phase, tasks) = if consumer_cogroup {
+                    (Phase::Reduce, plan.stages[j].reduce_tasks)
+                } else {
+                    (Phase::Map, rt.maps_total)
+                };
+                for t in 0..tasks {
                     state.queue.push_back(Queued {
                         stage: j,
-                        phase: Phase::Map,
+                        phase,
                         task: t,
                         attempt: 0,
                         not_before: now,
@@ -1695,6 +2066,7 @@ fn finalize_stage(state: &mut RunState, plan: &Plan, stage_idx: usize) {
     let metrics = JobMetrics {
         name: stage.name.clone(),
         plan_stage: Some((plan.name.clone(), stage_idx)),
+        cogroup: stage.is_cogroup(),
         map_tasks: map_stats,
         reduce_tasks: reduce_stats,
         shuffle_records: rt.shuffle_records,
@@ -1730,6 +2102,7 @@ fn finalize_stage(state: &mut RunState, plan: &Plan, stage_idx: usize) {
 mod tests {
     use super::*;
     use crate::job::JobBuilder;
+    use crate::merge::SideGroups;
     use crate::traits::{Reducer, SumCombiner};
 
     /// Emits (token, 1) for each whitespace token.
@@ -2056,5 +2429,254 @@ mod tests {
         let mut outcome = PlanRunner::pipelined().run(plan);
         let _first = outcome.take_sealed(h);
         let _second = outcome.take_sealed(h);
+    }
+
+    // ---- co-group stages --------------------------------------------------
+
+    /// Identity mapper over the word-count output type.
+    struct RekeyId;
+    impl Mapper for RekeyId {
+        type InKey = String;
+        type InValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        fn map(&mut self, k: String, v: u64, out: &mut Emitter<String, u64>) {
+            out.emit(k, v);
+        }
+    }
+
+    /// Emits every group value in arrival order, unchanged.
+    struct PassThrough;
+    impl StreamingReducer for PassThrough {
+        type InKey = String;
+        type InValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        fn reduce_group(
+            &mut self,
+            k: &String,
+            values: &mut crate::merge::GroupValues<'_, '_, String, u64>,
+            out: &mut Emitter<String, u64>,
+        ) {
+            for v in values {
+                out.emit(k.clone(), *v);
+            }
+        }
+    }
+
+    /// Co-group counterpart of [`PassThrough`]: drops the side tags.
+    struct PassThroughCo;
+    impl CoGroupReducer for PassThroughCo {
+        type InKey = String;
+        type InValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        fn cogroup(
+            &mut self,
+            k: &String,
+            values: &mut SideGroups<'_, '_, String, u64>,
+            out: &mut Emitter<String, u64>,
+        ) {
+            for (_side, v) in values {
+                out.emit(k.clone(), *v);
+            }
+        }
+    }
+
+    fn wc_input_b() -> Dataset<u32, String> {
+        Dataset::from_records(
+            vec![
+                (0, "dog fox the wolf".to_string()),
+                (1, "quick quick wolf".to_string()),
+            ],
+            2,
+        )
+    }
+
+    fn two_upstreams(plan: &mut Plan) -> Vec<StageHandle<String, u64>> {
+        let a = plan.add::<Tokenize, Sum, _, _>("wc-a", wc_input(), 3, |_| Tokenize, |_| Sum);
+        let b = plan.add::<Tokenize, Sum, _, _>("wc-b", wc_input_b(), 3, |_| Tokenize, |_| Sum);
+        vec![a, b]
+    }
+
+    /// A co-group stage must reproduce the identity-rekey fan-in stage
+    /// partition-for-partition: the rekey map of split `t` concatenates
+    /// partition `t` of every upstream in edge order and stable-sorts, so
+    /// equal keys surface in side order — exactly the co-group merge's
+    /// (key, side, run) tie-break.
+    #[test]
+    fn cogroup_matches_rekey_fan_in() {
+        let mut rekey_plan = Plan::new("rekey").with_workers(2);
+        let ups = two_upstreams(&mut rekey_plan);
+        let rekey_h = rekey_plan.add::<RekeyId, PassThrough, _, _>(
+            "fan-in",
+            StageInput::Stages(ups),
+            3,
+            |_| RekeyId,
+            |_| PassThrough,
+        );
+        let mut rekey_out = PlanRunner::pipelined().run(rekey_plan);
+
+        let mut co_plan = Plan::new("co").with_workers(2);
+        let ups = two_upstreams(&mut co_plan);
+        let co_h = co_plan.add_cogroup::<PassThroughCo, _>("fan-in", ups, |_| PassThroughCo);
+        let mut co_out = PlanRunner::pipelined().run(co_plan);
+
+        // Identical partitions, not just an identical multiset.
+        assert_eq!(
+            rekey_out.take_output(rekey_h).partitions(),
+            co_out.take_output(co_h).partitions()
+        );
+
+        let rekey_m = &rekey_out.metrics.jobs[2];
+        let co_m = &co_out.metrics.jobs[2];
+        assert!(co_m.cogroup && !rekey_m.cogroup);
+        assert!(co_m.map_tasks.is_empty());
+        assert_eq!(co_m.shuffle_bytes, 0);
+        assert_eq!(co_m.shuffle_records, 0);
+        // What the stage read in place is exactly what the rekey stage
+        // re-shuffled.
+        assert_eq!(co_m.cogroup_shuffle_bytes_saved(), rekey_m.shuffle_bytes);
+        assert_eq!(rekey_m.cogroup_shuffle_bytes_saved(), 0);
+        // Per-task reduce-side accounting agrees (records, bytes, keys,
+        // outputs) — the skew telemetry sees the same distribution.
+        for (a, b) in rekey_m.reduce_tasks.iter().zip(&co_m.reduce_tasks) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.input_records, b.input_records);
+            assert_eq!(a.input_bytes, b.input_bytes);
+            assert_eq!(a.input_keys, b.input_keys);
+            assert_eq!(a.output_records, b.output_records);
+            assert_eq!(a.output_bytes, b.output_bytes);
+        }
+    }
+
+    /// Side tags must follow edge order: every value from upstream 0
+    /// arrives tagged 0, from upstream 1 tagged 1, with tags
+    /// non-decreasing within a group.
+    #[test]
+    fn cogroup_side_tags_follow_edge_order() {
+        // Upstream values are disjoint by construction: wc-a counts are
+        // < 1000, wc-b's are shifted by +1000 via a scaling reducer.
+        struct SumShift(u64);
+        impl Reducer for SumShift {
+            type InKey = String;
+            type InValue = u64;
+            type OutKey = String;
+            type OutValue = u64;
+            fn reduce(&mut self, k: &String, vs: Vec<u64>, out: &mut Emitter<String, u64>) {
+                out.emit(k.clone(), self.0 + vs.into_iter().sum::<u64>());
+            }
+        }
+        struct TagCheck;
+        impl CoGroupReducer for TagCheck {
+            type InKey = String;
+            type InValue = u64;
+            type OutKey = String;
+            type OutValue = u64;
+            fn cogroup(
+                &mut self,
+                k: &String,
+                values: &mut SideGroups<'_, '_, String, u64>,
+                out: &mut Emitter<String, u64>,
+            ) {
+                let mut last_side = 0u32;
+                for (side, v) in values {
+                    assert!(side >= last_side, "side tags must be non-decreasing");
+                    last_side = side;
+                    let from_b = *v >= 1000;
+                    assert_eq!(
+                        side,
+                        u32::from(from_b),
+                        "value {v} of key {k} tagged with the wrong side"
+                    );
+                    out.emit(k.clone(), *v);
+                }
+            }
+        }
+        let mut plan = Plan::new("tags").with_workers(2);
+        let a = plan.add::<Tokenize, SumShift, _, _>(
+            "wc-a",
+            wc_input(),
+            2,
+            |_| Tokenize,
+            |_| SumShift(0),
+        );
+        let b = plan.add::<Tokenize, SumShift, _, _>(
+            "wc-b",
+            wc_input_b(),
+            2,
+            |_| Tokenize,
+            |_| SumShift(1000),
+        );
+        let h = plan.add_cogroup::<TagCheck, _>("tag-check", vec![a, b], |_| TagCheck);
+        let out = PlanRunner::pipelined().run(plan).take_output(h);
+        // Both sides' records all pass through (6 + 5 distinct words).
+        assert_eq!(out.total_records(), 11);
+    }
+
+    fn cogroup_plan(workers: usize) -> (Plan, StageHandle<String, u64>) {
+        let mut plan = Plan::new("co-wc").with_workers(workers);
+        let ups = two_upstreams(&mut plan);
+        let h = plan.add_cogroup::<PassThroughCo, _>("fan-in", ups, |_| PassThroughCo);
+        (plan, h)
+    }
+
+    #[test]
+    fn cogroup_pipelined_equals_sequential_across_workers() {
+        for workers in [1, 2, 7] {
+            let (plan_a, h_a) = cogroup_plan(workers);
+            let (plan_b, h_b) = cogroup_plan(workers);
+            let mut piped = PlanRunner::pipelined().run(plan_a);
+            let mut seq = PlanRunner::sequential().run(plan_b);
+            assert_eq!(
+                piped.take_output(h_a).partitions(),
+                seq.take_output(h_b).partitions(),
+                "co-group results must not depend on sequencing (workers={workers})"
+            );
+            for (a, b) in piped.metrics.jobs.iter().zip(&seq.metrics.jobs) {
+                assert_eq!(
+                    format!("{:?}", logical(a)),
+                    format!("{:?}", logical(b)),
+                    "logical metrics must not depend on sequencing (workers={workers})"
+                );
+            }
+        }
+    }
+
+    /// A failed co-group attempt re-fetches the sealed upstream
+    /// partitions — the upstreams never re-run.
+    #[test]
+    fn injected_cogroup_fault_refetches_sealed_partitions() {
+        let faults = FaultPlan::new(11).with_target("fan-in", Phase::Reduce, Fault::Error, 1);
+        let (clean, h_clean) = cogroup_plan(2);
+        let (faulty, h_faulty) = cogroup_plan(2);
+        let faulty = faulty
+            .with_faults(faults)
+            .with_retry(RetryPolicy::default());
+        let mut clean_out = PlanRunner::pipelined().run(clean);
+        let mut faulty_out = PlanRunner::pipelined().run(faulty);
+        assert_eq!(
+            clean_out.take_output(h_clean).partitions(),
+            faulty_out.take_output(h_faulty).partitions()
+        );
+        for up in &faulty_out.metrics.jobs[..2] {
+            assert_eq!(
+                up.exec.attempts,
+                (up.map_tasks.len() + up.reduce_tasks.len()) as u64
+            );
+            assert_eq!(up.exec.retries, 0, "upstream {} must not re-run", up.name);
+        }
+        let co = &faulty_out.metrics.jobs[2];
+        assert_eq!(co.exec.retries, co.reduce_tasks.len() as u64);
+        assert_eq!(co.exec.injected_errors, co.reduce_tasks.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "co-partitioned upstreams")]
+    fn cogroup_upstream_shape_mismatch_rejected() {
+        let mut plan = Plan::new("bad-co");
+        let a = plan.add::<Tokenize, Sum, _, _>("wc-a", wc_input(), 3, |_| Tokenize, |_| Sum);
+        let b = plan.add::<Tokenize, Sum, _, _>("wc-b", wc_input_b(), 2, |_| Tokenize, |_| Sum);
+        let _ = plan.add_cogroup::<PassThroughCo, _>("fan-in", vec![a, b], |_| PassThroughCo);
     }
 }

@@ -688,6 +688,7 @@ mod tests {
         JobMetrics {
             name: name.into(),
             plan_stage: None,
+            cogroup: false,
             map_tasks: (0..maps)
                 .map(|i| stat(TaskKind::Map, i, map_secs))
                 .collect(),

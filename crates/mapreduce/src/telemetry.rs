@@ -86,6 +86,17 @@ pub fn record_job_telemetry(reg: &MetricsRegistry, m: &JobMetrics) {
 
     // ---- Per-stage skew namespace ------------------------------------
     let stage = &m.name;
+    // Co-group stages announce themselves: the gauge tells readers why
+    // the stage has no map tasks, and the saved-bytes counter is the
+    // shuffle volume an identity-rekey fan-in over the same inputs
+    // would have re-transferred.
+    if m.cogroup {
+        reg.gauge_set(&format!("mr.stage.{stage}.cogroup"), 1.0);
+        reg.counter_add(
+            &format!("mr.stage.{stage}.cogroup.shuffle_bytes_saved"),
+            m.cogroup_shuffle_bytes_saved() as u64,
+        );
+    }
     let records: Vec<u64> = m
         .reduce_tasks
         .iter()
@@ -159,6 +170,7 @@ mod tests {
         JobMetrics {
             name: "probe".into(),
             plan_stage: None,
+            cogroup: false,
             map_tasks: vec![stat(TaskKind::Map, 0, 5, 100, 0)],
             reduce_tasks: reduce_bytes
                 .iter()
@@ -248,5 +260,31 @@ mod tests {
             })
             .unwrap();
         assert_eq!(stragglers, 1);
+    }
+
+    #[test]
+    fn cogroup_stage_emits_gauge_and_bytes_saved() {
+        let reg = MetricsRegistry::new();
+        let mut m = job(&[800, 1200], &[10, 10]);
+        m.cogroup = true;
+        m.map_tasks.clear();
+        for t in &mut m.reduce_tasks {
+            t.kind = TaskKind::CoGroup;
+        }
+        record_job_telemetry(&reg, &m);
+        let snap = reg.snapshot();
+        let find = |name: &str| snap.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone());
+        match find("mr.stage.probe.cogroup") {
+            Some(ssj_observe::MetricValue::Gauge(g)) => assert_eq!(g, 1.0),
+            other => panic!("cogroup gauge missing/wrong: {other:?}"),
+        }
+        match find("mr.stage.probe.cogroup.shuffle_bytes_saved") {
+            Some(ssj_observe::MetricValue::Counter(c)) => assert_eq!(c, 2000),
+            other => panic!("bytes-saved counter missing/wrong: {other:?}"),
+        }
+        // A plain map-reduce stage emits neither.
+        let reg2 = MetricsRegistry::new();
+        record_job_telemetry(&reg2, &job(&[800], &[10]));
+        assert!(!reg2.to_jsonl().contains("cogroup"));
     }
 }

@@ -3,7 +3,7 @@
 //! types must satisfy.
 
 use crate::emitter::Emitter;
-use crate::merge::GroupValues;
+use crate::merge::{GroupValues, SideGroups};
 use ssj_common::ByteSize;
 use std::hash::Hash;
 
@@ -156,6 +156,43 @@ impl<R: Reducer> StreamingReducer for R {
     fn cleanup(&mut self, out: &mut Emitter<R::OutKey, R::OutValue>) {
         Reducer::cleanup(self, out);
     }
+}
+
+/// A co-group reduce task: the reduce side of a
+/// [`Plan::add_cogroup`](crate::Plan::add_cogroup) stage.
+///
+/// One instance is created per co-group task (= per reduce partition of
+/// the co-partitioned upstreams). `cogroup` is invoked once per distinct
+/// key across **all** upstream sides, keys ascending within the task;
+/// the group's values stream by reference as `(side, &value)` with side
+/// tags non-decreasing (side = position of the upstream in the stage's
+/// edge list), and within one side in upstream reduce-partition emission
+/// order — exactly what an identity-rekey fan-in map over the same
+/// sealed partitions would have delivered, minus the second shuffle.
+pub trait CoGroupReducer: Send {
+    /// Key type of every upstream's reduce output.
+    type InKey: Key;
+    /// Value type of every upstream's reduce output.
+    type InValue: Value;
+    /// Output key type.
+    type OutKey: Key;
+    /// Output value type.
+    type OutValue: Value;
+
+    /// Called once before the first `cogroup` call of the task.
+    fn setup(&mut self) {}
+
+    /// Process one key group, consuming its side-tagged values as a
+    /// stream. Values left unread are skipped, not redelivered.
+    fn cogroup(
+        &mut self,
+        key: &Self::InKey,
+        values: &mut SideGroups<'_, '_, Self::InKey, Self::InValue>,
+        out: &mut Emitter<Self::OutKey, Self::OutValue>,
+    );
+
+    /// Called once after the last group; may emit trailing pairs.
+    fn cleanup(&mut self, _out: &mut Emitter<Self::OutKey, Self::OutValue>) {}
 }
 
 /// A map-side combiner, applied to each map task's sorted output before the

@@ -16,8 +16,8 @@ use ssj_baselines::vsmart::vsmart_join;
 use ssj_baselines::BaselineConfig;
 use ssj_faults::{Fault, FaultPlan, Phase};
 use ssj_mapreduce::{
-    ChainMetrics, Dataset, Emitter, JobMetrics, Mapper, Plan, PlanMode, PlanRunner, Reducer,
-    StageHandle,
+    ChainMetrics, CoGroupReducer, Dataset, Emitter, JobMetrics, Mapper, Plan, PlanMode, PlanRunner,
+    Reducer, SideGroups, StageHandle,
 };
 use ssj_similarity::{Measure, SimilarPair};
 use ssj_text::{encode, Collection, CorpusProfile, Record};
@@ -218,6 +218,59 @@ proptest! {
         prop_assert_eq!(piped.chain.jobs.len(), seq.chain.jobs.len());
         for (a, b) in piped.chain.jobs.iter().zip(&seq.chain.jobs) {
             prop_assert_eq!(logical(a), logical(b));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The R×S co-group join path ≡ the identity-rekey fan-in path: same
+    /// pair digests, candidate counts, and filter verdicts across random
+    /// R/S splits, worker counts, and both plan modes — while the co-group
+    /// join stage moves zero shuffle bytes and its bytes-saved counter
+    /// accounts exactly for the rekey path's second shuffle.
+    #[test]
+    fn rsjoin_cogroup_matches_rekey_across_modes(
+        (r, s) in arb_rs_collections(),
+        workers in prop::sample::select(vec![1usize, 2, 7]),
+        mode in prop::sample::select(vec![PlanMode::Pipelined, PlanMode::Sequential]),
+        theta in prop::sample::select(vec![0.6, 0.8]),
+    ) {
+        let base = FsJoinConfig::default()
+            .with_theta(theta)
+            .with_tasks(3, 4)
+            .with_workers(workers)
+            .with_plan_mode(mode);
+        let co = fsjoin::run_rs_join_two_input(&r, &s, &base.clone().with_rs_cogroup(true));
+        let rk = fsjoin::run_rs_join_two_input(&r, &s, &base.with_rs_cogroup(false));
+
+        prop_assert_eq!(digest(&co.pairs), digest(&rk.pairs));
+        prop_assert_eq!(co.candidates, rk.candidates);
+        prop_assert_eq!(
+            format!("{:?}", co.filter_stats),
+            format!("{:?}", rk.filter_stats)
+        );
+        // Both paths publish the same 4-stage DAG shape.
+        prop_assert_eq!(&co.deps, &vec![vec![], vec![], vec![0, 1], vec![2]]);
+        prop_assert_eq!(&co.deps, &rk.deps);
+
+        let co_join = &co.chain.jobs[2];
+        let rk_join = &rk.chain.jobs[2];
+        prop_assert!(co_join.cogroup && !rk_join.cogroup);
+        prop_assert!(co_join.map_tasks.is_empty());
+        prop_assert_eq!(co_join.shuffle_bytes, 0);
+        // The counter is exactly the shuffle the rekey path pays.
+        prop_assert_eq!(co_join.cogroup_shuffle_bytes_saved(), rk_join.shuffle_bytes);
+        // Per-task reduce-side accounting is identical: the co-group tasks
+        // read the same sealed partitions the rekey reducers re-received.
+        let reduce_io = |m: &JobMetrics| m.reduce_tasks.iter()
+            .map(|t| (t.index, t.input_records, t.output_records, t.output_bytes))
+            .collect::<Vec<_>>();
+        prop_assert_eq!(reduce_io(co_join), reduce_io(rk_join));
+        // Upstream prefix stages are untouched by the join-path choice.
+        for k in [0usize, 1] {
+            prop_assert_eq!(logical(&co.chain.jobs[k]), logical(&rk.chain.jobs[k]));
         }
     }
 }
@@ -507,6 +560,150 @@ fn fan_in_map_retry_refetches_both_sealed_partitions() {
     let down = &faulty.metrics.jobs[2];
     assert_eq!(down.exec.retries, down.map_tasks.len() as u64);
     assert_eq!(down.exec.injected_errors, down.map_tasks.len() as u64);
+    for (a, b) in clean.metrics.jobs.iter().zip(&faulty.metrics.jobs) {
+        let scrub = |m: &JobMetrics| {
+            let mut m = m.clone();
+            m.exec = Default::default();
+            logical(&m)
+        };
+        assert_eq!(scrub(a), scrub(b), "stage {}", a.name);
+    }
+}
+
+/// Sums per key with the side-tag bit preserved: all of a group's values
+/// carry the same planted tag (they come from one [`TagMapper`]), so the
+/// sum of the *masked* values re-tagged with the group's bit keeps the
+/// reduce output classifiable by [`SideCombine`] — unlike a plain sum,
+/// where an even group count would cancel the bit.
+struct TagSum;
+
+impl Reducer for TagSum {
+    type InKey = u32;
+    type InValue = u64;
+    type OutKey = u32;
+    type OutValue = u64;
+
+    fn reduce(&mut self, k: &u32, vs: Vec<u64>, out: &mut Emitter<u32, u64>) {
+        const TAG: u64 = 1 << 40;
+        let tag = vs[0] & TAG;
+        out.emit(*k, vs.iter().map(|v| v & !TAG).sum::<u64>() | tag);
+    }
+}
+
+/// The co-group twin of [`SideCombine`]: classifies by the
+/// engine-delivered side tags instead of the planted tag bit (the bit
+/// still rides in the right side's values, so it is masked off).
+struct SideCombineCo;
+
+impl CoGroupReducer for SideCombineCo {
+    type InKey = u32;
+    type InValue = u64;
+    type OutKey = u32;
+    type OutValue = u64;
+
+    fn cogroup(
+        &mut self,
+        k: &u32,
+        values: &mut SideGroups<'_, '_, u32, u64>,
+        out: &mut Emitter<u32, u64>,
+    ) {
+        const TAG: u64 = 1 << 40;
+        let (mut left, mut right) = (0u64, 0u64);
+        for (side, &v) in values {
+            if side == 0 {
+                left += v;
+            } else {
+                right += v & !TAG;
+            }
+        }
+        out.emit(*k, left.wrapping_mul(3).wrapping_add(right));
+    }
+}
+
+/// Two tag-preserving upstream stages plus either a co-group join (side
+/// tags from the engine) or a rekey fan-in join (side tags from the
+/// planted bit) — the pair of plans the fault test proves equivalent.
+fn two_source_plan(workers: usize, cogroup: bool) -> (Plan, StageHandle<u32, u64>) {
+    let source = |seed: u32| -> Dataset<u32, u32> {
+        Dataset::from_records(
+            (0..48u32)
+                .map(|i| (i ^ seed, i.wrapping_mul(2654435761).wrapping_add(seed)))
+                .collect(),
+            4,
+        )
+    };
+    let mut plan = Plan::new("two-source-chain").with_workers(workers);
+    let left = plan.add("left-src", source(0), 5, |_| TagMapper(0), |_| TagSum);
+    let right = plan.add(
+        "right-src",
+        source(97),
+        5,
+        |_| TagMapper(1 << 40),
+        |_| TagSum,
+    );
+    let joined = if cogroup {
+        plan.add_cogroup("co-join", vec![left, right], |_| SideCombineCo)
+    } else {
+        plan.add("co-join", [left, right], 3, |_| Rekey, |_| SideCombine)
+    };
+    (plan, joined)
+}
+
+/// A failed **co-group** task attempt must be satisfied by re-fetching the
+/// sealed reduce partitions of BOTH upstreams — zero upstream re-runs —
+/// and the co-group plan must produce exactly what the rekey fan-in plan
+/// over the same sources produces.
+#[test]
+fn cogroup_retry_refetches_sealed_partitions_without_upstream_reruns() {
+    let sort = |d: Dataset<u32, u64>| {
+        let mut v: Vec<(u32, u64)> = d.into_records().collect();
+        v.sort_unstable();
+        v
+    };
+
+    // Baseline: rekey fan-in over identical sources — same combined output.
+    let (rekey_plan, rekey_h) = two_source_plan(7, false);
+    let mut rekey = PlanRunner::pipelined().run(rekey_plan);
+    let (clean_plan, clean_h) = two_source_plan(7, true);
+    let mut clean = PlanRunner::pipelined().run(clean_plan);
+    let expected = sort(clean.take_output(clean_h));
+    assert_eq!(
+        expected,
+        sort(rekey.take_output(rekey_h)),
+        "co-group and rekey fan-in must combine identically"
+    );
+
+    let (faulty_plan, faulty_h) = two_source_plan(7, true);
+    let faulty_plan = faulty_plan.with_faults(FaultPlan::new(31).with_target(
+        "co-join",
+        Phase::Reduce,
+        Fault::Error,
+        1,
+    ));
+    let mut faulty = PlanRunner::pipelined().run(faulty_plan);
+    assert_eq!(
+        expected,
+        sort(faulty.take_output(faulty_h)),
+        "retried co-group run must produce identical results"
+    );
+    assert_eq!(faulty.deps(), &[vec![], vec![], vec![0, 1]]);
+
+    // Both upstreams: one attempt per task, zero retries — the co-group
+    // retries re-fetched the sealed Arcs instead of re-running producers.
+    for up in &faulty.metrics.jobs[..2] {
+        assert_eq!(
+            up.exec.attempts,
+            (up.map_tasks.len() + up.reduce_tasks.len()) as u64,
+            "upstream {} must not re-run",
+            up.name
+        );
+        assert_eq!(up.exec.retries, 0, "upstream {} retried", up.name);
+    }
+    // The co-group stage: every task failed once and retried successfully.
+    let down = &faulty.metrics.jobs[2];
+    assert!(down.cogroup && down.map_tasks.is_empty());
+    assert_eq!(down.exec.retries, down.reduce_tasks.len() as u64);
+    assert_eq!(down.exec.injected_errors, down.reduce_tasks.len() as u64);
     for (a, b) in clean.metrics.jobs.iter().zip(&faulty.metrics.jobs) {
         let scrub = |m: &JobMetrics| {
             let mut m = m.clone();

@@ -199,6 +199,9 @@ proptest! {
                         prop_assert!(t.start_us >= feeder.end_us);
                     }
                 }
+                // The fixture plans only map/reduce stages; co-group DAG
+                // soundness is pinned by the observe crate's own tests.
+                TaskKind::CoGroup => {}
             }
         }
     }

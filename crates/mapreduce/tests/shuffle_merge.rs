@@ -8,8 +8,8 @@
 
 use proptest::prelude::*;
 use ssj_mapreduce::{
-    Dataset, Emitter, GroupValues, GroupedRuns, JobBuilder, KWayMerge, Mapper, Reducer,
-    StreamingReducer,
+    CoGroupedRuns, Dataset, Emitter, GroupValues, GroupedRuns, JobBuilder, KWayMerge, Mapper,
+    Reducer, StreamingReducer,
 };
 
 /// Arbitrary set of sorted runs (what the map phase spills): up to 8 runs
@@ -32,6 +32,40 @@ fn arb_sorted_runs() -> impl Strategy<Value = Vec<Vec<(u32, u32)>>> {
 fn concat_stable_sort(runs: &[Vec<(u32, u32)>]) -> Vec<(u32, u32)> {
     let mut all: Vec<(u32, u32)> = runs.iter().flatten().copied().collect();
     all.sort_by_key(|a| a.0);
+    all
+}
+
+/// Arbitrary multi-source run set (what a co-group stage reads): up to 4
+/// sides, each contributing up to 4 sorted runs — the sealed reduce runs
+/// of N co-partitioned upstreams.
+fn arb_sided_runs() -> impl Strategy<Value = Vec<Vec<Vec<(u32, u32)>>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec((0u32..20, 0u32..1000), 0..30).prop_map(|mut run| {
+                run.sort_by_key(|&(k, _)| k);
+                run
+            }),
+            0..4,
+        ),
+        0..4,
+    )
+}
+
+/// The reference semantics of the co-group merge: what an identity-rekey
+/// fan-in map over the same sealed partitions would deliver — side-major
+/// concat (edge order, then run order within a side) + stable sort by key,
+/// each value tagged with its side.
+fn side_major_stable_sort(sides: &[Vec<Vec<(u32, u32)>>]) -> Vec<(u32, (u32, u32))> {
+    let mut all: Vec<(u32, (u32, u32))> = sides
+        .iter()
+        .enumerate()
+        .flat_map(|(side, runs)| {
+            runs.iter()
+                .flatten()
+                .map(move |&(k, v)| (k, (side as u32, v)))
+        })
+        .collect();
+    all.sort_by_key(|e| e.0);
     all
 }
 
@@ -69,6 +103,71 @@ proptest! {
             streamed.push((*k, vs.copied().collect()));
         });
         prop_assert_eq!(streamed, group_walk(&concat_stable_sort(&runs)));
+    }
+
+    /// Multi-source co-grouping == side-major concat + stable sort, group
+    /// for group: the `(key, side, run-within-side)` tie-break the
+    /// co-group plan stage contract promises. Side tags inside one group
+    /// arrive non-decreasing; within one side, values arrive in run order.
+    #[test]
+    fn cogrouped_runs_match_side_major_stable_sort(sides in arb_sided_runs()) {
+        let slices: Vec<Vec<&[(u32, u32)]>> = sides
+            .iter()
+            .map(|runs| runs.iter().map(Vec::as_slice).collect())
+            .collect();
+        let co = CoGroupedRuns::new(slices);
+        prop_assert_eq!(
+            co.total_len(),
+            sides.iter().flatten().map(Vec::len).sum::<usize>()
+        );
+        let mut streamed: Vec<(u32, Vec<(u32, u32)>)> = Vec::new();
+        co.for_each_group(|k, vs| {
+            streamed.push((*k, vs.map(|(s, &v)| (s, v)).collect()));
+        });
+        for (k, tagged) in &streamed {
+            assert!(
+                tagged.windows(2).all(|w| w[0].0 <= w[1].0),
+                "side tags must be non-decreasing within group {k}"
+            );
+        }
+        let mut expect: Vec<(u32, Vec<(u32, u32)>)> = Vec::new();
+        for (k, sv) in side_major_stable_sort(&sides) {
+            match expect.last_mut() {
+                Some((ck, vals)) if *ck == k => vals.push(sv),
+                _ => expect.push((k, vec![sv])),
+            }
+        }
+        prop_assert_eq!(streamed, expect);
+    }
+
+    /// Co-groups arrive whole even when the consumer reads only a prefix
+    /// of each group's side-tagged values (the engine must drain the
+    /// remainder without redelivery).
+    #[test]
+    fn cogroup_partial_consumption_preserves_boundaries(
+        sides in arb_sided_runs(),
+        take in 0usize..3,
+    ) {
+        let slices: Vec<Vec<&[(u32, u32)]>> = sides
+            .iter()
+            .map(|runs| runs.iter().map(Vec::as_slice).collect())
+            .collect();
+        let mut streamed: Vec<(u32, Vec<(u32, u32)>)> = Vec::new();
+        CoGroupedRuns::new(slices).for_each_group(|k, vs| {
+            streamed.push((*k, vs.take(take).map(|(s, &v)| (s, v)).collect()));
+        });
+        let mut expect: Vec<(u32, Vec<(u32, u32)>)> = Vec::new();
+        for (k, sv) in side_major_stable_sort(&sides) {
+            match expect.last_mut() {
+                Some((ck, vals)) if *ck == k => vals.push(sv),
+                _ => expect.push((k, vec![sv])),
+            }
+        }
+        let expect: Vec<(u32, Vec<(u32, u32)>)> = expect
+            .into_iter()
+            .map(|(k, vals)| (k, vals.into_iter().take(take).collect()))
+            .collect();
+        prop_assert_eq!(streamed, expect);
     }
 
     /// Same contract on the generic by-reference tree: `u16` keys have no

@@ -174,6 +174,10 @@ pub fn decode_upstreams(s: &str) -> Vec<usize> {
 pub enum TaskKind {
     Map,
     Reduce,
+    /// Reduce side of a co-group stage: consumes the same-index sealed
+    /// reduce partition of every upstream directly (like a fan-in map)
+    /// and produces a sealed output partition (like a reduce).
+    CoGroup,
 }
 
 /// One plan-tagged task occurrence.
@@ -263,6 +267,7 @@ impl PlanProfile {
                 let kind = match s.arg_str("kind").or(Some(s.name.as_str())) {
                     Some("map") => TaskKind::Map,
                     Some("reduce") => TaskKind::Reduce,
+                    Some("cogroup") => TaskKind::CoGroup,
                     _ => continue,
                 };
                 tasks.entry(key).or_default().push(TaskRec {
@@ -333,9 +338,11 @@ impl PlanProfile {
     }
 
     /// Logical predecessors of task `i` (indices into `self.tasks`): all
-    /// maps of the same stage for a reduce; the same-partition reduce of
-    /// *every* upstream stage for a map (a fan-in map split waits on all
-    /// of its co-partitioned inputs).
+    /// maps of the same stage for a reduce; the same-partition sealed
+    /// output (reduce *or* co-group) of *every* upstream stage for a map
+    /// or co-group task (a fan-in split waits on all of its
+    /// co-partitioned inputs; a co-group task is that wait with no map
+    /// phase in front).
     fn logical_preds(&self, i: usize) -> Vec<usize> {
         let t = &self.tasks[i];
         match t.kind {
@@ -346,7 +353,7 @@ impl PlanProfile {
                 .filter(|(_, p)| p.stage == t.stage && p.kind == TaskKind::Map)
                 .map(|(j, _)| j)
                 .collect(),
-            TaskKind::Map => {
+            TaskKind::Map | TaskKind::CoGroup => {
                 let ups = self.upstreams_of(t.stage);
                 if ups.is_empty() {
                     return Vec::new();
@@ -356,7 +363,7 @@ impl PlanProfile {
                     .enumerate()
                     .filter(|(_, p)| {
                         ups.contains(&p.stage)
-                            && p.kind == TaskKind::Reduce
+                            && matches!(p.kind, TaskKind::Reduce | TaskKind::CoGroup)
                             && p.partition == t.partition
                     })
                     .map(|(j, _)| j)
@@ -366,6 +373,9 @@ impl PlanProfile {
     }
 
     /// Logical successors of task `i` (inverse of [`logical_preds`]).
+    /// A co-group task appears on both sides: it consumes sealed
+    /// partitions like a fan-in map and seals an output partition like a
+    /// reduce.
     fn logical_succs(&self, i: usize) -> Vec<usize> {
         let t = &self.tasks[i];
         match t.kind {
@@ -376,12 +386,12 @@ impl PlanProfile {
                 .filter(|(_, s)| s.stage == t.stage && s.kind == TaskKind::Reduce)
                 .map(|(j, _)| j)
                 .collect(),
-            TaskKind::Reduce => self
+            TaskKind::Reduce | TaskKind::CoGroup => self
                 .tasks
                 .iter()
                 .enumerate()
                 .filter(|(_, s)| {
-                    s.kind == TaskKind::Map
+                    matches!(s.kind, TaskKind::Map | TaskKind::CoGroup)
                         && s.partition == t.partition
                         && self.upstreams_of(s.stage).contains(&t.stage)
                 })
@@ -723,6 +733,73 @@ mod tests {
             .unwrap();
         assert_eq!(slack[fast], 10);
         assert_eq!(slack[slow], 0);
+    }
+
+    /// Co-group: stages 0 and 1 are external, stage 2 co-groups both with
+    /// no map phase — its tasks consume sealed partitions directly.
+    fn cogroup_spans() -> Vec<ProfSpan> {
+        let mut spans = vec![
+            job_span("c", 6, 0, "-", "r-prefix"),
+            job_span("c", 6, 1, "-", "s-prefix"),
+            job_span("c", 6, 2, "0,1", "join"),
+        ];
+        for stage in 0..2u64 {
+            spans.push(task_span("c", 6, stage, "map", 0, stage as u32, 0, 10));
+            spans.push(task_span(
+                "c",
+                6,
+                stage,
+                "reduce",
+                0,
+                stage as u32,
+                10,
+                10 + 10 * stage,
+            ));
+        }
+        // The co-group task starts once BOTH upstream reduces sealed
+        // partition 0 — at 30 — with no interposed map.
+        spans.push(task_span("c", 6, 2, "cogroup", 0, 2, 30, 10));
+        spans
+    }
+
+    #[test]
+    fn cogroup_dag_and_critical_path() {
+        let profiles = PlanProfile::from_spans(&cogroup_spans());
+        let p = &profiles[0];
+        assert_eq!(p.dag(), vec![(0, vec![]), (1, vec![]), (2, vec![0, 1])]);
+        let co = p
+            .tasks
+            .iter()
+            .position(|t| t.kind == TaskKind::CoGroup)
+            .unwrap();
+        assert_eq!(p.tasks[co].stage, 2);
+        // The co-group task's logical preds are the sealed reduces of
+        // BOTH upstream stages — same release rule as a fan-in map.
+        let preds = p.logical_preds(co);
+        let pred_stages: Vec<usize> = preds.iter().map(|&j| p.tasks[j].stage).collect();
+        assert_eq!(preds.len(), 2);
+        assert!(pred_stages.contains(&0) && pred_stages.contains(&1));
+        // Both upstream reduces list the co-group task as a successor.
+        for (i, t) in p.tasks.iter().enumerate() {
+            if t.kind == TaskKind::Reduce {
+                assert_eq!(p.logical_succs(i), vec![co], "reduce of stage {}", t.stage);
+            }
+        }
+        // Critical path routes through the slower upstream and spans the
+        // whole makespan; the fast upstream's reduce has slack.
+        assert_eq!(p.makespan_us(), 40);
+        assert_eq!(p.critical_path_span_us(), 40);
+        let path = p.critical_path();
+        assert!(path.iter().any(|&i| p.tasks[i].stage == 1));
+        assert_eq!(*path.last().unwrap(), co);
+        let slack = p.slack_us();
+        let fast = p
+            .tasks
+            .iter()
+            .position(|t| t.stage == 0 && t.kind == TaskKind::Reduce)
+            .unwrap();
+        assert_eq!(slack[fast], 10);
+        assert_eq!(slack[co], 0);
     }
 
     #[test]

@@ -102,6 +102,34 @@ for variant in rs_seq2 rs_pipe7; do
 done
 echo "$rs_pipe2" | sed 's/^/  /'
 
+echo "== smoke: rsjoin join-path equivalence gate (cogroup vs rekey, workers 2 vs 7) =="
+# The co-group join stage (DESIGN.md §13) consumes the sealed prefix
+# partitions in place; the legacy rekey fan-in re-shuffles them. The two
+# paths must agree on every result line (digest, candidates, filter
+# counters) at every worker count — only the per-job shuffle accounting
+# may differ, and it must differ in the co-group path's favour: its join
+# stage moves zero shuffle bytes. rs_pipe2/rs_pipe7 above are the
+# co-group (default) reports; reuse them.
+rk_pipe2="$(cargo run --release -p ssj-bench --bin determinism -- 2 pipelined rsjoin prune rekey 2>/dev/null)"
+rk_pipe7="$(cargo run --release -p ssj-bench --bin determinism -- 7 pipelined rsjoin prune rekey 2>/dev/null)"
+if [[ "$rk_pipe2" != "$rk_pipe7" ]]; then
+    echo "rsjoin join-path gate FAILED: rekey path not worker-invariant" >&2
+    diff <(printf '%s\n' "$rk_pipe2") <(printf '%s\n' "$rk_pipe7") >&2 || true
+    exit 1
+fi
+results_only() { grep -E '^(result|filters):' <<<"$1"; }
+if [[ "$(results_only "$rs_pipe2")" != "$(results_only "$rk_pipe2")" ]]; then
+    echo "rsjoin join-path gate FAILED: cogroup and rekey paths disagree" >&2
+    diff <(results_only "$rs_pipe2") <(results_only "$rk_pipe2") >&2 || true
+    exit 1
+fi
+if ! grep -q '^job rsjoin-join: shuffle_records=0 shuffle_bytes=0 ' <<<"$rs_pipe2"; then
+    echo "rsjoin join-path gate FAILED: cogroup join stage still shuffles" >&2
+    grep '^job rsjoin-join:' <<<"$rs_pipe2" >&2 || true
+    exit 1
+fi
+echo "  cogroup and rekey join paths agree at workers 2 and 7 (cogroup join: zero shuffle)"
+
 echo "== smoke: kernel equivalence gate (bitmap prune on vs off) =="
 # The bitmap prune layer consults hashed token bitmaps before exact
 # verification; the XOR-Hamming bound is a true upper bound on overlap,
